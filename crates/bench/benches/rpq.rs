@@ -1,0 +1,96 @@
+//! Microbenchmarks for the regular-path-query engine: evaluation
+//! `⟦E⟧^G(a)` and tracing `graph(paths(E, G, a, X))` across path-expression
+//! classes (the core primitives behind both Table 1 and Table 2).
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shapefrag_rdf::Term;
+use shapefrag_shacl::rpq::CompiledPath;
+use shapefrag_shacl::PathExpr;
+use shapefrag_workloads::tyrolean::{generate, schema, TyroleanConfig};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_rpq(c: &mut Criterion) {
+    let graph = generate(&TyroleanConfig::new(3_000, 7));
+    let review = graph.id_of(&Term::iri("http://tkg.example.org/review0")).unwrap();
+    let lodging = graph.id_of(&Term::iri("http://tkg.example.org/lodging0")).unwrap();
+
+    let paths: Vec<(&str, PathExpr, shapefrag_rdf::TermId)> = vec![
+        ("simple-prop", PathExpr::Prop(schema("author")), review),
+        (
+            "inverse",
+            PathExpr::Prop(schema("itemReviewed")).inverse(),
+            lodging,
+        ),
+        (
+            "sequence",
+            PathExpr::Prop(schema("itemReviewed")).then(PathExpr::Prop(schema("location"))),
+            review,
+        ),
+        (
+            "alternative",
+            PathExpr::Prop(schema("author")).or(PathExpr::Prop(schema("itemReviewed"))),
+            review,
+        ),
+        (
+            "star",
+            PathExpr::Prop(schema("itemReviewed"))
+                .or(PathExpr::Prop(schema("location")))
+                .star(),
+            review,
+        ),
+        (
+            "two-hop-inverse",
+            PathExpr::Prop(schema("itemReviewed"))
+                .then(PathExpr::Prop(schema("itemReviewed")).inverse()),
+            review,
+        ),
+    ];
+
+    let mut group = c.benchmark_group("rpq_eval");
+    for (name, path, from) in &paths {
+        let compiled = CompiledPath::new(path, &graph);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compiled, |b, compiled| {
+            b.iter(|| compiled.eval_from(&graph, *from));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("rpq_trace");
+    for (name, path, from) in &paths {
+        let compiled = CompiledPath::new(path, &graph);
+        let targets: BTreeSet<_> = compiled.eval_from(&graph, *from);
+        if targets.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compiled, |b, compiled| {
+            b.iter(|| compiled.trace(&graph, *from, &targets));
+        });
+    }
+    group.finish();
+
+    // Compilation cost itself.
+    c.bench_function("rpq_compile_star_alt", |b| {
+        let path = PathExpr::Prop(schema("a"))
+            .or(PathExpr::Prop(schema("b")))
+            .star()
+            .then(PathExpr::Prop(schema("c")).opt());
+        b.iter(|| CompiledPath::new(&path, &graph));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_rpq
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Microbenchmarks for the SPARQL engine and the §5.1 translation:
+//! generated fragment queries vs. the native route, and the two evaluator
+//! configurations (the Figure 3 "two engines").
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use shapefrag_core::fragment;
+use shapefrag_core::to_sparql::{fragment_query, fragment_via_sparql};
+use shapefrag_shacl::{Schema, Shape};
+use shapefrag_sparql::eval::{eval_select, EvalConfig};
+use shapefrag_sparql::parser::parse_select;
+use shapefrag_workloads::dblp::{vardi_shape, Bibliography, DblpConfig};
+use shapefrag_workloads::ecommerce::{generate, EcommerceConfig};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_sparql(c: &mut Criterion) {
+    let shop = generate(&EcommerceConfig {
+        products: 300,
+        users: 200,
+        seed: 5,
+    });
+
+    // Hand-written benchmark query (W03-style chain).
+    let chain = parse_select(
+        "PREFIX ec: <http://ec.example.org/vocab/>\n\
+         SELECT * WHERE { ?v ec:caption ?c . ?v ec:hasReview ?r . ?r ec:title ?t . \
+         ?r ec:reviewer ?u . ?w ec:follows ?u . }",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("sparql_eval/chain-query");
+    group.bench_function("indexed", |b| {
+        b.iter(|| eval_select(&shop, &chain, &EvalConfig::indexed()).unwrap())
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| eval_select(&shop, &chain, &EvalConfig::naive()).unwrap())
+    });
+    group.finish();
+
+    // Generated fragment query vs native fragment (Figure 1 vs Figure 2 in
+    // miniature).
+    let schema = Schema::empty();
+    let shape = Shape::geq(
+        1,
+        shapefrag_shacl::PathExpr::Prop(shapefrag_workloads::ecommerce::ec("hasReview")),
+        Shape::geq(
+            1,
+            shapefrag_shacl::PathExpr::Prop(shapefrag_workloads::ecommerce::ec("reviewer")),
+            Shape::True,
+        ),
+    );
+    let mut group = c.benchmark_group("fragment_routes");
+    group.bench_function("native", |b| {
+        b.iter(|| fragment(&schema, &shop, std::slice::from_ref(&shape)))
+    });
+    group.bench_function("generated-sparql", |b| {
+        b.iter(|| {
+            fragment_via_sparql(&schema, &shop, std::slice::from_ref(&shape), &EvalConfig::indexed())
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    // Query generation itself (Prop 5.3 construction + printing).
+    let bib = Bibliography::generate(&DblpConfig {
+        first_year: 2019,
+        last_year: 2021,
+        papers_per_year: 150,
+        new_authors_per_year: 60,
+        seed: 9,
+        ..DblpConfig::default()
+    });
+    let dblp_graph = bib.full_graph();
+    let vardi = vardi_shape(2);
+    c.bench_function("translate_vardi_fragment_query", |b| {
+        b.iter(|| fragment_query(&schema, std::slice::from_ref(&vardi)).to_string())
+    });
+    c.bench_function("vardi2_fragment_via_sparql", |b| {
+        b.iter(|| {
+            fragment_via_sparql(
+                &schema,
+                &dblp_graph,
+                std::slice::from_ref(&vardi),
+                &EvalConfig::indexed(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sparql
+}
+criterion_main!(benches);

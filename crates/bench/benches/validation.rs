@@ -1,0 +1,68 @@
+//! Microbenchmark version of the Figure 1 comparison: plain validation vs.
+//! instrumented validation with provenance extraction, on a slice of the
+//! 57-shape suite over the tourism graph.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shapefrag_core::validate_extract_fragment;
+use shapefrag_shacl::validator::validate;
+use shapefrag_shacl::Schema;
+use shapefrag_workloads::shapes57::benchmark_shapes;
+use shapefrag_workloads::tyrolean::{generate, TyroleanConfig};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let graph = generate(&TyroleanConfig::new(2_500, 13));
+    let shapes = benchmark_shapes();
+
+    // A representative slice: existential, universal, pair, closed.
+    for idx in [0usize, 4, 21, 40] {
+        let def = shapes[idx].clone();
+        let label = def
+            .name
+            .to_string()
+            .rsplit('/')
+            .next()
+            .unwrap()
+            .trim_end_matches('>')
+            .to_string();
+        let schema = Schema::new([def]).unwrap();
+        let mut group = c.benchmark_group(format!("fig1_micro/{label}"));
+        group.bench_with_input(BenchmarkId::from_parameter("validate"), &schema, |b, s| {
+            b.iter(|| validate(s, &graph));
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter("validate+provenance"),
+            &schema,
+            |b, s| {
+                b.iter(|| validate_extract_fragment(s, &graph));
+            },
+        );
+        group.finish();
+    }
+
+    // The full suite at once (what a user would actually run).
+    let full = Schema::new(shapes).unwrap();
+    let mut group = c.benchmark_group("fig1_micro/full-suite");
+    group.sample_size(10);
+    group.bench_function("validate", |b| b.iter(|| validate(&full, &graph)));
+    group.bench_function("validate+provenance", |b| {
+        b.iter(|| validate_extract_fragment(&full, &graph))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_validation
+}
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! **Proposition 6.2** — which Triple Pattern Fragments are expressible as
+//! shape fragments.
+//!
+//! For each of the seven expressible TPF forms, the paper's request shape
+//! is evaluated as a shape fragment and compared against the TPF's images
+//! on randomized graphs. For the inexpressible forms, the Appendix D
+//! counterexample graphs are replayed: the TPF returns exactly one of two
+//! look-alike triples, which Lemma D.1 shows no shape fragment can
+//! separate.
+
+use serde::Serialize;
+
+use shapefrag_bench::{print_table, ExpOptions};
+use shapefrag_core::fragment;
+use shapefrag_rdf::{Graph, Iri, Term, Triple};
+use shapefrag_shacl::Schema;
+use shapefrag_workloads::tpf::{all_tpf_forms, counterexample_graph, tpf_shape};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Serialize)]
+struct TpfRow {
+    form: String,
+    expressible: bool,
+    shape: Option<String>,
+    verdict: String,
+}
+
+#[derive(Serialize)]
+struct TpfResults {
+    expressible_forms: usize,
+    inexpressible_forms: usize,
+    rows: Vec<TpfRow>,
+}
+
+fn random_graph(seed: u64, triples: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let node = |i: usize| {
+        Term::iri(match i {
+            0 => "http://tpf.example.org/c".to_string(),
+            1 => "http://tpf.example.org/d".to_string(),
+            i => format!("http://tpf.example.org/n{i}"),
+        })
+    };
+    let pred = |i: usize| {
+        Iri::new(match i {
+            0 => "http://tpf.example.org/p".to_string(),
+            i => format!("http://tpf.example.org/q{i}"),
+        })
+    };
+    for _ in 0..triples {
+        g.insert(Triple::new(
+            node(rng.gen_range(0..10)),
+            pred(rng.gen_range(0..4)),
+            node(rng.gen_range(0..10)),
+        ));
+    }
+    g
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let trials = opts.scaled(25);
+    let schema = Schema::empty();
+    let mut rows = Vec::new();
+    let mut n_expressible = 0usize;
+
+    for (form, query, expressible) in all_tpf_forms() {
+        if expressible {
+            n_expressible += 1;
+            let shape = tpf_shape(&query).expect("expressible form translates");
+            let mut ok = true;
+            for seed in 0..trials as u64 {
+                let g = random_graph(seed, 40);
+                let via_tpf = query.eval(&g);
+                let via_frag = fragment(&schema, &g, std::slice::from_ref(&shape));
+                if via_tpf != via_frag {
+                    ok = false;
+                    break;
+                }
+            }
+            rows.push(TpfRow {
+                form: form.to_string(),
+                expressible: true,
+                shape: Some(shape.to_string()),
+                verdict: if ok {
+                    format!("fragment = TPF images on {trials} random graphs")
+                } else {
+                    "FAILED".to_string()
+                },
+            });
+        } else {
+            assert!(tpf_shape(&query).is_none(), "{form} unexpectedly translated");
+            let g = counterexample_graph(&query).expect("counterexample exists");
+            let images = query.eval(&g);
+            rows.push(TpfRow {
+                form: form.to_string(),
+                expressible: false,
+                shape: None,
+                verdict: format!(
+                    "counterexample: images keep {} of {} look-alike triples (Lemma D.1)",
+                    images.len(),
+                    g.len()
+                ),
+            });
+        }
+    }
+
+    println!("\nProposition 6.2 — TPF expressibility as shape fragments\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.form.clone(),
+                if r.expressible { "yes" } else { "no" }.to_string(),
+                r.verdict.clone(),
+            ]
+        })
+        .collect();
+    print_table(&["TPF form", "expressible", "verdict"], &table);
+    println!(
+        "\n{} expressible forms, {} inexpressible forms checked",
+        n_expressible,
+        rows.len() - n_expressible
+    );
+    println!("paper reference: exactly the 7 listed forms are expressible.");
+
+    assert!(rows.iter().all(|r| r.verdict != "FAILED"));
+    assert_eq!(n_expressible, 7);
+
+    opts.write_json(
+        "tpf_expressibility",
+        &TpfResults {
+            expressible_forms: n_expressible,
+            inexpressible_forms: rows.len() - n_expressible,
+            rows,
+        },
+    );
+}

@@ -1,0 +1,249 @@
+//! Shape fragments (§4): subgraph retrieval via shapes.
+//!
+//! `Frag(G, S) = ⋃ { B(v, G, φ) | v ∈ N, φ ∈ S }` — the union of the
+//! neighborhoods of all nodes for a set of *request shapes*. Since
+//! neighborhoods are subgraphs of `G`, it suffices to range over `N(G)`.
+//!
+//! For a schema `H`, `Frag(G, H) = Frag(G, { φ ∧ τ | (s, φ, τ) ∈ H })`
+//! (each shape conjoined with its target). The Conformance theorem
+//! (Theorem 4.1) guarantees that `Frag(G, H)` still conforms to `H` when
+//! `G` does and all targets are monotone.
+
+use std::collections::BTreeSet;
+
+use shapefrag_rdf::{Graph, TermId};
+use shapefrag_shacl::validator::Context;
+use shapefrag_shacl::{Nnf, Schema, Shape};
+
+use crate::neighborhood::{materialize, neighborhood_nnf_ids, IdTriples};
+
+/// Computes the shape fragment `Frag(G, S)` for request shapes `S`.
+pub fn fragment(schema: &Schema, graph: &Graph, shapes: &[Shape]) -> Graph {
+    materialize(graph, &fragment_ids(schema, graph, shapes))
+}
+
+/// Computes `Frag(G, H)`: the fragment for a schema's request shapes
+/// `{ φ ∧ τ | (s, φ, τ) ∈ H }`.
+pub fn schema_fragment(schema: &Schema, graph: &Graph) -> Graph {
+    fragment(schema, graph, &schema.request_shapes())
+}
+
+/// Id-triple form of [`fragment`].
+pub fn fragment_ids(schema: &Schema, graph: &Graph, shapes: &[Shape]) -> IdTriples {
+    let mut ctx = Context::new(schema, graph);
+    let nodes = graph.node_ids();
+    let mut out = IdTriples::default();
+    for shape in shapes {
+        let nnf = Nnf::from_shape(shape);
+        for &v in &nodes {
+            out.extend(neighborhood_nnf_ids(&mut ctx, v, &nnf));
+        }
+    }
+    out
+}
+
+/// Parallel fragment computation: partitions the node set over worker
+/// threads, each with its own evaluation context (compiled-path cache), and
+/// unions the per-worker results. Produces exactly the same fragment as
+/// [`fragment`] — neighborhoods are independent per (node, shape) pair.
+pub fn fragment_par(schema: &Schema, graph: &Graph, shapes: &[Shape], workers: usize) -> Graph {
+    let workers = workers.max(1);
+    let nodes: Vec<TermId> = graph.node_ids().into_iter().collect();
+    if workers == 1 || nodes.len() < 2 * workers {
+        return fragment(schema, graph, shapes);
+    }
+    let nnfs: Vec<Nnf> = shapes.iter().map(Nnf::from_shape).collect();
+    let chunk = nodes.len().div_ceil(workers);
+    let mut results: Vec<IdTriples> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in nodes.chunks(chunk) {
+            let nnfs = &nnfs;
+            handles.push(scope.spawn(move |_| {
+                let mut ctx = Context::new(schema, graph);
+                let mut out = IdTriples::default();
+                for nnf in nnfs {
+                    for &v in part {
+                        out.extend(neighborhood_nnf_ids(&mut ctx, v, nnf));
+                    }
+                }
+                out
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("fragment worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    let mut all = IdTriples::default();
+    for r in results {
+        all.extend(r);
+    }
+    materialize(graph, &all)
+}
+
+/// The set of nodes conforming to a shape — a shape viewed as a unary query
+/// (used when comparing with SPARQL and TPF).
+pub fn conforming_nodes(schema: &Schema, graph: &Graph, shape: &Shape) -> BTreeSet<TermId> {
+    let mut ctx = Context::new(schema, graph);
+    graph
+        .node_ids()
+        .into_iter()
+        .filter(|&v| ctx.conforms(v, shape))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapefrag_rdf::{Iri, Term, Triple};
+    use shapefrag_shacl::path::PathExpr;
+    use shapefrag_shacl::validator::validate;
+    use shapefrag_shacl::ShapeDef;
+
+    fn iri(n: &str) -> Iri {
+        Iri::new(format!("http://e/{n}"))
+    }
+
+    fn term(n: &str) -> Term {
+        Term::iri(format!("http://e/{n}"))
+    }
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(term(s), iri(p), term(o))
+    }
+
+    fn p(n: &str) -> PathExpr {
+        PathExpr::Prop(iri(n))
+    }
+
+    #[test]
+    fn fragment_unions_neighborhoods_over_all_nodes() {
+        let g = Graph::from_triples([
+            t("p1", "author", "alice"),
+            t("alice", "type", "Student"),
+            t("p2", "author", "bob"),
+            t("bob", "type", "Professor"),
+            t("x", "unrelated", "y"),
+        ]);
+        let shape = Shape::geq(
+            1,
+            p("author"),
+            Shape::geq(1, p("type"), Shape::has_value(term("Student"))),
+        );
+        let frag = fragment(&Schema::empty(), &g, &[shape]);
+        let expected = Graph::from_triples([
+            t("p1", "author", "alice"),
+            t("alice", "type", "Student"),
+        ]);
+        assert_eq!(frag, expected);
+    }
+
+    #[test]
+    fn example_1_3_schema_fragment_conforms() {
+        let schema = Schema::new([ShapeDef::new(
+            term("WorkshopShape"),
+            Shape::geq(
+                1,
+                p("author"),
+                Shape::geq(1, p("type"), Shape::has_value(term("Student"))),
+            ),
+            Shape::geq(1, p("type"), Shape::has_value(term("Paper"))),
+        )])
+        .unwrap();
+        let g = Graph::from_triples([
+            t("p1", "type", "Paper"),
+            t("p1", "author", "alice"),
+            t("alice", "type", "Student"),
+            t("noise", "type", "Venue"),
+        ]);
+        assert!(validate(&schema, &g).conforms());
+        let frag = schema_fragment(&schema, &g);
+        // Conformance theorem: the fragment conforms too.
+        assert!(validate(&schema, &frag).conforms());
+        // And it contains the target triple plus the neighborhood.
+        assert!(frag.contains(&t("p1", "type", "Paper")));
+        assert!(frag.contains(&t("p1", "author", "alice")));
+        assert!(frag.contains(&t("alice", "type", "Student")));
+        assert!(!frag.contains(&t("noise", "type", "Venue")));
+    }
+
+    #[test]
+    fn example_4_3_non_monotone_converse_fails() {
+        // φ = ≤0 p.⊤ on G = {(a,p,b)}: fragment is empty, a conforms in
+        // the fragment but not in G.
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        let shape = Shape::leq(0, p("p"), Shape::True);
+        let frag = fragment(&Schema::empty(), &g, std::slice::from_ref(&shape));
+        assert!(frag.is_empty());
+        let schema = Schema::empty();
+        let mut ctx_g = Context::new(&schema, &g);
+        let a = g.id_of(&term("a")).unwrap();
+        assert!(!ctx_g.conforms(a, &shape));
+        // In the (empty) fragment, a trivially conforms.
+        let mut f2 = frag.clone();
+        let a_f = f2.intern(&term("a"));
+        let mut ctx_f = Context::new(&schema, &f2);
+        assert!(ctx_f.conforms(a_f, &shape));
+    }
+
+    #[test]
+    fn corollary_4_2_sufficiency_for_fragments() {
+        // Every conforming node still conforms in the fragment.
+        let g = Graph::from_triples([
+            t("a", "p", "b"),
+            t("b", "p", "c"),
+            t("c", "q", "d"),
+            t("e", "p", "a"),
+        ]);
+        let shapes = vec![
+            Shape::geq(1, p("p").then(p("p")), Shape::True),
+            Shape::for_all(p("q"), Shape::True),
+        ];
+        let schema = Schema::empty();
+        let frag = fragment(&schema, &g, &shapes);
+        let mut ctx_g = Context::new(&schema, &g);
+        for shape in &shapes {
+            let conforming: Vec<TermId> = g
+                .node_ids()
+                .into_iter()
+                .filter(|&v| ctx_g.conforms(v, shape))
+                .collect();
+            for v in conforming {
+                let vt = g.term(v).clone();
+                let mut frag2 = frag.clone();
+                let vf = frag2.intern(&vt);
+                let mut ctx_f = Context::new(&schema, &frag2);
+                assert!(ctx_f.conforms(vf, shape), "{vt} lost conformance to {shape}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fragment_equals_sequential() {
+        let mut triples = Vec::new();
+        for i in 0..40 {
+            triples.push(t(&format!("n{i}"), "p", &format!("n{}", (i + 1) % 40)));
+            if i % 3 == 0 {
+                triples.push(t(&format!("n{i}"), "type", "C"));
+            }
+        }
+        let g = Graph::from_triples(triples);
+        let shapes = vec![
+            Shape::geq(1, p("p"), Shape::geq(1, p("type"), Shape::has_value(term("C")))),
+            Shape::for_all(p("type"), Shape::has_value(term("C"))),
+        ];
+        let schema = Schema::empty();
+        let seq = fragment(&schema, &g, &shapes);
+        let par = fragment_par(&schema, &g, &shapes, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn conforming_nodes_as_query() {
+        let g = Graph::from_triples([t("a", "p", "x"), t("b", "q", "x")]);
+        let nodes = conforming_nodes(&Schema::empty(), &g, &Shape::geq(1, p("p"), Shape::True));
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(g.term(*nodes.iter().next().unwrap()), &term("a"));
+    }
+}

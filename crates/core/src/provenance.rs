@@ -1,0 +1,252 @@
+//! High-level provenance API: why and why-not explanations.
+//!
+//! Thanks to negation (Remark 3.7), the neighborhood mechanism yields both
+//! kinds of provenance: if `v` conforms to φ, `B(v, G, φ)` explains *why*;
+//! if it does not, `B(v, G, ¬φ)` explains *why not*.
+
+use shapefrag_rdf::{Graph, Term};
+use shapefrag_shacl::validator::Context;
+use shapefrag_shacl::{Schema, Shape};
+
+use crate::neighborhood::neighborhood_term;
+
+/// Greedily prunes a neighborhood to an inclusion-minimal *witness*: a
+/// subgraph of `B(v, G, φ)` in which `v` still conforms to φ and from which
+/// no single triple can be removed without breaking conformance.
+///
+/// Remark 3.6 of the paper observes that `B(v, G, φ)` is deliberately
+/// **not** minimal — e.g. `≥1 a.⊤` keeps *all* `a`-triples because choosing
+/// one would be nondeterministic. This utility makes that choice
+/// deterministically (triples are tried in sorted order), which is useful
+/// for debugging ("show me one reason") but, unlike the neighborhood, the
+/// result is not canonical provenance: different orders give different
+/// minimal witnesses, and for non-monotone shapes a witness need not stay
+/// sufficient when other triples of `G` are added back.
+///
+/// Returns `None` when `v` does not conform to φ in `G`.
+pub fn minimal_witness(
+    schema: &Schema,
+    graph: &Graph,
+    node: &Term,
+    shape: &Shape,
+) -> Option<Graph> {
+    let mut ctx = Context::new(schema, graph);
+    if !ctx.conforms_term(node, shape) {
+        return None;
+    }
+    let mut current = neighborhood_term(&mut ctx, node, shape);
+    let mut triples: Vec<_> = current.iter().collect();
+    triples.sort();
+    for t in triples {
+        let mut candidate = current.clone();
+        candidate.remove(&t);
+        let mut cctx = Context::new(schema, &candidate);
+        if cctx.conforms_term(node, shape) {
+            current = candidate;
+        }
+    }
+    Some(current)
+}
+
+/// Describes a node through the lens of a schema (the "DESCRIBE using
+/// shapes" application sketched in §7 and the SPARQL 1.2 discussion the
+/// paper cites): the union of `B(node, G, φ)` over every shape definition
+/// whose shape the node conforms to, i.e. everything the schema considers
+/// relevant about this node.
+///
+/// Unlike plain `DESCRIBE` (all incident triples), the result is exactly
+/// the evidence the schema's constraints inspect — and by Sufficiency it is
+/// self-contained: the node still conforms to each of those shapes within
+/// the returned subgraph.
+pub fn describe(schema: &Schema, graph: &Graph, node: &Term) -> Graph {
+    let mut ctx = Context::new(schema, graph);
+    let mut out = Graph::new();
+    for def in schema.iter() {
+        let shape = Shape::HasShape(def.name.clone());
+        if ctx.conforms_term(node, &shape) {
+            out.extend(&neighborhood_term(&mut ctx, node, &shape));
+        }
+    }
+    out
+}
+
+/// A provenance verdict for one (node, shape) query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Explanation {
+    /// The node conforms; the subgraph shows why (Sufficiency: the node
+    /// still conforms when the graph is restricted to any superset of it).
+    Why(Graph),
+    /// The node does not conform; the subgraph is the neighborhood of ¬φ
+    /// and shows why not.
+    WhyNot(Graph),
+}
+
+impl Explanation {
+    /// The explaining subgraph, regardless of polarity.
+    pub fn subgraph(&self) -> &Graph {
+        match self {
+            Explanation::Why(g) | Explanation::WhyNot(g) => g,
+        }
+    }
+
+    /// True iff the node conformed.
+    pub fn conforms(&self) -> bool {
+        matches!(self, Explanation::Why(_))
+    }
+}
+
+/// Explains the conformance status of `node` with respect to `shape`:
+/// returns why-provenance on conformance and why-not-provenance otherwise.
+pub fn explain(schema: &Schema, graph: &Graph, node: &Term, shape: &Shape) -> Explanation {
+    let mut ctx = Context::new(schema, graph);
+    if ctx.conforms_term(node, shape) {
+        Explanation::Why(neighborhood_term(&mut ctx, node, shape))
+    } else {
+        Explanation::WhyNot(neighborhood_term(&mut ctx, node, &shape.clone().not()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapefrag_rdf::{Iri, Triple};
+    use shapefrag_shacl::path::PathExpr;
+
+    fn iri(n: &str) -> Iri {
+        Iri::new(format!("http://e/{n}"))
+    }
+
+    fn term(n: &str) -> Term {
+        Term::iri(format!("http://e/{n}"))
+    }
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(term(s), iri(p), term(o))
+    }
+
+    fn p(n: &str) -> PathExpr {
+        PathExpr::Prop(iri(n))
+    }
+
+    #[test]
+    fn why_explanation_for_conforming_node() {
+        let g = Graph::from_triples([t("v", "p", "x"), t("v", "q", "y")]);
+        let shape = Shape::geq(1, p("p"), Shape::True);
+        let e = explain(&Schema::empty(), &g, &term("v"), &shape);
+        assert!(e.conforms());
+        assert_eq!(e.subgraph(), &Graph::from_triples([t("v", "p", "x")]));
+    }
+
+    #[test]
+    fn why_not_explanation_for_violating_node() {
+        // v must have at most 1 p-edge; it has two — both are the evidence.
+        let g = Graph::from_triples([t("v", "p", "x"), t("v", "p", "y")]);
+        let shape = Shape::leq(1, p("p"), Shape::True);
+        let e = explain(&Schema::empty(), &g, &term("v"), &shape);
+        assert!(!e.conforms());
+        assert_eq!(e.subgraph().len(), 2);
+    }
+
+    #[test]
+    fn describe_unions_conforming_shapes() {
+        use shapefrag_shacl::ShapeDef;
+        let g = Graph::from_triples([
+            t("v", "name", "n1"),
+            t("v", "knows", "w"),
+            t("w", "name", "n2"),
+            t("v", "unrelated", "x"),
+        ]);
+        let schema = Schema::new([
+            ShapeDef::new(
+                term("Named"),
+                Shape::geq(1, p("name"), Shape::True),
+                Shape::False,
+            ),
+            ShapeDef::new(
+                term("Social"),
+                Shape::geq(1, p("knows"), Shape::geq(1, p("name"), Shape::True)),
+                Shape::False,
+            ),
+            ShapeDef::new(
+                term("Impossible"),
+                Shape::geq(1, p("missing"), Shape::True),
+                Shape::False,
+            ),
+        ])
+        .unwrap();
+        let d = describe(&schema, &g, &term("v"));
+        // Evidence from both conforming shapes; nothing from the failing
+        // one; the schema-irrelevant triple excluded.
+        assert!(d.contains(&t("v", "name", "n1")));
+        assert!(d.contains(&t("v", "knows", "w")));
+        assert!(d.contains(&t("w", "name", "n2")));
+        assert!(!d.contains(&t("v", "unrelated", "x")));
+        // Self-contained: v still conforms to both shapes inside d.
+        let mut dctx = Context::new(&schema, &d);
+        assert!(dctx.conforms_term(&term("v"), &Shape::HasShape(term("Named"))));
+        assert!(dctx.conforms_term(&term("v"), &Shape::HasShape(term("Social"))));
+    }
+
+    #[test]
+    fn minimal_witness_prunes_redundant_evidence() {
+        // Remark 3.6: two addresses both witness ≥1 a.⊤; the neighborhood
+        // keeps both, the minimal witness keeps exactly one
+        // (deterministically, the sorted-first one).
+        let g = Graph::from_triples([t("v", "a", "x"), t("v", "a", "y")]);
+        let shape = Shape::geq(1, p("a"), Shape::True);
+        let schema = Schema::empty();
+        let e = explain(&schema, &g, &term("v"), &shape);
+        assert_eq!(e.subgraph().len(), 2, "neighborhood keeps all witnesses");
+        let w1 = minimal_witness(&schema, &g, &term("v"), &shape).unwrap();
+        assert_eq!(w1.len(), 1);
+        let w2 = minimal_witness(&schema, &g, &term("v"), &shape).unwrap();
+        assert_eq!(w1, w2, "pruning is deterministic");
+        assert!(w1.is_subgraph_of(e.subgraph()));
+    }
+
+    #[test]
+    fn minimal_witness_of_nonconforming_node_is_none() {
+        let g = Graph::from_triples([t("v", "b", "x")]);
+        let shape = Shape::geq(1, p("a"), Shape::True);
+        assert!(minimal_witness(&Schema::empty(), &g, &term("v"), &shape).is_none());
+    }
+
+    #[test]
+    fn minimal_witness_keeps_essential_triples() {
+        // Example 3.5's essential triple survives pruning.
+        let g = Graph::from_triples([
+            t("v", "auth", "bob"),
+            t("bob", "type", "student"),
+        ]);
+        let shape = Shape::leq(
+            1,
+            p("auth"),
+            Shape::leq(0, p("type"), Shape::has_value(term("student"))),
+        );
+        let w = minimal_witness(&Schema::empty(), &g, &term("v"), &shape).unwrap();
+        // ≤-shapes hold in the empty graph too: the minimal witness is
+        // empty even though the neighborhood is not.
+        assert!(w.is_empty());
+        // For a shape that *requires* the student typing, both triples on
+        // the evidence chain are essential and survive pruning.
+        let needs_student = Shape::geq(
+            1,
+            p("auth"),
+            Shape::geq(1, p("type"), Shape::has_value(term("student"))),
+        );
+        let w2 = minimal_witness(&Schema::empty(), &g, &term("v"), &needs_student).unwrap();
+        assert!(w2.contains(&t("v", "auth", "bob")));
+        assert!(w2.contains(&t("bob", "type", "student")));
+        assert_eq!(w2.len(), 2);
+    }
+
+    #[test]
+    fn why_not_for_missing_property_is_empty() {
+        // "why is there no p-edge" has no witnessing triples.
+        let g = Graph::from_triples([t("v", "q", "x")]);
+        let shape = Shape::geq(1, p("p"), Shape::True);
+        let e = explain(&Schema::empty(), &g, &term("v"), &shape);
+        assert!(!e.conforms());
+        assert!(e.subgraph().is_empty());
+    }
+}

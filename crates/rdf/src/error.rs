@@ -1,0 +1,30 @@
+//! Parse errors for the RDF syntaxes.
+
+use std::fmt;
+
+/// An error while parsing N-Triples or Turtle, carrying the 1-based line and
+/// column where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub column: usize,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

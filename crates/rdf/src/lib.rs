@@ -1,0 +1,42 @@
+//! # shapefrag-rdf
+//!
+//! RDF substrate for the shape-fragments workspace: terms, typed literal
+//! values with the paper's `<` partial order and `~` language-tag relation,
+//! an indexed in-memory [`Graph`] store, and N-Triples / Turtle I/O.
+//!
+//! This crate is self-contained (no external RDF dependencies) and provides
+//! the data model assumed by the paper's preliminaries (§2): nodes
+//! `N = I ∪ B ∪ L` and RDF triples `(I ∪ B) × I × N`.
+//!
+//! ```
+//! use shapefrag_rdf::{turtle, ntriples, Term, Iri};
+//!
+//! let graph = turtle::parse(r#"
+//!     @prefix ex: <http://example.org/> .
+//!     ex:alice a ex:Person ; ex:age 30 ; ex:name "Alice"@en .
+//! "#).unwrap();
+//! assert_eq!(graph.len(), 3);
+//!
+//! let ages = graph.objects_for(
+//!     &Term::iri("http://example.org/alice"),
+//!     &Iri::new("http://example.org/age"),
+//! );
+//! assert_eq!(ages[0].as_literal().unwrap().lexical(), "30");
+//!
+//! // Round-trip through N-Triples.
+//! let reloaded = ntriples::parse(&ntriples::serialize(&graph)).unwrap();
+//! assert_eq!(reloaded, graph);
+//! ```
+
+pub mod error;
+pub mod graph;
+pub mod ntriples;
+pub mod term;
+pub mod turtle;
+pub mod value;
+pub mod vocab;
+
+pub use error::ParseError;
+pub use graph::{Graph, TermId};
+pub use term::{BlankNode, Iri, Literal, Term, Triple};
+pub use value::{DateTimeValue, LiteralValue};

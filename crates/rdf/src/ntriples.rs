@@ -1,0 +1,329 @@
+//! Line-oriented N-Triples reader and writer.
+//!
+//! N-Triples is the exchange format used by the experiment harness for data
+//! graphs (one triple per line, absolute IRIs only), which makes loading
+//! large generated graphs fast and allocation-light compared to full Turtle.
+
+use crate::error::ParseError;
+use crate::graph::Graph;
+use crate::term::{BlankNode, Iri, Literal, Term, Triple};
+use crate::vocab::XSD_STRING;
+
+/// Parses an N-Triples document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph, ParseError> {
+    let mut graph = Graph::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let triple = parse_line(line, lineno + 1)?;
+        graph.insert(triple);
+    }
+    Ok(graph)
+}
+
+/// Parses one N-Triples statement.
+pub fn parse_line(line: &str, lineno: usize) -> Result<Triple, ParseError> {
+    let mut cursor = Cursor {
+        chars: line.char_indices().collect(),
+        pos: 0,
+        lineno,
+    };
+    cursor.skip_ws();
+    let subject = cursor.parse_term()?;
+    if subject.is_literal() {
+        return Err(cursor.err("literal in subject position"));
+    }
+    cursor.skip_ws();
+    let predicate = match cursor.parse_term()? {
+        Term::Iri(iri) => iri,
+        other => return Err(cursor.err(format!("predicate must be an IRI, got {other}"))),
+    };
+    cursor.skip_ws();
+    let object = cursor.parse_term()?;
+    cursor.skip_ws();
+    match cursor.peek() {
+        Some('.') => {
+            cursor.pos += 1;
+            cursor.skip_ws();
+            match cursor.peek() {
+                None | Some('#') => Ok(Triple {
+                    subject,
+                    predicate,
+                    object,
+                }),
+                Some(c) => Err(cursor.err(format!("trailing content '{c}' after '.'"))),
+            }
+        }
+        _ => Err(cursor.err("expected '.' at end of statement")),
+    }
+}
+
+struct Cursor {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    lineno: usize,
+}
+
+impl Cursor {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let col = self
+            .chars
+            .get(self.pos)
+            .map(|(i, _)| i + 1)
+            .unwrap_or(self.chars.len() + 1);
+        ParseError::new(self.lineno, col, msg)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.peek() {
+            Some('<') => {
+                self.bump();
+                let mut iri = String::new();
+                loop {
+                    match self.bump() {
+                        Some('>') => break,
+                        Some('\\') => match self.bump() {
+                            Some('u') => iri.push(self.unicode_escape(4)?),
+                            Some('U') => iri.push(self.unicode_escape(8)?),
+                            _ => return Err(self.err("invalid IRI escape")),
+                        },
+                        Some(c) => iri.push(c),
+                        None => return Err(self.err("unterminated IRI")),
+                    }
+                }
+                Ok(Term::Iri(Iri::new(iri)))
+            }
+            Some('_') => {
+                self.bump();
+                if self.bump() != Some(':') {
+                    return Err(self.err("expected ':' after '_'"));
+                }
+                let mut label = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '-' {
+                        label.push(c);
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if label.is_empty() {
+                    return Err(self.err("empty blank node label"));
+                }
+                Ok(Term::Blank(BlankNode::new(label)))
+            }
+            Some('"') => {
+                self.bump();
+                let mut lexical = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some('\\') => {
+                            let esc = self.bump().ok_or_else(|| self.err("bad escape"))?;
+                            lexical.push(match esc {
+                                't' => '\t',
+                                'n' => '\n',
+                                'r' => '\r',
+                                'b' => '\u{8}',
+                                'f' => '\u{c}',
+                                '"' => '"',
+                                '\'' => '\'',
+                                '\\' => '\\',
+                                'u' => self.unicode_escape(4)?,
+                                'U' => self.unicode_escape(8)?,
+                                c => return Err(self.err(format!("invalid escape '\\{c}'"))),
+                            });
+                        }
+                        Some(c) => lexical.push(c),
+                        None => return Err(self.err("unterminated literal")),
+                    }
+                }
+                match self.peek() {
+                    Some('@') => {
+                        self.bump();
+                        let mut lang = String::new();
+                        while let Some(c) = self.peek() {
+                            if c.is_ascii_alphanumeric() || c == '-' {
+                                lang.push(c);
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        if lang.is_empty() {
+                            return Err(self.err("empty language tag"));
+                        }
+                        Ok(Term::Literal(Literal::lang_string(lexical, &lang)))
+                    }
+                    Some('^') => {
+                        self.bump();
+                        if self.bump() != Some('^') {
+                            return Err(self.err("expected '^^'"));
+                        }
+                        match self.parse_term()? {
+                            Term::Iri(dt) => Ok(Term::Literal(Literal::typed(lexical, dt))),
+                            _ => Err(self.err("datatype must be an IRI")),
+                        }
+                    }
+                    _ => Ok(Term::Literal(Literal::string(lexical))),
+                }
+            }
+            Some(c) => Err(self.err(format!("unexpected character '{c}'"))),
+            None => Err(self.err("unexpected end of line")),
+        }
+    }
+
+    fn unicode_escape(&mut self, digits: usize) -> Result<char, ParseError> {
+        let mut v: u32 = 0;
+        for _ in 0..digits {
+            let c = self.bump().ok_or_else(|| self.err("short unicode escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        char::from_u32(v).ok_or_else(|| self.err("invalid code point"))
+    }
+}
+
+/// Serializes one term in N-Triples syntax.
+fn write_term(out: &mut String, term: &Term) {
+    match term {
+        Term::Iri(iri) => {
+            out.push('<');
+            out.push_str(iri.as_str());
+            out.push('>');
+        }
+        Term::Blank(b) => {
+            out.push_str("_:");
+            out.push_str(b.as_str());
+        }
+        Term::Literal(lit) => {
+            out.push('"');
+            out.push_str(&crate::term::escape_literal(lit.lexical()));
+            out.push('"');
+            if let Some(lang) = lit.language() {
+                out.push('@');
+                out.push_str(lang);
+            } else if lit.datatype().as_str() != XSD_STRING {
+                out.push_str("^^<");
+                out.push_str(lit.datatype().as_str());
+                out.push('>');
+            }
+        }
+    }
+}
+
+/// Serializes a graph as N-Triples (sorted, deterministic).
+pub fn serialize(graph: &Graph) -> String {
+    let mut triples: Vec<_> = graph.iter().collect();
+    triples.sort();
+    let mut out = String::with_capacity(triples.len() * 64);
+    for t in triples {
+        write_term(&mut out, &t.subject);
+        out.push(' ');
+        write_term(&mut out, &Term::Iri(t.predicate.clone()));
+        out.push(' ');
+        write_term(&mut out, &t.object);
+        out.push_str(" .\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::xsd;
+
+    #[test]
+    fn parse_basic() {
+        let g = parse("<http://e/a> <http://e/p> <http://e/b> .\n<http://e/a> <http://e/q> \"lit\" .").unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn parse_typed_and_lang_literals() {
+        let g = parse(
+            "<http://e/a> <http://e/p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n<http://e/a> <http://e/q> \"hi\"@en-GB .",
+        )
+        .unwrap();
+        let objs = g.objects_for(&Term::iri("http://e/a"), &Iri::new("http://e/p"));
+        assert_eq!(objs[0].as_literal().unwrap().datatype(), &xsd::integer());
+        let objs = g.objects_for(&Term::iri("http://e/a"), &Iri::new("http://e/q"));
+        assert_eq!(objs[0].as_literal().unwrap().language(), Some("en-gb"));
+    }
+
+    #[test]
+    fn parse_blank_nodes() {
+        let g = parse("_:a <http://e/p> _:b .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let g = parse("# comment\n\n<http://e/a> <http://e/p> <http://e/b> . # tail\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("<http://e/a> <http://e/p> <http://e/b> .\nbogus").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn missing_dot_is_error() {
+        assert!(parse("<http://e/a> <http://e/p> <http://e/b>").is_err());
+    }
+
+    #[test]
+    fn literal_subject_is_error() {
+        assert!(parse("\"x\" <http://e/p> <http://e/b> .").is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Term::iri("http://e/a"),
+            Iri::new("http://e/p"),
+            Term::Literal(Literal::string("a\"b\\c\nd\te")),
+        ));
+        let text = serialize(&g);
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let input = "<http://e/a> <http://e/p> <http://e/b> .\n<http://e/a> <http://e/q> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n_:x <http://e/p> \"hi\"@en .\n";
+        let g = parse(input).unwrap();
+        let g2 = parse(&serialize(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn unicode_escape_in_literal() {
+        let g = parse("<http://e/a> <http://e/p> \"caf\\u00E9\" .").unwrap();
+        let objs = g.objects_for(&Term::iri("http://e/a"), &Iri::new("http://e/p"));
+        assert_eq!(objs[0].as_literal().unwrap().lexical(), "café");
+    }
+}

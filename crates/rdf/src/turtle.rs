@@ -1,0 +1,851 @@
+//! Turtle parser and serializer.
+//!
+//! Supports the Turtle features needed for SHACL shapes graphs and data
+//! graphs: `@prefix`/`PREFIX`, `@base`/`BASE` (used verbatim, no relative
+//! resolution beyond simple concatenation), prefixed names, `a`,
+//! predicate-object lists (`;`), object lists (`,`), blank node property
+//! lists (`[...]`), collections (`(...)`), numeric / boolean / string
+//! literal sugar, language tags, and datatype annotations.
+//!
+//! N-Triples documents are valid input too (Turtle is a superset for our
+//! purposes); [`crate::ntriples`] offers a faster line-oriented reader.
+
+use std::collections::HashMap;
+
+use crate::error::ParseError;
+use crate::graph::Graph;
+use crate::term::{BlankNode, Iri, Literal, Term, Triple};
+use crate::vocab::{rdf, xsd};
+
+/// Parses a Turtle document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph, ParseError> {
+    let mut parser = Parser::new(input);
+    parser.parse_document()?;
+    Ok(parser.graph)
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    prefixes: HashMap<String, String>,
+    base: String,
+    graph: Graph,
+    blank_counter: usize,
+    _input: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            prefixes: HashMap::new(),
+            base: String::new(),
+            graph: Graph::new(),
+            blank_counter: 0,
+            _input: input,
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.column, msg)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(self.error(format!("expected '{c}', found '{got}'"))),
+            None => Err(self.error(format!("expected '{c}', found end of input"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        let kw_chars: Vec<char> = kw.chars().collect();
+        if self.pos + kw_chars.len() > self.chars.len() {
+            return false;
+        }
+        for (i, kc) in kw_chars.iter().enumerate() {
+            if !self.chars[self.pos + i].eq_ignore_ascii_case(kc) {
+                return false;
+            }
+        }
+        // Keyword must be followed by whitespace or delimiter.
+        match self.peek_at(kw_chars.len()) {
+            Some(c) if c.is_alphanumeric() || c == '_' => return false,
+            _ => {}
+        }
+        for _ in 0..kw_chars.len() {
+            self.bump();
+        }
+        true
+    }
+
+    fn fresh_blank(&mut self) -> BlankNode {
+        self.blank_counter += 1;
+        BlankNode::new(format!("gen{}", self.blank_counter))
+    }
+
+    fn parse_document(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.peek().is_none() {
+                return Ok(());
+            }
+            if self.peek() == Some('@') {
+                self.bump();
+                if self.eat_keyword("prefix") {
+                    self.parse_prefix_decl()?;
+                    self.skip_ws();
+                    self.expect('.')?;
+                } else if self.eat_keyword("base") {
+                    self.parse_base_decl()?;
+                    self.skip_ws();
+                    self.expect('.')?;
+                } else {
+                    return Err(self.error("expected @prefix or @base"));
+                }
+                continue;
+            }
+            // SPARQL-style PREFIX/BASE (no trailing dot). Only treat as a
+            // directive when followed by a prefixed-name/IRI declaration.
+            if matches!(self.peek(), Some('P' | 'p')) && self.eat_keyword("prefix") {
+                self.parse_prefix_decl()?;
+                continue;
+            }
+            if matches!(self.peek(), Some('B' | 'b')) && self.eat_keyword("base") {
+                self.parse_base_decl()?;
+                continue;
+            }
+            self.parse_triples_block()?;
+            self.skip_ws();
+            self.expect('.')?;
+        }
+    }
+
+    fn parse_prefix_decl(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_whitespace() {
+                return Err(self.error("expected ':' in prefix declaration"));
+            }
+            name.push(c);
+            self.bump();
+        }
+        self.expect(':')?;
+        self.skip_ws();
+        let iri = self.parse_iri_ref()?;
+        self.prefixes.insert(name, iri);
+        Ok(())
+    }
+
+    fn parse_base_decl(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        self.base = self.parse_iri_ref()?;
+        Ok(())
+    }
+
+    fn parse_triples_block(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        let subject = if self.peek() == Some('[') {
+            // Blank node property list as subject.
+            let node = self.parse_blank_node_property_list()?;
+            self.skip_ws();
+            // A bare "[...] ." with no following predicate list is legal.
+            if self.peek() == Some('.') {
+                return Ok(());
+            }
+            node
+        } else if self.peek() == Some('(') {
+            self.parse_collection()?
+        } else {
+            self.parse_subject()?
+        };
+        self.parse_predicate_object_list(&subject)
+    }
+
+    fn parse_predicate_object_list(&mut self, subject: &Term) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            let predicate = self.parse_predicate()?;
+            loop {
+                self.skip_ws();
+                let object = self.parse_object()?;
+                if subject.is_literal() {
+                    return Err(self.error("literal in subject position"));
+                }
+                self.graph
+                    .insert(Triple::new(subject.clone(), predicate.clone(), object));
+                self.skip_ws();
+                if self.peek() == Some(',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.skip_ws();
+            if self.peek() == Some(';') {
+                self.bump();
+                self.skip_ws();
+                // Trailing semicolons before '.' or ']' are allowed.
+                if matches!(self.peek(), Some('.') | Some(']')) || self.peek().is_none() {
+                    return Ok(());
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_subject(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(Iri::new(self.parse_iri_ref()?))),
+            Some('_') => Ok(Term::Blank(self.parse_blank_node_label()?)),
+            Some(c) if is_pname_start(c) || c == ':' => {
+                Ok(Term::Iri(self.parse_prefixed_name()?))
+            }
+            Some(c) => Err(self.error(format!("unexpected character '{c}' in subject position"))),
+            None => Err(self.error("unexpected end of input, expected subject")),
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Iri, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Iri::new(self.parse_iri_ref()?)),
+            Some('a')
+                if !matches!(self.peek_at(1), Some(c) if is_pname_char(c) || c == ':') =>
+            {
+                self.bump();
+                Ok(rdf::type_())
+            }
+            Some(c) if is_pname_start(c) || c == ':' => self.parse_prefixed_name(),
+            Some(c) => Err(self.error(format!("unexpected character '{c}' in predicate position"))),
+            None => Err(self.error("unexpected end of input, expected predicate")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(Iri::new(self.parse_iri_ref()?))),
+            Some('_') => Ok(Term::Blank(self.parse_blank_node_label()?)),
+            Some('[') => self.parse_blank_node_property_list(),
+            Some('(') => self.parse_collection(),
+            Some('"') | Some('\'') => Ok(Term::Literal(self.parse_rdf_literal()?)),
+            Some(c) if c.is_ascii_digit() || c == '+' || c == '-' => {
+                Ok(Term::Literal(self.parse_numeric_literal()?))
+            }
+            Some('t') | Some('f')
+                if self.looking_at_boolean() =>
+            {
+                Ok(Term::Literal(self.parse_boolean_literal()?))
+            }
+            Some(c) if is_pname_start(c) || c == ':' => {
+                Ok(Term::Iri(self.parse_prefixed_name()?))
+            }
+            Some(c) => Err(self.error(format!("unexpected character '{c}' in object position"))),
+            None => Err(self.error("unexpected end of input, expected object")),
+        }
+    }
+
+    fn looking_at_boolean(&self) -> bool {
+        for kw in ["true", "false"] {
+            let kc: Vec<char> = kw.chars().collect();
+            if self.pos + kc.len() <= self.chars.len()
+                && (0..kc.len()).all(|i| self.chars[self.pos + i] == kc[i])
+            {
+                match self.peek_at(kc.len()) {
+                    Some(c) if is_pname_char(c) || c == ':' => continue,
+                    _ => return true,
+                }
+            }
+        }
+        false
+    }
+
+    fn parse_boolean_literal(&mut self) -> Result<Literal, ParseError> {
+        if self.eat_keyword("true") {
+            Ok(Literal::boolean(true))
+        } else if self.eat_keyword("false") {
+            Ok(Literal::boolean(false))
+        } else {
+            Err(self.error("expected boolean literal"))
+        }
+    }
+
+    fn parse_numeric_literal(&mut self) -> Result<Literal, ParseError> {
+        let mut s = String::new();
+        if matches!(self.peek(), Some('+') | Some('-')) {
+            s.push(self.bump().unwrap());
+        }
+        let mut has_dot = false;
+        let mut has_exp = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else if c == '.' && !has_dot && !has_exp {
+                // A '.' not followed by a digit terminates the statement.
+                match self.peek_at(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        has_dot = true;
+                        s.push(c);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if (c == 'e' || c == 'E') && !has_exp {
+                has_exp = true;
+                s.push(c);
+                self.bump();
+                if matches!(self.peek(), Some('+') | Some('-')) {
+                    s.push(self.bump().unwrap());
+                }
+            } else {
+                break;
+            }
+        }
+        if s.is_empty() || s == "+" || s == "-" {
+            return Err(self.error("malformed numeric literal"));
+        }
+        let datatype = if has_exp {
+            xsd::double()
+        } else if has_dot {
+            xsd::decimal()
+        } else {
+            xsd::integer()
+        };
+        Ok(Literal::typed(s, datatype))
+    }
+
+    fn parse_rdf_literal(&mut self) -> Result<Literal, ParseError> {
+        let lexical = self.parse_string()?;
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let mut lang = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' {
+                        lang.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if lang.is_empty() {
+                    return Err(self.error("empty language tag"));
+                }
+                Ok(Literal::lang_string(lexical, &lang))
+            }
+            Some('^') => {
+                self.bump();
+                self.expect('^')?;
+                let datatype = match self.peek() {
+                    Some('<') => Iri::new(self.parse_iri_ref()?),
+                    _ => self.parse_prefixed_name()?,
+                };
+                Ok(Literal::typed(lexical, datatype))
+            }
+            _ => Ok(Literal::string(lexical)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        let quote = self.bump().ok_or_else(|| self.error("expected string"))?;
+        debug_assert!(quote == '"' || quote == '\'');
+        // Long string form """...""" / '''...'''
+        let long = self.peek() == Some(quote) && self.peek_at(1) == Some(quote);
+        if long {
+            self.bump();
+            self.bump();
+        } else if self.peek() == Some(quote) {
+            // Empty short string.
+            self.bump();
+            return Ok(String::new());
+        }
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.bump() else {
+                return Err(self.error("unterminated string literal"));
+            };
+            if c == quote {
+                if !long {
+                    return Ok(out);
+                }
+                if self.peek() == Some(quote) && self.peek_at(1) == Some(quote) {
+                    self.bump();
+                    self.bump();
+                    return Ok(out);
+                }
+                out.push(c);
+            } else if c == '\\' {
+                let Some(esc) = self.bump() else {
+                    return Err(self.error("unterminated escape sequence"));
+                };
+                out.push(match esc {
+                    't' => '\t',
+                    'n' => '\n',
+                    'r' => '\r',
+                    'b' => '\u{8}',
+                    'f' => '\u{c}',
+                    '"' => '"',
+                    '\'' => '\'',
+                    '\\' => '\\',
+                    'u' => self.parse_unicode_escape(4)?,
+                    'U' => self.parse_unicode_escape(8)?,
+                    other => return Err(self.error(format!("invalid escape '\\{other}'"))),
+                });
+            } else if !long && c == '\n' {
+                return Err(self.error("newline in short string literal"));
+            } else {
+                out.push(c);
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, ParseError> {
+        let mut v: u32 = 0;
+        for _ in 0..digits {
+            let Some(c) = self.bump() else {
+                return Err(self.error("unterminated unicode escape"));
+            };
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit in unicode escape"))?;
+            v = v * 16 + d;
+        }
+        char::from_u32(v).ok_or_else(|| self.error("invalid unicode code point"))
+    }
+
+    fn parse_iri_ref(&mut self) -> Result<String, ParseError> {
+        self.expect('<')?;
+        let mut iri = String::new();
+        loop {
+            let Some(c) = self.bump() else {
+                return Err(self.error("unterminated IRI"));
+            };
+            match c {
+                '>' => break,
+                '\\' => match self.bump() {
+                    Some('u') => iri.push(self.parse_unicode_escape(4)?),
+                    Some('U') => iri.push(self.parse_unicode_escape(8)?),
+                    _ => return Err(self.error("invalid escape in IRI")),
+                },
+                c if c.is_whitespace() => return Err(self.error("whitespace in IRI")),
+                c => iri.push(c),
+            }
+        }
+        // Simple relative-reference handling: concatenate with base.
+        if !self.base.is_empty() && !iri.contains(':') {
+            Ok(format!("{}{}", self.base, iri))
+        } else {
+            Ok(iri)
+        }
+    }
+
+    fn parse_blank_node_label(&mut self) -> Result<BlankNode, ParseError> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let mut label = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                // A '.' may be the statement terminator.
+                if c == '.' && !matches!(self.peek_at(1), Some(n) if n.is_alphanumeric() || n == '_')
+                {
+                    break;
+                }
+                label.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if label.is_empty() {
+            return Err(self.error("empty blank node label"));
+        }
+        Ok(BlankNode::new(label))
+    }
+
+    fn parse_prefixed_name(&mut self) -> Result<Iri, ParseError> {
+        let mut prefix = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if is_pname_char(c) {
+                prefix.push(c);
+                self.bump();
+            } else {
+                return Err(self.error(format!("unexpected character '{c}' in prefixed name")));
+            }
+        }
+        self.expect(':')?;
+        let mut local = String::new();
+        while let Some(c) = self.peek() {
+            if is_pname_char(c) || c == '%' {
+                local.push(c);
+                self.bump();
+            } else if c == '.' {
+                // '.' is permitted inside a local name only if followed by
+                // more name characters; otherwise it ends the statement.
+                match self.peek_at(1) {
+                    Some(n) if is_pname_char(n) => {
+                        local.push(c);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if c == '\\' {
+                self.bump();
+                let Some(esc) = self.bump() else {
+                    return Err(self.error("unterminated local name escape"));
+                };
+                local.push(esc);
+            } else {
+                break;
+            }
+        }
+        let ns = self
+            .prefixes
+            .get(&prefix)
+            .ok_or_else(|| self.error(format!("undeclared prefix '{prefix}:'")))?;
+        Ok(Iri::new(format!("{ns}{local}")))
+    }
+
+    fn parse_blank_node_property_list(&mut self) -> Result<Term, ParseError> {
+        self.expect('[')?;
+        let node = Term::Blank(self.fresh_blank());
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(node);
+        }
+        self.parse_predicate_object_list(&node)?;
+        self.skip_ws();
+        self.expect(']')?;
+        Ok(node)
+    }
+
+    fn parse_collection(&mut self) -> Result<Term, ParseError> {
+        self.expect('(')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(')') {
+                self.bump();
+                break;
+            }
+            items.push(self.parse_object()?);
+        }
+        // Encode as an rdf:List.
+        let mut tail = Term::Iri(rdf::nil());
+        for item in items.into_iter().rev() {
+            let cell = Term::Blank(self.fresh_blank());
+            self.graph
+                .insert(Triple::new(cell.clone(), rdf::first(), item));
+            self.graph
+                .insert(Triple::new(cell.clone(), rdf::rest(), tail));
+            tail = cell;
+        }
+        Ok(tail)
+    }
+}
+
+fn is_pname_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_pname_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Reads an `rdf:first`/`rdf:rest` list starting at `head` from a graph.
+/// Returns `None` if the list is malformed (missing links or cycles).
+pub fn read_list(graph: &Graph, head: &Term) -> Option<Vec<Term>> {
+    let nil = Term::Iri(rdf::nil());
+    let mut items = Vec::new();
+    let mut current = head.clone();
+    let mut steps = 0usize;
+    while current != nil {
+        steps += 1;
+        if steps > graph.len() + 1 {
+            return None; // cycle
+        }
+        let firsts = graph.objects_for(&current, &rdf::first());
+        let rests = graph.objects_for(&current, &rdf::rest());
+        if firsts.len() != 1 || rests.len() != 1 {
+            return None;
+        }
+        items.push(firsts[0].clone());
+        current = rests[0].clone();
+    }
+    Some(items)
+}
+
+/// Serializes a graph as Turtle with the given prefix map
+/// (`prefix name → namespace IRI`). Unknown namespaces fall back to full
+/// IRIs.
+pub fn serialize(graph: &Graph, prefixes: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (name, ns) in prefixes {
+        out.push_str(&format!("@prefix {name}: <{ns}> .\n"));
+    }
+    if !prefixes.is_empty() {
+        out.push('\n');
+    }
+    let shorten = |iri: &Iri| -> String {
+        for (name, ns) in prefixes {
+            if let Some(local) = iri.as_str().strip_prefix(ns) {
+                if !local.is_empty()
+                    && local.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                {
+                    return format!("{name}:{local}");
+                }
+            }
+        }
+        iri.to_string()
+    };
+    let term_str = |t: &Term| -> String {
+        match t {
+            Term::Iri(iri) => shorten(iri),
+            other => other.to_string(),
+        }
+    };
+    let mut triples: Vec<_> = graph.iter().collect();
+    triples.sort();
+    for t in triples {
+        out.push_str(&format!(
+            "{} {} {} .\n",
+            term_str(&t.subject),
+            shorten(&t.predicate),
+            term_str(&t.object)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_triples() {
+        let g = parse("<http://e/a> <http://e/p> <http://e/b> .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn prefixes_and_a() {
+        let g = parse(
+            "@prefix ex: <http://e/> .\n@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .\nex:a a ex:Paper ; ex:author ex:b , ex:c .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3);
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://e/a"),
+            rdf::type_(),
+            Term::iri("http://e/Paper")
+        )));
+    }
+
+    #[test]
+    fn sparql_style_prefix() {
+        let g = parse("PREFIX ex: <http://e/>\nex:a ex:p ex:b .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn literals_all_forms() {
+        let g = parse(
+            r#"@prefix ex: <http://e/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:a ex:str "hello" ;
+     ex:lang "bonjour"@fr ;
+     ex:int 42 ;
+     ex:dec 3.14 ;
+     ex:dbl 1.0e3 ;
+     ex:neg -7 ;
+     ex:bool true ;
+     ex:typed "2020-01-01"^^xsd:date ;
+     ex:esc "line1\nline2\"q\"" .
+"#,
+        )
+        .unwrap();
+        assert_eq!(g.len(), 9);
+        let objs = g.objects_for(&Term::iri("http://e/a"), &Iri::new("http://e/int"));
+        assert_eq!(objs[0].as_literal().unwrap().datatype(), &xsd::integer());
+        let objs = g.objects_for(&Term::iri("http://e/a"), &Iri::new("http://e/dec"));
+        assert_eq!(objs[0].as_literal().unwrap().datatype(), &xsd::decimal());
+        let objs = g.objects_for(&Term::iri("http://e/a"), &Iri::new("http://e/lang"));
+        assert_eq!(objs[0].as_literal().unwrap().language(), Some("fr"));
+    }
+
+    #[test]
+    fn blank_node_property_lists() {
+        let g = parse(
+            r#"@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://e/> .
+ex:Shape sh:property [ sh:path ex:author ; sh:minCount 1 ] ."#,
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3);
+        let props = g.objects_for(
+            &Term::iri("http://e/Shape"),
+            &Iri::new("http://www.w3.org/ns/shacl#property"),
+        );
+        assert_eq!(props.len(), 1);
+        assert!(props[0].is_blank());
+    }
+
+    #[test]
+    fn nested_blank_nodes() {
+        let g = parse(
+            r#"@prefix ex: <http://e/> .
+ex:s ex:p [ ex:q [ ex:r ex:o ] ] ."#,
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn collections_become_rdf_lists() {
+        let g = parse(
+            r#"@prefix ex: <http://e/> .
+ex:s ex:langs ( "en" "fr" "de" ) ."#,
+        )
+        .unwrap();
+        // 1 root triple + 3 first + 3 rest
+        assert_eq!(g.len(), 7);
+        let head = &g.objects_for(&Term::iri("http://e/s"), &Iri::new("http://e/langs"))[0];
+        let items = read_list(&g, &Term::clone(head)).unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_literal().unwrap().lexical(), "en");
+    }
+
+    #[test]
+    fn empty_collection_is_nil() {
+        let g = parse("@prefix ex: <http://e/> .\nex:s ex:p ( ) .").unwrap();
+        let objs = g.objects_for(&Term::iri("http://e/s"), &Iri::new("http://e/p"));
+        assert_eq!(objs[0], &Term::Iri(rdf::nil()));
+        assert_eq!(read_list(&g, objs[0]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let g = parse("# header\n<http://e/a> <http://e/p> <http://e/b> . # trailing\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn blank_node_labels() {
+        let g = parse("_:x <http://e/p> _:y .").unwrap();
+        assert_eq!(g.len(), 1);
+        let t: Vec<_> = g.iter().collect();
+        assert!(t[0].subject.is_blank());
+        assert!(t[0].object.is_blank());
+    }
+
+    #[test]
+    fn long_strings() {
+        let g = parse("@prefix ex: <http://e/> .\nex:s ex:p \"\"\"multi\nline \"quoted\" text\"\"\" .").unwrap();
+        let objs = g.objects_for(&Term::iri("http://e/s"), &Iri::new("http://e/p"));
+        assert!(objs[0].as_literal().unwrap().lexical().contains('\n'));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let g = parse("@prefix ex: <http://e/> .\nex:s ex:p \"caf\\u00e9\" .").unwrap();
+        let objs = g.objects_for(&Term::iri("http://e/s"), &Iri::new("http://e/p"));
+        assert_eq!(objs[0].as_literal().unwrap().lexical(), "café");
+    }
+
+    #[test]
+    fn undeclared_prefix_errors() {
+        let err = parse("ex:a ex:p ex:b .").unwrap_err();
+        assert!(err.message.contains("undeclared prefix"));
+    }
+
+    #[test]
+    fn error_carries_position() {
+        let err = parse("<http://e/a> <http://e/p>\n  @@@ .").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let input = r#"@prefix ex: <http://e/> .
+ex:a ex:p ex:b .
+ex:a ex:q "v"@en .
+ex:b ex:p 3 .
+"#;
+        let g = parse(input).unwrap();
+        let out = serialize(&g, &[("ex", "http://e/")]);
+        let g2 = parse(&out).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn base_resolution() {
+        let g = parse("@base <http://e/> .\n<a> <p> <b> .").unwrap();
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://e/a"),
+            Iri::new("http://e/p"),
+            Term::iri("http://e/b")
+        )));
+    }
+
+    #[test]
+    fn decimal_then_end_of_statement() {
+        // `2.` must parse as integer 2 followed by the terminating dot.
+        let g = parse("@prefix ex: <http://e/> .\nex:s ex:p 2.").unwrap();
+        let objs = g.objects_for(&Term::iri("http://e/s"), &Iri::new("http://e/p"));
+        assert_eq!(objs[0].as_literal().unwrap().lexical(), "2");
+    }
+}

@@ -1,0 +1,225 @@
+//! Well-known vocabularies: `rdf:`, `rdfs:`, `xsd:`, and `sh:` (SHACL).
+
+use crate::term::Iri;
+
+/// The `rdf:` namespace prefix.
+pub const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+/// The `rdfs:` namespace prefix.
+pub const RDFS_NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+/// The `xsd:` namespace prefix.
+pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema#";
+/// The `sh:` (SHACL) namespace prefix.
+pub const SH_NS: &str = "http://www.w3.org/ns/shacl#";
+
+/// Full IRI of `xsd:string`, used to detect "plain" literals.
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+
+macro_rules! vocab {
+    ($ns:expr, $( $(#[$doc:meta])* $name:ident => $local:expr ),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name() -> Iri {
+                Iri::new(concat!($ns, $local))
+            }
+        )+
+    };
+}
+
+/// The RDF vocabulary.
+pub mod rdf {
+    use super::Iri;
+    vocab!("http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+        /// `rdf:type`
+        type_ => "type",
+        /// `rdf:first` (list head)
+        first => "first",
+        /// `rdf:rest` (list tail)
+        rest => "rest",
+        /// `rdf:nil` (empty list)
+        nil => "nil",
+        /// `rdf:langString` (datatype of language-tagged strings)
+        lang_string => "langString",
+    );
+}
+
+/// The RDFS vocabulary.
+pub mod rdfs {
+    use super::Iri;
+    vocab!("http://www.w3.org/2000/01/rdf-schema#",
+        /// `rdfs:subClassOf`
+        sub_class_of => "subClassOf",
+        /// `rdfs:label`
+        label => "label",
+    );
+}
+
+/// The XML Schema datatypes vocabulary.
+pub mod xsd {
+    use super::Iri;
+    vocab!("http://www.w3.org/2001/XMLSchema#",
+        /// `xsd:string`
+        string => "string",
+        /// `xsd:boolean`
+        boolean => "boolean",
+        /// `xsd:integer`
+        integer => "integer",
+        /// `xsd:int`
+        int => "int",
+        /// `xsd:long`
+        long => "long",
+        /// `xsd:decimal`
+        decimal => "decimal",
+        /// `xsd:double`
+        double => "double",
+        /// `xsd:float`
+        float => "float",
+        /// `xsd:date`
+        date => "date",
+        /// `xsd:dateTime`
+        date_time => "dateTime",
+        /// `xsd:anyURI`
+        any_uri => "anyURI",
+        /// `xsd:nonNegativeInteger`
+        non_negative_integer => "nonNegativeInteger",
+    );
+}
+
+/// The SHACL vocabulary (constraint components, targets, paths, node kinds).
+pub mod sh {
+    use super::Iri;
+    vocab!("http://www.w3.org/ns/shacl#",
+        /// `sh:NodeShape`
+        node_shape => "NodeShape",
+        /// `sh:PropertyShape`
+        property_shape => "PropertyShape",
+        /// `sh:path`
+        path => "path",
+        /// `sh:inversePath`
+        inverse_path => "inversePath",
+        /// `sh:alternativePath`
+        alternative_path => "alternativePath",
+        /// `sh:zeroOrMorePath`
+        zero_or_more_path => "zeroOrMorePath",
+        /// `sh:oneOrMorePath`
+        one_or_more_path => "oneOrMorePath",
+        /// `sh:zeroOrOnePath`
+        zero_or_one_path => "zeroOrOnePath",
+        /// `sh:node`
+        node => "node",
+        /// `sh:property`
+        property => "property",
+        /// `sh:and`
+        and => "and",
+        /// `sh:or`
+        or => "or",
+        /// `sh:not`
+        not => "not",
+        /// `sh:xone`
+        xone => "xone",
+        /// `sh:class`
+        class => "class",
+        /// `sh:datatype`
+        datatype => "datatype",
+        /// `sh:nodeKind`
+        node_kind => "nodeKind",
+        /// `sh:IRI`
+        iri => "IRI",
+        /// `sh:BlankNode`
+        blank_node => "BlankNode",
+        /// `sh:Literal`
+        literal => "Literal",
+        /// `sh:BlankNodeOrIRI`
+        blank_node_or_iri => "BlankNodeOrIRI",
+        /// `sh:BlankNodeOrLiteral`
+        blank_node_or_literal => "BlankNodeOrLiteral",
+        /// `sh:IRIOrLiteral`
+        iri_or_literal => "IRIOrLiteral",
+        /// `sh:minExclusive`
+        min_exclusive => "minExclusive",
+        /// `sh:minInclusive`
+        min_inclusive => "minInclusive",
+        /// `sh:maxExclusive`
+        max_exclusive => "maxExclusive",
+        /// `sh:maxInclusive`
+        max_inclusive => "maxInclusive",
+        /// `sh:minLength`
+        min_length => "minLength",
+        /// `sh:maxLength`
+        max_length => "maxLength",
+        /// `sh:pattern`
+        pattern => "pattern",
+        /// `sh:flags`
+        flags => "flags",
+        /// `sh:languageIn`
+        language_in => "languageIn",
+        /// `sh:uniqueLang`
+        unique_lang => "uniqueLang",
+        /// `sh:equals`
+        equals => "equals",
+        /// `sh:disjoint`
+        disjoint => "disjoint",
+        /// `sh:lessThan`
+        less_than => "lessThan",
+        /// `sh:lessThanOrEquals`
+        less_than_or_equals => "lessThanOrEquals",
+        /// `sh:minCount`
+        min_count => "minCount",
+        /// `sh:maxCount`
+        max_count => "maxCount",
+        /// `sh:qualifiedValueShape`
+        qualified_value_shape => "qualifiedValueShape",
+        /// `sh:qualifiedMinCount`
+        qualified_min_count => "qualifiedMinCount",
+        /// `sh:qualifiedMaxCount`
+        qualified_max_count => "qualifiedMaxCount",
+        /// `sh:qualifiedValueShapesDisjoint`
+        qualified_value_shapes_disjoint => "qualifiedValueShapesDisjoint",
+        /// `sh:closed`
+        closed => "closed",
+        /// `sh:ignoredProperties`
+        ignored_properties => "ignoredProperties",
+        /// `sh:hasValue`
+        has_value => "hasValue",
+        /// `sh:in`
+        in_ => "in",
+        /// `sh:targetNode`
+        target_node => "targetNode",
+        /// `sh:targetClass`
+        target_class => "targetClass",
+        /// `sh:targetSubjectsOf`
+        target_subjects_of => "targetSubjectsOf",
+        /// `sh:targetObjectsOf`
+        target_objects_of => "targetObjectsOf",
+        /// `sh:deactivated`
+        deactivated => "deactivated",
+        /// `sh:ValidationReport`
+        validation_report => "ValidationReport",
+        /// `sh:ValidationResult`
+        validation_result => "ValidationResult",
+        /// `sh:conforms`
+        conforms => "conforms",
+        /// `sh:result`
+        result => "result",
+        /// `sh:focusNode`
+        focus_node => "focusNode",
+        /// `sh:sourceShape`
+        source_shape => "sourceShape",
+        /// `sh:resultSeverity`
+        result_severity => "resultSeverity",
+        /// `sh:Violation`
+        violation => "Violation",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_compose() {
+        assert_eq!(rdf::type_().as_str(), format!("{RDF_NS}type"));
+        assert_eq!(sh::min_count().as_str(), format!("{SH_NS}minCount"));
+        assert_eq!(xsd::date_time().as_str(), format!("{XSD_NS}dateTime"));
+        assert_eq!(rdfs::sub_class_of().as_str(), format!("{RDFS_NS}subClassOf"));
+    }
+}

@@ -1,0 +1,404 @@
+//! Negation normal form (NNF).
+//!
+//! Following Grädel and Tannen (and §3.1 of the paper), the neighborhood
+//! definition assumes shapes in NNF: negation applied only to atomic shapes.
+//! The [`Nnf`] type makes this invariant structural — negated atoms are
+//! their own constructors, and there is no general `Not`.
+//!
+//! Negation is pushed down with De Morgan's laws and the quantifier rules
+//!
+//! ```text
+//! ¬ ≥n+1 E.ψ ≡ ≤n E.ψ      ¬ ≤n E.ψ ≡ ≥n+1 E.ψ      ¬ ∀E.ψ ≡ ≥1 E.¬ψ
+//! ¬ ≥0 E.ψ ≡ ⊥
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use shapefrag_rdf::{Iri, Term};
+
+use crate::node_test::NodeTest;
+use crate::path::PathExpr;
+use crate::shape::{PathOrId, Shape};
+
+/// A shape in negation normal form.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Nnf {
+    True,
+    False,
+    HasShape(Term),
+    NotHasShape(Term),
+    Test(NodeTest),
+    NotTest(NodeTest),
+    HasValue(Term),
+    NotHasValue(Term),
+    Eq(PathOrId, Iri),
+    NotEq(PathOrId, Iri),
+    Disj(PathOrId, Iri),
+    NotDisj(PathOrId, Iri),
+    Closed(BTreeSet<Iri>),
+    NotClosed(BTreeSet<Iri>),
+    LessThan(PathExpr, Iri),
+    NotLessThan(PathExpr, Iri),
+    LessThanEq(PathExpr, Iri),
+    NotLessThanEq(PathExpr, Iri),
+    MoreThan(PathExpr, Iri),
+    NotMoreThan(PathExpr, Iri),
+    MoreThanEq(PathExpr, Iri),
+    NotMoreThanEq(PathExpr, Iri),
+    UniqueLang(PathExpr),
+    NotUniqueLang(PathExpr),
+    And(Vec<Nnf>),
+    Or(Vec<Nnf>),
+    Geq(u32, PathExpr, Box<Nnf>),
+    Leq(u32, PathExpr, Box<Nnf>),
+    ForAll(PathExpr, Box<Nnf>),
+}
+
+impl Nnf {
+    /// Converts a shape to NNF (pushing negation down; preserves the
+    /// overall syntactic structure).
+    pub fn from_shape(shape: &Shape) -> Nnf {
+        convert(shape, true)
+    }
+
+    /// Converts the *negation* of a shape to NNF.
+    pub fn from_negated_shape(shape: &Shape) -> Nnf {
+        convert(shape, false)
+    }
+
+    /// The NNF of `¬self`. Used by the Table-2 rules for `≤n E.ψ` (which
+    /// recurse into `¬ψ`) and rule 2 (`¬hasShape(s)` dereferences to
+    /// `¬def(s, H)` in NNF).
+    pub fn negated(&self) -> Nnf {
+        match self {
+            Nnf::True => Nnf::False,
+            Nnf::False => Nnf::True,
+            Nnf::HasShape(s) => Nnf::NotHasShape(s.clone()),
+            Nnf::NotHasShape(s) => Nnf::HasShape(s.clone()),
+            Nnf::Test(t) => Nnf::NotTest(t.clone()),
+            Nnf::NotTest(t) => Nnf::Test(t.clone()),
+            Nnf::HasValue(c) => Nnf::NotHasValue(c.clone()),
+            Nnf::NotHasValue(c) => Nnf::HasValue(c.clone()),
+            Nnf::Eq(e, p) => Nnf::NotEq(e.clone(), p.clone()),
+            Nnf::NotEq(e, p) => Nnf::Eq(e.clone(), p.clone()),
+            Nnf::Disj(e, p) => Nnf::NotDisj(e.clone(), p.clone()),
+            Nnf::NotDisj(e, p) => Nnf::Disj(e.clone(), p.clone()),
+            Nnf::Closed(ps) => Nnf::NotClosed(ps.clone()),
+            Nnf::NotClosed(ps) => Nnf::Closed(ps.clone()),
+            Nnf::LessThan(e, p) => Nnf::NotLessThan(e.clone(), p.clone()),
+            Nnf::NotLessThan(e, p) => Nnf::LessThan(e.clone(), p.clone()),
+            Nnf::LessThanEq(e, p) => Nnf::NotLessThanEq(e.clone(), p.clone()),
+            Nnf::NotLessThanEq(e, p) => Nnf::LessThanEq(e.clone(), p.clone()),
+            Nnf::MoreThan(e, p) => Nnf::NotMoreThan(e.clone(), p.clone()),
+            Nnf::NotMoreThan(e, p) => Nnf::MoreThan(e.clone(), p.clone()),
+            Nnf::MoreThanEq(e, p) => Nnf::NotMoreThanEq(e.clone(), p.clone()),
+            Nnf::NotMoreThanEq(e, p) => Nnf::MoreThanEq(e.clone(), p.clone()),
+            Nnf::UniqueLang(e) => Nnf::NotUniqueLang(e.clone()),
+            Nnf::NotUniqueLang(e) => Nnf::UniqueLang(e.clone()),
+            Nnf::And(items) => Nnf::Or(items.iter().map(Nnf::negated).collect()),
+            Nnf::Or(items) => Nnf::And(items.iter().map(Nnf::negated).collect()),
+            Nnf::Geq(n, e, inner) => {
+                if *n == 0 {
+                    Nnf::False
+                } else {
+                    Nnf::Leq(n - 1, e.clone(), inner.clone())
+                }
+            }
+            Nnf::Leq(n, e, inner) => Nnf::Geq(n + 1, e.clone(), inner.clone()),
+            Nnf::ForAll(e, inner) => Nnf::Geq(1, e.clone(), Box::new(inner.negated())),
+        }
+    }
+
+    /// Converts back to the general shape algebra (injective on semantics:
+    /// `to_shape` of an NNF conforms exactly like the NNF itself).
+    pub fn to_shape(&self) -> Shape {
+        match self {
+            Nnf::True => Shape::True,
+            Nnf::False => Shape::False,
+            Nnf::HasShape(s) => Shape::HasShape(s.clone()),
+            Nnf::NotHasShape(s) => Shape::HasShape(s.clone()).not(),
+            Nnf::Test(t) => Shape::Test(t.clone()),
+            Nnf::NotTest(t) => Shape::Test(t.clone()).not(),
+            Nnf::HasValue(c) => Shape::HasValue(c.clone()),
+            Nnf::NotHasValue(c) => Shape::HasValue(c.clone()).not(),
+            Nnf::Eq(e, p) => Shape::Eq(e.clone(), p.clone()),
+            Nnf::NotEq(e, p) => Shape::Eq(e.clone(), p.clone()).not(),
+            Nnf::Disj(e, p) => Shape::Disj(e.clone(), p.clone()),
+            Nnf::NotDisj(e, p) => Shape::Disj(e.clone(), p.clone()).not(),
+            Nnf::Closed(ps) => Shape::Closed(ps.clone()),
+            Nnf::NotClosed(ps) => Shape::Closed(ps.clone()).not(),
+            Nnf::LessThan(e, p) => Shape::LessThan(e.clone(), p.clone()),
+            Nnf::NotLessThan(e, p) => Shape::LessThan(e.clone(), p.clone()).not(),
+            Nnf::LessThanEq(e, p) => Shape::LessThanEq(e.clone(), p.clone()),
+            Nnf::NotLessThanEq(e, p) => Shape::LessThanEq(e.clone(), p.clone()).not(),
+            Nnf::MoreThan(e, p) => Shape::MoreThan(e.clone(), p.clone()),
+            Nnf::NotMoreThan(e, p) => Shape::MoreThan(e.clone(), p.clone()).not(),
+            Nnf::MoreThanEq(e, p) => Shape::MoreThanEq(e.clone(), p.clone()),
+            Nnf::NotMoreThanEq(e, p) => Shape::MoreThanEq(e.clone(), p.clone()).not(),
+            Nnf::UniqueLang(e) => Shape::UniqueLang(e.clone()),
+            Nnf::NotUniqueLang(e) => Shape::UniqueLang(e.clone()).not(),
+            Nnf::And(items) => Shape::And(items.iter().map(Nnf::to_shape).collect()),
+            Nnf::Or(items) => Shape::Or(items.iter().map(Nnf::to_shape).collect()),
+            Nnf::Geq(n, e, inner) => Shape::Geq(*n, e.clone(), Box::new(inner.to_shape())),
+            Nnf::Leq(n, e, inner) => Shape::Leq(*n, e.clone(), Box::new(inner.to_shape())),
+            Nnf::ForAll(e, inner) => Shape::ForAll(e.clone(), Box::new(inner.to_shape())),
+        }
+    }
+}
+
+/// `convert(φ, true)` = NNF of φ; `convert(φ, false)` = NNF of ¬φ.
+fn convert(shape: &Shape, positive: bool) -> Nnf {
+    match shape {
+        Shape::True => {
+            if positive {
+                Nnf::True
+            } else {
+                Nnf::False
+            }
+        }
+        Shape::False => {
+            if positive {
+                Nnf::False
+            } else {
+                Nnf::True
+            }
+        }
+        Shape::HasShape(s) => {
+            if positive {
+                Nnf::HasShape(s.clone())
+            } else {
+                Nnf::NotHasShape(s.clone())
+            }
+        }
+        Shape::Test(t) => {
+            if positive {
+                Nnf::Test(t.clone())
+            } else {
+                Nnf::NotTest(t.clone())
+            }
+        }
+        Shape::HasValue(c) => {
+            if positive {
+                Nnf::HasValue(c.clone())
+            } else {
+                Nnf::NotHasValue(c.clone())
+            }
+        }
+        Shape::Eq(e, p) => {
+            if positive {
+                Nnf::Eq(e.clone(), p.clone())
+            } else {
+                Nnf::NotEq(e.clone(), p.clone())
+            }
+        }
+        Shape::Disj(e, p) => {
+            if positive {
+                Nnf::Disj(e.clone(), p.clone())
+            } else {
+                Nnf::NotDisj(e.clone(), p.clone())
+            }
+        }
+        Shape::Closed(ps) => {
+            if positive {
+                Nnf::Closed(ps.clone())
+            } else {
+                Nnf::NotClosed(ps.clone())
+            }
+        }
+        Shape::LessThan(e, p) => {
+            if positive {
+                Nnf::LessThan(e.clone(), p.clone())
+            } else {
+                Nnf::NotLessThan(e.clone(), p.clone())
+            }
+        }
+        Shape::LessThanEq(e, p) => {
+            if positive {
+                Nnf::LessThanEq(e.clone(), p.clone())
+            } else {
+                Nnf::NotLessThanEq(e.clone(), p.clone())
+            }
+        }
+        Shape::MoreThan(e, p) => {
+            if positive {
+                Nnf::MoreThan(e.clone(), p.clone())
+            } else {
+                Nnf::NotMoreThan(e.clone(), p.clone())
+            }
+        }
+        Shape::MoreThanEq(e, p) => {
+            if positive {
+                Nnf::MoreThanEq(e.clone(), p.clone())
+            } else {
+                Nnf::NotMoreThanEq(e.clone(), p.clone())
+            }
+        }
+        Shape::UniqueLang(e) => {
+            if positive {
+                Nnf::UniqueLang(e.clone())
+            } else {
+                Nnf::NotUniqueLang(e.clone())
+            }
+        }
+        Shape::Not(inner) => convert(inner, !positive),
+        Shape::And(items) => {
+            let converted: Vec<Nnf> = items.iter().map(|s| convert(s, positive)).collect();
+            if positive {
+                Nnf::And(converted)
+            } else {
+                Nnf::Or(converted)
+            }
+        }
+        Shape::Or(items) => {
+            let converted: Vec<Nnf> = items.iter().map(|s| convert(s, positive)).collect();
+            if positive {
+                Nnf::Or(converted)
+            } else {
+                Nnf::And(converted)
+            }
+        }
+        Shape::Geq(n, e, inner) => {
+            if positive {
+                Nnf::Geq(*n, e.clone(), Box::new(convert(inner, true)))
+            } else if *n == 0 {
+                // ¬ ≥0 E.ψ is simply false.
+                Nnf::False
+            } else {
+                Nnf::Leq(n - 1, e.clone(), Box::new(convert(inner, true)))
+            }
+        }
+        Shape::Leq(n, e, inner) => {
+            if positive {
+                Nnf::Leq(*n, e.clone(), Box::new(convert(inner, true)))
+            } else {
+                Nnf::Geq(n + 1, e.clone(), Box::new(convert(inner, true)))
+            }
+        }
+        Shape::ForAll(e, inner) => {
+            if positive {
+                Nnf::ForAll(e.clone(), Box::new(convert(inner, true)))
+            } else {
+                Nnf::Geq(1, e.clone(), Box::new(convert(inner, false)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Nnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_shape())
+    }
+}
+
+impl fmt::Debug for Nnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<&Shape> for Nnf {
+    fn from(shape: &Shape) -> Self {
+        Nnf::from_shape(shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> PathExpr {
+        PathExpr::prop(format!("http://e/{name}"))
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let s = Shape::has_value(Term::iri("http://e/c")).not().not();
+        assert_eq!(
+            Nnf::from_shape(&s),
+            Nnf::HasValue(Term::iri("http://e/c"))
+        );
+    }
+
+    #[test]
+    fn de_morgan() {
+        let s = Shape::True.and(Shape::False).not();
+        assert_eq!(Nnf::from_shape(&s), Nnf::Or(vec![Nnf::False, Nnf::True]));
+    }
+
+    #[test]
+    fn quantifier_duality() {
+        // ¬ ≥2 E.⊤ ≡ ≤1 E.⊤
+        let s = Shape::geq(2, p("a"), Shape::True).not();
+        assert_eq!(
+            Nnf::from_shape(&s),
+            Nnf::Leq(1, p("a"), Box::new(Nnf::True))
+        );
+        // ¬ ≤3 E.⊤ ≡ ≥4 E.⊤
+        let s = Shape::leq(3, p("a"), Shape::True).not();
+        assert_eq!(
+            Nnf::from_shape(&s),
+            Nnf::Geq(4, p("a"), Box::new(Nnf::True))
+        );
+        // ¬ ≥0 E.⊤ ≡ ⊥
+        let s = Shape::geq(0, p("a"), Shape::True).not();
+        assert_eq!(Nnf::from_shape(&s), Nnf::False);
+    }
+
+    #[test]
+    fn forall_negation_introduces_negated_body() {
+        // ¬ ∀E.hasValue(c) ≡ ≥1 E.¬hasValue(c)
+        let c = Term::iri("http://e/c");
+        let s = Shape::for_all(p("a"), Shape::has_value(c.clone())).not();
+        assert_eq!(
+            Nnf::from_shape(&s),
+            Nnf::Geq(1, p("a"), Box::new(Nnf::NotHasValue(c)))
+        );
+    }
+
+    #[test]
+    fn negation_under_quantifier_body() {
+        // ≥1 E.¬(ψ ∧ χ) pushes into the body.
+        let s = Shape::geq(
+            1,
+            p("a"),
+            Shape::True.and(Shape::has_value(Term::iri("http://e/c"))).not(),
+        );
+        let nnf = Nnf::from_shape(&s);
+        match nnf {
+            Nnf::Geq(1, _, body) => {
+                assert!(matches!(*body, Nnf::Or(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_is_involutive() {
+        let shapes = [
+            Shape::Eq(PathOrId::Id, Iri::new("http://e/p")),
+            Shape::geq(2, p("a"), Shape::for_all(p("b"), Shape::True)),
+            Shape::UniqueLang(p("l")),
+            Shape::Closed(BTreeSet::from([Iri::new("http://e/p")])),
+        ];
+        for s in shapes {
+            let n = Nnf::from_shape(&s);
+            assert_eq!(n.negated().negated(), n, "¬¬{s} should be {s}");
+        }
+    }
+
+    #[test]
+    fn negated_geq_zero_is_false() {
+        let n = Nnf::Geq(0, p("a"), Box::new(Nnf::True));
+        assert_eq!(n.negated(), Nnf::False);
+    }
+
+    #[test]
+    fn round_trip_to_shape() {
+        let s = Shape::for_all(p("a"), Shape::geq(1, p("b"), Shape::True))
+            .and(Shape::Disj(PathOrId::Id, Iri::new("http://e/q")).not());
+        let nnf = Nnf::from_shape(&s);
+        // Round trip re-normalizes to the same NNF.
+        assert_eq!(Nnf::from_shape(&nnf.to_shape()), nnf);
+    }
+}

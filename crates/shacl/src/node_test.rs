@@ -1,0 +1,234 @@
+//! Node tests: the paper's abstract set Ω of tests on individual nodes.
+//!
+//! A node test is evaluated on a single node without looking at the graph
+//! (which is why neighborhoods of `test(t)` shapes are empty, §3.1). The
+//! concrete tests here correspond to SHACL's value-type, value-range and
+//! string-based constraint components (Appendix A.1.3/A.1.5).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use shapefrag_rdf::{Iri, Literal, Term};
+
+use crate::regex::Pattern;
+
+/// SHACL node kinds (`sh:nodeKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeKind {
+    Iri,
+    BlankNode,
+    Literal,
+    BlankNodeOrIri,
+    BlankNodeOrLiteral,
+    IriOrLiteral,
+}
+
+impl NodeKind {
+    /// True iff `node` is of this kind.
+    pub fn matches(&self, node: &Term) -> bool {
+        match self {
+            NodeKind::Iri => node.is_iri(),
+            NodeKind::BlankNode => node.is_blank(),
+            NodeKind::Literal => node.is_literal(),
+            NodeKind::BlankNodeOrIri => node.is_blank() || node.is_iri(),
+            NodeKind::BlankNodeOrLiteral => node.is_blank() || node.is_literal(),
+            NodeKind::IriOrLiteral => node.is_iri() || node.is_literal(),
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A node test `t ∈ Ω`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeTest {
+    /// `sh:nodeKind`.
+    Kind(NodeKind),
+    /// `sh:datatype` — literal with exactly this datatype IRI. Language
+    /// tagged strings have datatype `rdf:langString`.
+    Datatype(Iri),
+    /// `sh:minExclusive` — node is a literal strictly greater than the
+    /// bound under the value order.
+    MinExclusive(Literal),
+    /// `sh:minInclusive`.
+    MinInclusive(Literal),
+    /// `sh:maxExclusive`.
+    MaxExclusive(Literal),
+    /// `sh:maxInclusive`.
+    MaxInclusive(Literal),
+    /// `sh:minLength` — length of the string representation (IRI string or
+    /// literal lexical form; blank nodes never match).
+    MinLength(u32),
+    /// `sh:maxLength`.
+    MaxLength(u32),
+    /// `sh:pattern` — string representation matches the regular expression.
+    Pattern(Pattern),
+    /// One element of `sh:languageIn` — literal has a language tag matching
+    /// this basic language range (exact or prefix, e.g. `en` matches
+    /// `en-GB`).
+    Language(String),
+}
+
+impl NodeTest {
+    /// Compiles a `sh:pattern` test.
+    pub fn pattern(source: &str, flags: &str) -> Result<NodeTest, crate::regex::RegexError> {
+        Ok(NodeTest::Pattern(Pattern::compile(source, flags)?))
+    }
+
+    /// Evaluates the test on a node: the paper's "a satisfies t".
+    pub fn satisfied_by(&self, node: &Term) -> bool {
+        match self {
+            NodeTest::Kind(kind) => kind.matches(node),
+            NodeTest::Datatype(dt) => match node {
+                Term::Literal(lit) => lit.datatype() == dt,
+                _ => false,
+            },
+            NodeTest::MinExclusive(bound) => {
+                compare_to_bound(node, bound) == Some(Ordering::Greater)
+            }
+            NodeTest::MinInclusive(bound) => {
+                compare_to_bound(node, bound).is_some_and(|o| o != Ordering::Less)
+            }
+            NodeTest::MaxExclusive(bound) => {
+                compare_to_bound(node, bound) == Some(Ordering::Less)
+            }
+            NodeTest::MaxInclusive(bound) => {
+                compare_to_bound(node, bound).is_some_and(|o| o != Ordering::Greater)
+            }
+            NodeTest::MinLength(n) => {
+                string_repr(node).is_some_and(|s| s.chars().count() as u32 >= *n)
+            }
+            NodeTest::MaxLength(n) => {
+                string_repr(node).is_some_and(|s| s.chars().count() as u32 <= *n)
+            }
+            NodeTest::Pattern(p) => string_repr(node).is_some_and(|s| p.is_match(s)),
+            NodeTest::Language(range) => match node {
+                Term::Literal(lit) => lit
+                    .language()
+                    .is_some_and(|tag| lang_matches(tag, range)),
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Kind(k) => write!(f, "nodeKind={k:?}"),
+            NodeTest::Datatype(dt) => write!(f, "datatype={dt}"),
+            NodeTest::MinExclusive(b) => write!(f, "minExclusive={b}"),
+            NodeTest::MinInclusive(b) => write!(f, "minInclusive={b}"),
+            NodeTest::MaxExclusive(b) => write!(f, "maxExclusive={b}"),
+            NodeTest::MaxInclusive(b) => write!(f, "maxInclusive={b}"),
+            NodeTest::MinLength(n) => write!(f, "minLength={n}"),
+            NodeTest::MaxLength(n) => write!(f, "maxLength={n}"),
+            NodeTest::Pattern(p) => write!(f, "pattern={p:?}"),
+            NodeTest::Language(l) => write!(f, "lang={l}"),
+        }
+    }
+}
+
+/// Compares a node to a literal bound; `None` if the node is not a literal
+/// or the values are incomparable.
+fn compare_to_bound(node: &Term, bound: &Literal) -> Option<Ordering> {
+    match node {
+        Term::Literal(lit) => lit.value().partial_cmp_value(&bound.value()),
+        _ => None,
+    }
+}
+
+/// The string representation used by length/pattern tests: the IRI string
+/// or a literal's lexical form. Blank nodes have none.
+fn string_repr(node: &Term) -> Option<&str> {
+    match node {
+        Term::Iri(iri) => Some(iri.as_str()),
+        Term::Literal(lit) => Some(lit.lexical()),
+        Term::Blank(_) => None,
+    }
+}
+
+/// Basic language-range matching (RFC 4647 §2.1 basic filtering): the range
+/// equals the tag or is a prefix of it followed by `-`. Both sides are
+/// already lower-cased.
+fn lang_matches(tag: &str, range: &str) -> bool {
+    let range = range.to_ascii_lowercase();
+    tag == range || (tag.len() > range.len() && tag.starts_with(&range) && tag.as_bytes()[range.len()] == b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapefrag_rdf::vocab::xsd;
+
+    #[test]
+    fn node_kinds() {
+        let iri = Term::iri("http://e/a");
+        let blank = Term::blank("b");
+        let lit = Term::Literal(Literal::string("x"));
+        assert!(NodeTest::Kind(NodeKind::Iri).satisfied_by(&iri));
+        assert!(!NodeTest::Kind(NodeKind::Iri).satisfied_by(&lit));
+        assert!(NodeTest::Kind(NodeKind::BlankNodeOrIri).satisfied_by(&blank));
+        assert!(NodeTest::Kind(NodeKind::BlankNodeOrIri).satisfied_by(&iri));
+        assert!(!NodeTest::Kind(NodeKind::BlankNodeOrIri).satisfied_by(&lit));
+        assert!(NodeTest::Kind(NodeKind::IriOrLiteral).satisfied_by(&lit));
+        assert!(NodeTest::Kind(NodeKind::BlankNodeOrLiteral).satisfied_by(&lit));
+    }
+
+    #[test]
+    fn datatype_test() {
+        let int = Term::Literal(Literal::integer(5));
+        assert!(NodeTest::Datatype(xsd::integer()).satisfied_by(&int));
+        assert!(!NodeTest::Datatype(xsd::string()).satisfied_by(&int));
+        assert!(!NodeTest::Datatype(xsd::integer()).satisfied_by(&Term::iri("http://e/a")));
+        let lang = Term::Literal(Literal::lang_string("x", "en"));
+        assert!(NodeTest::Datatype(shapefrag_rdf::vocab::rdf::lang_string()).satisfied_by(&lang));
+    }
+
+    #[test]
+    fn value_ranges() {
+        let five = Term::Literal(Literal::integer(5));
+        assert!(NodeTest::MinExclusive(Literal::integer(4)).satisfied_by(&five));
+        assert!(!NodeTest::MinExclusive(Literal::integer(5)).satisfied_by(&five));
+        assert!(NodeTest::MinInclusive(Literal::integer(5)).satisfied_by(&five));
+        assert!(NodeTest::MaxExclusive(Literal::integer(6)).satisfied_by(&five));
+        assert!(!NodeTest::MaxExclusive(Literal::integer(5)).satisfied_by(&five));
+        assert!(NodeTest::MaxInclusive(Literal::integer(5)).satisfied_by(&five));
+        // Incomparable values fail.
+        let s = Term::Literal(Literal::string("5"));
+        assert!(!NodeTest::MinInclusive(Literal::integer(1)).satisfied_by(&s));
+        assert!(!NodeTest::MinInclusive(Literal::integer(1)).satisfied_by(&Term::iri("http://e/a")));
+    }
+
+    #[test]
+    fn lengths_apply_to_iris_and_literals() {
+        assert!(NodeTest::MinLength(3).satisfied_by(&Term::Literal(Literal::string("abc"))));
+        assert!(!NodeTest::MinLength(4).satisfied_by(&Term::Literal(Literal::string("abc"))));
+        assert!(NodeTest::MaxLength(20).satisfied_by(&Term::iri("http://e/a")));
+        assert!(!NodeTest::MaxLength(2).satisfied_by(&Term::iri("http://e/a")));
+        assert!(!NodeTest::MinLength(0).satisfied_by(&Term::blank("b")));
+    }
+
+    #[test]
+    fn pattern_test() {
+        let t = NodeTest::pattern("^\\d+$", "").unwrap();
+        assert!(t.satisfied_by(&Term::Literal(Literal::string("123"))));
+        assert!(!t.satisfied_by(&Term::Literal(Literal::string("12a"))));
+        let t = NodeTest::pattern("^https://", "").unwrap();
+        assert!(t.satisfied_by(&Term::iri("https://e/a")));
+    }
+
+    #[test]
+    fn language_ranges() {
+        let en_gb = Term::Literal(Literal::lang_string("colour", "en-GB"));
+        assert!(NodeTest::Language("en".into()).satisfied_by(&en_gb));
+        assert!(NodeTest::Language("en-gb".into()).satisfied_by(&en_gb));
+        assert!(!NodeTest::Language("en-us".into()).satisfied_by(&en_gb));
+        assert!(!NodeTest::Language("e".into()).satisfied_by(&en_gb));
+        assert!(!NodeTest::Language("en".into()).satisfied_by(&Term::Literal(Literal::string("x"))));
+    }
+}

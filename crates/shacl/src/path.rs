@@ -1,0 +1,253 @@
+//! SHACL property paths, formalized as the paper's path expressions (§2):
+//!
+//! ```text
+//! E := p | E⁻ | E/E | E ∪ E | E* | E?
+//! ```
+//!
+//! plus the extension proposed in Remark 6.3 of the paper: *negated
+//! property sets* `!(p₁ | … | pₙ)` (as in SPARQL property paths), which
+//! match a step over any property **not** in the set. With this extension
+//! every triple pattern fragment becomes expressible as a shape fragment.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use shapefrag_rdf::Iri;
+
+/// A path expression `E`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathExpr {
+    /// A property `p ∈ I`.
+    Prop(Iri),
+    /// Extension (Remark 6.3): a step over any property *not* in the set,
+    /// SPARQL's `!(p₁|…|pₙ)`. The empty set matches every property.
+    NegProp(BTreeSet<Iri>),
+    /// Inverse `E⁻`.
+    Inverse(Box<PathExpr>),
+    /// Sequence `E₁/E₂`.
+    Seq(Box<PathExpr>, Box<PathExpr>),
+    /// Alternative `E₁ ∪ E₂`.
+    Alt(Box<PathExpr>, Box<PathExpr>),
+    /// Kleene star `E*` (zero or more).
+    ZeroOrMore(Box<PathExpr>),
+    /// `E?` (zero or one).
+    ZeroOrOne(Box<PathExpr>),
+}
+
+impl PathExpr {
+    /// A property step.
+    pub fn prop(p: impl Into<Iri>) -> Self {
+        PathExpr::Prop(p.into())
+    }
+
+    /// A negated-property-set step `!(p₁|…|pₙ)` (Remark 6.3 extension).
+    pub fn neg_props(props: impl IntoIterator<Item = Iri>) -> Self {
+        PathExpr::NegProp(props.into_iter().collect())
+    }
+
+    /// A step over *any* property (`!()` — the empty negated set).
+    pub fn any_prop() -> Self {
+        PathExpr::NegProp(BTreeSet::new())
+    }
+
+    /// The inverse of this path.
+    pub fn inverse(self) -> Self {
+        PathExpr::Inverse(Box::new(self))
+    }
+
+    /// This path followed by `next`.
+    pub fn then(self, next: PathExpr) -> Self {
+        PathExpr::Seq(Box::new(self), Box::new(next))
+    }
+
+    /// This path or `other`.
+    pub fn or(self, other: PathExpr) -> Self {
+        PathExpr::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// Zero or more repetitions.
+    pub fn star(self) -> Self {
+        PathExpr::ZeroOrMore(Box::new(self))
+    }
+
+    /// One or more repetitions, `E/E*` (how SHACL's `sh:oneOrMorePath`
+    /// is translated in Appendix A).
+    pub fn plus(self) -> Self {
+        self.clone().then(self.star())
+    }
+
+    /// Zero or one occurrence.
+    pub fn opt(self) -> Self {
+        PathExpr::ZeroOrOne(Box::new(self))
+    }
+
+    /// Sequence of `self` repeated `n ≥ 1` times (`E/E/…/E`).
+    pub fn repeat(self, n: usize) -> Self {
+        assert!(n >= 1, "repeat requires n >= 1");
+        let mut e = self.clone();
+        for _ in 1..n {
+            e = e.then(self.clone());
+        }
+        e
+    }
+
+    /// All property IRIs mentioned in this expression.
+    pub fn properties(&self) -> Vec<&Iri> {
+        let mut out = Vec::new();
+        self.collect_properties(&mut out);
+        out
+    }
+
+    fn collect_properties<'a>(&'a self, out: &mut Vec<&'a Iri>) {
+        match self {
+            PathExpr::Prop(p) => out.push(p),
+            PathExpr::NegProp(ps) => out.extend(ps.iter()),
+            PathExpr::Inverse(e) | PathExpr::ZeroOrMore(e) | PathExpr::ZeroOrOne(e) => {
+                e.collect_properties(out)
+            }
+            PathExpr::Seq(a, b) | PathExpr::Alt(a, b) => {
+                a.collect_properties(out);
+                b.collect_properties(out);
+            }
+        }
+    }
+
+    /// True iff this expression can match the empty path (i.e. `⟦E⟧`
+    /// contains the identity relation).
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            PathExpr::Prop(_) | PathExpr::NegProp(_) => false,
+            PathExpr::Inverse(e) => e.is_nullable(),
+            PathExpr::Seq(a, b) => a.is_nullable() && b.is_nullable(),
+            PathExpr::Alt(a, b) => a.is_nullable() || b.is_nullable(),
+            PathExpr::ZeroOrMore(_) | PathExpr::ZeroOrOne(_) => true,
+        }
+    }
+
+    /// Writes the expression in SPARQL property-path syntax.
+    pub fn to_sparql(&self) -> String {
+        self.to_string()
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        // Precedence: Alt(1) < Seq(2) < unary postfix(3) < atom(4).
+        let prec = match self {
+            PathExpr::Alt(..) => 1,
+            PathExpr::Seq(..) => 2,
+            PathExpr::Inverse(_) | PathExpr::ZeroOrMore(_) | PathExpr::ZeroOrOne(_) => 3,
+            PathExpr::Prop(_) | PathExpr::NegProp(_) => 4,
+        };
+        let parens = prec < parent_prec;
+        if parens {
+            write!(f, "(")?;
+        }
+        match self {
+            PathExpr::Prop(p) => write!(f, "{p}")?,
+            PathExpr::NegProp(ps) => {
+                write!(f, "!(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")?;
+            }
+            PathExpr::Inverse(e) => {
+                write!(f, "^")?;
+                e.fmt_prec(f, 4)?;
+            }
+            PathExpr::Seq(a, b) => {
+                a.fmt_prec(f, 2)?;
+                write!(f, "/")?;
+                b.fmt_prec(f, 3)?;
+            }
+            PathExpr::Alt(a, b) => {
+                a.fmt_prec(f, 1)?;
+                write!(f, "|")?;
+                b.fmt_prec(f, 2)?;
+            }
+            PathExpr::ZeroOrMore(e) => {
+                e.fmt_prec(f, 4)?;
+                write!(f, "*")?;
+            }
+            PathExpr::ZeroOrOne(e) => {
+                e.fmt_prec(f, 4)?;
+                write!(f, "?")?;
+            }
+        }
+        if parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl fmt::Debug for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Iri> for PathExpr {
+    fn from(iri: Iri) -> Self {
+        PathExpr::Prop(iri)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> PathExpr {
+        PathExpr::prop(format!("http://e/{name}"))
+    }
+
+    #[test]
+    fn display_uses_sparql_syntax() {
+        let e = p("a").inverse().then(p("b").or(p("c")).star());
+        assert_eq!(
+            e.to_string(),
+            "^<http://e/a>/(<http://e/b>|<http://e/c>)*"
+        );
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(!p("a").is_nullable());
+        assert!(p("a").star().is_nullable());
+        assert!(p("a").opt().is_nullable());
+        assert!(!p("a").then(p("b").star()).is_nullable());
+        assert!(p("a").opt().then(p("b").star()).is_nullable());
+        assert!(p("a").or(p("b").opt()).is_nullable());
+        assert!(!p("a").plus().is_nullable());
+    }
+
+    #[test]
+    fn properties_collected() {
+        let e = p("a").then(p("b")).or(p("a"));
+        let props = e.properties();
+        assert_eq!(props.len(), 3);
+    }
+
+    #[test]
+    fn neg_prop_display_and_nullability() {
+        let e = PathExpr::neg_props([Iri::new("http://e/a"), Iri::new("http://e/b")]);
+        assert_eq!(e.to_string(), "!(<http://e/a>|<http://e/b>)");
+        assert!(!e.is_nullable());
+        assert_eq!(PathExpr::any_prop().to_string(), "!()");
+        assert_eq!(e.properties().len(), 2);
+    }
+
+    #[test]
+    fn repeat_builds_sequences() {
+        let e = p("a").repeat(3);
+        assert_eq!(e.to_string(), "<http://e/a>/<http://e/a>/<http://e/a>");
+    }
+}

@@ -1,0 +1,629 @@
+//! A small regular-expression engine for `sh:pattern` node tests.
+//!
+//! Implemented from scratch (no external crates): a recursive-descent parser
+//! to an AST and a backtracking matcher with a step budget. Supported
+//! syntax, which covers the patterns appearing in SHACL shapes in practice:
+//!
+//! - literals, `.`, escapes (`\d \D \w \W \s \S \. \\` …)
+//! - character classes `[a-z0-9_]`, negated classes `[^…]`, ranges
+//! - anchors `^` and `$`
+//! - quantifiers `*`, `+`, `?`, `{n}`, `{n,}`, `{n,m}`
+//! - alternation `|` and groups `(…)` (non-capturing semantics)
+//!
+//! Matching follows SHACL/XPath semantics: the pattern matches if it matches
+//! *anywhere* in the string, unless anchored. The optional `i` flag
+//! (case-insensitive) from `sh:flags` is supported.
+
+use std::fmt;
+
+/// A parse error for a regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid regular expression: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// A compiled pattern. Equality and hashing are by source text and flags,
+/// so shapes containing patterns remain comparable.
+#[derive(Clone)]
+pub struct Pattern {
+    source: String,
+    case_insensitive: bool,
+    ast: Node,
+}
+
+impl PartialEq for Pattern {
+    fn eq(&self, other: &Self) -> bool {
+        self.source == other.source && self.case_insensitive == other.case_insensitive
+    }
+}
+
+impl Eq for Pattern {}
+
+impl std::hash::Hash for Pattern {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.source.hash(state);
+        self.case_insensitive.hash(state);
+    }
+}
+
+impl PartialOrd for Pattern {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pattern {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (&self.source, self.case_insensitive).cmp(&(&other.source, other.case_insensitive))
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/{}/{}", self.source, if self.case_insensitive { "i" } else { "" })
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.source)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    /// Alternation of sequences.
+    Alt(Vec<Node>),
+    /// Sequence of atoms.
+    Seq(Vec<Node>),
+    /// A repeated node: min, max (None = unbounded).
+    Repeat(Box<Node>, u32, Option<u32>),
+    Literal(char),
+    AnyChar,
+    Class { negated: bool, items: Vec<ClassItem> },
+    StartAnchor,
+    EndAnchor,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+    Digit(bool),
+    Word(bool),
+    Space(bool),
+}
+
+impl Pattern {
+    /// Compiles a pattern. `flags` may contain `i` for case-insensitive
+    /// matching; other flags are ignored (SHACL also defines `s m x q`,
+    /// which do not occur in our workloads).
+    pub fn compile(source: &str, flags: &str) -> Result<Pattern, RegexError> {
+        let case_insensitive = flags.contains('i');
+        let mut parser = RegexParser {
+            chars: source.chars().collect(),
+            pos: 0,
+        };
+        let ast = parser.parse_alt()?;
+        if parser.pos != parser.chars.len() {
+            return Err(RegexError(format!(
+                "unexpected '{}' at offset {}",
+                parser.chars[parser.pos], parser.pos
+            )));
+        }
+        Ok(Pattern {
+            source: source.to_owned(),
+            case_insensitive,
+            ast,
+        })
+    }
+
+    /// The source text of the pattern.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The flags string the pattern was compiled with (`"i"` or `""`).
+    pub fn flags(&self) -> &str {
+        if self.case_insensitive {
+            "i"
+        } else {
+            ""
+        }
+    }
+
+    /// True iff the pattern matches anywhere in `input`.
+    pub fn is_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = if self.case_insensitive {
+            input.chars().flat_map(|c| c.to_lowercase()).collect()
+        } else {
+            input.chars().collect()
+        };
+        let m = Matcher {
+            chars: &chars,
+            case_insensitive: self.case_insensitive,
+            budget: std::cell::Cell::new(200_000),
+        };
+        for start in 0..=chars.len() {
+            let mut matched = false;
+            m.match_node(&self.ast, start, start == 0, &mut |_| {
+                matched = true;
+                true
+            });
+            if matched {
+                return true;
+            }
+            // Unanchored search only needs starts after a failed prefix; a
+            // leading ^ makes other starts useless.
+            if starts_with_anchor(&self.ast) {
+                break;
+            }
+        }
+        false
+    }
+}
+
+fn starts_with_anchor(node: &Node) -> bool {
+    match node {
+        Node::StartAnchor => true,
+        Node::Seq(items) => items.first().map(starts_with_anchor).unwrap_or(false),
+        Node::Alt(branches) => branches.iter().all(starts_with_anchor),
+        _ => false,
+    }
+}
+
+struct RegexParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl RegexParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, RegexError> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_seq()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap())
+        } else {
+            Ok(Node::Alt(branches))
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Node, RegexError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(Node::Seq(items))
+    }
+
+    fn parse_repeat(&mut self) -> Result<Node, RegexError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 0, None))
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 1, None))
+            }
+            Some('?') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 0, Some(1)))
+            }
+            Some('{') => {
+                self.bump();
+                let mut min = String::new();
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    min.push(self.bump().unwrap());
+                }
+                let min: u32 = min.parse().map_err(|_| RegexError("bad {n}".into()))?;
+                let max = match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                        let mut max = String::new();
+                        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                            max.push(self.bump().unwrap());
+                        }
+                        if max.is_empty() {
+                            None
+                        } else {
+                            Some(max.parse().map_err(|_| RegexError("bad {n,m}".into()))?)
+                        }
+                    }
+                    _ => Some(min),
+                };
+                if self.bump() != Some('}') {
+                    return Err(RegexError("expected '}'".into()));
+                }
+                if let Some(max) = max {
+                    if max < min {
+                        return Err(RegexError("{n,m} with m < n".into()));
+                    }
+                    if max > 1000 {
+                        return Err(RegexError("{n,m} bound too large".into()));
+                    }
+                }
+                Ok(Node::Repeat(Box::new(atom), min, max))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, RegexError> {
+        match self.bump() {
+            Some('(') => {
+                // Non-capturing group marker (?: is tolerated.
+                if self.peek() == Some('?') {
+                    self.bump();
+                    if self.bump() != Some(':') {
+                        return Err(RegexError("only (?: groups supported".into()));
+                    }
+                }
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(RegexError("unclosed group".into()));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Node::AnyChar),
+            Some('^') => Ok(Node::StartAnchor),
+            Some('$') => Ok(Node::EndAnchor),
+            Some('\\') => {
+                let c = self.bump().ok_or_else(|| RegexError("dangling '\\'".into()))?;
+                Ok(match c {
+                    'd' => Node::Class { negated: false, items: vec![ClassItem::Digit(false)] },
+                    'D' => Node::Class { negated: false, items: vec![ClassItem::Digit(true)] },
+                    'w' => Node::Class { negated: false, items: vec![ClassItem::Word(false)] },
+                    'W' => Node::Class { negated: false, items: vec![ClassItem::Word(true)] },
+                    's' => Node::Class { negated: false, items: vec![ClassItem::Space(false)] },
+                    'S' => Node::Class { negated: false, items: vec![ClassItem::Space(true)] },
+                    'n' => Node::Literal('\n'),
+                    't' => Node::Literal('\t'),
+                    'r' => Node::Literal('\r'),
+                    other => Node::Literal(other),
+                })
+            }
+            Some(c @ ('*' | '+' | '?' | '{' | '}' | ')')) => {
+                Err(RegexError(format!("misplaced '{c}'")))
+            }
+            Some(c) => Ok(Node::Literal(c)),
+            None => Err(RegexError("unexpected end of pattern".into())),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            match self.bump() {
+                Some(']') if !items.is_empty() || negated => break,
+                Some(']') => {
+                    // A leading ']' is a literal.
+                    items.push(ClassItem::Char(']'));
+                }
+                Some('\\') => {
+                    let c = self.bump().ok_or_else(|| RegexError("dangling '\\'".into()))?;
+                    items.push(match c {
+                        'd' => ClassItem::Digit(false),
+                        'D' => ClassItem::Digit(true),
+                        'w' => ClassItem::Word(false),
+                        'W' => ClassItem::Word(true),
+                        's' => ClassItem::Space(false),
+                        'S' => ClassItem::Space(true),
+                        'n' => ClassItem::Char('\n'),
+                        't' => ClassItem::Char('\t'),
+                        other => ClassItem::Char(other),
+                    });
+                }
+                Some(c) => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().ok_or_else(|| RegexError("bad range".into()))?;
+                        if hi < c {
+                            return Err(RegexError(format!("inverted range {c}-{hi}")));
+                        }
+                        items.push(ClassItem::Range(c, hi));
+                    } else {
+                        items.push(ClassItem::Char(c));
+                    }
+                }
+                None => return Err(RegexError("unclosed character class".into())),
+            }
+        }
+        Ok(Node::Class { negated, items })
+    }
+}
+
+struct Matcher<'a> {
+    chars: &'a [char],
+    case_insensitive: bool,
+    budget: std::cell::Cell<u32>,
+}
+
+impl<'a> Matcher<'a> {
+    /// Calls `k(end)` for match end positions; `k` returns `true` to stop.
+    /// `at_start` tracks whether position 0 is a valid `^` anchor point for
+    /// this attempt (it is only when the search started at 0).
+    fn match_node(&self, node: &Node, pos: usize, at_start: bool, k: &mut dyn FnMut(usize) -> bool) -> bool {
+        if self.budget.get() == 0 {
+            return true; // Out of budget: abort the search (treat as no match).
+        }
+        self.budget.set(self.budget.get() - 1);
+        match node {
+            Node::Literal(c) => {
+                let want = if self.case_insensitive {
+                    c.to_lowercase().next().unwrap_or(*c)
+                } else {
+                    *c
+                };
+                match self.chars.get(pos) {
+                    Some(&got) if got == want => k(pos + 1),
+                    _ => false,
+                }
+            }
+            Node::AnyChar => match self.chars.get(pos) {
+                Some(_) => k(pos + 1),
+                None => false,
+            },
+            Node::Class { negated, items } => match self.chars.get(pos) {
+                Some(&c) => {
+                    let inside = items.iter().any(|item| class_item_matches(item, c));
+                    if inside != *negated {
+                        k(pos + 1)
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            },
+            Node::StartAnchor => {
+                if pos == 0 && at_start {
+                    k(pos)
+                } else {
+                    false
+                }
+            }
+            Node::EndAnchor => {
+                if pos == self.chars.len() {
+                    k(pos)
+                } else {
+                    false
+                }
+            }
+            Node::Seq(items) => self.match_seq(items, pos, at_start, k),
+            Node::Alt(branches) => {
+                for b in branches {
+                    if self.match_node(b, pos, at_start, k) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Node::Repeat(inner, min, max) => self.match_repeat(inner, *min, *max, 0, pos, at_start, k),
+        }
+    }
+
+    fn match_seq(
+        &self,
+        items: &[Node],
+        pos: usize,
+        at_start: bool,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        match items.split_first() {
+            None => k(pos),
+            Some((head, rest)) => self.match_node(head, pos, at_start, &mut |next| {
+                self.match_seq(rest, next, at_start, k)
+            }),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn match_repeat(
+        &self,
+        inner: &Node,
+        min: u32,
+        max: Option<u32>,
+        done: u32,
+        pos: usize,
+        at_start: bool,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        // Greedy: try one more repetition first (if allowed), then yield.
+        let can_more = max.is_none_or(|m| done < m);
+        if can_more {
+            let stopped = self.match_node(inner, pos, at_start, &mut |next| {
+                if next == pos {
+                    // Zero-width repetition: stop looping to avoid divergence.
+                    if done + 1 >= min {
+                        k(next)
+                    } else {
+                        false
+                    }
+                } else {
+                    self.match_repeat(inner, min, max, done + 1, next, at_start, k)
+                }
+            });
+            if stopped {
+                return true;
+            }
+        }
+        if done >= min {
+            return k(pos);
+        }
+        false
+    }
+}
+
+fn class_item_matches(item: &ClassItem, c: char) -> bool {
+    match item {
+        ClassItem::Char(x) => *x == c,
+        ClassItem::Range(lo, hi) => (*lo..=*hi).contains(&c),
+        ClassItem::Digit(neg) => c.is_ascii_digit() != *neg,
+        ClassItem::Word(neg) => (c.is_alphanumeric() || c == '_') != *neg,
+        ClassItem::Space(neg) => c.is_whitespace() != *neg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, input: &str) -> bool {
+        Pattern::compile(pattern, "").unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literal_search_anywhere() {
+        assert!(m("bc", "abcd"));
+        assert!(!m("bd", "abcd"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^ab", "abcd"));
+        assert!(!m("^bc", "abcd"));
+        assert!(m("cd$", "abcd"));
+        assert!(!m("bc$", "abcd"));
+        assert!(m("^abcd$", "abcd"));
+        assert!(!m("^abcd$", "abcde"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("^ab?c$", "abbc"));
+    }
+
+    #[test]
+    fn bounded_quantifiers() {
+        assert!(m("^a{2,3}$", "aa"));
+        assert!(m("^a{2,3}$", "aaa"));
+        assert!(!m("^a{2,3}$", "a"));
+        assert!(!m("^a{2,3}$", "aaaa"));
+        assert!(m("^a{2}$", "aa"));
+        assert!(m("^a{2,}$", "aaaaa"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        assert!(m("^[a-c]+$", "abccba"));
+        assert!(!m("^[a-c]+$", "abd"));
+        assert!(m("^[^0-9]+$", "abc"));
+        assert!(!m("^[^0-9]+$", "ab3"));
+        assert!(m("^[a\\-z]$", "-"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("^\\d{4}$", "2023"));
+        assert!(!m("^\\d{4}$", "20a3"));
+        assert!(m("^\\w+$", "abc_123"));
+        assert!(m("^\\s$", " "));
+        assert!(m("^a\\.b$", "a.b"));
+        assert!(!m("^a\\.b$", "axb"));
+        assert!(m("^\\S+$", "xy"));
+        assert!(m("^[\\d]+$", "12"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("^(ab|cd)+$", "abcdab"));
+        assert!(!m("^(ab|cd)+$", "abc"));
+        assert!(m("^x(?:y|z)$", "xz"));
+    }
+
+    #[test]
+    fn dot_matches_any() {
+        assert!(m("^a.c$", "abc"));
+        assert!(m("^a.c$", "a-c"));
+        assert!(!m("^a.c$", "ac"));
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        let p = Pattern::compile("^HELLO$", "i").unwrap();
+        assert!(p.is_match("hello"));
+        assert!(p.is_match("HeLLo"));
+        let p = Pattern::compile("^HELLO$", "").unwrap();
+        assert!(!p.is_match("hello"));
+    }
+
+    #[test]
+    fn realistic_shacl_patterns() {
+        // Postal code
+        assert!(m("^[0-9]{4}\\s?[A-Z]{2}$", "6211 AB"));
+        // IRI-ish prefix check
+        assert!(m("^https?://", "https://example.org/x"));
+        // Email-ish
+        assert!(m("^[\\w.]+@[\\w.]+$", "a.b@example.org"));
+    }
+
+    #[test]
+    fn zero_width_loop_terminates() {
+        assert!(m("^(a?)*$", "aaa"));
+        assert!(m("(|a)*", "b"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Pattern::compile("a(", "").is_err());
+        assert!(Pattern::compile("[a-", "").is_err());
+        assert!(Pattern::compile("a{3,1}", "").is_err());
+        assert!(Pattern::compile("*a", "").is_err());
+        assert!(Pattern::compile("[z-a]", "").is_err());
+    }
+
+    #[test]
+    fn equality_is_by_source() {
+        let a = Pattern::compile("abc", "").unwrap();
+        let b = Pattern::compile("abc", "").unwrap();
+        let c = Pattern::compile("abc", "i").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pathological_pattern_gives_up_not_hangs() {
+        // Classic exponential backtracking case; budget makes it terminate.
+        let p = Pattern::compile("^(a+)+$", "").unwrap();
+        let _ = p.is_match(&"a".repeat(40));
+        let _ = p.is_match(&format!("{}b", "a".repeat(40)));
+    }
+}

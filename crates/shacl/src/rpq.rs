@@ -1,0 +1,805 @@
+//! Regular path query evaluation and path tracing.
+//!
+//! Two operations from the paper are implemented here, both over a
+//! [`Graph`]:
+//!
+//! 1. **Evaluation** `⟦E⟧^G(a)` — the set of nodes reachable from `a` along
+//!    paths matching `E` (Table 1 semantics, including the identity pairs
+//!    contributed by `E?` and `E*`).
+//! 2. **Tracing** `⋃_{x ∈ X} graph(paths(E, G, a, x))` — the subgraph traced
+//!    out by all `E`-paths from `a` to nodes in a target set `X` (§3.2).
+//!
+//! Both work on the *product* of the graph with a Thompson NFA compiled
+//! from `E`. For tracing, a product edge lies on an accepting run from
+//! `(a, q₀)` to some `(x, q_F)` iff its source is forward-reachable and its
+//! target is backward-reachable; the union of the underlying forward triples
+//! of all such edges is exactly `graph(paths(E, G, a, X))` — the paper's
+//! possibly-infinite path sets collapse to this finite edge set because
+//! `graph(·)` only keeps the triples (cf. Proposition 3.1 and §3.3).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::hash::BuildHasherDefault;
+
+use shapefrag_rdf::graph::IntHasher;
+use shapefrag_rdf::{Graph, Iri, TermId};
+
+type IntSet = std::collections::HashSet<TermId, BuildHasherDefault<IntHasher>>;
+
+/// Visited-set over the product graph: one small hash set per NFA state.
+struct ProductSet {
+    per_state: Vec<IntSet>,
+}
+
+impl ProductSet {
+    fn new(states: usize) -> Self {
+        ProductSet {
+            per_state: (0..states).map(|_| IntSet::default()).collect(),
+        }
+    }
+
+    fn insert(&mut self, node: TermId, state: u32) -> bool {
+        self.per_state[state as usize].insert(node)
+    }
+
+    fn contains(&self, node: TermId, state: u32) -> bool {
+        self.per_state[state as usize].contains(&node)
+    }
+}
+
+use crate::path::PathExpr;
+
+/// A transition label: one property, or any property outside a negated set
+/// (the Remark 6.3 extension).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Label {
+    Prop(Iri),
+    NegProp(BTreeSet<Iri>),
+}
+
+/// A transition label with properties resolved to graph term ids.
+#[derive(Debug, Clone)]
+enum ResolvedLabel {
+    /// A single resolved property.
+    Prop(TermId),
+    /// Any property except the resolved ids (unresolved excluded IRIs
+    /// cannot occur in the graph, so dropping them is sound).
+    NegProp(BTreeSet<TermId>),
+}
+
+/// A Thompson NFA over the alphabet of forward/backward property steps.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    start: u32,
+    accept: u32,
+    /// Epsilon transitions per state.
+    eps: Vec<Vec<u32>>,
+    /// Labeled transitions per state: `(label, inverse, next state)`.
+    /// An `inverse` step from node `x` to node `y` consumes triple
+    /// `(y, property, x)`.
+    steps: Vec<Vec<(Label, bool, u32)>>,
+}
+
+impl Nfa {
+    /// Compiles a path expression.
+    pub fn compile(path: &PathExpr) -> Nfa {
+        let mut builder = Builder {
+            eps: Vec::new(),
+            steps: Vec::new(),
+        };
+        let (start, accept) = builder.build(path, false);
+        Nfa {
+            start,
+            accept,
+            eps: builder.eps,
+            steps: builder.steps,
+        }
+    }
+
+    /// Number of states (grows linearly with the expression).
+    pub fn state_count(&self) -> usize {
+        self.eps.len()
+    }
+}
+
+struct Builder {
+    eps: Vec<Vec<u32>>,
+    steps: Vec<Vec<(Label, bool, u32)>>,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> u32 {
+        self.eps.push(Vec::new());
+        self.steps.push(Vec::new());
+        (self.eps.len() - 1) as u32
+    }
+
+    /// Builds the fragment for `path`, honoring an accumulated inversion:
+    /// `(E₁/E₂)⁻ = E₂⁻/E₁⁻`, `(E⁻)⁻ = E`, and inversion distributes through
+    /// the other operators.
+    fn build(&mut self, path: &PathExpr, inverted: bool) -> (u32, u32) {
+        match path {
+            PathExpr::Prop(p) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.steps[s as usize].push((Label::Prop(p.clone()), inverted, a));
+                (s, a)
+            }
+            PathExpr::NegProp(ps) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.steps[s as usize].push((Label::NegProp(ps.clone()), inverted, a));
+                (s, a)
+            }
+            PathExpr::Inverse(e) => self.build(e, !inverted),
+            PathExpr::Seq(e1, e2) => {
+                let (first, second) = if inverted { (e2, e1) } else { (e1, e2) };
+                let (s1, a1) = self.build(first, inverted);
+                let (s2, a2) = self.build(second, inverted);
+                self.eps[a1 as usize].push(s2);
+                (s1, a2)
+            }
+            PathExpr::Alt(e1, e2) => {
+                let (s1, a1) = self.build(e1, inverted);
+                let (s2, a2) = self.build(e2, inverted);
+                let s = self.fresh();
+                let a = self.fresh();
+                self.eps[s as usize].push(s1);
+                self.eps[s as usize].push(s2);
+                self.eps[a1 as usize].push(a);
+                self.eps[a2 as usize].push(a);
+                (s, a)
+            }
+            PathExpr::ZeroOrMore(e) => {
+                let (si, ai) = self.build(e, inverted);
+                let s = self.fresh();
+                let a = self.fresh();
+                self.eps[s as usize].push(si);
+                self.eps[s as usize].push(a);
+                self.eps[ai as usize].push(si);
+                self.eps[ai as usize].push(a);
+                (s, a)
+            }
+            PathExpr::ZeroOrOne(e) => {
+                let (si, ai) = self.build(e, inverted);
+                let s = self.fresh();
+                let a = self.fresh();
+                self.eps[s as usize].push(si);
+                self.eps[s as usize].push(a);
+                self.eps[ai as usize].push(a);
+                (s, a)
+            }
+        }
+    }
+}
+
+/// An NFA with its property IRIs resolved against a particular graph.
+/// Resolution happens once per (path, graph) pair; transitions whose
+/// property does not occur in the graph are dead.
+#[derive(Debug, Clone)]
+pub struct CompiledPath {
+    nfa: Nfa,
+    /// `steps[q]` → `(label, inverse, next)`; unresolved plain preds
+    /// dropped.
+    resolved: Vec<Vec<(ResolvedLabel, bool, u32)>>,
+    /// Reverse of `resolved`: incoming labeled transitions per state.
+    resolved_rev: Vec<Vec<(ResolvedLabel, bool, u32)>>,
+    /// Reverse epsilon transitions per state.
+    eps_rev: Vec<Vec<u32>>,
+    /// Fast path: `E` is a single forward or inverse property.
+    simple: Option<(TermId, bool)>,
+}
+
+impl CompiledPath {
+    /// Compiles and resolves a path expression against a graph.
+    pub fn new(path: &PathExpr, graph: &Graph) -> CompiledPath {
+        let simple = match path {
+            PathExpr::Prop(p) => graph.id_of_iri(p).map(|id| (id, false)),
+            PathExpr::Inverse(inner) => match inner.as_ref() {
+                PathExpr::Prop(p) => graph.id_of_iri(p).map(|id| (id, true)),
+                _ => None,
+            },
+            _ => None,
+        };
+        let nfa = Nfa::compile(path);
+        let n = nfa.state_count();
+        let mut resolved = vec![Vec::new(); n];
+        let mut resolved_rev = vec![Vec::new(); n];
+        let mut eps_rev = vec![Vec::new(); n];
+        for (q, transitions) in nfa.steps.iter().enumerate() {
+            for (label, inv, next) in transitions {
+                let resolved_label = match label {
+                    Label::Prop(p) => match graph.id_of_iri(p) {
+                        Some(pid) => ResolvedLabel::Prop(pid),
+                        None => continue, // dead transition
+                    },
+                    Label::NegProp(ps) => ResolvedLabel::NegProp(
+                        ps.iter().filter_map(|p| graph.id_of_iri(p)).collect(),
+                    ),
+                };
+                resolved[q].push((resolved_label.clone(), *inv, *next));
+                resolved_rev[*next as usize].push((resolved_label, *inv, q as u32));
+            }
+        }
+        for (q, targets) in nfa.eps.iter().enumerate() {
+            for next in targets {
+                eps_rev[*next as usize].push(q as u32);
+            }
+        }
+        CompiledPath {
+            nfa,
+            resolved,
+            resolved_rev,
+            eps_rev,
+            simple,
+        }
+    }
+
+    /// True iff the path matches the empty path (contributes identity).
+    pub fn accepts_empty(&self) -> bool {
+        // ε-closure of start contains accept?
+        let mut seen = vec![false; self.nfa.state_count()];
+        let mut stack = vec![self.nfa.start];
+        while let Some(q) = stack.pop() {
+            if seen[q as usize] {
+                continue;
+            }
+            seen[q as usize] = true;
+            if q == self.nfa.accept {
+                return true;
+            }
+            for &next in &self.nfa.eps[q as usize] {
+                stack.push(next);
+            }
+        }
+        false
+    }
+
+    /// Evaluates `⟦E⟧^G(from)`: all nodes reachable from `from` along
+    /// `E`-paths (plus `from` itself when `E` is nullable).
+    pub fn eval_from(&self, graph: &Graph, from: TermId) -> BTreeSet<TermId> {
+        if let Some((pid, inv)) = self.simple {
+            return if inv {
+                graph.subjects_ids(from, pid).collect()
+            } else {
+                graph.objects_ids(from, pid).collect()
+            };
+        }
+        let mut result = BTreeSet::new();
+        let mut visited = ProductSet::new(self.nfa.state_count());
+        let mut queue: VecDeque<(TermId, u32)> = VecDeque::new();
+        queue.push_back((from, self.nfa.start));
+        visited.insert(from, self.nfa.start);
+        while let Some((node, q)) = queue.pop_front() {
+            if q == self.nfa.accept {
+                result.insert(node);
+            }
+            for &next in &self.nfa.eps[q as usize] {
+                if visited.insert(node, next) {
+                    queue.push_back((node, next));
+                }
+            }
+            for (label, inv, next) in &self.resolved[q as usize] {
+                successors(graph, node, label, *inv, |_pred, n2| {
+                    if visited.insert(n2, *next) {
+                        queue.push_back((n2, *next));
+                    }
+                });
+            }
+        }
+        result
+    }
+
+    /// Decides `(from, to) ∈ ⟦E⟧^G` without materializing the full result.
+    pub fn connects(&self, graph: &Graph, from: TermId, to: TermId) -> bool {
+        if let Some((pid, inv)) = self.simple {
+            return if inv {
+                graph.contains_ids(to, pid, from)
+            } else {
+                graph.contains_ids(from, pid, to)
+            };
+        }
+        self.eval_from(graph, from).contains(&to)
+    }
+
+    /// Computes `⋃_{x ∈ targets} graph(paths(E, G, from, x))` as a set of
+    /// id triples `(s, p, o)` of the underlying graph.
+    ///
+    /// `targets` is the set of admissible endpoints; pass the result of
+    /// [`CompiledPath::eval_from`] (possibly filtered by a shape) — nodes in
+    /// `targets` not actually reachable are ignored.
+    pub fn trace(
+        &self,
+        graph: &Graph,
+        from: TermId,
+        targets: &BTreeSet<TermId>,
+    ) -> BTreeSet<(TermId, TermId, TermId)> {
+        let mut out = BTreeSet::new();
+        if let Some((pid, inv)) = self.simple {
+            // paths(p, G, a, x) is the single length-one path; its graph is
+            // the forward triple.
+            for &x in targets {
+                if inv {
+                    if graph.contains_ids(x, pid, from) {
+                        out.insert((x, pid, from));
+                    }
+                } else if graph.contains_ids(from, pid, x) {
+                    out.insert((from, pid, x));
+                }
+            }
+            return out;
+        }
+
+        // Forward reachability over the product graph.
+        let states = self.nfa.state_count();
+        let mut forward = ProductSet::new(states);
+        let mut queue: VecDeque<(TermId, u32)> = VecDeque::new();
+        forward.insert(from, self.nfa.start);
+        queue.push_back((from, self.nfa.start));
+        while let Some((node, q)) = queue.pop_front() {
+            for &next in &self.nfa.eps[q as usize] {
+                if forward.insert(node, next) {
+                    queue.push_back((node, next));
+                }
+            }
+            for (label, inv, next) in &self.resolved[q as usize] {
+                successors(graph, node, label, *inv, |_pred, n2| {
+                    if forward.insert(n2, *next) {
+                        queue.push_back((n2, *next));
+                    }
+                });
+            }
+        }
+
+        // Backward reachability from accepting target pairs, restricted to
+        // forward-reachable pairs.
+        let mut backward = ProductSet::new(states);
+        let mut queue: VecDeque<(TermId, u32)> = VecDeque::new();
+        for &x in targets {
+            if forward.contains(x, self.nfa.accept) && backward.insert(x, self.nfa.accept) {
+                queue.push_back((x, self.nfa.accept));
+            }
+        }
+        while let Some((node, q)) = queue.pop_front() {
+            for &prev in &self.eps_rev[q as usize] {
+                if forward.contains(node, prev) && backward.insert(node, prev) {
+                    queue.push_back((node, prev));
+                }
+            }
+            for (label, inv, prev) in &self.resolved_rev[q as usize] {
+                // Transition (prev) -(label, inv)-> (q). Find predecessor
+                // nodes m with the corresponding triple to `node`:
+                //   forward: (m, p, node) ∈ G
+                //   inverse: (node, p, m) ∈ G
+                predecessors(graph, node, label, *inv, |_pred, m| {
+                    if forward.contains(m, *prev) && backward.insert(m, *prev) {
+                        queue.push_back((m, *prev));
+                    }
+                });
+            }
+        }
+
+        // Collect edges whose source is reachable and target co-reachable.
+        for (q, nodes) in backward.per_state.iter().enumerate() {
+            for &node in nodes {
+                for (label, inv, next) in &self.resolved[q] {
+                    successors(graph, node, label, *inv, |pred, n2| {
+                        if backward.contains(n2, *next) {
+                            if *inv {
+                                out.insert((n2, pred, node));
+                            } else {
+                                out.insert((node, pred, n2));
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Enumerates the `(predicate id, neighbor)` pairs reachable from `node`
+/// by one transition with the given label/direction.
+fn successors(
+    graph: &Graph,
+    node: TermId,
+    label: &ResolvedLabel,
+    inverse: bool,
+    mut f: impl FnMut(TermId, TermId),
+) {
+    match (label, inverse) {
+        (ResolvedLabel::Prop(pid), false) => {
+            for o in graph.objects_ids(node, *pid) {
+                f(*pid, o);
+            }
+        }
+        (ResolvedLabel::Prop(pid), true) => {
+            for s in graph.subjects_ids(node, *pid) {
+                f(*pid, s);
+            }
+        }
+        (ResolvedLabel::NegProp(excluded), false) => {
+            let edges: Vec<(TermId, TermId)> = graph.out_edges_ids(node).collect();
+            for (p, o) in edges {
+                if !excluded.contains(&p) {
+                    f(p, o);
+                }
+            }
+        }
+        (ResolvedLabel::NegProp(excluded), true) => {
+            let edges: Vec<(TermId, TermId)> = graph.in_edges_ids(node).collect();
+            for (p, s) in edges {
+                if !excluded.contains(&p) {
+                    f(p, s);
+                }
+            }
+        }
+    }
+}
+
+/// Enumerates the `(predicate id, predecessor)` pairs that reach `node` by
+/// one transition with the given label/direction (the reverse of
+/// [`successors`]).
+fn predecessors(
+    graph: &Graph,
+    node: TermId,
+    label: &ResolvedLabel,
+    inverse: bool,
+    mut f: impl FnMut(TermId, TermId),
+) {
+    match (label, inverse) {
+        // Forward transition into `node`: (m, p, node) ∈ G.
+        (ResolvedLabel::Prop(pid), false) => {
+            for m in graph.subjects_ids(node, *pid) {
+                f(*pid, m);
+            }
+        }
+        // Inverse transition into `node`: (node, p, m) ∈ G.
+        (ResolvedLabel::Prop(pid), true) => {
+            for m in graph.objects_ids(node, *pid) {
+                f(*pid, m);
+            }
+        }
+        (ResolvedLabel::NegProp(excluded), false) => {
+            let edges: Vec<(TermId, TermId)> = graph.in_edges_ids(node).collect();
+            for (p, m) in edges {
+                if !excluded.contains(&p) {
+                    f(p, m);
+                }
+            }
+        }
+        (ResolvedLabel::NegProp(excluded), true) => {
+            let edges: Vec<(TermId, TermId)> = graph.out_edges_ids(node).collect();
+            for (p, m) in edges {
+                if !excluded.contains(&p) {
+                    f(p, m);
+                }
+            }
+        }
+    }
+}
+
+/// A per-graph cache of compiled paths. Validators and provenance engines
+/// evaluate the same expressions for many focus nodes; compiling once
+/// amortizes NFA construction and predicate resolution.
+#[derive(Default)]
+pub struct PathCache {
+    cache: HashMap<PathExpr, CompiledPath>,
+}
+
+impl PathCache {
+    /// Creates an empty cache (tied to one graph by convention: do not mix
+    /// graphs in one cache, ids would be meaningless).
+    pub fn new() -> Self {
+        PathCache::default()
+    }
+
+    /// Gets or compiles the path for this graph.
+    pub fn get(&mut self, path: &PathExpr, graph: &Graph) -> &CompiledPath {
+        self.cache
+            .entry(path.clone())
+            .or_insert_with(|| CompiledPath::new(path, graph))
+    }
+
+    /// Convenience: `⟦E⟧^G(from)`.
+    pub fn eval(&mut self, path: &PathExpr, graph: &Graph, from: TermId) -> BTreeSet<TermId> {
+        self.get(path, graph).eval_from(graph, from)
+    }
+
+    /// Convenience: trace `graph(paths(E, G, from, targets))`.
+    pub fn trace(
+        &mut self,
+        path: &PathExpr,
+        graph: &Graph,
+        from: TermId,
+        targets: &BTreeSet<TermId>,
+    ) -> BTreeSet<(TermId, TermId, TermId)> {
+        self.get(path, graph).trace(graph, from, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapefrag_rdf::{Term, Triple};
+
+    fn iri(n: &str) -> Iri {
+        Iri::new(format!("http://e/{n}"))
+    }
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(format!("http://e/{s}")), iri(p), Term::iri(format!("http://e/{o}")))
+    }
+
+    fn p(n: &str) -> PathExpr {
+        PathExpr::Prop(iri(n))
+    }
+
+    fn id(g: &Graph, n: &str) -> TermId {
+        g.id_of(&Term::iri(format!("http://e/{n}"))).unwrap()
+    }
+
+    fn eval(g: &Graph, e: &PathExpr, from: &str) -> BTreeSet<String> {
+        let c = CompiledPath::new(e, g);
+        c.eval_from(g, id(g, from))
+            .into_iter()
+            .map(|x| g.term(x).to_string())
+            .collect()
+    }
+
+    fn names(g: &Graph, ids: &BTreeSet<TermId>) -> BTreeSet<String> {
+        ids.iter().map(|x| g.term(*x).to_string()).collect()
+    }
+
+    fn n(x: &str) -> String {
+        format!("<http://e/{x}>")
+    }
+
+    #[test]
+    fn simple_property() {
+        let g = Graph::from_triples([t("a", "p", "b"), t("a", "p", "c"), t("b", "p", "d")]);
+        assert_eq!(eval(&g, &p("p"), "a"), BTreeSet::from([n("b"), n("c")]));
+    }
+
+    #[test]
+    fn inverse_property() {
+        let g = Graph::from_triples([t("a", "p", "b"), t("c", "p", "b")]);
+        assert_eq!(
+            eval(&g, &p("p").inverse(), "b"),
+            BTreeSet::from([n("a"), n("c")])
+        );
+    }
+
+    #[test]
+    fn sequence() {
+        let g = Graph::from_triples([t("a", "p", "b"), t("b", "q", "c"), t("b", "q", "d")]);
+        assert_eq!(
+            eval(&g, &p("p").then(p("q")), "a"),
+            BTreeSet::from([n("c"), n("d")])
+        );
+    }
+
+    #[test]
+    fn inverse_of_sequence_reverses() {
+        // (p/q)⁻ from c: c -q⁻-> b -p⁻-> a
+        let g = Graph::from_triples([t("a", "p", "b"), t("b", "q", "c")]);
+        assert_eq!(
+            eval(&g, &p("p").then(p("q")).inverse(), "c"),
+            BTreeSet::from([n("a")])
+        );
+    }
+
+    #[test]
+    fn double_inverse_cancels() {
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        assert_eq!(
+            eval(&g, &p("p").inverse().inverse(), "a"),
+            BTreeSet::from([n("b")])
+        );
+    }
+
+    #[test]
+    fn alternative() {
+        let g = Graph::from_triples([t("a", "p", "b"), t("a", "q", "c")]);
+        assert_eq!(
+            eval(&g, &p("p").or(p("q")), "a"),
+            BTreeSet::from([n("b"), n("c")])
+        );
+    }
+
+    #[test]
+    fn zero_or_one_includes_self() {
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        assert_eq!(
+            eval(&g, &p("p").opt(), "a"),
+            BTreeSet::from([n("a"), n("b")])
+        );
+    }
+
+    #[test]
+    fn star_reflexive_transitive() {
+        let g = Graph::from_triples([t("a", "p", "b"), t("b", "p", "c"), t("c", "p", "d")]);
+        assert_eq!(
+            eval(&g, &p("p").star(), "a"),
+            BTreeSet::from([n("a"), n("b"), n("c"), n("d")])
+        );
+    }
+
+    #[test]
+    fn star_on_cycle_terminates() {
+        let g = Graph::from_triples([t("a", "p", "b"), t("b", "p", "a")]);
+        assert_eq!(
+            eval(&g, &p("p").star(), "a"),
+            BTreeSet::from([n("a"), n("b")])
+        );
+    }
+
+    #[test]
+    fn plus_excludes_self_without_cycle() {
+        let g = Graph::from_triples([t("a", "p", "b"), t("b", "p", "c")]);
+        assert_eq!(
+            eval(&g, &p("p").plus(), "a"),
+            BTreeSet::from([n("b"), n("c")])
+        );
+    }
+
+    #[test]
+    fn trace_simple_property() {
+        let g = Graph::from_triples([t("a", "p", "b"), t("a", "p", "c"), t("x", "p", "y")]);
+        let c = CompiledPath::new(&p("p"), &g);
+        let targets = BTreeSet::from([id(&g, "b")]);
+        let traced = c.trace(&g, id(&g, "a"), &targets);
+        assert_eq!(traced.len(), 1);
+        let (s, _, o) = traced.into_iter().next().unwrap();
+        assert_eq!(g.term(s).to_string(), n("a"));
+        assert_eq!(g.term(o).to_string(), n("b"));
+    }
+
+    #[test]
+    fn trace_inverse_keeps_forward_triple() {
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        let c = CompiledPath::new(&p("p").inverse(), &g);
+        let targets = BTreeSet::from([id(&g, "a")]);
+        let traced = c.trace(&g, id(&g, "b"), &targets);
+        assert_eq!(traced.len(), 1);
+        let (s, _, o) = traced.into_iter().next().unwrap();
+        // The underlying triple is stored forward: (a, p, b).
+        assert_eq!(g.term(s).to_string(), n("a"));
+        assert_eq!(g.term(o).to_string(), n("b"));
+    }
+
+    #[test]
+    fn trace_sequence_keeps_only_connecting_edges() {
+        let g = Graph::from_triples([
+            t("a", "p", "b"),
+            t("b", "q", "c"),
+            t("a", "p", "dead"), // no q edge out of dead
+            t("z", "q", "c"),    // not reachable from a via p
+        ]);
+        let e = p("p").then(p("q"));
+        let c = CompiledPath::new(&e, &g);
+        let targets = BTreeSet::from([id(&g, "c")]);
+        let traced = names(
+            &g,
+            &c.trace(&g, id(&g, "a"), &targets)
+                .into_iter()
+                .map(|(s, _, _)| s)
+                .collect(),
+        );
+        // Only edges a-p->b and b-q->c; subjects are a and b.
+        assert_eq!(traced, BTreeSet::from([n("a"), n("b")]));
+    }
+
+    #[test]
+    fn trace_star_includes_all_path_edges() {
+        // Diamond: a->b->d and a->c->d; both lie on p* paths from a to d.
+        let g = Graph::from_triples([
+            t("a", "p", "b"),
+            t("b", "p", "d"),
+            t("a", "p", "c"),
+            t("c", "p", "d"),
+            t("d", "p", "e"), // beyond the target; not on a→d path? e is beyond d; edge d->e is not on any a→d path.
+        ]);
+        let c = CompiledPath::new(&p("p").star(), &g);
+        let targets = BTreeSet::from([id(&g, "d")]);
+        let traced = c.trace(&g, id(&g, "a"), &targets);
+        assert_eq!(traced.len(), 4);
+    }
+
+    #[test]
+    fn trace_star_with_cycle_includes_cycle_edges() {
+        // a -> b -> c -> b cycle, target c: the cycle edges b->c and c->b
+        // all lie on some a→c path matching p*.
+        let g = Graph::from_triples([t("a", "p", "b"), t("b", "p", "c"), t("c", "p", "b")]);
+        let c = CompiledPath::new(&p("p").star(), &g);
+        let targets = BTreeSet::from([id(&g, "c")]);
+        let traced = c.trace(&g, id(&g, "a"), &targets);
+        assert_eq!(traced.len(), 3);
+    }
+
+    #[test]
+    fn trace_empty_path_yields_no_triples() {
+        // Target reachable only via the empty path: no edges traced.
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        let c = CompiledPath::new(&p("p").star(), &g);
+        let targets = BTreeSet::from([id(&g, "a")]);
+        let traced = c.trace(&g, id(&g, "a"), &targets);
+        assert!(traced.is_empty());
+    }
+
+    #[test]
+    fn trace_unreachable_target_is_empty() {
+        let g = Graph::from_triples([t("a", "p", "b"), t("x", "p", "y")]);
+        let c = CompiledPath::new(&p("p"), &g);
+        let targets = BTreeSet::from([id(&g, "y")]);
+        assert!(c.trace(&g, id(&g, "a"), &targets).is_empty());
+    }
+
+    #[test]
+    fn proposition_3_1_path_semantics_preserved_in_trace() {
+        // F = graph(paths(E, G, a, b)) ⇒ (a,b) ∈ ⟦E⟧^F.
+        let g = Graph::from_triples([
+            t("a", "p", "b"),
+            t("b", "q", "c"),
+            t("b", "r", "z"),
+            t("c", "p", "c"),
+        ]);
+        let e = p("p").then(p("q")).then(p("p").star());
+        let c = CompiledPath::new(&e, &g);
+        let a = id(&g, "a");
+        for x in c.eval_from(&g, a) {
+            let traced = c.trace(&g, a, &BTreeSet::from([x]));
+            let f = Graph::from_triples(
+                traced
+                    .iter()
+                    .map(|&(s, pp, o)| g.triple_of(s, pp, o)),
+            );
+            let cf = CompiledPath::new(&e, &f);
+            let a_f = f.id_of(g.term(a)).expect("start node in traced graph");
+            let x_term = g.term(x);
+            let x_f = f.id_of(x_term).expect("target node in traced graph");
+            assert!(
+                cf.connects(&f, a_f, x_f),
+                "({}, {}) lost in traced subgraph",
+                g.term(a),
+                x_term
+            );
+        }
+    }
+
+    #[test]
+    fn accepts_empty_matches_nullability() {
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        for e in [
+            p("p"),
+            p("p").star(),
+            p("p").opt(),
+            p("p").then(p("q")),
+            p("p").star().then(p("q").opt()),
+        ] {
+            let c = CompiledPath::new(&e, &g);
+            assert_eq!(c.accepts_empty(), e.is_nullable(), "for {e}");
+        }
+    }
+
+    #[test]
+    fn unknown_predicate_evaluates_empty() {
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        assert!(eval(&g, &p("unknown"), "a").is_empty());
+        assert_eq!(
+            eval(&g, &p("unknown").star(), "a"),
+            BTreeSet::from([n("a")])
+        );
+    }
+
+    #[test]
+    fn path_cache_reuses_compilations() {
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        let mut cache = PathCache::new();
+        let e = p("p").star();
+        let r1 = cache.eval(&e, &g, id(&g, "a"));
+        let r2 = cache.eval(&e, &g, id(&g, "a"));
+        assert_eq!(r1, r2);
+        assert_eq!(cache.cache.len(), 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! The shape algebra: the paper's formal syntax for SHACL shapes (§2).
+//!
+//! ```text
+//! F := E | id
+//! φ := ⊤ | ⊥ | hasShape(s) | test(t) | hasValue(c)
+//!    | eq(F, p) | disj(F, p) | closed(P)
+//!    | lessThan(E, p) | lessThanEq(E, p) | uniqueLang(E)
+//!    | ¬φ | φ ∧ φ | φ ∨ φ
+//!    | ≥n E.φ | ≤n E.φ | ∀E.φ
+//! ```
+//!
+//! Conjunction and disjunction are represented n-ary for convenience; the
+//! empty conjunction is ⊤ and the empty disjunction is ⊥.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use shapefrag_rdf::{Iri, Term};
+
+use crate::node_test::NodeTest;
+use crate::path::PathExpr;
+
+/// The argument `F` of `eq` and `disj`: either a path expression or the
+/// keyword `id` denoting the focus node itself (Remark 2.1 — this reflects
+/// SHACL's node-shape vs. property-shape distinction).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathOrId {
+    /// The focus node itself.
+    Id,
+    /// Nodes reachable by the path expression.
+    Path(PathExpr),
+}
+
+impl fmt::Display for PathOrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathOrId::Id => write!(f, "id"),
+            PathOrId::Path(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A shape φ.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Shape {
+    /// ⊤ — satisfied by every node.
+    True,
+    /// ⊥ — satisfied by no node.
+    False,
+    /// `hasShape(s)` — reference to a named shape; `s ∈ I ∪ B`.
+    HasShape(Term),
+    /// `test(t)` — the focus node satisfies node test `t`.
+    Test(NodeTest),
+    /// `hasValue(c)` — the focus node is exactly the node `c`.
+    HasValue(Term),
+    /// `eq(F, p)` — `⟦F⟧(a)` equals `⟦p⟧(a)`.
+    Eq(PathOrId, Iri),
+    /// `disj(F, p)` — `⟦F⟧(a)` and `⟦p⟧(a)` are disjoint.
+    Disj(PathOrId, Iri),
+    /// `closed(P)` — every triple `(a, p, b)` has `p ∈ P`.
+    Closed(BTreeSet<Iri>),
+    /// `lessThan(E, p)` — `b < c` for all `b ∈ ⟦E⟧(a)`, `c ∈ ⟦p⟧(a)`.
+    LessThan(PathExpr, Iri),
+    /// `lessThanEq(E, p)`.
+    LessThanEq(PathExpr, Iri),
+    /// Extension (Remark 2.3): `moreThan(E, p)` — `b > c` for all
+    /// `b ∈ ⟦E⟧(a)`, `c ∈ ⟦p⟧(a)`. Not in the SHACL recommendation, but
+    /// the paper notes the treatment extends easily; note it is *not*
+    /// equivalent to `¬lessThanEq(E, p)`.
+    MoreThan(PathExpr, Iri),
+    /// Extension (Remark 2.3): `moreThanEq(E, p)`.
+    MoreThanEq(PathExpr, Iri),
+    /// `uniqueLang(E)` — no two distinct `E`-values share a language tag.
+    UniqueLang(PathExpr),
+    /// ¬φ.
+    Not(Box<Shape>),
+    /// φ₁ ∧ … ∧ φₙ (⊤ when empty).
+    And(Vec<Shape>),
+    /// φ₁ ∨ … ∨ φₙ (⊥ when empty).
+    Or(Vec<Shape>),
+    /// ≥n E.φ — at least `n` `E`-reachable nodes conform to φ.
+    Geq(u32, PathExpr, Box<Shape>),
+    /// ≤n E.φ — at most `n` `E`-reachable nodes conform to φ.
+    Leq(u32, PathExpr, Box<Shape>),
+    /// ∀E.φ — every `E`-reachable node conforms to φ.
+    ForAll(PathExpr, Box<Shape>),
+}
+
+impl Shape {
+    /// `hasValue(c)`.
+    pub fn has_value(c: impl Into<Term>) -> Self {
+        Shape::HasValue(c.into())
+    }
+
+    /// `hasShape(s)` by IRI name.
+    pub fn has_shape(s: impl Into<Iri>) -> Self {
+        Shape::HasShape(Term::Iri(s.into()))
+    }
+
+    /// ≥n E.φ.
+    pub fn geq(n: u32, path: PathExpr, inner: Shape) -> Self {
+        Shape::Geq(n, path, Box::new(inner))
+    }
+
+    /// ≤n E.φ.
+    pub fn leq(n: u32, path: PathExpr, inner: Shape) -> Self {
+        Shape::Leq(n, path, Box::new(inner))
+    }
+
+    /// ∀E.φ.
+    pub fn for_all(path: PathExpr, inner: Shape) -> Self {
+        Shape::ForAll(path, Box::new(inner))
+    }
+
+    /// ¬φ.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Shape::Not(Box::new(self))
+    }
+
+    /// φ ∧ ψ (flattening nested conjunctions).
+    pub fn and(self, other: Shape) -> Self {
+        match (self, other) {
+            (Shape::And(mut a), Shape::And(b)) => {
+                a.extend(b);
+                Shape::And(a)
+            }
+            (Shape::And(mut a), b) => {
+                a.push(b);
+                Shape::And(a)
+            }
+            (a, Shape::And(mut b)) => {
+                b.insert(0, a);
+                Shape::And(b)
+            }
+            (a, b) => Shape::And(vec![a, b]),
+        }
+    }
+
+    /// φ ∨ ψ (flattening nested disjunctions).
+    pub fn or(self, other: Shape) -> Self {
+        match (self, other) {
+            (Shape::Or(mut a), Shape::Or(b)) => {
+                a.extend(b);
+                Shape::Or(a)
+            }
+            (Shape::Or(mut a), b) => {
+                a.push(b);
+                Shape::Or(a)
+            }
+            (a, Shape::Or(mut b)) => {
+                b.insert(0, a);
+                Shape::Or(b)
+            }
+            (a, b) => Shape::Or(vec![a, b]),
+        }
+    }
+
+    /// The conjunction of a list of shapes (⊤ when empty, unwrapped when
+    /// singleton).
+    pub fn conj(mut shapes: Vec<Shape>) -> Self {
+        match shapes.len() {
+            0 => Shape::True,
+            1 => shapes.pop().unwrap(),
+            _ => Shape::And(shapes),
+        }
+    }
+
+    /// The disjunction of a list of shapes (⊥ when empty, unwrapped when
+    /// singleton).
+    pub fn disj_of(mut shapes: Vec<Shape>) -> Self {
+        match shapes.len() {
+            0 => Shape::False,
+            1 => shapes.pop().unwrap(),
+            _ => Shape::Or(shapes),
+        }
+    }
+
+    /// All shape names referenced via `hasShape` anywhere in this shape.
+    pub fn referenced_shapes(&self) -> Vec<&Term> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<&'a Term>) {
+        match self {
+            Shape::HasShape(name) => out.push(name),
+            Shape::Not(inner) => inner.collect_refs(out),
+            Shape::And(items) | Shape::Or(items) => {
+                for s in items {
+                    s.collect_refs(out);
+                }
+            }
+            Shape::Geq(_, _, inner) | Shape::Leq(_, _, inner) | Shape::ForAll(_, inner) => {
+                inner.collect_refs(out)
+            }
+            _ => {}
+        }
+    }
+
+    /// True iff the shape is *monotone*: conformance is preserved when
+    /// triples are added to the graph (§4). This is a sufficient syntactic
+    /// criterion covering all real SHACL target forms: `⊤`, `hasValue`,
+    /// `test`, `≥n E.φ` with monotone φ, and conjunctions/disjunctions of
+    /// monotone shapes.
+    pub fn is_monotone_syntactically(&self) -> bool {
+        match self {
+            Shape::True | Shape::False | Shape::HasValue(_) | Shape::Test(_) => true,
+            Shape::Geq(_, _, inner) => inner.is_monotone_syntactically(),
+            Shape::And(items) | Shape::Or(items) => {
+                items.iter().all(Shape::is_monotone_syntactically)
+            }
+            _ => false,
+        }
+    }
+
+    /// Size of the shape (number of AST nodes), used to bound generated
+    /// test inputs and report translation sizes.
+    pub fn size(&self) -> usize {
+        match self {
+            Shape::Not(inner) => 1 + inner.size(),
+            Shape::And(items) | Shape::Or(items) => {
+                1 + items.iter().map(Shape::size).sum::<usize>()
+            }
+            Shape::Geq(_, _, inner) | Shape::Leq(_, _, inner) | Shape::ForAll(_, inner) => {
+                1 + inner.size()
+            }
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shape::True => write!(f, "⊤"),
+            Shape::False => write!(f, "⊥"),
+            Shape::HasShape(s) => write!(f, "hasShape({s})"),
+            Shape::Test(t) => write!(f, "test({t})"),
+            Shape::HasValue(c) => write!(f, "hasValue({c})"),
+            Shape::Eq(e, p) => write!(f, "eq({e}, {p})"),
+            Shape::Disj(e, p) => write!(f, "disj({e}, {p})"),
+            Shape::Closed(ps) => {
+                write!(f, "closed({{")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "}})")
+            }
+            Shape::LessThan(e, p) => write!(f, "lessThan({e}, {p})"),
+            Shape::LessThanEq(e, p) => write!(f, "lessThanEq({e}, {p})"),
+            Shape::MoreThan(e, p) => write!(f, "moreThan({e}, {p})"),
+            Shape::MoreThanEq(e, p) => write!(f, "moreThanEq({e}, {p})"),
+            Shape::UniqueLang(e) => write!(f, "uniqueLang({e})"),
+            Shape::Not(inner) => write!(f, "¬({inner})"),
+            Shape::And(items) => {
+                write!(f, "(")?;
+                for (i, s) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+            Shape::Or(items) => {
+                write!(f, "(")?;
+                for (i, s) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+            Shape::Geq(n, e, inner) => write!(f, "≥{n} {e}.({inner})"),
+            Shape::Leq(n, e, inner) => write!(f, "≤{n} {e}.({inner})"),
+            Shape::ForAll(e, inner) => write!(f, "∀{e}.({inner})"),
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> PathExpr {
+        PathExpr::prop(format!("http://e/{name}"))
+    }
+
+    #[test]
+    fn builders_flatten() {
+        let s = Shape::True.and(Shape::False).and(Shape::True);
+        assert!(matches!(&s, Shape::And(items) if items.len() == 3));
+        let s = Shape::True.or(Shape::False).or(Shape::True);
+        assert!(matches!(&s, Shape::Or(items) if items.len() == 3));
+    }
+
+    #[test]
+    fn conj_and_disj_edge_cases() {
+        assert_eq!(Shape::conj(vec![]), Shape::True);
+        assert_eq!(Shape::disj_of(vec![]), Shape::False);
+        assert_eq!(Shape::conj(vec![Shape::False]), Shape::False);
+    }
+
+    #[test]
+    fn referenced_shapes_found_at_depth() {
+        let s = Shape::geq(
+            1,
+            p("a"),
+            Shape::has_shape("http://e/S").and(Shape::has_shape("http://e/T").not()),
+        );
+        assert_eq!(s.referenced_shapes().len(), 2);
+    }
+
+    #[test]
+    fn monotone_recognition() {
+        assert!(Shape::geq(1, p("a"), Shape::True).is_monotone_syntactically());
+        assert!(Shape::has_value(Term::iri("http://e/c")).is_monotone_syntactically());
+        // Class target: ≥1 type/subclass*.hasValue(c)
+        let class_target = Shape::geq(
+            1,
+            p("type").then(p("sub").star()),
+            Shape::has_value(Term::iri("http://e/C")),
+        );
+        assert!(class_target.is_monotone_syntactically());
+        assert!(!Shape::leq(0, p("a"), Shape::True).is_monotone_syntactically());
+        assert!(!Shape::geq(1, p("a"), Shape::True).not().is_monotone_syntactically());
+        assert!(!Shape::for_all(p("a"), Shape::True).is_monotone_syntactically());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Shape::geq(1, p("author"), Shape::has_value(Term::iri("http://e/x")));
+        assert_eq!(s.to_string(), "≥1 <http://e/author>.(hasValue(<http://e/x>))");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let s = Shape::geq(1, p("a"), Shape::True.and(Shape::False));
+        assert_eq!(s.size(), 4);
+    }
+}

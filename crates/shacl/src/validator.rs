@@ -1,0 +1,835 @@
+//! Conformance checking (Table 1) and schema validation.
+//!
+//! [`Context`] bundles a schema and a graph with a per-graph compiled-path
+//! cache; [`Context::conforms`] decides `H, G, a ⊨ φ`. [`validate`] checks
+//! a whole graph against a schema, producing a [`ValidationReport`] in the
+//! style of a SHACL engine — this is the "mere validation" baseline of the
+//! overhead experiment (§5.3.1).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use shapefrag_rdf::{Graph, Term, TermId};
+
+use crate::nnf::Nnf;
+use crate::path::PathExpr;
+use crate::rpq::PathCache;
+use crate::schema::Schema;
+use crate::shape::{PathOrId, Shape};
+
+/// Evaluation context: a schema, a graph, and the path-compilation cache.
+pub struct Context<'a> {
+    pub schema: &'a Schema,
+    pub graph: &'a Graph,
+    paths: PathCache,
+}
+
+impl<'a> Context<'a> {
+    /// Creates a context for a schema and graph.
+    pub fn new(schema: &'a Schema, graph: &'a Graph) -> Self {
+        Context {
+            schema,
+            graph,
+            paths: PathCache::new(),
+        }
+    }
+
+    /// `⟦E⟧^G(a)`.
+    pub fn eval_path(&mut self, path: &PathExpr, from: TermId) -> BTreeSet<TermId> {
+        self.paths.eval(path, self.graph, from)
+    }
+
+    /// `graph(paths(E, G, from, targets))` as id triples.
+    pub fn trace_path(
+        &mut self,
+        path: &PathExpr,
+        from: TermId,
+        targets: &BTreeSet<TermId>,
+    ) -> BTreeSet<(TermId, TermId, TermId)> {
+        self.paths.trace(path, self.graph, from, targets)
+    }
+
+    /// `⟦F⟧^G(a)` where `F` is a path expression or `id`.
+    pub fn eval_path_or_id(&mut self, f: &PathOrId, from: TermId) -> BTreeSet<TermId> {
+        match f {
+            PathOrId::Id => BTreeSet::from([from]),
+            PathOrId::Path(e) => self.eval_path(e, from),
+        }
+    }
+
+    /// Decides `H, G, a ⊨ φ` (Table 1).
+    pub fn conforms(&mut self, node: TermId, shape: &Shape) -> bool {
+        match shape {
+            Shape::True => true,
+            Shape::False => false,
+            Shape::HasShape(name) => {
+                let def = self.schema.def(name);
+                self.conforms(node, &def)
+            }
+            Shape::Test(t) => t.satisfied_by(self.graph.term(node)),
+            Shape::HasValue(c) => self.graph.term(node) == c,
+            Shape::Eq(f, p) => {
+                let left = self.eval_path_or_id(f, node);
+                let right = self.prop_values(node, p);
+                left == right
+            }
+            Shape::Disj(f, p) => {
+                let left = self.eval_path_or_id(f, node);
+                let right = self.prop_values(node, p);
+                left.is_disjoint(&right)
+            }
+            Shape::Closed(allowed) => {
+                let preds: Vec<TermId> = self.graph.predicates_out_ids(node).collect();
+                preds.into_iter().all(
+                    |pid| matches!(self.graph.term(pid), Term::Iri(iri) if allowed.contains(iri)),
+                )
+            }
+            Shape::LessThan(e, p) => self.pairwise_cmp(e, p, node, CmpOp::Lt),
+            Shape::LessThanEq(e, p) => self.pairwise_cmp(e, p, node, CmpOp::Le),
+            Shape::MoreThan(e, p) => self.pairwise_cmp(e, p, node, CmpOp::Gt),
+            Shape::MoreThanEq(e, p) => self.pairwise_cmp(e, p, node, CmpOp::Ge),
+            Shape::UniqueLang(e) => {
+                let values = self.eval_path(e, node);
+                let mut tags: Vec<&str> = Vec::new();
+                for v in &values {
+                    if let Term::Literal(lit) = self.graph.term(*v) {
+                        if let Some(tag) = lit.language() {
+                            if tags.contains(&tag) {
+                                return false;
+                            }
+                            tags.push(tag);
+                        }
+                    }
+                }
+                true
+            }
+            Shape::Not(inner) => !self.conforms(node, inner),
+            Shape::And(items) => items.iter().all(|s| self.conforms(node, s)),
+            Shape::Or(items) => items.iter().any(|s| self.conforms(node, s)),
+            Shape::Geq(n, e, inner) => {
+                let candidates = self.eval_path(e, node);
+                let mut count: u32 = 0;
+                for b in candidates {
+                    if self.conforms(b, inner) {
+                        count += 1;
+                        if count >= *n {
+                            return true;
+                        }
+                    }
+                }
+                count >= *n
+            }
+            Shape::Leq(n, e, inner) => {
+                let candidates = self.eval_path(e, node);
+                let mut count: u32 = 0;
+                for b in candidates {
+                    if self.conforms(b, inner) {
+                        count += 1;
+                        if count > *n {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            Shape::ForAll(e, inner) => {
+                let candidates = self.eval_path(e, node);
+                candidates.into_iter().all(|b| self.conforms(b, inner))
+            }
+        }
+    }
+
+    /// Decides conformance for an NNF shape (used by the provenance engine,
+    /// which works on NNF throughout).
+    pub fn conforms_nnf(&mut self, node: TermId, shape: &Nnf) -> bool {
+        match shape {
+            Nnf::True => true,
+            Nnf::False => false,
+            Nnf::HasShape(name) => {
+                let def = self.schema.def(name);
+                self.conforms(node, &def)
+            }
+            Nnf::NotHasShape(name) => {
+                let def = self.schema.def(name);
+                !self.conforms(node, &def)
+            }
+            Nnf::Test(t) => t.satisfied_by(self.graph.term(node)),
+            Nnf::NotTest(t) => !t.satisfied_by(self.graph.term(node)),
+            Nnf::HasValue(c) => self.graph.term(node) == c,
+            Nnf::NotHasValue(c) => self.graph.term(node) != c,
+            Nnf::Eq(f, p) => self.conforms(node, &Shape::Eq(f.clone(), p.clone())),
+            Nnf::NotEq(f, p) => !self.conforms(node, &Shape::Eq(f.clone(), p.clone())),
+            Nnf::Disj(f, p) => self.conforms(node, &Shape::Disj(f.clone(), p.clone())),
+            Nnf::NotDisj(f, p) => !self.conforms(node, &Shape::Disj(f.clone(), p.clone())),
+            Nnf::Closed(ps) => self.conforms(node, &Shape::Closed(ps.clone())),
+            Nnf::NotClosed(ps) => !self.conforms(node, &Shape::Closed(ps.clone())),
+            Nnf::LessThan(e, p) => self.pairwise_cmp(e, p, node, CmpOp::Lt),
+            Nnf::NotLessThan(e, p) => !self.pairwise_cmp(e, p, node, CmpOp::Lt),
+            Nnf::LessThanEq(e, p) => self.pairwise_cmp(e, p, node, CmpOp::Le),
+            Nnf::NotLessThanEq(e, p) => !self.pairwise_cmp(e, p, node, CmpOp::Le),
+            Nnf::MoreThan(e, p) => self.pairwise_cmp(e, p, node, CmpOp::Gt),
+            Nnf::NotMoreThan(e, p) => !self.pairwise_cmp(e, p, node, CmpOp::Gt),
+            Nnf::MoreThanEq(e, p) => self.pairwise_cmp(e, p, node, CmpOp::Ge),
+            Nnf::NotMoreThanEq(e, p) => !self.pairwise_cmp(e, p, node, CmpOp::Ge),
+            Nnf::UniqueLang(e) => self.conforms(node, &Shape::UniqueLang(e.clone())),
+            Nnf::NotUniqueLang(e) => !self.conforms(node, &Shape::UniqueLang(e.clone())),
+            Nnf::And(items) => items.iter().all(|s| self.conforms_nnf(node, s)),
+            Nnf::Or(items) => items.iter().any(|s| self.conforms_nnf(node, s)),
+            Nnf::Geq(n, e, inner) => {
+                let candidates = self.eval_path(e, node);
+                let mut count: u32 = 0;
+                for b in candidates {
+                    if self.conforms_nnf(b, inner) {
+                        count += 1;
+                        if count >= *n {
+                            return true;
+                        }
+                    }
+                }
+                count >= *n
+            }
+            Nnf::Leq(n, e, inner) => {
+                let candidates = self.eval_path(e, node);
+                let mut count: u32 = 0;
+                for b in candidates {
+                    if self.conforms_nnf(b, inner) {
+                        count += 1;
+                        if count > *n {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            Nnf::ForAll(e, inner) => {
+                let candidates = self.eval_path(e, node);
+                candidates.into_iter().all(|b| self.conforms_nnf(b, inner))
+            }
+        }
+    }
+
+    /// Term-level convenience for [`Context::conforms`]; nodes not occurring
+    /// in the graph still have well-defined conformance (e.g. to `⊤` or
+    /// `hasValue`), realized by interning on a clone-free lookup path.
+    pub fn conforms_term(&mut self, node: &Term, shape: &Shape) -> bool {
+        match self.graph.id_of(node) {
+            Some(id) => self.conforms(id, shape),
+            None => {
+                // Node absent from the graph: evaluate against the empty
+                // neighborhood semantics — paths evaluate to ∅ (or {node}
+                // for nullable paths, which cannot be represented without an
+                // id; we fall back to a local graph clone with the node
+                // interned).
+                let mut g = self.graph.clone();
+                let id = g.intern(node);
+                let mut ctx = Context::new(self.schema, &g);
+                ctx.conforms(id, shape)
+            }
+        }
+    }
+
+    /// `⟦p⟧^G(a)` for a plain property.
+    fn prop_values(&mut self, node: TermId, p: &shapefrag_rdf::Iri) -> BTreeSet<TermId> {
+        match self.graph.id_of_iri(p) {
+            Some(pid) => self.graph.objects_ids(node, pid).collect(),
+            None => BTreeSet::new(),
+        }
+    }
+
+    fn pairwise_cmp(
+        &mut self,
+        e: &PathExpr,
+        p: &shapefrag_rdf::Iri,
+        node: TermId,
+        op: CmpOp,
+    ) -> bool {
+        let left = self.eval_path(e, node);
+        let right = self.prop_values(node, p);
+        for b in &left {
+            for c in &right {
+                let (Term::Literal(lb), Term::Literal(lc)) =
+                    (self.graph.term(*b), self.graph.term(*c))
+                else {
+                    return false; // b and c must be literals
+                };
+                if !op.holds(lb.value().partial_cmp_value(&lc.value())) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The target nodes of a target shape: all `a ∈ N(G)` with
+    /// `H, G, a ⊨ τ`. Common SHACL target forms take fast paths; arbitrary
+    /// shapes fall back to a full node scan.
+    pub fn target_nodes(&mut self, target: &Shape) -> BTreeSet<TermId> {
+        if let Some(fast) = self.fast_targets(target) {
+            return fast;
+        }
+        let nodes = self.graph.node_ids();
+        nodes
+            .into_iter()
+            .filter(|n| self.conforms(*n, target))
+            .collect()
+    }
+
+    fn fast_targets(&mut self, target: &Shape) -> Option<BTreeSet<TermId>> {
+        match target {
+            Shape::False => Some(BTreeSet::new()),
+            // Node target.
+            Shape::HasValue(c) => Some(self.graph.id_of(c).into_iter().collect()),
+            // Union of targets.
+            Shape::Or(items) => {
+                let mut out = BTreeSet::new();
+                for item in items {
+                    out.extend(self.fast_targets(item)?);
+                }
+                Some(out)
+            }
+            Shape::Geq(1, path, inner) => match (path, inner.as_ref()) {
+                // Subjects-of target: ≥1 p.⊤
+                (PathExpr::Prop(p), Shape::True) => {
+                    let pid = self.graph.id_of_iri(p)?;
+                    Some(
+                        self.graph
+                            .edges_with_predicate_ids(pid)
+                            .map(|(s, _)| s)
+                            .collect(),
+                    )
+                }
+                // Objects-of target: ≥1 p⁻.⊤
+                (PathExpr::Inverse(inv), Shape::True) => match inv.as_ref() {
+                    PathExpr::Prop(p) => {
+                        let pid = self.graph.id_of_iri(p)?;
+                        Some(
+                            self.graph
+                                .edges_with_predicate_ids(pid)
+                                .map(|(_, o)| o)
+                                .collect(),
+                        )
+                    }
+                    _ => None,
+                },
+                // Class target: ≥1 type/sub*.hasValue(c) — find all classes
+                // that reach c via sub*, then all their instances.
+                (PathExpr::Seq(first, rest), Shape::HasValue(c)) => {
+                    let (PathExpr::Prop(type_p), PathExpr::ZeroOrMore(sub)) =
+                        (first.as_ref(), rest.as_ref())
+                    else {
+                        return None;
+                    };
+                    let PathExpr::Prop(sub_p) = sub.as_ref() else {
+                        return None;
+                    };
+                    let cid = self.graph.id_of(c)?;
+                    // Classes reaching c: backward closure over sub_p.
+                    let back = PathExpr::Prop(sub_p.clone()).inverse().star();
+                    let classes = self.eval_path(&back, cid);
+                    let type_pid = self.graph.id_of_iri(type_p)?;
+                    let mut out = BTreeSet::new();
+                    for class in classes {
+                        out.extend(self.graph.subjects_ids(class, type_pid));
+                    }
+                    Some(out)
+                }
+                // Plain-class target without subclass closure:
+                // ≥1 type.hasValue(c).
+                (PathExpr::Prop(type_p), Shape::HasValue(c)) => {
+                    let cid = self.graph.id_of(c)?;
+                    let type_pid = self.graph.id_of_iri(type_p)?;
+                    Some(self.graph.subjects_ids(cid, type_pid).collect())
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// A literal comparison operator used by the property-pair shapes
+/// (`lessThan`, `lessThanEq`, and the Remark 2.3 `moreThan` variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Whether the (possibly undefined) ordering satisfies the operator;
+    /// incomparable values never do.
+    pub fn holds(self, ord: Option<std::cmp::Ordering>) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Lt, Some(Less))
+                | (CmpOp::Le, Some(Less) | Some(Equal))
+                | (CmpOp::Gt, Some(Greater))
+                | (CmpOp::Ge, Some(Greater) | Some(Equal))
+        )
+    }
+}
+
+/// One violation: a target node that does not conform to its shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The shape definition's name.
+    pub shape: Term,
+    /// The non-conforming focus node.
+    pub focus: Term,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {} does not conform to shape {}", self.focus, self.shape)
+    }
+}
+
+/// The result of validating a graph against a schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    pub violations: Vec<Violation>,
+    /// Number of (shape, target node) conformance checks performed.
+    pub checked: usize,
+}
+
+impl ValidationReport {
+    /// True iff the graph conforms to the schema (no violations).
+    pub fn conforms(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Serializes the report as a standard `sh:ValidationReport` RDF graph
+    /// (what a conforming SHACL processor returns), ready for Turtle or
+    /// N-Triples output.
+    pub fn to_graph(&self) -> Graph {
+        use shapefrag_rdf::vocab::{rdf, sh};
+        use shapefrag_rdf::{BlankNode, Literal, Triple};
+        let mut g = Graph::new();
+        let report = Term::Blank(BlankNode::new("report"));
+        g.insert(Triple::new(
+            report.clone(),
+            rdf::type_(),
+            Term::Iri(sh::validation_report()),
+        ));
+        g.insert(Triple::new(
+            report.clone(),
+            sh::conforms(),
+            Term::Literal(Literal::boolean(self.conforms())),
+        ));
+        for (i, v) in self.violations.iter().enumerate() {
+            let result = Term::Blank(BlankNode::new(format!("result{i}")));
+            g.insert(Triple::new(report.clone(), sh::result(), result.clone()));
+            g.insert(Triple::new(
+                result.clone(),
+                rdf::type_(),
+                Term::Iri(sh::validation_result()),
+            ));
+            g.insert(Triple::new(result.clone(), sh::focus_node(), v.focus.clone()));
+            g.insert(Triple::new(result.clone(), sh::source_shape(), v.shape.clone()));
+            g.insert(Triple::new(
+                result,
+                sh::result_severity(),
+                Term::Iri(sh::violation()),
+            ));
+        }
+        g
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conforms() {
+            write!(f, "conforms ({} checks)", self.checked)
+        } else {
+            writeln!(f, "{} violations ({} checks):", self.violations.len(), self.checked)?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Validates `graph` against `schema`: for every definition `(s, φ, τ)` and
+/// every node `a` with `H, G, a ⊨ τ`, checks `H, G, a ⊨ φ`.
+pub fn validate(schema: &Schema, graph: &Graph) -> ValidationReport {
+    let mut ctx = Context::new(schema, graph);
+    let mut report = ValidationReport::default();
+    for def in schema.iter() {
+        let targets = ctx.target_nodes(&def.target);
+        for node in targets {
+            report.checked += 1;
+            if !ctx.conforms(node, &def.shape) {
+                report.violations.push(Violation {
+                    shape: def.name.clone(),
+                    focus: graph.term(node).clone(),
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_test::{NodeKind, NodeTest};
+    use crate::schema::ShapeDef;
+    use shapefrag_rdf::vocab::rdf;
+    use shapefrag_rdf::{Iri, Literal, Triple};
+
+    fn iri(n: &str) -> Iri {
+        Iri::new(format!("http://e/{n}"))
+    }
+
+    fn term(n: &str) -> Term {
+        Term::iri(format!("http://e/{n}"))
+    }
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(term(s), iri(p), term(o))
+    }
+
+    fn lit(s: &str, p: &str, o: Literal) -> Triple {
+        Triple::new(term(s), iri(p), Term::Literal(o))
+    }
+
+    fn p(n: &str) -> PathExpr {
+        PathExpr::Prop(iri(n))
+    }
+
+    fn check(g: &Graph, node: &str, shape: &Shape) -> bool {
+        let schema = Schema::empty();
+        let mut ctx = Context::new(&schema, g);
+        ctx.conforms_term(&term(node), shape)
+    }
+
+    #[test]
+    fn workshop_shape_example() {
+        // Example 1.1/2.2: ≥1 author.≥1 type/sub*.hasValue(Student)
+        let g = Graph::from_triples([
+            t("paper1", "author", "alice"),
+            t("alice", "type", "PhDStudent"),
+            t("PhDStudent", "sub", "Student"),
+            t("paper2", "author", "bob"),
+            t("bob", "type", "Professor"),
+        ]);
+        let shape = Shape::geq(
+            1,
+            p("author"),
+            Shape::geq(
+                1,
+                p("type").then(p("sub").star()),
+                Shape::has_value(term("Student")),
+            ),
+        );
+        assert!(check(&g, "paper1", &shape));
+        assert!(!check(&g, "paper2", &shape));
+    }
+
+    #[test]
+    fn happy_at_work_example() {
+        // Example 2.2: ¬disj(friend, colleague).
+        let g = Graph::from_triples([
+            t("v", "friend", "x"),
+            t("v", "colleague", "x"),
+            t("w", "friend", "y"),
+            t("w", "colleague", "z"),
+        ]);
+        let shape = Shape::Disj(PathOrId::Path(p("friend")), iri("colleague")).not();
+        assert!(check(&g, "v", &shape));
+        assert!(!check(&g, "w", &shape));
+    }
+
+    #[test]
+    fn self_loop_shapes() {
+        // ¬disj(id, p): p-self-loop. eq(id, p): only p-edge is a self-loop.
+        let g = Graph::from_triples([t("v", "p", "v"), t("w", "p", "w"), t("w", "p", "x")]);
+        let has_loop = Shape::Disj(PathOrId::Id, iri("p")).not();
+        let only_loop = Shape::Eq(PathOrId::Id, iri("p"));
+        assert!(check(&g, "v", &has_loop));
+        assert!(check(&g, "w", &has_loop));
+        assert!(check(&g, "v", &only_loop));
+        assert!(!check(&g, "w", &only_loop));
+        assert!(!check(&g, "x", &has_loop));
+    }
+
+    #[test]
+    fn eq_and_disj_on_paths() {
+        let g = Graph::from_triples([
+            t("a", "e", "x"),
+            t("a", "p", "x"),
+            t("b", "e", "x"),
+            t("b", "p", "y"),
+        ]);
+        let eq = Shape::Eq(PathOrId::Path(p("e")), iri("p"));
+        let disj = Shape::Disj(PathOrId::Path(p("e")), iri("p"));
+        assert!(check(&g, "a", &eq));
+        assert!(!check(&g, "b", &eq));
+        assert!(!check(&g, "a", &disj));
+        assert!(check(&g, "b", &disj));
+    }
+
+    #[test]
+    fn counting_quantifiers() {
+        let g = Graph::from_triples([t("a", "p", "x"), t("a", "p", "y"), t("a", "p", "z")]);
+        assert!(check(&g, "a", &Shape::geq(3, p("p"), Shape::True)));
+        assert!(!check(&g, "a", &Shape::geq(4, p("p"), Shape::True)));
+        assert!(check(&g, "a", &Shape::leq(3, p("p"), Shape::True)));
+        assert!(!check(&g, "a", &Shape::leq(2, p("p"), Shape::True)));
+        // ≥0 is vacuous.
+        assert!(check(&g, "nonode", &Shape::geq(0, p("p"), Shape::True)));
+    }
+
+    #[test]
+    fn forall_vacuous_and_strict() {
+        let g = Graph::from_triples([t("a", "p", "x"), t("x", "type", "C"), t("b", "p", "y")]);
+        let all_c = Shape::for_all(p("p"), Shape::geq(1, p("type"), Shape::has_value(term("C"))));
+        assert!(check(&g, "a", &all_c));
+        assert!(!check(&g, "b", &all_c));
+        assert!(check(&g, "zzz-no-edges", &all_c)); // vacuously true
+    }
+
+    #[test]
+    fn closedness() {
+        let g = Graph::from_triples([t("a", "p", "x"), t("a", "q", "y")]);
+        let closed_pq = Shape::Closed(BTreeSet::from([iri("p"), iri("q")]));
+        let closed_p = Shape::Closed(BTreeSet::from([iri("p")]));
+        assert!(check(&g, "a", &closed_pq));
+        assert!(!check(&g, "a", &closed_p));
+        // Nodes with no outgoing edges are trivially closed.
+        assert!(check(&g, "x", &Shape::Closed(BTreeSet::new())));
+    }
+
+    #[test]
+    fn less_than_shapes() {
+        let g = Graph::from_triples([
+            lit("a", "start", Literal::integer(1)),
+            lit("a", "end", Literal::integer(5)),
+            lit("b", "start", Literal::integer(7)),
+            lit("b", "end", Literal::integer(5)),
+            lit("c", "start", Literal::integer(5)),
+            lit("c", "end", Literal::integer(5)),
+        ]);
+        let lt = Shape::LessThan(p("start"), iri("end"));
+        let lte = Shape::LessThanEq(p("start"), iri("end"));
+        assert!(check(&g, "a", &lt));
+        assert!(!check(&g, "b", &lt));
+        assert!(!check(&g, "c", &lt));
+        assert!(check(&g, "c", &lte));
+        // Non-literal values make lessThan fail.
+        let g2 = Graph::from_triples([t("d", "start", "x"), lit("d", "end", Literal::integer(5))]);
+        assert!(!check(&g2, "d", &lt));
+        // Vacuous when either side is empty.
+        assert!(check(&g, "nonode", &lt));
+    }
+
+    #[test]
+    fn unique_lang() {
+        let g = Graph::from_triples([
+            lit("a", "label", Literal::lang_string("hi", "en")),
+            lit("a", "label", Literal::lang_string("hallo", "de")),
+            lit("b", "label", Literal::lang_string("hi", "en")),
+            lit("b", "label", Literal::lang_string("hello", "en")),
+            lit("c", "label", Literal::string("plain")),
+            lit("c", "label", Literal::string("plain2")),
+        ]);
+        let ul = Shape::UniqueLang(p("label"));
+        assert!(check(&g, "a", &ul));
+        assert!(!check(&g, "b", &ul));
+        // Untagged literals never clash.
+        assert!(check(&g, "c", &ul));
+    }
+
+    #[test]
+    fn node_tests_in_shapes() {
+        let g = Graph::from_triples([
+            lit("a", "age", Literal::integer(30)),
+            t("a", "friend", "b"),
+        ]);
+        let all_int = Shape::for_all(
+            p("age"),
+            Shape::Test(NodeTest::Datatype(shapefrag_rdf::vocab::xsd::integer())),
+        );
+        assert!(check(&g, "a", &all_int));
+        let all_iri = Shape::for_all(p("friend"), Shape::Test(NodeTest::Kind(NodeKind::Iri)));
+        assert!(check(&g, "a", &all_iri));
+    }
+
+    #[test]
+    fn has_shape_resolution_and_default() {
+        let schema = Schema::new([ShapeDef::new(
+            term("S"),
+            Shape::geq(1, p("p"), Shape::True),
+            Shape::False,
+        )])
+        .unwrap();
+        let g = Graph::from_triples([t("a", "p", "x")]);
+        let mut ctx = Context::new(&schema, &g);
+        let a = g.id_of(&term("a")).unwrap();
+        let x = g.id_of(&term("x")).unwrap();
+        assert!(ctx.conforms(a, &Shape::HasShape(term("S"))));
+        assert!(!ctx.conforms(x, &Shape::HasShape(term("S"))));
+        // Undefined shape name defaults to ⊤.
+        assert!(ctx.conforms(x, &Shape::HasShape(term("Undefined"))));
+    }
+
+    #[test]
+    fn nnf_conformance_agrees_with_shape_conformance() {
+        let g = Graph::from_triples([
+            t("a", "p", "x"),
+            t("a", "q", "x"),
+            t("x", "type", "C"),
+            lit("a", "l", Literal::lang_string("v", "en")),
+        ]);
+        let shapes = [
+            Shape::geq(1, p("p"), Shape::True).not(),
+            Shape::for_all(p("p"), Shape::geq(1, p("type"), Shape::has_value(term("C")))),
+            Shape::Eq(PathOrId::Path(p("p")), iri("q")),
+            Shape::Disj(PathOrId::Path(p("p")), iri("q")).not(),
+            Shape::UniqueLang(p("l")).not(),
+            Shape::leq(0, p("zz"), Shape::True),
+            Shape::Closed(BTreeSet::from([iri("p"), iri("q"), iri("l")])),
+        ];
+        let schema = Schema::empty();
+        let mut ctx = Context::new(&schema, &g);
+        for node in g.node_ids() {
+            for shape in &shapes {
+                let nnf = Nnf::from_shape(shape);
+                assert_eq!(
+                    ctx.conforms(node, shape),
+                    ctx.conforms_nnf(node, &nnf),
+                    "disagreement on {shape} at {}",
+                    g.term(node)
+                );
+                let neg = Nnf::from_negated_shape(shape);
+                assert_eq!(
+                    !ctx.conforms(node, shape),
+                    ctx.conforms_nnf(node, &neg),
+                    "negation disagreement on {shape} at {}",
+                    g.term(node)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation_example_1_3() {
+        // Schema: papers must have a student author (WorkshopShape with
+        // class target Paper).
+        let schema = Schema::new([ShapeDef::new(
+            term("WorkshopShape"),
+            Shape::geq(
+                1,
+                p("author"),
+                Shape::geq(1, p("type"), Shape::has_value(term("Student"))),
+            ),
+            Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::has_value(term("Paper"))),
+        )])
+        .unwrap();
+        let mut ok = Graph::from_triples([
+            t("paper1", "author", "alice"),
+            t("alice", "type", "Student"),
+        ]);
+        ok.insert(Triple::new(term("paper1"), rdf::type_(), term("Paper")));
+        assert!(validate(&schema, &ok).conforms());
+
+        let mut bad = ok.clone();
+        bad.insert(Triple::new(term("paper2"), rdf::type_(), term("Paper")));
+        bad.insert(t("paper2", "author", "bob"));
+        let report = validate(&schema, &bad);
+        assert!(!report.conforms());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].focus, term("paper2"));
+    }
+
+    #[test]
+    fn fast_targets_match_slow_scan() {
+        let mut g = Graph::from_triples([
+            t("a", "p", "b"),
+            t("c", "p", "d"),
+            t("x", "type", "C1"),
+            t("y", "type", "C2"),
+            t("C2", "sub", "C1"),
+        ]);
+        g.insert(Triple::new(term("z"), rdf::type_(), term("C1")));
+        let schema = Schema::empty();
+        let targets: Vec<Shape> = vec![
+            Shape::has_value(term("a")),
+            Shape::geq(1, p("p"), Shape::True),
+            Shape::geq(1, p("p").inverse(), Shape::True),
+            Shape::geq(
+                1,
+                p("type").then(p("sub").star()),
+                Shape::has_value(term("C1")),
+            ),
+            Shape::geq(1, p("type"), Shape::has_value(term("C1"))),
+        ];
+        for target in targets {
+            let mut ctx = Context::new(&schema, &g);
+            let fast = ctx.target_nodes(&target);
+            // Slow scan.
+            let slow: BTreeSet<TermId> = g
+                .node_ids()
+                .into_iter()
+                .filter(|n| ctx.conforms(*n, &target))
+                .collect();
+            assert_eq!(fast, slow, "target {target}");
+        }
+    }
+
+    #[test]
+    fn report_serializes_as_shacl_validation_report() {
+        use shapefrag_rdf::vocab::sh;
+        let schema = Schema::new([ShapeDef::new(
+            term("S"),
+            Shape::geq(1, p("needed"), Shape::True),
+            Shape::geq(1, p("p"), Shape::True),
+        )])
+        .unwrap();
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        let report = validate(&schema, &g);
+        let rg = report.to_graph();
+        // One report node, sh:conforms false, one result with focus ex:a.
+        assert_eq!(
+            rg.triples_matching(None, Some(&sh::result()), None).len(),
+            1
+        );
+        let focus = rg.triples_matching(None, Some(&sh::focus_node()), None);
+        assert_eq!(focus.len(), 1);
+        assert_eq!(focus[0].object, term("a"));
+        let conforms = rg.triples_matching(None, Some(&sh::conforms()), None);
+        assert_eq!(
+            conforms[0].object.as_literal().unwrap().lexical(),
+            "false"
+        );
+        // A conforming report says so.
+        let ok = validate(&schema, &Graph::new());
+        let okg = ok.to_graph();
+        assert_eq!(
+            okg.triples_matching(None, Some(&sh::conforms()), None)[0]
+                .object
+                .as_literal()
+                .unwrap()
+                .lexical(),
+            "true"
+        );
+    }
+
+    #[test]
+    fn validation_counts_checks() {
+        let schema = Schema::new([ShapeDef::new(
+            term("S"),
+            Shape::True,
+            Shape::geq(1, p("p"), Shape::True),
+        )])
+        .unwrap();
+        let g = Graph::from_triples([t("a", "p", "b"), t("c", "p", "d")]);
+        let report = validate(&schema, &g);
+        assert!(report.conforms());
+        assert_eq!(report.checked, 2);
+    }
+}

@@ -1,0 +1,546 @@
+//! SPARQL algebra: the query fragment needed to run the paper's generated
+//! provenance queries (§5.1) and the benchmark workloads (§4.1).
+//!
+//! Covered: basic graph patterns, property-path patterns, `UNION`, `MINUS`,
+//! `OPTIONAL` (left join), `FILTER`, sub-`SELECT` with expression
+//! projections (`(?x AS ?y)`, constants), and `DISTINCT`.
+
+use std::fmt;
+
+use shapefrag_rdf::{Iri, Term};
+use shapefrag_shacl::PathExpr;
+
+/// A variable name (without the leading `?`).
+pub type Var = String;
+
+/// A variable or a constant RDF term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VarOrTerm {
+    Var(Var),
+    Term(Term),
+}
+
+impl VarOrTerm {
+    /// Convenience constructor for a variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        VarOrTerm::Var(name.into())
+    }
+
+    /// Convenience constructor for an IRI term.
+    pub fn iri(iri: impl Into<Iri>) -> Self {
+        VarOrTerm::Term(Term::Iri(iri.into()))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            VarOrTerm::Var(v) => Some(v),
+            VarOrTerm::Term(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for VarOrTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarOrTerm::Var(v) => write!(f, "?{v}"),
+            VarOrTerm::Term(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A triple pattern (predicate is a variable or IRI).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriplePattern {
+    pub subject: VarOrTerm,
+    pub predicate: VarOrTerm,
+    pub object: VarOrTerm,
+}
+
+impl TriplePattern {
+    pub fn new(subject: VarOrTerm, predicate: VarOrTerm, object: VarOrTerm) -> Self {
+        TriplePattern {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Variables mentioned by this pattern.
+    pub fn vars(&self) -> Vec<&str> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(VarOrTerm::as_var)
+            .collect()
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A filter / projection expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Var(Var),
+    Const(Term),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    /// Value equality (with numeric promotion).
+    Eq(Box<Expr>, Box<Expr>),
+    Neq(Box<Expr>, Box<Expr>),
+    Lt(Box<Expr>, Box<Expr>),
+    Le(Box<Expr>, Box<Expr>),
+    Gt(Box<Expr>, Box<Expr>),
+    Ge(Box<Expr>, Box<Expr>),
+    /// `?v IN (t₁, …)` / `NOT IN`.
+    In(Box<Expr>, Vec<Term>, bool),
+    /// `bound(?v)`.
+    Bound(Var),
+    /// `lang(e)` — the language tag as a plain literal (empty if none).
+    Lang(Box<Expr>),
+    /// `langMatches(e, range)`.
+    LangMatches(Box<Expr>, Box<Expr>),
+    /// `str(e)`.
+    Str(Box<Expr>),
+    /// `isIRI(e)` / `isLiteral(e)` / `isBlank(e)`.
+    IsIri(Box<Expr>),
+    IsLiteral(Box<Expr>),
+    IsBlank(Box<Expr>),
+    /// `sameTerm(a, b)`.
+    SameTerm(Box<Expr>, Box<Expr>),
+    /// `COALESCE(e₁, …, eₙ)` — first non-error value.
+    Coalesce(Vec<Expr>),
+    /// `regex(e, pattern, flags)` with a constant pattern.
+    Regex(Box<Expr>, String, String),
+    /// `strlen(e)`.
+    StrLen(Box<Expr>),
+    /// `datatype(e)`.
+    Datatype(Box<Expr>),
+    /// Numeric arithmetic `a + b`, `a - b`, `a * b`, `a / b`.
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr::Var(name.into())
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Expr::Not(Box::new(self))
+    }
+
+    pub fn and(self, other: Expr) -> Self {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Expr) -> Self {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    pub fn eq(self, other: Expr) -> Self {
+        Expr::Eq(Box::new(self), Box::new(other))
+    }
+
+    pub fn neq(self, other: Expr) -> Self {
+        Expr::Neq(Box::new(self), Box::new(other))
+    }
+
+    pub fn lt(self, other: Expr) -> Self {
+        Expr::Lt(Box::new(self), Box::new(other))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "?{v}"),
+            Expr::Const(t) => write!(f, "{t}"),
+            Expr::Not(e) => write!(f, "(! {e})"),
+            Expr::And(a, b) => write!(f, "({a} && {b})"),
+            Expr::Or(a, b) => write!(f, "({a} || {b})"),
+            Expr::Eq(a, b) => write!(f, "({a} = {b})"),
+            Expr::Neq(a, b) => write!(f, "({a} != {b})"),
+            Expr::Lt(a, b) => write!(f, "({a} < {b})"),
+            Expr::Le(a, b) => write!(f, "({a} <= {b})"),
+            Expr::Gt(a, b) => write!(f, "({a} > {b})"),
+            Expr::Ge(a, b) => write!(f, "({a} >= {b})"),
+            Expr::In(e, terms, negated) => {
+                write!(f, "({e} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Bound(v) => write!(f, "bound(?{v})"),
+            Expr::Lang(e) => write!(f, "lang({e})"),
+            Expr::LangMatches(a, b) => write!(f, "langMatches({a}, {b})"),
+            Expr::Str(e) => write!(f, "str({e})"),
+            Expr::IsIri(e) => write!(f, "isIRI({e})"),
+            Expr::IsLiteral(e) => write!(f, "isLiteral({e})"),
+            Expr::IsBlank(e) => write!(f, "isBlank({e})"),
+            Expr::SameTerm(a, b) => write!(f, "sameTerm({a}, {b})"),
+            Expr::Coalesce(items) => {
+                write!(f, "COALESCE(")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Regex(e, pattern, flags) => {
+                write!(f, "regex({e}, \"{}\"", pattern.replace('\\', "\\\\").replace('"', "\\\""))?;
+                if flags.is_empty() {
+                    write!(f, ")")
+                } else {
+                    write!(f, ", \"{flags}\")")
+                }
+            }
+            Expr::StrLen(e) => write!(f, "strlen({e})"),
+            Expr::Datatype(e) => write!(f, "datatype({e})"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+        }
+    }
+}
+
+/// One projection item in a `SELECT` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// A plain variable `?v`.
+    Var(Var),
+    /// `(?x AS ?y)` — rebind a variable.
+    Rename(Var, Var),
+    /// `(<iri> AS ?v)` / `("lit" AS ?v)` — bind a constant.
+    Const(Term, Var),
+}
+
+impl Projection {
+    /// The output variable this item binds.
+    pub fn out_var(&self) -> &str {
+        match self {
+            Projection::Var(v) => v,
+            Projection::Rename(_, v) => v,
+            Projection::Const(_, v) => v,
+        }
+    }
+}
+
+impl fmt::Display for Projection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Projection::Var(v) => write!(f, "?{v}"),
+            Projection::Rename(x, y) => write!(f, "(?{x} AS ?{y})"),
+            Projection::Const(t, v) => write!(f, "({t} AS ?{v})"),
+        }
+    }
+}
+
+/// A graph pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// A basic graph pattern: a conjunction of triple patterns.
+    Bgp(Vec<TriplePattern>),
+    /// A property-path pattern `s E o`.
+    Path {
+        subject: VarOrTerm,
+        path: PathExpr,
+        object: VarOrTerm,
+    },
+    /// Join of two patterns (`{A} . {B}` / adjacency).
+    Join(Box<Pattern>, Box<Pattern>),
+    /// `{A} UNION {B}`.
+    Union(Box<Pattern>, Box<Pattern>),
+    /// `{A} MINUS {B}`.
+    Minus(Box<Pattern>, Box<Pattern>),
+    /// `{A} OPTIONAL {B}` with an optional join condition.
+    LeftJoin(Box<Pattern>, Box<Pattern>, Option<Expr>),
+    /// `FILTER(expr)` over a pattern.
+    Filter(Box<Pattern>, Expr),
+    /// A sub-`SELECT`.
+    SubSelect(Box<Select>),
+    /// The unit pattern (empty group), yielding one empty binding.
+    Unit,
+}
+
+impl Pattern {
+    /// Joins two patterns.
+    pub fn join(self, other: Pattern) -> Pattern {
+        match (self, other) {
+            (Pattern::Unit, p) | (p, Pattern::Unit) => p,
+            (a, b) => Pattern::Join(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Unions two patterns.
+    pub fn union(self, other: Pattern) -> Pattern {
+        Pattern::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Filters this pattern.
+    pub fn filter(self, expr: Expr) -> Pattern {
+        Pattern::Filter(Box::new(self), expr)
+    }
+
+    /// The variables this pattern can bind (in-scope variables).
+    pub fn in_scope_vars(&self) -> Vec<Var> {
+        let mut vars = Vec::new();
+        self.collect_vars(&mut vars);
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Pattern::Bgp(tps) => {
+                for tp in tps {
+                    out.extend(tp.vars().iter().map(|s| s.to_string()));
+                }
+            }
+            Pattern::Path {
+                subject, object, ..
+            } => {
+                if let Some(v) = subject.as_var() {
+                    out.push(v.to_string());
+                }
+                if let Some(v) = object.as_var() {
+                    out.push(v.to_string());
+                }
+            }
+            Pattern::Join(a, b) | Pattern::Union(a, b) | Pattern::LeftJoin(a, b, _) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            // MINUS's right side does not bind.
+            Pattern::Minus(a, _) => a.collect_vars(out),
+            Pattern::Filter(p, _) => p.collect_vars(out),
+            Pattern::SubSelect(sel) => out.extend(sel.out_vars()),
+            Pattern::Unit => {}
+        }
+    }
+}
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    /// `None` means `SELECT *`.
+    pub projection: Option<Vec<Projection>>,
+    pub pattern: Pattern,
+}
+
+impl Select {
+    /// `SELECT *` over a pattern.
+    pub fn star(pattern: Pattern) -> Select {
+        Select {
+            distinct: false,
+            projection: None,
+            pattern,
+        }
+    }
+
+    /// `SELECT ?v₁ … ?vₙ` over a pattern.
+    pub fn vars(vars: impl IntoIterator<Item = impl Into<String>>, pattern: Pattern) -> Select {
+        Select {
+            distinct: false,
+            projection: Some(vars.into_iter().map(|v| Projection::Var(v.into())).collect()),
+            pattern,
+        }
+    }
+
+    /// With `DISTINCT`.
+    pub fn distinct(mut self) -> Select {
+        self.distinct = true;
+        self
+    }
+
+    /// The output variables of this query.
+    pub fn out_vars(&self) -> Vec<Var> {
+        match &self.projection {
+            Some(items) => items.iter().map(|i| i.out_var().to_string()).collect(),
+            None => self.pattern.in_scope_vars(),
+        }
+    }
+}
+
+/// Pretty-prints patterns in standard SPARQL concrete syntax.
+fn fmt_pattern(p: &Pattern, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    match p {
+        Pattern::Bgp(tps) => {
+            for tp in tps {
+                writeln!(f, "{pad}{tp}")?;
+            }
+            Ok(())
+        }
+        Pattern::Path {
+            subject,
+            path,
+            object,
+        } => writeln!(f, "{pad}{subject} {path} {object} ."),
+        Pattern::Join(a, b) => {
+            fmt_group(a, f, indent)?;
+            writeln!(f, "{pad}.")?;
+            fmt_group(b, f, indent)
+        }
+        Pattern::Union(a, b) => {
+            fmt_group(a, f, indent)?;
+            writeln!(f, "{pad}UNION")?;
+            fmt_group(b, f, indent)
+        }
+        Pattern::Minus(a, b) => {
+            fmt_group(a, f, indent)?;
+            writeln!(f, "{pad}MINUS")?;
+            fmt_group(b, f, indent)
+        }
+        Pattern::LeftJoin(a, b, expr) => {
+            fmt_group(a, f, indent)?;
+            writeln!(f, "{pad}OPTIONAL")?;
+            match expr {
+                None => fmt_group(b, f, indent),
+                Some(e) => {
+                    writeln!(f, "{pad}{{")?;
+                    fmt_pattern(b, f, indent + 1)?;
+                    writeln!(f, "{pad}  FILTER ({e})")?;
+                    writeln!(f, "{pad}}}")
+                }
+            }
+        }
+        Pattern::Filter(inner, expr) => {
+            fmt_pattern(inner, f, indent)?;
+            writeln!(f, "{pad}FILTER ({expr})")
+        }
+        Pattern::SubSelect(sel) => {
+            writeln!(f, "{pad}{{")?;
+            fmt_select(sel, f, indent + 1)?;
+            writeln!(f, "{pad}}}")
+        }
+        Pattern::Unit => Ok(()),
+    }
+}
+
+fn fmt_group(p: &Pattern, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    writeln!(f, "{pad}{{")?;
+    fmt_pattern(p, f, indent + 1)?;
+    writeln!(f, "{pad}}}")
+}
+
+fn fmt_select(sel: &Select, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    write!(f, "{pad}SELECT ")?;
+    if sel.distinct {
+        write!(f, "DISTINCT ")?;
+    }
+    match &sel.projection {
+        None => writeln!(f, "*")?,
+        Some(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{item}")?;
+            }
+            writeln!(f)?;
+        }
+    }
+    writeln!(f, "{pad}WHERE {{")?;
+    fmt_pattern(&sel.pattern, f, indent + 1)?;
+    write!(f, "{pad}}}")
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_select(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(n: &str) -> Iri {
+        Iri::new(format!("http://e/{n}"))
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let q = Select::vars(
+            ["s", "o"],
+            Pattern::Bgp(vec![TriplePattern::new(
+                VarOrTerm::var("s"),
+                VarOrTerm::iri(iri("p")),
+                VarOrTerm::var("o"),
+            )]),
+        );
+        let text = q.to_string();
+        assert!(text.contains("SELECT ?s ?o"));
+        assert!(text.contains("?s <http://e/p> ?o ."));
+    }
+
+    #[test]
+    fn in_scope_vars() {
+        let p = Pattern::Bgp(vec![TriplePattern::new(
+            VarOrTerm::var("s"),
+            VarOrTerm::var("p"),
+            VarOrTerm::var("o"),
+        )])
+        .join(Pattern::Path {
+            subject: VarOrTerm::var("o"),
+            path: PathExpr::prop(iri("q")),
+            object: VarOrTerm::var("x"),
+        });
+        assert_eq!(p.in_scope_vars(), vec!["o", "p", "s", "x"]);
+    }
+
+    #[test]
+    fn minus_right_does_not_bind() {
+        let left = Pattern::Bgp(vec![TriplePattern::new(
+            VarOrTerm::var("s"),
+            VarOrTerm::iri(iri("p")),
+            VarOrTerm::var("o"),
+        )]);
+        let right = Pattern::Bgp(vec![TriplePattern::new(
+            VarOrTerm::var("s"),
+            VarOrTerm::iri(iri("q")),
+            VarOrTerm::var("z"),
+        )]);
+        let p = Pattern::Minus(Box::new(left), Box::new(right));
+        assert_eq!(p.in_scope_vars(), vec!["o", "s"]);
+    }
+
+    #[test]
+    fn unit_join_identity() {
+        let bgp = Pattern::Bgp(vec![]);
+        assert_eq!(Pattern::Unit.join(bgp.clone()), bgp);
+    }
+
+    #[test]
+    fn projection_out_vars() {
+        let sel = Select {
+            distinct: true,
+            projection: Some(vec![
+                Projection::Var("a".into()),
+                Projection::Rename("b".into(), "c".into()),
+                Projection::Const(Term::iri("http://e/x"), "d".into()),
+            ]),
+            pattern: Pattern::Unit,
+        };
+        assert_eq!(sel.out_vars(), vec!["a", "c", "d"]);
+    }
+}

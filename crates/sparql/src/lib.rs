@@ -1,0 +1,34 @@
+//! # shapefrag-sparql
+//!
+//! A self-contained SPARQL subset: algebra, evaluator, and a concrete-syntax
+//! parser. The subset is exactly what the paper's shape-to-SPARQL
+//! translation (§5.1) emits — BGPs, property paths, `UNION`, `MINUS`,
+//! `OPTIONAL`, `FILTER`, sub-selects with expression projection,
+//! `DISTINCT` — plus enough expressions for the benchmark query workloads
+//! (§4.1).
+//!
+//! ```
+//! use shapefrag_sparql::{parser::parse_select, eval};
+//! use shapefrag_rdf::turtle;
+//!
+//! let graph = turtle::parse(r#"
+//!     @prefix ex: <http://example.org/> .
+//!     ex:a ex:knows ex:b . ex:b ex:knows ex:c .
+//! "#).unwrap();
+//!
+//! let query = parse_select(
+//!     "PREFIX ex: <http://example.org/>
+//!      SELECT ?x WHERE { ex:a ex:knows+ ?x }",
+//! ).unwrap();
+//! assert_eq!(eval(&graph, &query).len(), 2); // b and c
+//! ```
+
+pub mod algebra;
+pub mod eval;
+pub mod parser;
+
+pub use algebra::{Expr, Pattern, Projection, Select, TriplePattern, VarOrTerm};
+pub use eval::{
+    bindings_to_graph, eval, eval_select, Binding, EvalConfig, ResourceExhausted,
+};
+pub use parser::parse_select;

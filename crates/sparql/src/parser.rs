@@ -1,0 +1,1139 @@
+//! A recursive-descent parser for the SPARQL subset of [`crate::algebra`].
+//!
+//! Supports `PREFIX` declarations, `SELECT [DISTINCT]` with variable /
+//! `(… AS ?v)` projections or `*`, group graph patterns with `.`-separated
+//! elements, `UNION`, `MINUS`, `OPTIONAL`, `FILTER`, nested sub-`SELECT`s,
+//! property paths in the predicate position, and the expression grammar
+//! used by the generated provenance queries and the benchmark workloads.
+//!
+//! Round-trip guarantee: `parse_select(q.to_string())` evaluates to the
+//! same solutions as `q` (exercised by differential tests).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use shapefrag_rdf::vocab::rdf;
+use shapefrag_rdf::{Iri, Literal, Term};
+use shapefrag_shacl::PathExpr;
+
+use crate::algebra::{Expr, Pattern, Projection, Select, TriplePattern, VarOrTerm};
+
+/// A SPARQL parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparqlParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for SparqlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPARQL parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SparqlParseError {}
+
+/// Parses a `SELECT` query (with optional `PREFIX` prologue).
+pub fn parse_select(input: &str) -> Result<Select, SparqlParseError> {
+    let mut p = Parser {
+        chars: input.chars().collect(),
+        pos: 0,
+        prefixes: HashMap::new(),
+    };
+    p.skip_ws();
+    while p.peek_keyword("PREFIX") {
+        p.parse_prefix()?;
+    }
+    let select = p.parse_select()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(p.err("trailing content after query"));
+    }
+    Ok(select)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> SparqlParseError {
+        SparqlParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.pos += 1;
+                }
+                Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Case-insensitive keyword lookahead (not consuming).
+    fn peek_keyword(&self, kw: &str) -> bool {
+        let kchars: Vec<char> = kw.chars().collect();
+        for (i, kc) in kchars.iter().enumerate() {
+            match self.peek_at(i) {
+                Some(c) if c.eq_ignore_ascii_case(kc) => {}
+                _ => return false,
+            }
+        }
+        // Must not continue as an identifier.
+        !matches!(self.peek_at(kchars.len()), Some(c) if c.is_alphanumeric() || c == '_')
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += kw.chars().count();
+            self.skip_ws();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SparqlParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), SparqlParseError> {
+        self.skip_ws();
+        match self.bump() {
+            Some(got) if got == c => {
+                self.skip_ws();
+                Ok(())
+            }
+            Some(got) => Err(self.err(format!("expected '{c}', found '{got}'"))),
+            None => Err(self.err(format!("expected '{c}', found end of input"))),
+        }
+    }
+
+    fn try_eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            self.skip_ws();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_prefix(&mut self) -> Result<(), SparqlParseError> {
+        self.expect_keyword("PREFIX")?;
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_whitespace() {
+                return Err(self.err("expected ':' in PREFIX"));
+            }
+            name.push(c);
+            self.pos += 1;
+        }
+        self.expect(':')?;
+        let iri = self.parse_iri_ref()?;
+        self.prefixes.insert(name, iri);
+        self.skip_ws();
+        Ok(())
+    }
+
+    fn parse_select(&mut self) -> Result<Select, SparqlParseError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut projection: Option<Vec<Projection>> = None;
+        self.skip_ws();
+        if self.try_eat('*') {
+            // SELECT *
+        } else {
+            let mut items = Vec::new();
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some('?') | Some('$') => {
+                        let v = self.parse_var()?;
+                        items.push(Projection::Var(v));
+                    }
+                    Some('(') => {
+                        self.bump();
+                        self.skip_ws();
+                        let item = match self.peek() {
+                            Some('?') | Some('$') => {
+                                let x = self.parse_var()?;
+                                self.skip_ws();
+                                self.expect_keyword("AS")?;
+                                let y = self.parse_var()?;
+                                Projection::Rename(x, y)
+                            }
+                            _ => {
+                                let t = self.parse_term()?;
+                                self.skip_ws();
+                                self.expect_keyword("AS")?;
+                                let v = self.parse_var()?;
+                                Projection::Const(t, v)
+                            }
+                        };
+                        self.expect(')')?;
+                        items.push(item);
+                    }
+                    _ => break,
+                }
+            }
+            if items.is_empty() {
+                return Err(self.err("SELECT needs at least one projection or *"));
+            }
+            projection = Some(items);
+        }
+        self.skip_ws();
+        // WHERE is optional in SPARQL.
+        let _ = self.eat_keyword("WHERE");
+        let pattern = self.parse_group()?;
+        Ok(Select {
+            distinct,
+            projection,
+            pattern,
+        })
+    }
+
+    /// Parses `{ … }`.
+    fn parse_group(&mut self) -> Result<Pattern, SparqlParseError> {
+        self.expect('{')?;
+        // Sub-select?
+        if self.peek_keyword("SELECT") {
+            let sel = self.parse_select()?;
+            self.expect('}')?;
+            return Ok(Pattern::SubSelect(Box::new(sel)));
+        }
+        let mut pattern = Pattern::Unit;
+        let mut filters: Vec<Expr> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('}') => {
+                    self.bump();
+                    self.skip_ws();
+                    break;
+                }
+                None => return Err(self.err("unterminated group pattern")),
+                Some('{') => {
+                    let sub = self.parse_group_or_union_or_minus()?;
+                    pattern = pattern.join(sub);
+                    let _ = self.try_eat('.');
+                }
+                _ if self.peek_keyword("FILTER") => {
+                    self.expect_keyword("FILTER")?;
+                    let e = self.parse_constraint()?;
+                    filters.push(e);
+                    let _ = self.try_eat('.');
+                }
+                _ if self.peek_keyword("OPTIONAL") => {
+                    self.expect_keyword("OPTIONAL")?;
+                    let right = self.parse_group()?;
+                    pattern = Pattern::LeftJoin(Box::new(pattern), Box::new(right), None);
+                    let _ = self.try_eat('.');
+                }
+                _ => {
+                    let triples = self.parse_triples_block()?;
+                    pattern = pattern.join(triples);
+                    // parse_triples_block consumes its trailing dots.
+                }
+            }
+        }
+        for e in filters {
+            pattern = pattern.filter(e);
+        }
+        Ok(pattern)
+    }
+
+    /// Parses `{A} (UNION|MINUS|OPTIONAL {B})*` where the leading `{` has
+    /// not been consumed.
+    fn parse_group_or_union_or_minus(&mut self) -> Result<Pattern, SparqlParseError> {
+        let mut left = self.parse_group()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("UNION") {
+                let right = self.parse_group()?;
+                left = Pattern::Union(Box::new(left), Box::new(right));
+            } else if self.eat_keyword("MINUS") {
+                let right = self.parse_group()?;
+                left = Pattern::Minus(Box::new(left), Box::new(right));
+            } else if self.eat_keyword("OPTIONAL") {
+                let right = self.parse_group()?;
+                left = Pattern::LeftJoin(Box::new(left), Box::new(right), None);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// Parses consecutive triple/path patterns until a delimiter.
+    fn parse_triples_block(&mut self) -> Result<Pattern, SparqlParseError> {
+        let mut bgp: Vec<TriplePattern> = Vec::new();
+        let mut pattern = Pattern::Unit;
+        loop {
+            self.skip_ws();
+            let subject = self.parse_var_or_term()?;
+            self.skip_ws();
+            // Predicate: variable, or property path.
+            if matches!(self.peek(), Some('?') | Some('$')) {
+                let pvar = self.parse_var()?;
+                let object = self.parse_var_or_term()?;
+                bgp.push(TriplePattern::new(subject, VarOrTerm::Var(pvar), object));
+            } else {
+                let path = self.parse_path()?;
+                let object = self.parse_var_or_term()?;
+                match path {
+                    PathExpr::Prop(p) => {
+                        bgp.push(TriplePattern::new(
+                            subject,
+                            VarOrTerm::Term(Term::Iri(p)),
+                            object,
+                        ));
+                    }
+                    complex => {
+                        pattern = pattern.join(Pattern::Path {
+                            subject,
+                            path: complex,
+                            object,
+                        });
+                    }
+                }
+            }
+            self.skip_ws();
+            if self.try_eat('.') {
+                self.skip_ws();
+                // Another triple may follow; stop on delimiters/keywords.
+                match self.peek() {
+                    Some('}') | Some('{') | None => break,
+                    _ if self.peek_keyword("FILTER")
+                        || self.peek_keyword("OPTIONAL")
+                        || self.peek_keyword("UNION")
+                        || self.peek_keyword("MINUS") =>
+                    {
+                        break
+                    }
+                    _ => continue,
+                }
+            } else {
+                break;
+            }
+        }
+        if !bgp.is_empty() {
+            pattern = Pattern::Bgp(bgp).join(pattern);
+        }
+        Ok(pattern)
+    }
+
+    fn parse_var(&mut self) -> Result<String, SparqlParseError> {
+        self.skip_ws();
+        match self.bump() {
+            Some('?') | Some('$') => {}
+            _ => return Err(self.err("expected variable")),
+        }
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            return Err(self.err("empty variable name"));
+        }
+        Ok(name)
+    }
+
+    fn parse_var_or_term(&mut self) -> Result<VarOrTerm, SparqlParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('?') | Some('$') => Ok(VarOrTerm::Var(self.parse_var()?)),
+            _ => Ok(VarOrTerm::Term(self.parse_term()?)),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, SparqlParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(Iri::new(self.parse_iri_ref()?))),
+            Some('"') | Some('\'') => Ok(Term::Literal(self.parse_literal()?)),
+            Some('_') if self.peek_at(1) == Some(':') => {
+                self.pos += 2;
+                let mut label = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '-' {
+                        label.push(c);
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Term::blank(label))
+            }
+            Some(c) if c.is_ascii_digit() || c == '+' || c == '-' => {
+                Ok(Term::Literal(self.parse_numeric()?))
+            }
+            Some('t') | Some('f') if self.peek_keyword("true") || self.peek_keyword("false") => {
+                if self.eat_keyword("true") {
+                    Ok(Term::Literal(Literal::boolean(true)))
+                } else {
+                    self.expect_keyword("false")?;
+                    Ok(Term::Literal(Literal::boolean(false)))
+                }
+            }
+            _ => Ok(Term::Iri(self.parse_prefixed_name()?)),
+        }
+    }
+
+    fn parse_iri_ref(&mut self) -> Result<String, SparqlParseError> {
+        self.skip_ws();
+        if self.bump() != Some('<') {
+            return Err(self.err("expected '<'"));
+        }
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => return Ok(iri),
+                Some(c) if c.is_whitespace() => return Err(self.err("whitespace in IRI")),
+                Some(c) => iri.push(c),
+                None => return Err(self.err("unterminated IRI")),
+            }
+        }
+    }
+
+    fn parse_prefixed_name(&mut self) -> Result<Iri, SparqlParseError> {
+        let mut prefix = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                prefix.push(c);
+                self.pos += 1;
+            } else {
+                return Err(self.err(format!("unexpected character '{c}'")));
+            }
+        }
+        if self.bump() != Some(':') {
+            return Err(self.err("expected ':' in prefixed name"));
+        }
+        let mut local = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                if c == '.'
+                    && !matches!(self.peek_at(1), Some(n) if n.is_alphanumeric() || n == '_')
+                {
+                    break;
+                }
+                local.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let ns = self
+            .prefixes
+            .get(&prefix)
+            .ok_or_else(|| self.err(format!("undeclared prefix '{prefix}:'")))?;
+        Ok(Iri::new(format!("{ns}{local}")))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, SparqlParseError> {
+        let quote = self.bump().ok_or_else(|| self.err("expected literal"))?;
+        let mut lex = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => break,
+                Some('\\') => {
+                    let esc = self.bump().ok_or_else(|| self.err("bad escape"))?;
+                    lex.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        '"' => '"',
+                        '\'' => '\'',
+                        '\\' => '\\',
+                        other => other,
+                    });
+                }
+                Some(c) => lex.push(c),
+                None => return Err(self.err("unterminated literal")),
+            }
+        }
+        match self.peek() {
+            Some('@') => {
+                self.pos += 1;
+                let mut lang = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' {
+                        lang.push(c);
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Literal::lang_string(lex, &lang))
+            }
+            Some('^') if self.peek_at(1) == Some('^') => {
+                self.pos += 2;
+                let dt = match self.peek() {
+                    Some('<') => Iri::new(self.parse_iri_ref()?),
+                    _ => self.parse_prefixed_name()?,
+                };
+                Ok(Literal::typed(lex, dt))
+            }
+            _ => Ok(Literal::string(lex)),
+        }
+    }
+
+    fn parse_numeric(&mut self) -> Result<Literal, SparqlParseError> {
+        let mut s = String::new();
+        if matches!(self.peek(), Some('+') | Some('-')) {
+            s.push(self.bump().unwrap());
+        }
+        let mut has_dot = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.pos += 1;
+            } else if c == '.'
+                && !has_dot
+                && matches!(self.peek_at(1), Some(d) if d.is_ascii_digit())
+            {
+                has_dot = true;
+                s.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if s.is_empty() || s == "+" || s == "-" {
+            return Err(self.err("malformed number"));
+        }
+        Ok(if has_dot {
+            Literal::typed(s, shapefrag_rdf::vocab::xsd::decimal())
+        } else {
+            Literal::typed(s, shapefrag_rdf::vocab::xsd::integer())
+        })
+    }
+
+    // --- property paths -------------------------------------------------
+
+    fn parse_path(&mut self) -> Result<PathExpr, SparqlParseError> {
+        self.parse_path_alt()
+    }
+
+    fn parse_path_alt(&mut self) -> Result<PathExpr, SparqlParseError> {
+        let mut left = self.parse_path_seq()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') && self.peek_at(1) != Some('|') {
+                self.pos += 1;
+                let right = self.parse_path_seq()?;
+                left = left.or(right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_path_seq(&mut self) -> Result<PathExpr, SparqlParseError> {
+        let mut left = self.parse_path_elt()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('/') {
+                self.pos += 1;
+                let right = self.parse_path_elt()?;
+                left = left.then(right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_path_elt(&mut self) -> Result<PathExpr, SparqlParseError> {
+        self.skip_ws();
+        let inverse = if self.peek() == Some('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut base = self.parse_path_primary()?;
+        // Postfix modifiers.
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.pos += 1;
+                    base = base.star();
+                }
+                Some('+') => {
+                    self.pos += 1;
+                    base = base.plus();
+                }
+                Some('?') => {
+                    // Could be a following variable `?x`; only a modifier if
+                    // not followed by a name character.
+                    if matches!(self.peek_at(1), Some(c) if c.is_alphanumeric() || c == '_') {
+                        break;
+                    }
+                    self.pos += 1;
+                    base = base.opt();
+                }
+                _ => break,
+            }
+        }
+        Ok(if inverse { base.inverse() } else { base })
+    }
+
+    fn parse_path_primary(&mut self) -> Result<PathExpr, SparqlParseError> {
+        self.skip_ws();
+        match self.peek() {
+            // Negated property set: !<p> or !(p1|p2|…) (possibly empty).
+            Some('!') => {
+                self.pos += 1;
+                self.skip_ws();
+                let mut props = Vec::new();
+                if self.peek() == Some('(') {
+                    self.pos += 1;
+                    loop {
+                        self.skip_ws();
+                        if self.try_eat(')') {
+                            break;
+                        }
+                        match self.parse_path_primary()? {
+                            PathExpr::Prop(p) => props.push(p),
+                            other => {
+                                return Err(self.err(format!(
+                                    "only plain properties allowed in a negated set, got {other}"
+                                )))
+                            }
+                        }
+                        self.skip_ws();
+                        if self.peek() == Some('|') {
+                            self.pos += 1;
+                        }
+                    }
+                } else {
+                    match self.parse_path_primary()? {
+                        PathExpr::Prop(p) => props.push(p),
+                        other => {
+                            return Err(self.err(format!(
+                                "only a plain property may follow '!', got {other}"
+                            )))
+                        }
+                    }
+                }
+                Ok(PathExpr::neg_props(props))
+            }
+            Some('(') => {
+                self.pos += 1;
+                let inner = self.parse_path_alt()?;
+                self.expect(')')?;
+                Ok(inner)
+            }
+            Some('<') => Ok(PathExpr::Prop(Iri::new(self.parse_iri_ref()?))),
+            Some('a')
+                if !matches!(self.peek_at(1), Some(c) if c.is_alphanumeric() || c == '_' || c == ':') =>
+            {
+                self.pos += 1;
+                Ok(PathExpr::Prop(rdf::type_()))
+            }
+            _ => Ok(PathExpr::Prop(self.parse_prefixed_name()?)),
+        }
+    }
+
+    // --- expressions ----------------------------------------------------
+
+    /// `FILTER` constraint: parenthesized expression or builtin call.
+    fn parse_constraint(&mut self) -> Result<Expr, SparqlParseError> {
+        self.skip_ws();
+        if self.peek() == Some('(') {
+            self.pos += 1;
+            let e = self.parse_expr()?;
+            self.expect(')')?;
+            Ok(e)
+        } else {
+            self.parse_expr_unary()
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, SparqlParseError> {
+        self.parse_expr_or()
+    }
+
+    fn parse_expr_or(&mut self) -> Result<Expr, SparqlParseError> {
+        let mut left = self.parse_expr_and()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') && self.peek_at(1) == Some('|') {
+                self.pos += 2;
+                let right = self.parse_expr_and()?;
+                left = left.or(right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_expr_and(&mut self) -> Result<Expr, SparqlParseError> {
+        let mut left = self.parse_expr_rel()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('&') && self.peek_at(1) == Some('&') {
+                self.pos += 2;
+                let right = self.parse_expr_rel()?;
+                left = left.and(right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_expr_rel(&mut self) -> Result<Expr, SparqlParseError> {
+        let left = self.parse_expr_additive()?;
+        self.skip_ws();
+        if self.peek_keyword("NOT") {
+            self.expect_keyword("NOT")?;
+            self.expect_keyword("IN")?;
+            let terms = self.parse_term_list()?;
+            return Ok(Expr::In(Box::new(left), terms, true));
+        }
+        if self.peek_keyword("IN") {
+            self.expect_keyword("IN")?;
+            let terms = self.parse_term_list()?;
+            return Ok(Expr::In(Box::new(left), terms, false));
+        }
+        match (self.peek(), self.peek_at(1)) {
+            (Some('!'), Some('=')) => {
+                self.pos += 2;
+                Ok(left.neq(self.parse_expr_additive()?))
+            }
+            (Some('<'), Some('=')) => {
+                self.pos += 2;
+                Ok(Expr::Le(Box::new(left), Box::new(self.parse_expr_additive()?)))
+            }
+            (Some('>'), Some('=')) => {
+                self.pos += 2;
+                Ok(Expr::Ge(Box::new(left), Box::new(self.parse_expr_additive()?)))
+            }
+            (Some('='), _) => {
+                self.pos += 1;
+                Ok(left.eq(self.parse_expr_additive()?))
+            }
+            (Some('<'), _) => {
+                self.pos += 1;
+                Ok(Expr::Lt(Box::new(left), Box::new(self.parse_expr_additive()?)))
+            }
+            (Some('>'), _) => {
+                self.pos += 1;
+                Ok(Expr::Gt(Box::new(left), Box::new(self.parse_expr_additive()?)))
+            }
+            _ => Ok(left),
+        }
+    }
+
+    fn parse_expr_additive(&mut self) -> Result<Expr, SparqlParseError> {
+        let mut left = self.parse_expr_multiplicative()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('+') => {
+                    self.pos += 1;
+                    let right = self.parse_expr_multiplicative()?;
+                    left = Expr::Add(Box::new(left), Box::new(right));
+                }
+                // A '-' immediately followed by a digit could be a negative
+                // numeric literal; treat infix '-' only when whitespace
+                // separated or followed by a non-digit.
+                Some('-') => {
+                    self.pos += 1;
+                    let right = self.parse_expr_multiplicative()?;
+                    left = Expr::Sub(Box::new(left), Box::new(right));
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    fn parse_expr_multiplicative(&mut self) -> Result<Expr, SparqlParseError> {
+        let mut left = self.parse_expr_unary()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('*') => {
+                    self.pos += 1;
+                    let right = self.parse_expr_unary()?;
+                    left = Expr::Mul(Box::new(left), Box::new(right));
+                }
+                Some('/') => {
+                    self.pos += 1;
+                    let right = self.parse_expr_unary()?;
+                    left = Expr::Div(Box::new(left), Box::new(right));
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    fn parse_expr_unary(&mut self) -> Result<Expr, SparqlParseError> {
+        self.skip_ws();
+        if self.peek() == Some('!') && self.peek_at(1) != Some('=') {
+            self.pos += 1;
+            return Ok(self.parse_expr_unary()?.not());
+        }
+        self.parse_expr_primary()
+    }
+
+    fn parse_builtin1(
+        &mut self,
+        make: impl Fn(Box<Expr>) -> Expr,
+    ) -> Result<Expr, SparqlParseError> {
+        self.expect('(')?;
+        let e = self.parse_expr()?;
+        self.expect(')')?;
+        Ok(make(Box::new(e)))
+    }
+
+    fn parse_builtin2(
+        &mut self,
+        make: impl Fn(Box<Expr>, Box<Expr>) -> Expr,
+    ) -> Result<Expr, SparqlParseError> {
+        self.expect('(')?;
+        let a = self.parse_expr()?;
+        self.expect(',')?;
+        let b = self.parse_expr()?;
+        self.expect(')')?;
+        Ok(make(Box::new(a), Box::new(b)))
+    }
+
+    fn parse_expr_primary(&mut self) -> Result<Expr, SparqlParseError> {
+        self.skip_ws();
+        if self.peek() == Some('(') {
+            self.pos += 1;
+            let e = self.parse_expr()?;
+            self.expect(')')?;
+            return Ok(e);
+        }
+        if self.eat_keyword("bound") {
+            self.expect('(')?;
+            let v = self.parse_var()?;
+            self.expect(')')?;
+            return Ok(Expr::Bound(v));
+        }
+        if self.eat_keyword("langMatches") {
+            return self.parse_builtin2(Expr::LangMatches);
+        }
+        if self.eat_keyword("sameTerm") {
+            return self.parse_builtin2(Expr::SameTerm);
+        }
+        if self.eat_keyword("lang") {
+            return self.parse_builtin1(Expr::Lang);
+        }
+        if self.eat_keyword("str") {
+            return self.parse_builtin1(Expr::Str);
+        }
+        if self.eat_keyword("isIRI") || self.eat_keyword("isURI") {
+            return self.parse_builtin1(Expr::IsIri);
+        }
+        if self.eat_keyword("isLiteral") {
+            return self.parse_builtin1(Expr::IsLiteral);
+        }
+        if self.eat_keyword("isBlank") {
+            return self.parse_builtin1(Expr::IsBlank);
+        }
+        if self.eat_keyword("strlen") {
+            return self.parse_builtin1(Expr::StrLen);
+        }
+        if self.eat_keyword("datatype") {
+            return self.parse_builtin1(Expr::Datatype);
+        }
+        if self.eat_keyword("COALESCE") {
+            self.expect('(')?;
+            let mut items = vec![self.parse_expr()?];
+            while self.try_eat(',') {
+                items.push(self.parse_expr()?);
+            }
+            self.expect(')')?;
+            return Ok(Expr::Coalesce(items));
+        }
+        if self.eat_keyword("regex") {
+            self.expect('(')?;
+            let e = self.parse_expr()?;
+            self.expect(',')?;
+            self.skip_ws();
+            let pattern = self.parse_literal()?;
+            let flags = if self.try_eat(',') {
+                self.skip_ws();
+                self.parse_literal()?.lexical().to_owned()
+            } else {
+                String::new()
+            };
+            self.expect(')')?;
+            return Ok(Expr::Regex(
+                Box::new(e),
+                pattern.lexical().to_owned(),
+                flags,
+            ));
+        }
+        match self.peek() {
+            Some('?') | Some('$') => Ok(Expr::Var(self.parse_var()?)),
+            _ => Ok(Expr::Const(self.parse_term()?)),
+        }
+    }
+
+    fn parse_term_list(&mut self) -> Result<Vec<Term>, SparqlParseError> {
+        self.expect('(')?;
+        let mut terms = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.try_eat(')') {
+                break;
+            }
+            terms.push(self.parse_term()?);
+            self.skip_ws();
+            if !self.try_eat(',') && self.peek() != Some(')') {
+                return Err(self.err("expected ',' or ')' in IN list"));
+            }
+        }
+        Ok(terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, eval_select, EvalConfig};
+    use shapefrag_rdf::{Graph, Triple};
+
+    fn iri(n: &str) -> Iri {
+        Iri::new(format!("http://e/{n}"))
+    }
+
+    fn term(n: &str) -> Term {
+        Term::iri(format!("http://e/{n}"))
+    }
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(term(s), iri(p), term(o))
+    }
+
+    fn g() -> Graph {
+        Graph::from_triples([
+            t("a", "p", "b"),
+            t("b", "q", "c"),
+            t("a", "p", "d"),
+            t("d", "q", "c"),
+            t("x", "r", "y"),
+        ])
+    }
+
+    #[test]
+    fn basic_select() {
+        let q = parse_select("SELECT ?s ?o WHERE { ?s <http://e/p> ?o . }").unwrap();
+        assert_eq!(eval(&g(), &q).len(), 2);
+    }
+
+    #[test]
+    fn prefixes_and_a() {
+        let mut graph = g();
+        graph.insert(Triple::new(term("a"), rdf::type_(), term("C")));
+        let q = parse_select("PREFIX ex: <http://e/>\nSELECT ?s WHERE { ?s a ex:C . }").unwrap();
+        assert_eq!(eval(&graph, &q).len(), 1);
+    }
+
+    #[test]
+    fn select_star_and_distinct() {
+        let q =
+            parse_select("SELECT DISTINCT ?c WHERE { ?s <http://e/p> ?m . ?m <http://e/q> ?c }")
+                .unwrap();
+        assert!(q.distinct);
+        assert_eq!(eval(&g(), &q).len(), 1);
+    }
+
+    #[test]
+    fn projection_expressions() {
+        let q = parse_select(
+            "SELECT (?s AS ?t) (<http://e/p> AS ?pred) WHERE { ?s <http://e/p> ?o }",
+        )
+        .unwrap();
+        let res = eval(&g(), &q);
+        assert!(res.iter().all(|b| b.contains_key("t") && b.contains_key("pred")));
+    }
+
+    #[test]
+    fn union_and_minus() {
+        let q = parse_select(
+            "SELECT ?s WHERE { { ?s <http://e/p> ?o } UNION { ?s <http://e/r> ?o } }",
+        )
+        .unwrap();
+        assert_eq!(eval(&g(), &q).len(), 3);
+        let q = parse_select(
+            "SELECT ?s WHERE { { ?s <http://e/p> ?o } MINUS { ?o <http://e/q> ?c } }",
+        )
+        .unwrap();
+        assert_eq!(eval(&g(), &q).len(), 0);
+    }
+
+    #[test]
+    fn optional_and_bound_filter() {
+        let q = parse_select(
+            "SELECT ?s WHERE { ?s <http://e/p> ?m . OPTIONAL { ?m <http://e/q> ?w } FILTER (!bound(?w)) }",
+        )
+        .unwrap();
+        assert!(eval(&g(), &q).is_empty());
+    }
+
+    #[test]
+    fn filters_with_comparisons() {
+        let mut graph = Graph::new();
+        for (s, n) in [("a", 1), ("b", 7)] {
+            graph.insert(Triple::new(
+                term(s),
+                iri("v"),
+                Term::Literal(Literal::integer(n)),
+            ));
+        }
+        let q = parse_select("SELECT ?s WHERE { ?s <http://e/v> ?n . FILTER (?n >= 5) }").unwrap();
+        let res = eval(&graph, &q);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0]["s"], term("b"));
+    }
+
+    #[test]
+    fn in_and_not_in() {
+        let q = parse_select(
+            "SELECT ?s WHERE { ?s ?p ?o . FILTER (?p NOT IN (<http://e/p>, <http://e/q>)) }",
+        )
+        .unwrap();
+        let res = eval(&g(), &q);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0]["s"], term("x"));
+    }
+
+    #[test]
+    fn property_paths() {
+        let q = parse_select("SELECT ?o WHERE { <http://e/a> <http://e/p>/<http://e/q> ?o }")
+            .unwrap();
+        let res = eval(&g(), &q);
+        // ⟦p/q⟧(a) is a *set* of endpoints: {c} (the two ways of reaching c
+        // collapse; property paths have set semantics here, per Table 1).
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0]["o"], term("c"));
+        let q = parse_select("SELECT ?s WHERE { ?s ^<http://e/q> ?o }").unwrap();
+        assert_eq!(eval(&g(), &q).len(), 2);
+        let q = parse_select("SELECT ?o WHERE { <http://e/a> <http://e/p>* ?o }").unwrap();
+        assert_eq!(eval(&g(), &q).len(), 3); // a, b, d
+        let q = parse_select("SELECT ?o WHERE { <http://e/a> (<http://e/p>|<http://e/r>)+ ?o }")
+            .unwrap();
+        assert_eq!(eval(&g(), &q).len(), 2);
+    }
+
+    #[test]
+    fn negated_property_sets() {
+        let q = parse_select("SELECT ?o WHERE { <http://e/a> !<http://e/p> ?o }").unwrap();
+        assert!(eval(&g(), &q).is_empty()); // a has only p-edges
+        let q = parse_select("SELECT ?o WHERE { <http://e/a> !<http://e/zz> ?o }").unwrap();
+        assert_eq!(eval(&g(), &q).len(), 2); // both p-objects
+        let q = parse_select("SELECT ?o WHERE { <http://e/a> !(<http://e/p>|<http://e/q>) ?o }")
+            .unwrap();
+        assert!(eval(&g(), &q).is_empty());
+        let q = parse_select("SELECT ?o WHERE { <http://e/a> !() ?o }").unwrap();
+        assert_eq!(eval(&g(), &q).len(), 2); // any property
+    }
+
+    #[test]
+    fn path_opt_modifier_vs_variable() {
+        // `<p>? ?x` must parse `?` as a modifier and `?x` as the object.
+        let q = parse_select("SELECT ?o WHERE { <http://e/a> <http://e/p>? ?o }").unwrap();
+        assert_eq!(eval(&g(), &q).len(), 3); // a, b, d
+    }
+
+    #[test]
+    fn subselect_renames() {
+        let q = parse_select(
+            "SELECT ?t ?o WHERE { { SELECT (?s AS ?t) ?o WHERE { ?s <http://e/p> ?o } } }",
+        )
+        .unwrap();
+        assert_eq!(eval(&g(), &q).len(), 2);
+    }
+
+    #[test]
+    fn lang_functions() {
+        let mut graph = Graph::new();
+        graph.insert(Triple::new(
+            term("a"),
+            iri("l"),
+            Term::Literal(Literal::lang_string("hi", "en")),
+        ));
+        let q = parse_select(
+            "SELECT ?s WHERE { ?s <http://e/l> ?t . FILTER langMatches(lang(?t), \"en\") }",
+        )
+        .unwrap();
+        assert_eq!(eval(&graph, &q).len(), 1);
+    }
+
+    #[test]
+    fn round_trip_display_parse() {
+        let queries = [
+            "SELECT ?s ?o WHERE { ?s <http://e/p> ?o . }",
+            "SELECT DISTINCT ?s WHERE { { ?s <http://e/p> ?o } UNION { ?s <http://e/r> ?o } }",
+            "SELECT ?o WHERE { <http://e/a> <http://e/p>/<http://e/q>* ?o }",
+            "SELECT (?s AS ?t) WHERE { ?s <http://e/p> ?o . FILTER (?o != <http://e/b>) }",
+        ];
+        let graph = g();
+        for text in queries {
+            let q1 = parse_select(text).unwrap();
+            let printed = q1.to_string();
+            let q2 = parse_select(&printed)
+                .unwrap_or_else(|e| panic!("reparse failed for:\n{printed}\n{e}"));
+            let mut r1 = eval_select(&graph, &q1, &EvalConfig::indexed()).unwrap();
+            let mut r2 = eval_select(&graph, &q2, &EvalConfig::indexed()).unwrap();
+            r1.sort();
+            r2.sort();
+            assert_eq!(r1, r2, "solutions differ after round trip of {text}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_select("SELECT WHERE { ?s ?p ?o }").is_err());
+        assert!(parse_select("SELECT ?s WHERE { ?s ex:p ?o }").is_err()); // undeclared prefix
+        assert!(parse_select("SELECT ?s WHERE { ?s <http://e/p> ?o ").is_err());
+    }
+}

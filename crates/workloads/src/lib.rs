@@ -1,0 +1,21 @@
+//! # shapefrag-workloads
+//!
+//! Synthetic workload generators and query suites reproducing the paper's
+//! evaluation inputs (see DESIGN.md §2 for the substitution rationale):
+//!
+//! - [`tyrolean`] — tourism knowledge graph + induced-subgraph sampling
+//!   (§5.3.1 data), with [`shapes57`] providing the 57 benchmark shapes.
+//! - [`dblp`] — preferential-attachment co-authorship graph with year
+//!   slices and the Vardi-distance-k shape (§5.3.2).
+//! - [`ecommerce`] + [`queries`] — the 46 BSBM/WatDiv-style subgraph
+//!   queries, with [`query2shape`] performing the §4.1 expressibility
+//!   analysis and translation.
+//! - [`tpf`] — triple pattern fragments and Proposition 6.2.
+
+pub mod dblp;
+pub mod ecommerce;
+pub mod queries;
+pub mod query2shape;
+pub mod shapes57;
+pub mod tpf;
+pub mod tyrolean;

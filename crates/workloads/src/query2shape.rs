@@ -1,0 +1,652 @@
+//! Automatic translation of subgraph queries to request shapes (§4.1).
+//!
+//! Following the paper's methodology, a `SELECT` query is read as a
+//! `CONSTRUCT WHERE` subgraph query (return all *images* of its pattern),
+//! and — when the pattern is a tree-shaped BGP with constant predicates —
+//! translated into a request shape whose shape fragment retrieves those
+//! images:
+//!
+//! - child edge `v —p→ x` becomes `≥1 p.(shape of x)`;
+//! - reversed edge `x —p→ v` becomes `≥1 p⁻.(shape of x)`;
+//! - constant nodes become `hasValue(c)`;
+//! - value filters become node tests;
+//! - `OPTIONAL` subtrees become `≥0` quantifiers;
+//! - `OPTIONAL { … } FILTER(!bound(?v))` becomes the *negation* of the
+//!   optional body's shape (covering the paper's `≤0 feature.hasValue(59)`
+//!   example).
+//!
+//! Queries using variables in the property position or arithmetic — the
+//! blockers the paper identifies — are rejected with a [`Blocker`].
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use shapefrag_rdf::{Graph, Iri, Literal, Term, Triple};
+use shapefrag_shacl::node_test::NodeTest;
+use shapefrag_shacl::{PathExpr, Shape};
+use shapefrag_sparql::algebra::{Expr, Pattern, Select, TriplePattern, VarOrTerm};
+use shapefrag_sparql::eval;
+
+/// Why a query is not expressible as a shape fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Blocker {
+    /// A variable in the property position.
+    VariablePredicate,
+    /// Arithmetic in a filter.
+    Arithmetic,
+    /// A filter SHACL node tests cannot express.
+    UnsupportedFilter(String),
+    /// The BGP is not tree-shaped (cyclic or disconnected).
+    NonTree,
+    /// A SPARQL operator outside the translatable fragment.
+    UnsupportedPattern(String),
+}
+
+impl std::fmt::Display for Blocker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Blocker::VariablePredicate => write!(f, "variable in property position"),
+            Blocker::Arithmetic => write!(f, "arithmetic in filter"),
+            Blocker::UnsupportedFilter(e) => write!(f, "unsupported filter: {e}"),
+            Blocker::NonTree => write!(f, "pattern is not tree-shaped"),
+            Blocker::UnsupportedPattern(p) => write!(f, "unsupported operator: {p}"),
+        }
+    }
+}
+
+/// A successful translation.
+#[derive(Debug, Clone)]
+pub struct TranslatedQuery {
+    /// The request shape whose fragment retrieves the query's images.
+    pub shape: Shape,
+    /// False when the fragment may strictly contain the images
+    /// (negated-`bound` queries).
+    pub exact: bool,
+}
+
+/// One node of the pattern tree: a variable, or one *occurrence* of a
+/// constant (two mentions of the same IRI are distinct leaves).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Node {
+    Var(String),
+    Const(Term, usize),
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    s: Node,
+    p: Iri,
+    o: Node,
+}
+
+#[derive(Debug, Default)]
+struct Collected {
+    edges: Vec<Edge>,
+    /// Filters not consumed as `!bound` markers.
+    filters: Vec<Expr>,
+    /// Variables negated via `FILTER(!bound(?v))`.
+    negated_vars: HashSet<String>,
+    optionals: Vec<Vec<Edge>>,
+    const_counter: usize,
+}
+
+impl Collected {
+    fn node(&mut self, x: &VarOrTerm) -> Node {
+        match x {
+            VarOrTerm::Var(v) => Node::Var(v.clone()),
+            VarOrTerm::Term(t) => {
+                self.const_counter += 1;
+                Node::Const(t.clone(), self.const_counter)
+            }
+        }
+    }
+
+    fn add_triples(&mut self, tps: &[TriplePattern], optional: Option<usize>) -> Result<(), Blocker> {
+        for tp in tps {
+            let p = match &tp.predicate {
+                VarOrTerm::Var(_) => return Err(Blocker::VariablePredicate),
+                VarOrTerm::Term(Term::Iri(iri)) => iri.clone(),
+                VarOrTerm::Term(other) => {
+                    return Err(Blocker::UnsupportedPattern(format!(
+                        "non-IRI predicate {other}"
+                    )))
+                }
+            };
+            let edge = Edge {
+                s: self.node(&tp.subject),
+                p,
+                o: self.node(&tp.object),
+            };
+            match optional {
+                Some(group) => self.optionals[group].push(edge),
+                None => self.edges.push(edge),
+            }
+        }
+        Ok(())
+    }
+
+    fn collect(&mut self, pattern: &Pattern, optional: Option<usize>) -> Result<(), Blocker> {
+        match pattern {
+            Pattern::Unit => Ok(()),
+            Pattern::Bgp(tps) => self.add_triples(tps, optional),
+            Pattern::Join(a, b) => {
+                self.collect(a, optional)?;
+                self.collect(b, optional)
+            }
+            Pattern::Filter(inner, expr) => {
+                self.collect(inner, optional)?;
+                check_no_arithmetic(expr)?;
+                if let Expr::Not(e) = expr {
+                    if let Expr::Bound(v) = e.as_ref() {
+                        self.negated_vars.insert(v.clone());
+                        return Ok(());
+                    }
+                }
+                self.filters.push(expr.clone());
+                Ok(())
+            }
+            Pattern::LeftJoin(a, b, None) if optional.is_none() => {
+                self.collect(a, None)?;
+                self.optionals.push(Vec::new());
+                let group = self.optionals.len() - 1;
+                self.collect(b, Some(group))
+            }
+            Pattern::LeftJoin(..) => Err(Blocker::UnsupportedPattern("nested OPTIONAL".into())),
+            Pattern::Union(..) => Err(Blocker::UnsupportedPattern("UNION".into())),
+            Pattern::Minus(..) => Err(Blocker::UnsupportedPattern("MINUS".into())),
+            Pattern::Path { .. } => Err(Blocker::UnsupportedPattern("property path".into())),
+            Pattern::SubSelect(_) => Err(Blocker::UnsupportedPattern("subquery".into())),
+        }
+    }
+}
+
+fn check_no_arithmetic(expr: &Expr) -> Result<(), Blocker> {
+    match expr {
+        Expr::Add(..) | Expr::Sub(..) | Expr::Mul(..) | Expr::Div(..) => Err(Blocker::Arithmetic),
+        Expr::Not(e)
+        | Expr::Lang(e)
+        | Expr::Str(e)
+        | Expr::IsIri(e)
+        | Expr::IsLiteral(e)
+        | Expr::IsBlank(e)
+        | Expr::StrLen(e)
+        | Expr::Datatype(e) => check_no_arithmetic(e),
+        Expr::And(a, b)
+        | Expr::Or(a, b)
+        | Expr::Eq(a, b)
+        | Expr::Neq(a, b)
+        | Expr::Lt(a, b)
+        | Expr::Le(a, b)
+        | Expr::Gt(a, b)
+        | Expr::Ge(a, b)
+        | Expr::LangMatches(a, b)
+        | Expr::SameTerm(a, b) => {
+            check_no_arithmetic(a)?;
+            check_no_arithmetic(b)
+        }
+        Expr::Coalesce(items) => items.iter().try_for_each(check_no_arithmetic),
+        Expr::In(e, _, _) => check_no_arithmetic(e),
+        Expr::Regex(e, _, _) => check_no_arithmetic(e),
+        Expr::Var(_) | Expr::Const(_) | Expr::Bound(_) => Ok(()),
+    }
+}
+
+/// Translates a subgraph query into a request shape, or explains why it
+/// cannot be translated.
+pub fn query_to_shape(query: &Select) -> Result<TranslatedQuery, Blocker> {
+    let mut collected = Collected::default();
+    collected.collect(&query.pattern, None)?;
+    if collected.edges.is_empty() {
+        return Err(Blocker::UnsupportedPattern("empty pattern".into()));
+    }
+
+    // Filters: attach node tests per variable.
+    let mut var_tests: BTreeMap<String, Vec<Shape>> = BTreeMap::new();
+    for filter in &collected.filters {
+        let (v, test) = filter_to_test(filter)?;
+        var_tests.entry(v).or_default().push(test);
+    }
+
+    // Every negated-bound variable must be bound only inside an optional
+    // group — FILTER(!bound(?v)) over a mandatory variable is constant
+    // false and has no shape translation.
+    for v in &collected.negated_vars {
+        let in_mandatory = collected
+            .edges
+            .iter()
+            .any(|e| [&e.s, &e.o].into_iter().any(|n| matches!(n, Node::Var(x) if x == v)));
+        let in_optional = collected.optionals.iter().flatten().any(|e| {
+            [&e.s, &e.o]
+                .into_iter()
+                .any(|n| matches!(n, Node::Var(x) if x == v))
+        });
+        if in_mandatory || !in_optional {
+            return Err(Blocker::UnsupportedFilter(format!(
+                "!bound(?{v}) on a non-optional variable"
+            )));
+        }
+    }
+
+    // Tree check on the mandatory part.
+    let root = match &collected.edges[0].s {
+        Node::Var(v) => Node::Var(v.clone()),
+        Node::Const(..) => {
+            return Err(Blocker::UnsupportedPattern("constant root subject".into()))
+        }
+    };
+    let mandatory = TreeBuilder::new(&collected.edges, &var_tests)?;
+    let mut shape = mandatory.build(&root)?;
+    if mandatory.visited_edges() != collected.edges.len() {
+        return Err(Blocker::NonTree); // disconnected component
+    }
+
+    // Optional groups hang off the root.
+    let mut exact = true;
+    for group in &collected.optionals {
+        if group.is_empty() {
+            continue;
+        }
+        let negated = group.iter().any(|e| {
+            [&e.s, &e.o]
+                .into_iter()
+                .any(|n| matches!(n, Node::Var(v) if collected.negated_vars.contains(v)))
+        });
+        let builder = TreeBuilder::new(group, &var_tests)?;
+        let group_shape = builder.build(&root)?;
+        if builder.visited_edges() != group.len() {
+            return Err(Blocker::NonTree);
+        }
+        if negated {
+            // FILTER(!bound): the optional body must NOT match.
+            shape = shape.and(group_shape.not());
+            exact = false;
+        } else {
+            // Plain OPTIONAL: relax the top-level quantifiers to ≥0.
+            shape = shape.and(relax_to_optional(group_shape));
+        }
+    }
+
+    Ok(TranslatedQuery { shape, exact })
+}
+
+/// Rewrites the top-level `≥1` conjuncts of an optional subtree to `≥0`.
+fn relax_to_optional(shape: Shape) -> Shape {
+    match shape {
+        Shape::Geq(1, e, inner) => Shape::Geq(0, e, inner),
+        Shape::And(items) => Shape::And(items.into_iter().map(relax_to_optional).collect()),
+        other => other,
+    }
+}
+
+struct TreeBuilder<'a> {
+    adjacency: HashMap<Node, Vec<(usize, bool)>>,
+    edges: &'a [Edge],
+    var_tests: &'a BTreeMap<String, Vec<Shape>>,
+    visited: std::cell::RefCell<HashSet<usize>>,
+}
+
+impl<'a> TreeBuilder<'a> {
+    fn new(
+        edges: &'a [Edge],
+        var_tests: &'a BTreeMap<String, Vec<Shape>>,
+    ) -> Result<Self, Blocker> {
+        let mut adjacency: HashMap<Node, Vec<(usize, bool)>> = HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            adjacency.entry(e.s.clone()).or_default().push((i, true));
+            adjacency.entry(e.o.clone()).or_default().push((i, false));
+        }
+        Ok(TreeBuilder {
+            adjacency,
+            edges,
+            var_tests,
+            visited: std::cell::RefCell::new(HashSet::new()),
+        })
+    }
+
+    fn visited_edges(&self) -> usize {
+        self.visited.borrow().len()
+    }
+
+    /// Depth-first construction from `node`; an edge reaching an
+    /// already-expanded node means a cycle.
+    fn build(&self, node: &Node) -> Result<Shape, Blocker> {
+        self.build_inner(node, &mut HashSet::new())
+    }
+
+    fn build_inner(&self, node: &Node, on_path: &mut HashSet<Node>) -> Result<Shape, Blocker> {
+        if !on_path.insert(node.clone()) {
+            return Err(Blocker::NonTree);
+        }
+        let mut conj = Vec::new();
+        if let Node::Const(term, _) = node {
+            conj.push(Shape::HasValue(term.clone()));
+        }
+        if let Node::Var(v) = node {
+            if let Some(tests) = self.var_tests.get(v) {
+                conj.extend(tests.iter().cloned());
+            }
+        }
+        let incident: Vec<(usize, bool)> = self
+            .adjacency
+            .get(node)
+            .cloned()
+            .unwrap_or_default();
+        for (edge_idx, forward) in incident {
+            if !self.visited.borrow_mut().insert(edge_idx) {
+                continue;
+            }
+            let edge = &self.edges[edge_idx];
+            let child = if forward { &edge.o } else { &edge.s };
+            if on_path.contains(child) {
+                return Err(Blocker::NonTree); // back edge: cycle
+            }
+            let child_shape = self.build_inner(child, on_path)?;
+            let path = if forward {
+                PathExpr::Prop(edge.p.clone())
+            } else {
+                PathExpr::Prop(edge.p.clone()).inverse()
+            };
+            conj.push(Shape::geq(1, path, child_shape));
+        }
+        on_path.remove(node);
+        Ok(Shape::conj(conj))
+    }
+}
+
+/// Converts a filter over exactly one variable to a node-test shape.
+fn filter_to_test(expr: &Expr) -> Result<(String, Shape), Blocker> {
+    let unsupported = || Blocker::UnsupportedFilter(expr.to_string());
+    match expr {
+        Expr::And(a, b) => {
+            let (va, sa) = filter_to_test(a)?;
+            let (vb, sb) = filter_to_test(b)?;
+            if va != vb {
+                return Err(unsupported());
+            }
+            Ok((va, sa.and(sb)))
+        }
+        Expr::Or(a, b) => {
+            let (va, sa) = filter_to_test(a)?;
+            let (vb, sb) = filter_to_test(b)?;
+            if va != vb {
+                return Err(unsupported());
+            }
+            Ok((va, sa.or(sb)))
+        }
+        Expr::Lt(a, b) | Expr::Le(a, b) | Expr::Gt(a, b) | Expr::Ge(a, b) => {
+            let le_like = matches!(expr, Expr::Le(..) | Expr::Ge(..));
+            // Orient to (?v OP const).
+            let (v, bound, flipped) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Var(v), Expr::Const(Term::Literal(l))) => (v.clone(), l.clone(), false),
+                (Expr::Const(Term::Literal(l)), Expr::Var(v)) => (v.clone(), l.clone(), true),
+                _ => return Err(unsupported()),
+            };
+            let upper = matches!(expr, Expr::Lt(..) | Expr::Le(..)) != flipped;
+            let test = match (upper, le_like) {
+                (true, false) => NodeTest::MaxExclusive(bound),
+                (true, true) => NodeTest::MaxInclusive(bound),
+                (false, false) => NodeTest::MinExclusive(bound),
+                (false, true) => NodeTest::MinInclusive(bound),
+            };
+            Ok((v, Shape::Test(test)))
+        }
+        Expr::Eq(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Var(v), Expr::Const(t)) | (Expr::Const(t), Expr::Var(v)) => {
+                Ok((v.clone(), Shape::HasValue(t.clone())))
+            }
+            _ => Err(unsupported()),
+        },
+        Expr::Neq(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Var(v), Expr::Const(t)) | (Expr::Const(t), Expr::Var(v)) => {
+                Ok((v.clone(), Shape::HasValue(t.clone()).not()))
+            }
+            _ => Err(unsupported()),
+        },
+        Expr::LangMatches(a, b) => {
+            let (Expr::Lang(inner), Expr::Const(Term::Literal(range))) = (a.as_ref(), b.as_ref())
+            else {
+                return Err(unsupported());
+            };
+            let Expr::Var(v) = inner.as_ref() else {
+                return Err(unsupported());
+            };
+            Ok((
+                v.clone(),
+                Shape::Test(NodeTest::Language(range.lexical().to_owned())),
+            ))
+        }
+        Expr::Regex(e, pattern, flags) => {
+            let v = match e.as_ref() {
+                Expr::Var(v) => v.clone(),
+                Expr::Str(inner) => match inner.as_ref() {
+                    Expr::Var(v) => v.clone(),
+                    _ => return Err(unsupported()),
+                },
+                _ => return Err(unsupported()),
+            };
+            let test =
+                NodeTest::pattern(pattern, flags).map_err(|e| Blocker::UnsupportedFilter(e.to_string()))?;
+            Ok((v, Shape::Test(test)))
+        }
+        _ => Err(unsupported()),
+    }
+}
+
+/// The images of a query's pattern: for each solution, every triple
+/// pattern of the query instantiated under the solution (the
+/// `CONSTRUCT WHERE` reading used throughout §4.1).
+pub fn construct_images(graph: &Graph, query: &Select) -> Graph {
+    let mut patterns = Vec::new();
+    collect_triple_patterns(&query.pattern, &mut patterns);
+    let all = Select::star(query.pattern.clone());
+    let mut out = Graph::new();
+    for binding in eval(graph, &all) {
+        for tp in &patterns {
+            let resolve = |x: &VarOrTerm| -> Option<Term> {
+                match x {
+                    VarOrTerm::Term(t) => Some(t.clone()),
+                    VarOrTerm::Var(v) => binding.get(v).cloned(),
+                }
+            };
+            let (Some(s), Some(p), Some(o)) = (
+                resolve(&tp.subject),
+                resolve(&tp.predicate),
+                resolve(&tp.object),
+            ) else {
+                continue;
+            };
+            let Term::Iri(p) = p else { continue };
+            if s.is_literal() {
+                continue;
+            }
+            let t = Triple::new(s, p, o);
+            if graph.contains(&t) {
+                out.insert(t);
+            }
+        }
+    }
+    out
+}
+
+fn collect_triple_patterns(pattern: &Pattern, out: &mut Vec<TriplePattern>) {
+    match pattern {
+        Pattern::Bgp(tps) => out.extend(tps.iter().cloned()),
+        Pattern::Join(a, b) | Pattern::Union(a, b) | Pattern::LeftJoin(a, b, _) => {
+            collect_triple_patterns(a, out);
+            collect_triple_patterns(b, out);
+        }
+        Pattern::Minus(a, _) => collect_triple_patterns(a, out),
+        Pattern::Filter(inner, _) => collect_triple_patterns(inner, out),
+        Pattern::SubSelect(sel) => collect_triple_patterns(&sel.pattern, out),
+        Pattern::Path { .. } | Pattern::Unit => {}
+    }
+}
+
+/// Convenience test/report hook: translate a literal that appears in a
+/// filter test back to a literal (used by tests).
+pub fn literal(n: i64) -> Literal {
+    Literal::integer(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecommerce::{generate, EcommerceConfig};
+    use crate::queries::{benchmark_queries, Fidelity};
+    use shapefrag_core::fragment;
+    use shapefrag_shacl::Schema;
+    use shapefrag_sparql::parser::parse_select;
+
+    #[test]
+    fn classification_matches_expectations() {
+        for query in benchmark_queries() {
+            let parsed = query.parse();
+            let result = query_to_shape(&parsed);
+            assert_eq!(
+                result.is_ok(),
+                query.expressible,
+                "query {} misclassified: {:?}",
+                query.id,
+                result.err()
+            );
+        }
+    }
+
+    #[test]
+    fn blockers_are_the_expected_kinds() {
+        let mut var_pred = 0;
+        let mut arithmetic = 0;
+        for query in benchmark_queries() {
+            if query.expressible {
+                continue;
+            }
+            match query_to_shape(&query.parse()).unwrap_err() {
+                Blocker::VariablePredicate => var_pred += 1,
+                Blocker::Arithmetic => arithmetic += 1,
+                other => panic!("unexpected blocker for {}: {other}", query.id),
+            }
+        }
+        assert_eq!(var_pred, 5);
+        assert_eq!(arithmetic, 2);
+    }
+
+    #[test]
+    fn fragments_reproduce_query_images() {
+        let g = generate(&EcommerceConfig {
+            products: 60,
+            users: 40,
+            seed: 3,
+        });
+        let schema = Schema::empty();
+        for query in benchmark_queries() {
+            if !query.expressible {
+                continue;
+            }
+            let parsed = query.parse();
+            let translated = query_to_shape(&parsed).unwrap();
+            let images = construct_images(&g, &parsed);
+            let frag = fragment(&schema, &g, std::slice::from_ref(&translated.shape));
+            assert!(
+                images.is_subgraph_of(&frag),
+                "query {}: images ⊄ fragment (shape {})",
+                query.id,
+                translated.shape
+            );
+            if query.fidelity == Fidelity::Exact {
+                assert_eq!(
+                    frag, images,
+                    "query {}: fragment ≠ images (shape {})",
+                    query.id, translated.shape
+                );
+                assert!(translated.exact);
+            } else {
+                assert!(!translated.exact);
+            }
+        }
+    }
+
+    #[test]
+    fn negated_bound_on_mandatory_variable_rejected() {
+        // FILTER(!bound(?l)) where ?l is always bound is constant-false;
+        // dropping it would yield a wrong translation.
+        let q = parse_select(
+            "PREFIX ec: <http://ec.example.org/vocab/>\n\
+             SELECT * WHERE { ?s ec:label ?l . FILTER (!bound(?l)) }",
+        )
+        .unwrap();
+        assert!(matches!(
+            query_to_shape(&q).unwrap_err(),
+            Blocker::UnsupportedFilter(_)
+        ));
+        // And a !bound over a variable bound nowhere at all.
+        let q = parse_select(
+            "PREFIX ec: <http://ec.example.org/vocab/>\n\
+             SELECT * WHERE { ?s ec:label ?l . FILTER (!bound(?ghost)) }",
+        )
+        .unwrap();
+        assert!(matches!(
+            query_to_shape(&q).unwrap_err(),
+            Blocker::UnsupportedFilter(_)
+        ));
+    }
+
+    #[test]
+    fn cyclic_pattern_rejected() {
+        let q = parse_select(
+            "PREFIX ec: <http://ec.example.org/vocab/>\n\
+             SELECT * WHERE { ?a ec:friendOf ?b . ?b ec:friendOf ?c . ?c ec:friendOf ?a }",
+        )
+        .unwrap();
+        assert_eq!(query_to_shape(&q).unwrap_err(), Blocker::NonTree);
+    }
+
+    #[test]
+    fn disconnected_pattern_rejected() {
+        let q = parse_select(
+            "PREFIX ec: <http://ec.example.org/vocab/>\n\
+             SELECT * WHERE { ?a ec:label ?l . ?x ec:name ?n }",
+        )
+        .unwrap();
+        assert_eq!(query_to_shape(&q).unwrap_err(), Blocker::NonTree);
+    }
+
+    #[test]
+    fn union_rejected() {
+        let q = parse_select(
+            "PREFIX ec: <http://ec.example.org/vocab/>\n\
+             SELECT * WHERE { { ?a ec:label ?l } UNION { ?a ec:name ?l } }",
+        )
+        .unwrap();
+        assert!(matches!(
+            query_to_shape(&q).unwrap_err(),
+            Blocker::UnsupportedPattern(_)
+        ));
+    }
+
+    #[test]
+    fn paper_example_watdiv_translation() {
+        // The simplified WatDiv query from §4.1; the expected shape is
+        // ≥1 caption.⊤ ∧ ≥1 hasReview.(≥1 title.⊤ ∧ ≥1 reviewer.≥1 follows⁻.⊤).
+        let query = benchmark_queries()
+            .into_iter()
+            .find(|q| q.id == "W03")
+            .unwrap();
+        let shape = query_to_shape(&query.parse()).unwrap().shape;
+        let text = shape.to_string();
+        assert!(text.contains("caption"), "{text}");
+        assert!(text.contains("hasReview"), "{text}");
+        assert!(text.contains("^<http://ec.example.org/vocab/follows>"), "{text}");
+    }
+
+    #[test]
+    fn paper_example_negated_bound_translation() {
+        let query = benchmark_queries()
+            .into_iter()
+            .find(|q| q.id == "B05")
+            .unwrap();
+        let translated = query_to_shape(&query.parse()).unwrap();
+        assert!(!translated.exact);
+        // The shape must contain a negated conjunct mentioning feature59.
+        let text = translated.shape.to_string();
+        assert!(text.contains('¬') && text.contains("feature59"), "{text}");
+    }
+}

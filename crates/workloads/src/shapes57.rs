@@ -1,0 +1,430 @@
+//! The 57-shape benchmark suite (§5.3.1 substitution).
+//!
+//! Stand-in for the 57 shapes of the Schaffenrath et al. SHACL performance
+//! benchmark, re-expressed over the synthetic tourism vocabulary of
+//! [`crate::tyrolean`]. The suite spans the same constraint classes:
+//! cardinality, class/datatype/nodeKind, value ranges, string patterns and
+//! lengths, language tags, logical combinators, property pairs
+//! (`lessThan`, `equals`, `disjoint`), closedness, and nested existential /
+//! universal shapes — including the "existential shape with many targets"
+//! pattern the paper identifies as the worst case for provenance overhead.
+
+use shapefrag_rdf::vocab::{rdf, rdfs};
+use shapefrag_rdf::{Literal, Term};
+use shapefrag_shacl::node_test::{NodeKind, NodeTest};
+use shapefrag_shacl::shape::PathOrId;
+use shapefrag_shacl::{PathExpr, Schema, Shape, ShapeDef};
+
+use crate::tyrolean::schema;
+
+fn shape_name(id: usize, label: &str) -> Term {
+    Term::iri(format!("http://tkg.example.org/shapes/S{id:02}-{label}"))
+}
+
+fn prop(local: &str) -> PathExpr {
+    PathExpr::Prop(schema(local))
+}
+
+/// Class-based target: `≥1 rdf:type/rdfs:subClassOf*.hasValue(class)`.
+fn class_target(class: &str) -> Shape {
+    Shape::geq(
+        1,
+        PathExpr::Prop(rdf::type_()).then(PathExpr::Prop(rdfs::sub_class_of()).star()),
+        Shape::HasValue(Term::Iri(schema(class))),
+    )
+}
+
+/// Subjects-of target: `≥1 p.⊤`.
+fn subjects_of(local: &str) -> Shape {
+    Shape::geq(1, prop(local), Shape::True)
+}
+
+fn is_class(class: &str) -> Shape {
+    Shape::geq(
+        1,
+        PathExpr::Prop(rdf::type_()).then(PathExpr::Prop(rdfs::sub_class_of()).star()),
+        Shape::HasValue(Term::Iri(schema(class))),
+    )
+}
+
+fn dtype(local: &str) -> Shape {
+    let dt = match local {
+        "langString" => shapefrag_rdf::vocab::rdf::lang_string(),
+        other => shapefrag_rdf::Iri::new(format!(
+            "{}{other}",
+            shapefrag_rdf::vocab::XSD_NS
+        )),
+    };
+    Shape::Test(NodeTest::Datatype(dt))
+}
+
+fn int_range(lo: i64, hi: i64) -> Shape {
+    Shape::Test(NodeTest::MinInclusive(Literal::integer(lo)))
+        .and(Shape::Test(NodeTest::MaxInclusive(Literal::integer(hi))))
+}
+
+fn pattern(src: &str) -> Shape {
+    Shape::Test(NodeTest::pattern(src, "").expect("benchmark pattern compiles"))
+}
+
+/// Builds the full 57-shape suite as named shape definitions.
+pub fn benchmark_shapes() -> Vec<ShapeDef> {
+    let mut defs: Vec<(usize, &str, Shape, Shape)> = Vec::new();
+    let mut add = |id: usize, label: &'static str, shape: Shape, target: Shape| {
+        defs.push((id, label, shape, target));
+    };
+
+    // --- Events (1–10) ---------------------------------------------------
+    add(1, "EventHasName", Shape::geq(1, prop("name"), Shape::True), class_target("Event"));
+    add(2, "EventNameLangString", Shape::for_all(prop("name"), dtype("langString")), class_target("Event"));
+    add(3, "EventHasStartDate", Shape::geq(1, prop("startDate"), Shape::True), class_target("Event"));
+    add(
+        4,
+        "EventDatesAreDateTime",
+        Shape::for_all(prop("startDate"), dtype("dateTime"))
+            .and(Shape::for_all(prop("endDate"), dtype("dateTime"))),
+        class_target("Event"),
+    );
+    add(5, "EventStartBeforeEnd", Shape::LessThan(prop("startDate"), schema("endDate")), class_target("Event"));
+    add(6, "EventMaxOneStart", Shape::leq(1, prop("startDate"), Shape::True), class_target("Event"));
+    add(7, "EventHasLocation", Shape::geq(1, prop("location"), Shape::True), class_target("Event"));
+    add(8, "EventLocationIsPlace", Shape::for_all(prop("location"), is_class("Place")), class_target("Event"));
+    add(
+        9,
+        "EventOrganizerIsPerson",
+        Shape::for_all(prop("organizer"), is_class("Person")),
+        class_target("Event"),
+    );
+    add(10, "EventNameUniqueLang", Shape::UniqueLang(prop("name")), class_target("Event"));
+
+    // --- Places (11–16) ---------------------------------------------------
+    add(11, "PlaceHasName", Shape::geq(1, prop("name"), Shape::True), class_target("Place"));
+    add(12, "PlacePostalCodePattern", Shape::for_all(prop("postalCode"), pattern("^\\d{4}$")), class_target("Place"));
+    add(
+        13,
+        "PlaceHasCoordinates",
+        Shape::geq(1, prop("latitude"), Shape::True).and(Shape::geq(1, prop("longitude"), Shape::True)),
+        class_target("Place"),
+    );
+    add(
+        14,
+        "PlaceLatInRange",
+        Shape::for_all(
+            prop("latitude"),
+            Shape::Test(NodeTest::MinInclusive(Literal::integer(45)))
+                .and(Shape::Test(NodeTest::MaxInclusive(Literal::integer(48)))),
+        ),
+        class_target("Place"),
+    );
+    add(15, "PlaceCoordsDecimal", Shape::for_all(prop("latitude"), dtype("decimal")), class_target("Place"));
+    add(16, "PlaceMaxOnePostal", Shape::leq(1, prop("postalCode"), Shape::True), class_target("Place"));
+
+    // --- Lodging businesses (17–24) ----------------------------------------
+    add(17, "LodgingHasName", Shape::geq(1, prop("name"), Shape::True), class_target("LodgingBusiness"));
+    add(
+        18,
+        "LodgingStarRange",
+        Shape::for_all(prop("starRating"), int_range(1, 5)),
+        class_target("LodgingBusiness"),
+    );
+    add(19, "LodgingHasLocation", Shape::geq(1, prop("location"), Shape::True), class_target("LodgingBusiness"));
+    add(
+        20,
+        "LodgingTelephonePattern",
+        Shape::for_all(prop("telephone"), pattern("^\\+43")),
+        class_target("LodgingBusiness"),
+    );
+    add(
+        21,
+        "LodgingUrlIsIri",
+        Shape::for_all(prop("url"), Shape::Test(NodeTest::Kind(NodeKind::Iri))),
+        class_target("LodgingBusiness"),
+    );
+    // The worst-case pattern of §5.3.1: an existential shape over a class
+    // with many targets and large satisfying edge sets.
+    add(22, "LodgingHasOffer", Shape::geq(1, prop("makesOffer"), Shape::True), class_target("LodgingBusiness"));
+    add(
+        23,
+        "LodgingOfferPriced",
+        Shape::for_all(prop("makesOffer"), Shape::geq(1, prop("price"), Shape::True)),
+        class_target("LodgingBusiness"),
+    );
+    add(
+        24,
+        "HotelStarAtLeast1",
+        Shape::geq(1, prop("starRating"), Shape::Test(NodeTest::MinInclusive(Literal::integer(1)))),
+        class_target("Hotel"),
+    );
+
+    // --- Offers (25–30) -----------------------------------------------------
+    add(25, "OfferHasPrice", Shape::geq(1, prop("price"), Shape::True), class_target("Offer"));
+    add(
+        26,
+        "OfferPricePositive",
+        Shape::for_all(prop("price"), Shape::Test(NodeTest::MinExclusive(Literal::integer(0)))),
+        class_target("Offer"),
+    );
+    add(
+        27,
+        "OfferCurrencyCode",
+        Shape::for_all(prop("priceCurrency"), Shape::Test(NodeTest::MaxLength(3))),
+        class_target("Offer"),
+    );
+    add(
+        28,
+        "OfferCurrencyIn",
+        Shape::for_all(
+            prop("priceCurrency"),
+            Shape::HasValue(Term::Literal(Literal::string("EUR")))
+                .or(Shape::HasValue(Term::Literal(Literal::string("CHF")))),
+        ),
+        class_target("Offer"),
+    );
+    add(
+        29,
+        "OfferValidFromBeforeThrough",
+        Shape::LessThanEq(prop("validFrom"), schema("validThrough")),
+        class_target("Offer"),
+    );
+    add(
+        30,
+        "OfferBelongsToLodging",
+        Shape::geq(1, prop("makesOffer").inverse(), is_class("LocalBusiness")),
+        class_target("Offer"),
+    );
+
+    // --- Reviews (31–37) ------------------------------------------------------
+    add(31, "ReviewHasRating", Shape::geq(1, prop("ratingValue"), Shape::True), class_target("Review"));
+    add(
+        32,
+        "ReviewRatingInRange",
+        Shape::for_all(prop("ratingValue"), int_range(1, 5)),
+        class_target("Review"),
+    );
+    add(33, "ReviewRatingInteger", Shape::for_all(prop("ratingValue"), dtype("integer")), class_target("Review"));
+    add(34, "ReviewHasAuthor", Shape::geq(1, prop("author"), Shape::True), class_target("Review"));
+    add(
+        35,
+        "ReviewAuthorIsPerson",
+        Shape::for_all(prop("author"), is_class("Person")),
+        class_target("Review"),
+    );
+    add(36, "ReviewMaxOneRating", Shape::leq(1, prop("ratingValue"), Shape::True), class_target("Review"));
+    add(
+        37,
+        "ReviewOfLodging",
+        Shape::for_all(prop("itemReviewed"), is_class("LocalBusiness")),
+        class_target("Review"),
+    );
+
+    // --- People (38–41) ---------------------------------------------------------
+    add(38, "PersonHasName", Shape::geq(1, prop("name"), Shape::True), class_target("Person"));
+    add(
+        39,
+        "PersonEmailPattern",
+        Shape::for_all(prop("email"), pattern("^[\\w.]+@[\\w.]+$")),
+        class_target("Person"),
+    );
+    add(40, "PersonMaxOneEmail", Shape::leq(1, prop("email"), Shape::True), class_target("Person"));
+    add(
+        41,
+        "PersonClosed",
+        Shape::Closed(
+            [rdf::type_(), schema("name"), schema("email")].into_iter().collect(),
+        ),
+        class_target("Person"),
+    );
+
+    // --- Logical combinators and pairs (42–48) -----------------------------------
+    add(
+        42,
+        "EventOrganizerOrLocation",
+        Shape::geq(1, prop("organizer"), Shape::True).or(Shape::geq(1, prop("location"), Shape::True)),
+        class_target("Event"),
+    );
+    add(
+        43,
+        "EventNotPlace",
+        Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::HasValue(Term::Iri(schema("Place")))).not(),
+        class_target("Event"),
+    );
+    {
+        // Exactly one lodging subtype (xone).
+        let hotel = Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::HasValue(Term::Iri(schema("Hotel"))));
+        let pension =
+            Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::HasValue(Term::Iri(schema("Pension"))));
+        let camp = Shape::geq(
+            1,
+            PathExpr::Prop(rdf::type_()),
+            Shape::HasValue(Term::Iri(schema("Campground"))),
+        );
+        let xone = Shape::disj_of(vec![
+            hotel.clone().and(pension.clone().not()).and(camp.clone().not()),
+            pension.clone().and(hotel.clone().not()).and(camp.clone().not()),
+            camp.clone().and(hotel.not()).and(pension.not()),
+        ]);
+        add(44, "LodgingExactlyOneKind", xone, class_target("LodgingBusiness"));
+    }
+    add(
+        45,
+        "LodgingNameTelDisjoint",
+        Shape::Disj(PathOrId::Path(prop("name")), schema("telephone")),
+        class_target("LodgingBusiness"),
+    );
+    add(
+        46,
+        "ReviewAuthorNotItem",
+        Shape::Disj(PathOrId::Path(prop("author")), schema("itemReviewed")),
+        class_target("Review"),
+    );
+    add(
+        47,
+        "ReviewBodyKnownLang",
+        Shape::for_all(
+            prop("reviewBody"),
+            Shape::disj_of(vec![
+                Shape::Test(NodeTest::Language("en".into())),
+                Shape::Test(NodeTest::Language("de".into())),
+                Shape::Test(NodeTest::Language("it".into())),
+            ]),
+        ),
+        class_target("Review"),
+    );
+    add(48, "ReviewBodyUniqueLang", Shape::UniqueLang(prop("reviewBody")), class_target("Review"));
+
+    // --- Nested and path shapes (49–57) ----------------------------------------
+    add(
+        49,
+        "EventLocationNamed",
+        Shape::geq(1, prop("location"), Shape::geq(1, prop("name"), Shape::True)),
+        class_target("Event"),
+    );
+    add(
+        50,
+        "LodgingIsReviewed",
+        Shape::geq(
+            1,
+            prop("itemReviewed").inverse(),
+            Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::HasValue(Term::Iri(schema("Review")))),
+        ),
+        class_target("LodgingBusiness"),
+    );
+    add(
+        51,
+        "ReviewerReachableEmail",
+        Shape::for_all(prop("author"), Shape::geq(1, prop("email"), Shape::True)),
+        class_target("Review"),
+    );
+    add(52, "EventMax3Names", Shape::leq(3, prop("name"), Shape::True), class_target("Event"));
+    add(
+        53,
+        "PlaceNameMinLength",
+        Shape::for_all(prop("name"), Shape::Test(NodeTest::MinLength(3))),
+        class_target("Place"),
+    );
+    add(54, "OfferPriceDecimal", Shape::for_all(prop("price"), dtype("decimal")), class_target("Offer"));
+    add(55, "LodgingAtLeast2Offers", Shape::geq(2, prop("makesOffer"), Shape::True), class_target("LodgingBusiness"));
+    add(
+        56,
+        "NoOrganizerSelfLoop",
+        Shape::Disj(PathOrId::Id, schema("organizer")),
+        class_target("Event"),
+    );
+    add(57, "NamedThingsAreTyped", Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::True), subjects_of("name"));
+
+    defs.into_iter()
+        .map(|(id, label, shape, target)| ShapeDef::new(shape_name(id, label), shape, target))
+        .collect()
+}
+
+/// The benchmark suite as a single schema.
+pub fn benchmark_schema() -> Schema {
+    Schema::new(benchmark_shapes()).expect("benchmark suite is a valid nonrecursive schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tyrolean::{generate, TyroleanConfig};
+    use shapefrag_shacl::validator::{validate, Context};
+
+    #[test]
+    fn suite_has_57_shapes() {
+        assert_eq!(benchmark_shapes().len(), 57);
+        assert_eq!(benchmark_schema().len(), 57);
+    }
+
+    #[test]
+    fn shape_names_are_unique_and_ordered() {
+        let shapes = benchmark_shapes();
+        let mut names: Vec<_> = shapes.iter().map(|d| d.name.clone()).collect();
+        let len_before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), len_before);
+    }
+
+    #[test]
+    fn all_targets_select_nodes_on_generated_data() {
+        let g = generate(&TyroleanConfig::new(600, 11));
+        let schema = benchmark_schema();
+        let mut ctx = Context::new(&schema, &g);
+        let mut without_targets = 0;
+        for def in schema.iter() {
+            if ctx.target_nodes(&def.target).is_empty() {
+                without_targets += 1;
+            }
+        }
+        assert_eq!(without_targets, 0, "{without_targets} shapes select no targets");
+    }
+
+    #[test]
+    fn suite_produces_mixed_validation_results() {
+        // The generator injects ~2–4% violations: validation must find some
+        // violations but mostly conforming nodes.
+        let g = generate(&TyroleanConfig::new(800, 5));
+        let report = validate(&benchmark_schema(), &g);
+        assert!(!report.conforms(), "expected some injected violations");
+        assert!(
+            report.violations.len() * 10 < report.checked,
+            "violations ({}) should be a small fraction of checks ({})",
+            report.violations.len(),
+            report.checked
+        );
+    }
+
+    #[test]
+    fn suite_spans_constraint_classes() {
+        // Sanity: at least one shape of each structural kind.
+        let shapes = benchmark_shapes();
+        let mut has_leq = false;
+        let mut has_forall = false;
+        let mut has_pair = false;
+        let mut has_closed = false;
+        let mut has_unique = false;
+        let mut has_not = false;
+        for def in &shapes {
+            fn scan(s: &Shape, f: &mut impl FnMut(&Shape)) {
+                f(s);
+                match s {
+                    Shape::Not(i) => scan(i, f),
+                    Shape::And(v) | Shape::Or(v) => v.iter().for_each(|x| scan(x, f)),
+                    Shape::Geq(_, _, i) | Shape::Leq(_, _, i) | Shape::ForAll(_, i) => scan(i, f),
+                    _ => {}
+                }
+            }
+            scan(&def.shape, &mut |s| match s {
+                Shape::Leq(..) => has_leq = true,
+                Shape::ForAll(..) => has_forall = true,
+                Shape::LessThan(..) | Shape::LessThanEq(..) | Shape::Disj(..) | Shape::Eq(..) => {
+                    has_pair = true
+                }
+                Shape::Closed(_) => has_closed = true,
+                Shape::UniqueLang(_) => has_unique = true,
+                Shape::Not(_) => has_not = true,
+                _ => {}
+            });
+        }
+        assert!(has_leq && has_forall && has_pair && has_closed && has_unique && has_not);
+    }
+}

@@ -1,0 +1,388 @@
+//! Triple Pattern Fragments and their shape-fragment expressibility
+//! (§6.1, Proposition 6.2).
+//!
+//! A TPF query is a single triple pattern; on an input graph it returns the
+//! subgraph of all images of the pattern. Proposition 6.2 characterizes
+//! exactly which TPFs are expressible as shape fragments:
+//!
+//! 1. `(?x, p, ?y)`   5. `(?x, p, ?x)`
+//! 2. `(?x, p, c)`    6. `(?x, ?y, ?z)`
+//! 3. `(c, p, ?x)`    7. `(c, ?y, ?z)`
+//! 4. `(c, p, d)`
+//!
+//! [`tpf_shape`] returns the paper's request shape for each expressible
+//! form and `None` otherwise; the accompanying tests replay the
+//! counterexample graphs of Appendix D for the inexpressible forms.
+
+use std::collections::BTreeSet;
+
+use shapefrag_rdf::{Graph, Term, Triple};
+use shapefrag_shacl::shape::PathOrId;
+use shapefrag_shacl::{PathExpr, Shape};
+
+/// One position of a TPF pattern: a constant or a numbered variable
+/// (equal numbers denote the same variable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TpfPos {
+    Const(Term),
+    Var(u8),
+}
+
+impl TpfPos {
+    fn matches(&self, term: &Term, bound: &mut [Option<Term>; 3]) -> bool {
+        match self {
+            TpfPos::Const(c) => c == term,
+            TpfPos::Var(i) => match &bound[*i as usize] {
+                Some(existing) => existing == term,
+                None => {
+                    bound[*i as usize] = Some(term.clone());
+                    true
+                }
+            },
+        }
+    }
+}
+
+/// A triple pattern fragment query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpfQuery {
+    pub subject: TpfPos,
+    pub predicate: TpfPos,
+    pub object: TpfPos,
+}
+
+impl TpfQuery {
+    pub fn new(subject: TpfPos, predicate: TpfPos, object: TpfPos) -> Self {
+        TpfQuery {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Evaluates the TPF: the subgraph of all images of the pattern.
+    pub fn eval(&self, graph: &Graph) -> Graph {
+        let mut out = Graph::new();
+        for t in graph.iter() {
+            let mut bound: [Option<Term>; 3] = [None, None, None];
+            if self.subject.matches(&t.subject, &mut bound)
+                && self.predicate.matches(&Term::Iri(t.predicate.clone()), &mut bound)
+                && self.object.matches(&t.object, &mut bound)
+            {
+                out.insert(t);
+            }
+        }
+        out
+    }
+
+    /// The distinct variable numbers used.
+    fn vars(&self) -> BTreeSet<u8> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(|p| match p {
+                TpfPos::Var(i) => Some(*i),
+                TpfPos::Const(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// The request shape expressing a TPF as a shape fragment, per
+/// Proposition 6.2; `None` for the inexpressible forms.
+pub fn tpf_shape(q: &TpfQuery) -> Option<Shape> {
+    use TpfPos::*;
+    let distinct = q.vars().len();
+    match (&q.subject, &q.predicate, &q.object) {
+        // (c, p, d)
+        (Const(c), Const(Term::Iri(p)), Const(d)) => Some(
+            Shape::HasValue(c.clone()).and(Shape::geq(
+                1,
+                PathExpr::Prop(p.clone()),
+                Shape::HasValue(d.clone()),
+            )),
+        ),
+        // (c, p, ?x)
+        (Const(c), Const(Term::Iri(p)), Var(_)) => Some(Shape::geq(
+            1,
+            PathExpr::Prop(p.clone()).inverse(),
+            Shape::HasValue(c.clone()),
+        )),
+        // (?x, p, c)
+        (Var(_), Const(Term::Iri(p)), Const(c)) => Some(Shape::geq(
+            1,
+            PathExpr::Prop(p.clone()),
+            Shape::HasValue(c.clone()),
+        )),
+        // (?x, p, ?x) — self loops.
+        (Var(a), Const(Term::Iri(p)), Var(b)) if a == b => {
+            Some(Shape::Disj(PathOrId::Id, p.clone()).not())
+        }
+        // (?x, p, ?y)
+        (Var(_), Const(Term::Iri(p)), Var(_)) => {
+            Some(Shape::geq(1, PathExpr::Prop(p.clone()), Shape::True))
+        }
+        // (c, ?y, ?z)
+        (Const(c), Var(_), Var(_)) if distinct == 2 => Some(
+            Shape::HasValue(c.clone()).and(Shape::Closed(BTreeSet::new()).not()),
+        ),
+        // (?x, ?y, ?z) — full download.
+        (Var(a), Var(b), Var(c)) if a != b && b != c && a != c => {
+            Some(Shape::Closed(BTreeSet::new()).not())
+        }
+        // All remaining forms — (?x, ?y, c), (?x, ?y, ?x), (?x, ?x, …),
+        // (c, ?x, d), (c, ?x, ?x), … — are not expressible (Appendix D).
+        _ => None,
+    }
+}
+
+/// The Remark 6.3 extension: with *negated property sets* in path
+/// expressions (`PathExpr::NegProp`), TPFs with a variable in the property
+/// position and constants elsewhere become expressible. This covers the
+/// paper's example `(?x, ?y, c)` (via `≥1 p.hasValue(c) ∨ ≥1 !p.hasValue(c)`)
+/// and analogously `(c, ?x, d)`. Forms that *equate* the property variable
+/// with a subject/object variable — `(?x, ?y, ?x)`, `(?x, ?x, ?x)`,
+/// `(c, ?x, ?x)` — still have no shape, since shapes cannot compare a
+/// property to a node.
+pub fn tpf_shape_extended(q: &TpfQuery) -> Option<Shape> {
+    use TpfPos::*;
+    if let Some(shape) = tpf_shape(q) {
+        return Some(shape);
+    }
+    // An arbitrary witness property, as in the paper's Remark 6.3 example.
+    let p = shapefrag_rdf::Iri::new("http://tpf.example.org/p");
+    let any_value_edge = |c: &Term| {
+        Shape::geq(1, PathExpr::Prop(p.clone()), Shape::HasValue(c.clone())).or(Shape::geq(
+            1,
+            PathExpr::neg_props([p.clone()]),
+            Shape::HasValue(c.clone()),
+        ))
+    };
+    match (&q.subject, &q.predicate, &q.object) {
+        // (?x, ?y, c) — the Remark 6.3 example.
+        (Var(x), Var(y), Const(c)) if x != y => Some(any_value_edge(c)),
+        // (c, ?x, d).
+        (Const(c), Var(_), Const(d)) => {
+            Some(Shape::HasValue(c.clone()).and(any_value_edge(d)))
+        }
+        _ => None,
+    }
+}
+
+/// The Appendix D counterexample graph for an inexpressible TPF, used to
+/// demonstrate non-expressibility experimentally: on this graph, *every*
+/// shape that retrieves the TPF's images must (by Lemma D.1) also retrieve
+/// a triple outside them.
+pub fn counterexample_graph(q: &TpfQuery) -> Option<Graph> {
+    use TpfPos::*;
+    let iri = |n: &str| Term::iri(format!("http://tpf.example.org/{n}"));
+    let t = |s: &Term, p: &Term, o: &Term| {
+        let Term::Iri(p) = p else { unreachable!() };
+        Triple::new(s.clone(), p.clone(), o.clone())
+    };
+    let (a, b, c, d, e) = (iri("a"), iri("b"), iri("c"), iri("d"), iri("e"));
+    match (&q.subject, &q.predicate, &q.object) {
+        (Var(x), Var(y), Const(cc)) if x != y => {
+            // (?x, ?y, c): {(a, b, c), (a, b, d)}
+            Some(Graph::from_triples([t(&a, &b, cc), t(&a, &b, &d)]))
+        }
+        (Var(x), Var(y), Var(z)) if x == z && x != y => {
+            // (?x, ?y, ?x): {(a, b, a), (a, b, c)}
+            Some(Graph::from_triples([t(&a, &b, &a), t(&a, &b, &c)]))
+        }
+        (Var(x), Var(y), Var(z)) if y == z && x != y => {
+            // (?x, ?y, ?y): {(a, b, b), (a, b, c)}
+            Some(Graph::from_triples([t(&a, &b, &b), t(&a, &b, &c)]))
+        }
+        (Var(x), Var(y), Var(z)) if x == y && y == z => {
+            // (?x, ?x, ?x): {(a, a, a), (a, a, b)}
+            Some(Graph::from_triples([t(&a, &a, &a), t(&a, &a, &b)]))
+        }
+        (Var(x), Var(y), Var(z)) if x == y && y != z => {
+            // (?x, ?x, ?z): {(a, a, c), (a, a, d)} (variant of the table)
+            Some(Graph::from_triples([t(&a, &a, &c), t(&a, &a, &d)]))
+        }
+        (Const(cc), Var(x), Var(y)) if x == y => {
+            // (c, ?x, ?x): {(c, a, a), (c, a, b)}
+            Some(Graph::from_triples([t(cc, &a, &a), t(cc, &a, &b)]))
+        }
+        (Const(cc), Var(_), Const(dd)) => {
+            // (c, ?x, d): {(c, a, d), (c, a, e)}
+            Some(Graph::from_triples([t(cc, &a, dd), t(cc, &a, &e)]))
+        }
+        _ => None,
+    }
+}
+
+/// All TPF forms of Proposition 6.2 plus the inexpressible ones, for the
+/// experiment binary.
+pub fn all_tpf_forms() -> Vec<(&'static str, TpfQuery, bool)> {
+    use TpfPos::*;
+    let c = || Const(Term::iri("http://tpf.example.org/c"));
+    let d = || Const(Term::iri("http://tpf.example.org/d"));
+    let p = || Const(Term::iri("http://tpf.example.org/p"));
+    vec![
+        ("(?x, p, ?y)", TpfQuery::new(Var(0), p(), Var(1)), true),
+        ("(?x, p, c)", TpfQuery::new(Var(0), p(), c()), true),
+        ("(c, p, ?x)", TpfQuery::new(c(), p(), Var(0)), true),
+        ("(c, p, d)", TpfQuery::new(c(), p(), d()), true),
+        ("(?x, p, ?x)", TpfQuery::new(Var(0), p(), Var(0)), true),
+        ("(?x, ?y, ?z)", TpfQuery::new(Var(0), Var(1), Var(2)), true),
+        ("(c, ?y, ?z)", TpfQuery::new(c(), Var(0), Var(1)), true),
+        ("(?x, ?y, c)", TpfQuery::new(Var(0), Var(1), c()), false),
+        ("(?x, ?y, ?x)", TpfQuery::new(Var(0), Var(1), Var(0)), false),
+        ("(?x, ?y, ?y)", TpfQuery::new(Var(0), Var(1), Var(1)), false),
+        ("(?x, ?x, ?x)", TpfQuery::new(Var(0), Var(0), Var(0)), false),
+        ("(c, ?x, ?x)", TpfQuery::new(c(), Var(0), Var(0)), false),
+        ("(c, ?x, d)", TpfQuery::new(c(), Var(0), d()), false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use shapefrag_rdf::Iri;
+    use rand::{Rng, SeedableRng};
+    use shapefrag_core::fragment;
+    use shapefrag_shacl::Schema;
+
+    fn random_graph(seed: u64, triples: usize) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::new();
+        // Include the distinguished c, d, p terms so constant patterns hit.
+        let node = |i: usize| {
+            Term::iri(match i {
+                0 => "http://tpf.example.org/c".to_string(),
+                1 => "http://tpf.example.org/d".to_string(),
+                i => format!("http://tpf.example.org/n{i}"),
+            })
+        };
+        let pred = |i: usize| {
+            Iri::new(match i {
+                0 => "http://tpf.example.org/p".to_string(),
+                i => format!("http://tpf.example.org/q{i}"),
+            })
+        };
+        for _ in 0..triples {
+            let s = node(rng.gen_range(0..8));
+            let p = pred(rng.gen_range(0..3));
+            let o = node(rng.gen_range(0..8));
+            g.insert(Triple::new(s, p, o));
+        }
+        g
+    }
+
+    #[test]
+    fn expressible_forms_match_fragments_on_random_graphs() {
+        let schema = Schema::empty();
+        for seed in 0..15u64 {
+            let g = random_graph(seed, 30);
+            for (name, query, expressible) in all_tpf_forms() {
+                if !expressible {
+                    continue;
+                }
+                let shape = tpf_shape(&query).unwrap_or_else(|| panic!("{name} should translate"));
+                let via_tpf = query.eval(&g);
+                let via_frag = fragment(&schema, &g, std::slice::from_ref(&shape));
+                assert_eq!(
+                    via_tpf, via_frag,
+                    "TPF {name} ≠ fragment of {shape} on seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inexpressible_forms_have_no_translation() {
+        for (name, query, expressible) in all_tpf_forms() {
+            assert_eq!(
+                tpf_shape(&query).is_some(),
+                expressible,
+                "translation status wrong for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn counterexamples_witness_lemma_d1() {
+        // For each inexpressible TPF: on the Appendix D graph, the TPF
+        // returns exactly one of the two triples, but both triples use
+        // properties "not mentioned in any candidate shape" (fresh IRIs),
+        // so by Lemma D.1 any neighborhood containing one contains both.
+        for (name, query, expressible) in all_tpf_forms() {
+            if expressible {
+                continue;
+            }
+            let g = counterexample_graph(&query)
+                .unwrap_or_else(|| panic!("missing counterexample for {name}"));
+            let images = query.eval(&g);
+            assert_eq!(g.len(), 2, "{name}");
+            assert_eq!(images.len(), 1, "{name}: images {images:?}");
+        }
+    }
+
+    #[test]
+    fn tpf_eval_respects_shared_variables() {
+        let g = Graph::from_triples([
+            Triple::new(Term::iri("http://e/a"), Iri::new("http://e/p"), Term::iri("http://e/a")),
+            Triple::new(Term::iri("http://e/a"), Iri::new("http://e/p"), Term::iri("http://e/b")),
+        ]);
+        let q = TpfQuery::new(
+            TpfPos::Var(0),
+            TpfPos::Const(Term::iri("http://e/p")),
+            TpfPos::Var(0),
+        );
+        let images = q.eval(&g);
+        assert_eq!(images.len(), 1);
+    }
+
+    #[test]
+    fn remark_6_3_extension_expresses_variable_predicate_forms() {
+        // With negated property sets, (?x, ?y, c) and (c, ?x, d) gain
+        // exact shape fragments.
+        let schema = Schema::empty();
+        let c = TpfPos::Const(Term::iri("http://tpf.example.org/c"));
+        let d = TpfPos::Const(Term::iri("http://tpf.example.org/d"));
+        let queries = [
+            TpfQuery::new(TpfPos::Var(0), TpfPos::Var(1), c.clone()),
+            TpfQuery::new(c.clone(), TpfPos::Var(0), d.clone()),
+        ];
+        for query in &queries {
+            assert!(tpf_shape(query).is_none(), "inexpressible in core SHACL");
+            let shape = tpf_shape_extended(query).expect("expressible with !p");
+            for seed in 0..10u64 {
+                let g = random_graph(seed, 35);
+                assert_eq!(
+                    query.eval(&g),
+                    fragment(&schema, &g, std::slice::from_ref(&shape)),
+                    "extended TPF mismatch on seed {seed}"
+                );
+            }
+        }
+        // Including on the Appendix D counterexample graphs, which the
+        // extension resolves.
+        for query in &queries {
+            let g = counterexample_graph(query).unwrap();
+            let shape = tpf_shape_extended(query).unwrap();
+            assert_eq!(query.eval(&g), fragment(&schema, &g, std::slice::from_ref(&shape)));
+        }
+    }
+
+    #[test]
+    fn property_equating_forms_remain_inexpressible_even_extended() {
+        for (name, query, _) in all_tpf_forms() {
+            if matches!(name, "(?x, ?y, ?x)" | "(?x, ?x, ?x)" | "(c, ?x, ?x)" | "(?x, ?y, ?y)") {
+                assert!(tpf_shape_extended(&query).is_none(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_download_shape() {
+        let schema = Schema::empty();
+        let g = random_graph(3, 25);
+        let q = TpfQuery::new(TpfPos::Var(0), TpfPos::Var(1), TpfPos::Var(2));
+        let shape = tpf_shape(&q).unwrap();
+        assert_eq!(fragment(&schema, &g, &[shape]), g);
+    }
+}

@@ -1,0 +1,82 @@
+//! The Linked Data Fragments spectrum (paper §6.1, §7 and Figure 4):
+//! shape fragments sit between Triple Pattern Fragments and full SPARQL as
+//! a subgraph-retrieval interface. This example requests the same
+//! information need — "products with an English caption, their reviews and
+//! reviewers" — at three points of the spectrum and compares the number of
+//! requests and transferred triples.
+//!
+//! ```bash
+//! cargo run --release --example ldf_spectrum
+//! ```
+
+use shape_fragments::core::fragment;
+use shape_fragments::rdf::Term;
+use shape_fragments::shacl::node_test::NodeTest;
+use shape_fragments::shacl::{PathExpr, Schema, Shape};
+use shape_fragments::workloads::ecommerce::{ec, generate, EcommerceConfig};
+use shape_fragments::workloads::tpf::{TpfPos, TpfQuery};
+
+fn main() {
+    let graph = generate(&EcommerceConfig {
+        products: 200,
+        users: 120,
+        seed: 7,
+    });
+    println!("dataset: {} triples\n", graph.len());
+
+    // --- Point 1: full download (the trivial LDF endpoint). -------------
+    println!(
+        "full download:            1 request, {} triples transferred",
+        graph.len()
+    );
+
+    // --- Point 2: Triple Pattern Fragments. -----------------------------
+    // The client decomposes the need into one TPF request per pattern and
+    // joins locally; it must over-fetch every pattern's full extension.
+    let patterns = [
+        ("?p caption ?c", TpfQuery::new(TpfPos::Var(0), TpfPos::Const(Term::Iri(ec("caption"))), TpfPos::Var(1))),
+        ("?p hasReview ?r", TpfQuery::new(TpfPos::Var(0), TpfPos::Const(Term::Iri(ec("hasReview"))), TpfPos::Var(1))),
+        ("?r reviewer ?u", TpfQuery::new(TpfPos::Var(0), TpfPos::Const(Term::Iri(ec("reviewer"))), TpfPos::Var(1))),
+    ];
+    let mut tpf_total = 0;
+    for (label, query) in &patterns {
+        let result = query.eval(&graph);
+        println!("TPF {label:18} 1 request, {} triples", result.len());
+        tpf_total += result.len();
+    }
+    println!(
+        "TPF total:                {} requests, {} triples transferred (client joins + filters locally)",
+        patterns.len(),
+        tpf_total
+    );
+
+    // --- Point 3: a single shape fragment. ------------------------------
+    // One request carries the whole need, including the language filter the
+    // TPF client would have to apply itself; the server returns only the
+    // connected evidence.
+    let shape = Shape::geq(
+        1,
+        PathExpr::Prop(ec("caption")),
+        Shape::Test(NodeTest::Language("en".into())),
+    )
+    .and(Shape::geq(
+        1,
+        PathExpr::Prop(ec("hasReview")),
+        Shape::geq(1, PathExpr::Prop(ec("reviewer")), Shape::True),
+    ));
+    let frag = fragment(&Schema::empty(), &graph, std::slice::from_ref(&shape));
+    println!(
+        "shape fragment:           1 request, {} triples transferred",
+        frag.len()
+    );
+    println!("\nrequest shape:\n  {shape}");
+
+    assert!(frag.len() < tpf_total);
+    assert!(tpf_total < graph.len());
+    println!(
+        "\nspectrum (triples): fragment {} < TPF {} < full {}  — Figure 4's ordering",
+        frag.len(),
+        tpf_total,
+        graph.len()
+    );
+}

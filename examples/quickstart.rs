@@ -1,0 +1,73 @@
+//! Quickstart: parse a SHACL shapes graph and a data graph from Turtle,
+//! validate, and extract provenance.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use shape_fragments::core::{explain, schema_fragment, validate_with_provenance};
+use shape_fragments::rdf::turtle;
+use shape_fragments::shacl::parser::parse_shapes_turtle;
+use shape_fragments::shacl::Shape;
+
+const SHAPES: &str = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://example.org/> .
+
+# Every paper needs at least one author who is a student (the paper's
+# running "WorkshopShape" example).
+ex:WorkshopShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [
+    sh:path ex:author ;
+    sh:qualifiedMinCount 1 ;
+    sh:qualifiedValueShape [ sh:class ex:Student ] ] .
+"#;
+
+const DATA: &str = r#"
+@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+
+ex:goodPaper rdf:type ex:Paper ;
+  ex:author ex:alice , ex:bob .
+ex:alice rdf:type ex:Student .
+ex:bob rdf:type ex:Professor .
+
+ex:badPaper rdf:type ex:Paper ;
+  ex:author ex:bob .
+
+ex:unrelated ex:likes ex:pingpong .
+"#;
+
+fn main() {
+    let schema = parse_shapes_turtle(SHAPES).expect("shapes graph parses");
+    let data = turtle::parse(DATA).expect("data graph parses");
+    println!("data graph: {} triples\n", data.len());
+
+    // 1. Validate with provenance: one pass produces the report, a
+    //    neighborhood per conforming target node, and the schema fragment.
+    let outcome = validate_with_provenance(&schema, &data);
+    println!("validation: {}", outcome.report);
+    for ((shape, node), neighborhood) in &outcome.neighborhoods {
+        println!("\nwhy does {node} conform to {shape}?");
+        for t in neighborhood.iter() {
+            println!("  {t}");
+        }
+    }
+
+    // 2. Why-not provenance for the violating paper.
+    let bad = shape_fragments::rdf::Term::iri("http://example.org/badPaper");
+    let def = schema.iter().next().expect("one shape definition");
+    let explanation = explain(&schema, &data, &bad, &Shape::HasShape(def.name.clone()));
+    println!("\nwhy does {bad} NOT conform? evidence (its authors are not students):");
+    for t in explanation.subgraph().iter() {
+        println!("  {t}");
+    }
+
+    // 3. The shape fragment: the subgraph relevant to the schema.
+    let fragment = schema_fragment(&schema, &data);
+    println!("\nschema fragment ({} of {} triples):", fragment.len(), data.len());
+    for t in fragment.iter() {
+        println!("  {t}");
+    }
+}

@@ -1,0 +1,188 @@
+//! `shapefrag` — command-line interface to the shape-fragments stack.
+//!
+//! ```text
+//! shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl]
+//! shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt]
+//! shapefrag explain   <shapes.ttl> <data.(ttl|nt)> <focus-node-iri> [<shape-name-iri>]
+//! shapefrag translate <shapes.ttl> [<shape-name-iri>]
+//! ```
+//!
+//! - `validate` prints a validation report (optionally as a standard
+//!   `sh:ValidationReport` Turtle document).
+//! - `fragment` computes the schema's shape fragment `Frag(G, H)` and
+//!   writes it as N-Triples (stdout or `-o`).
+//! - `explain` prints why/why-not provenance for one focus node.
+//! - `translate` prints the generated SPARQL fragment query (§5.1).
+
+use std::process::ExitCode;
+
+use shape_fragments::core::{explain, schema_fragment, to_sparql};
+use shape_fragments::rdf::{ntriples, turtle, Graph, Term};
+use shape_fragments::shacl::parser::parse_shapes_turtle;
+use shape_fragments::shacl::validator::validate;
+use shape_fragments::shacl::{Schema, Shape};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl]\n  \
+     shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt]\n  \
+     shapefrag explain   <shapes.ttl> <data.(ttl|nt)> <focus-node-iri> [<shape-name-iri>]\n  \
+     shapefrag translate <shapes.ttl> [<shape-name-iri>]"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "validate" => cmd_validate(&args[1..]),
+        "fragment" => cmd_fragment(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
+        "translate" => cmd_translate(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn load_schema(path: &str) -> Result<Schema, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_shapes_turtle(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_data(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".nt") || path.ends_with(".ntriples") {
+        ntriples::parse(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        turtle::parse(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
+    let [shapes_path, data_path, rest @ ..] = args else {
+        return Err(usage());
+    };
+    let as_ttl = rest.iter().any(|a| a == "--report-ttl");
+    let schema = load_schema(shapes_path)?;
+    let data = load_data(data_path)?;
+    let report = validate(&schema, &data);
+    if as_ttl {
+        let graph = report.to_graph();
+        print!(
+            "{}",
+            turtle::serialize(&graph, &[("sh", shape_fragments::rdf::vocab::SH_NS)])
+        );
+    } else {
+        println!("{report}");
+    }
+    Ok(if report.conforms() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_fragment(args: &[String]) -> Result<ExitCode, String> {
+    let [shapes_path, data_path, rest @ ..] = args else {
+        return Err(usage());
+    };
+    let schema = load_schema(shapes_path)?;
+    let data = load_data(data_path)?;
+    let fragment = schema_fragment(&schema, &data);
+    eprintln!(
+        "fragment: {} of {} triples ({} shape definitions)",
+        fragment.len(),
+        data.len(),
+        schema.len()
+    );
+    let text = ntriples::serialize(&fragment);
+    match rest {
+        [] => {
+            print!("{text}");
+        }
+        [flag, out_path] if flag == "-o" => {
+            std::fs::write(out_path, &text).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            eprintln!("written to {out_path}");
+        }
+        _ => return Err(usage()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
+    let [shapes_path, data_path, node_iri, rest @ ..] = args else {
+        return Err(usage());
+    };
+    let schema = load_schema(shapes_path)?;
+    let data = load_data(data_path)?;
+    let node = Term::iri(node_iri.trim_start_matches('<').trim_end_matches('>'));
+    let defs: Vec<_> = match rest {
+        [] => schema.iter().collect(),
+        [name] => {
+            let name = Term::iri(name.trim_start_matches('<').trim_end_matches('>'));
+            let def = schema
+                .get(&name)
+                .ok_or_else(|| format!("no shape named {name} in the schema"))?;
+            vec![def]
+        }
+        _ => return Err(usage()),
+    };
+    let mut all_conform = true;
+    for def in defs {
+        let e = explain(&schema, &data, &node, &Shape::HasShape(def.name.clone()));
+        let verdict = if e.conforms() {
+            "conforms to"
+        } else {
+            all_conform = false;
+            "VIOLATES"
+        };
+        println!("{node} {verdict} {}", def.name);
+        if e.subgraph().is_empty() {
+            println!("  (no witnessing triples)");
+        } else {
+            for t in e.subgraph().iter() {
+                println!("  {t}");
+            }
+        }
+    }
+    Ok(if all_conform {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_translate(args: &[String]) -> Result<ExitCode, String> {
+    let [shapes_path, rest @ ..] = args else {
+        return Err(usage());
+    };
+    let schema = load_schema(shapes_path)?;
+    let shapes: Vec<Shape> = match rest {
+        [] => schema.request_shapes(),
+        [name] => {
+            let name = Term::iri(name.trim_start_matches('<').trim_end_matches('>'));
+            let def = schema
+                .get(&name)
+                .ok_or_else(|| format!("no shape named {name} in the schema"))?;
+            vec![def.shape.clone().and(def.target.clone())]
+        }
+        _ => return Err(usage()),
+    };
+    let query = to_sparql::fragment_query(&schema, &shapes);
+    println!("{query}");
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,159 @@
+//! End-to-end tests for the `shapefrag` command-line interface, driving the
+//! compiled binary against files on disk.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn write_file(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write fixture");
+    path
+}
+
+fn shapefrag(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_shapefrag"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn fixtures() -> (tempdir::TempDir, PathBuf, PathBuf) {
+    let dir = tempdir::TempDir::new();
+    let shapes = write_file(
+        dir.path(),
+        "shapes.ttl",
+        r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://example.org/> .
+ex:PaperShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [ sh:path ex:author ; sh:minCount 1 ] .
+"#,
+    );
+    let data = write_file(
+        dir.path(),
+        "data.ttl",
+        r#"
+@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:good rdf:type ex:Paper ; ex:author ex:ann .
+ex:bad rdf:type ex:Paper .
+ex:noise ex:p ex:q .
+"#,
+    );
+    (dir, shapes, data)
+}
+
+/// Minimal self-cleaning temp dir (no external crates).
+mod tempdir {
+    use std::path::{Path, PathBuf};
+
+    pub struct TempDir(PathBuf);
+
+    impl TempDir {
+        pub fn new() -> TempDir {
+            let path = std::env::temp_dir().join(format!(
+                "shapefrag-cli-test-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id(),
+            ));
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            TempDir(path)
+        }
+
+        pub fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+#[test]
+fn validate_reports_violations_and_exit_code() {
+    let (_dir, shapes, data) = fixtures();
+    let out = shapefrag(&["validate", shapes.to_str().unwrap(), data.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "violations → exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("http://example.org/bad"), "{stdout}");
+    assert!(!stdout.contains("http://example.org/good"));
+}
+
+#[test]
+fn validate_emits_turtle_report() {
+    let (_dir, shapes, data) = fixtures();
+    let out = shapefrag(&[
+        "validate",
+        shapes.to_str().unwrap(),
+        data.to_str().unwrap(),
+        "--report-ttl",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sh:ValidationReport"), "{stdout}");
+    assert!(stdout.contains("sh:focusNode"), "{stdout}");
+    // The emitted Turtle parses back.
+    shape_fragments::rdf::turtle::parse(&stdout).expect("report parses");
+}
+
+#[test]
+fn fragment_writes_ntriples_subset() {
+    let (dir, shapes, data) = fixtures();
+    let out_path = dir.path().join("frag.nt");
+    let out = shapefrag(&[
+        "fragment",
+        shapes.to_str().unwrap(),
+        data.to_str().unwrap(),
+        "-o",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&out_path).expect("fragment file");
+    let frag = shape_fragments::rdf::ntriples::parse(&text).expect("fragment parses");
+    // good's type + author triples; nothing about noise.
+    assert_eq!(frag.len(), 2);
+    assert!(text.contains("http://example.org/author"));
+    assert!(!text.contains("noise"));
+}
+
+#[test]
+fn explain_prints_evidence() {
+    let (_dir, shapes, data) = fixtures();
+    let out = shapefrag(&[
+        "explain",
+        shapes.to_str().unwrap(),
+        data.to_str().unwrap(),
+        "http://example.org/good",
+        "http://example.org/PaperShape",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("conforms to"), "{stdout}");
+    assert!(stdout.contains("ex") || stdout.contains("author"), "{stdout}");
+}
+
+#[test]
+fn translate_emits_parseable_sparql() {
+    let (_dir, shapes, _) = fixtures();
+    let out = shapefrag(&["translate", shapes.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    shape_fragments::sparql::parser::parse_select(&stdout).expect("generated query parses");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = shapefrag(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_file_is_reported() {
+    let out = shapefrag(&["validate", "/nonexistent/shapes.ttl", "/nonexistent/data.ttl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

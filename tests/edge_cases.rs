@@ -1,0 +1,212 @@
+//! Focused edge cases across the stack: empty graphs, absent properties,
+//! self-loops, duplicate-free set semantics, count boundaries, and blank
+//! nodes in every position the data model allows.
+
+use shape_fragments::core::{explain, fragment, neighborhood_term};
+use shape_fragments::rdf::{Graph, Iri, Literal, Term, Triple};
+use shape_fragments::shacl::shape::PathOrId;
+use shape_fragments::shacl::validator::{validate, Context};
+use shape_fragments::shacl::{PathExpr, Schema, Shape, ShapeDef};
+
+fn iri(n: &str) -> Iri {
+    Iri::new(format!("http://e/{n}"))
+}
+
+fn term(n: &str) -> Term {
+    Term::iri(format!("http://e/{n}"))
+}
+
+fn t(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(term(s), iri(p), term(o))
+}
+
+fn p(n: &str) -> PathExpr {
+    PathExpr::Prop(iri(n))
+}
+
+fn conforms(g: &Graph, node: &str, shape: &Shape) -> bool {
+    let schema = Schema::empty();
+    let mut ctx = Context::new(&schema, g);
+    ctx.conforms_term(&term(node), shape)
+}
+
+#[test]
+fn empty_graph_semantics() {
+    let g = Graph::new();
+    // Vacuous universals and ≤-shapes hold; existentials fail.
+    assert!(conforms(&g, "ghost", &Shape::for_all(p("p"), Shape::False)));
+    assert!(conforms(&g, "ghost", &Shape::leq(0, p("p"), Shape::True)));
+    assert!(!conforms(&g, "ghost", &Shape::geq(1, p("p"), Shape::True)));
+    // eq between two absent properties holds (∅ = ∅); disj holds too.
+    assert!(conforms(&g, "ghost", &Shape::Eq(PathOrId::Path(p("a")), iri("b"))));
+    assert!(conforms(&g, "ghost", &Shape::Disj(PathOrId::Path(p("a")), iri("b"))));
+    // closed(∅) holds on a node without triples.
+    assert!(conforms(&g, "ghost", &Shape::Closed(Default::default())));
+    // Validation of any schema over the empty graph conforms (no targets).
+    let schema = Schema::new([ShapeDef::new(
+        term("S"),
+        Shape::False,
+        Shape::geq(1, p("p"), Shape::True),
+    )])
+    .unwrap();
+    assert!(validate(&schema, &g).conforms());
+    // And every fragment is empty.
+    assert!(fragment(&Schema::empty(), &g, &[Shape::True]).is_empty());
+}
+
+#[test]
+fn eq_id_requires_exactly_the_self_loop() {
+    // No p-edges at all: ⟦p⟧(v) = ∅ ≠ {v}.
+    let g = Graph::from_triples([t("v", "q", "x")]);
+    assert!(!conforms(&g, "v", &Shape::Eq(PathOrId::Id, iri("p"))));
+    // Self-loop plus another edge: {v, w} ≠ {v}.
+    let g = Graph::from_triples([t("v", "p", "v"), t("v", "p", "w")]);
+    assert!(!conforms(&g, "v", &Shape::Eq(PathOrId::Id, iri("p"))));
+    // Exactly the self-loop.
+    let g = Graph::from_triples([t("v", "p", "v")]);
+    assert!(conforms(&g, "v", &Shape::Eq(PathOrId::Id, iri("p"))));
+}
+
+#[test]
+fn count_boundaries() {
+    let mut g = Graph::new();
+    for i in 0..5 {
+        g.insert(t("v", "p", &format!("o{i}")));
+    }
+    for (n, geq_ok, leq_ok) in [(0u32, true, false), (4, true, false), (5, true, true), (6, false, true)] {
+        assert_eq!(conforms(&g, "v", &Shape::geq(n, p("p"), Shape::True)), geq_ok, "≥{n}");
+        assert_eq!(conforms(&g, "v", &Shape::leq(n, p("p"), Shape::True)), leq_ok, "≤{n}");
+    }
+}
+
+#[test]
+fn path_endpoints_are_sets_not_bags() {
+    // Two parallel routes to the same endpoint count once for ≥2.
+    let g = Graph::from_triples([
+        t("v", "a", "m1"),
+        t("v", "a", "m2"),
+        t("m1", "b", "end"),
+        t("m2", "b", "end"),
+    ]);
+    let two_step = p("a").then(p("b"));
+    assert!(conforms(&g, "v", &Shape::geq(1, two_step.clone(), Shape::True)));
+    assert!(!conforms(&g, "v", &Shape::geq(2, two_step, Shape::True)));
+}
+
+#[test]
+fn blank_nodes_everywhere() {
+    let b1 = Term::blank("x");
+    let b2 = Term::blank("y");
+    let g = Graph::from_triples([
+        Triple::new(b1.clone(), iri("p"), b2.clone()),
+        Triple::new(b2.clone(), iri("q"), Term::Literal(Literal::integer(3))),
+    ]);
+    let schema = Schema::empty();
+    let mut ctx = Context::new(&schema, &g);
+    let shape = Shape::geq(1, p("p"), Shape::geq(1, p("q"), Shape::True));
+    assert!(ctx.conforms_term(&b1, &shape));
+    let nbh = neighborhood_term(&mut ctx, &b1, &shape);
+    assert_eq!(nbh.len(), 2);
+    // Blank-node shape names work too.
+    let blank_schema = Schema::new([ShapeDef::new(
+        Term::blank("shapeName"),
+        shape,
+        Shape::False,
+    )])
+    .unwrap();
+    let mut bctx = Context::new(&blank_schema, &g);
+    assert!(bctx.conforms_term(&b1, &Shape::HasShape(Term::blank("shapeName"))));
+}
+
+#[test]
+fn literal_focus_nodes() {
+    // Literals can be focus nodes (e.g. endpoints of quantifier recursion).
+    let five = Term::Literal(Literal::integer(5));
+    let g = Graph::from_triples([Triple::new(term("v"), iri("p"), five.clone())]);
+    let schema = Schema::empty();
+    let mut ctx = Context::new(&schema, &g);
+    // The literal conforms to value tests…
+    assert!(ctx.conforms_term(
+        &five,
+        &Shape::Test(shape_fragments::shacl::node_test::NodeTest::MinInclusive(
+            Literal::integer(5)
+        )),
+    ));
+    // …has no outgoing edges, so closed(∅) holds and ≥1 anything fails.
+    assert!(ctx.conforms_term(&five, &Shape::Closed(Default::default())));
+    assert!(!ctx.conforms_term(&five, &Shape::geq(1, p("q"), Shape::True)));
+}
+
+#[test]
+fn why_not_on_conjunction_pinpoints_failing_conjunct() {
+    let g = Graph::from_triples([t("v", "a", "x"), t("v", "b", "y"), t("v", "b", "z")]);
+    // v satisfies ≥1 a.⊤ but violates ≤1 b.⊤.
+    let shape = Shape::geq(1, p("a"), Shape::True).and(Shape::leq(1, p("b"), Shape::True));
+    let e = explain(&Schema::empty(), &g, &term("v"), &shape);
+    assert!(!e.conforms());
+    // ¬(φ₁ ∧ φ₂) = ¬φ₁ ∨ ¬φ₂; only the second disjunct holds, so the
+    // evidence is the two b-edges — the a-edge is irrelevant.
+    assert_eq!(
+        e.subgraph(),
+        &Graph::from_triples([t("v", "b", "y"), t("v", "b", "z")])
+    );
+}
+
+#[test]
+fn deeply_nested_shape_terminates() {
+    // A 12-level nesting of quantifiers over a chain graph.
+    let mut g = Graph::new();
+    for i in 0..14 {
+        g.insert(t(&format!("n{i}"), "next", &format!("n{}", i + 1)));
+    }
+    let mut shape = Shape::True;
+    for _ in 0..12 {
+        shape = Shape::geq(1, p("next"), shape);
+    }
+    assert!(conforms(&g, "n0", &shape));
+    assert!(!conforms(&g, "n5", &shape)); // chain too short from n5
+    // The neighborhood traces the whole used chain.
+    let schema = Schema::empty();
+    let mut ctx = Context::new(&schema, &g);
+    let nbh = neighborhood_term(&mut ctx, &term("n0"), &shape);
+    assert_eq!(nbh.len(), 12);
+}
+
+#[test]
+fn star_path_shape_over_cycle() {
+    let g = Graph::from_triples([t("a", "p", "b"), t("b", "p", "a")]);
+    // Everything reachable via p* from a is {a, b}.
+    let shape = Shape::leq(2, p("p").star(), Shape::True);
+    assert!(conforms(&g, "a", &shape));
+    let tight = Shape::leq(1, p("p").star(), Shape::True);
+    assert!(!conforms(&g, "a", &tight));
+    // Neighborhood of ∀p*.⊤ traces both cycle edges.
+    let schema = Schema::empty();
+    let mut ctx = Context::new(&schema, &g);
+    let nbh = neighborhood_term(&mut ctx, &term("a"), &Shape::for_all(p("p").star(), Shape::True));
+    assert_eq!(nbh, g);
+}
+
+#[test]
+fn schema_shadowing_is_rejected_but_lookup_is_safe() {
+    // Two shapes may reference a common third; lookups of undefined names
+    // stay ⊤ even deep in recursion.
+    let schema = Schema::new([
+        ShapeDef::new(
+            term("A"),
+            Shape::geq(1, p("x"), Shape::HasShape(term("Common"))),
+            Shape::False,
+        ),
+        ShapeDef::new(
+            term("B"),
+            Shape::for_all(p("x"), Shape::HasShape(term("Common"))),
+            Shape::False,
+        ),
+    ])
+    .unwrap();
+    let g = Graph::from_triples([t("v", "x", "w")]);
+    let mut ctx = Context::new(&schema, &g);
+    // Common is undefined → ⊤ → both shapes reduce to plain quantifiers.
+    assert!(ctx.conforms_term(&term("v"), &Shape::HasShape(term("A"))));
+    assert!(ctx.conforms_term(&term("v"), &Shape::HasShape(term("B"))));
+}

@@ -1,0 +1,306 @@
+//! End-to-end replays of the paper's running examples, driving the full
+//! stack: Turtle parsing → Appendix A translation → validation →
+//! neighborhoods → shape fragments → SPARQL translation.
+
+use shape_fragments::core::{explain, fragment, schema_fragment, validate_with_provenance};
+use shape_fragments::core::to_sparql::fragment_via_sparql;
+use shape_fragments::rdf::{turtle, Graph, Iri, Term, Triple};
+use shape_fragments::shacl::parser::parse_shapes_turtle;
+use shape_fragments::shacl::validator::{validate, Context};
+use shape_fragments::shacl::{PathExpr, Schema, Shape};
+use shape_fragments::sparql::eval::EvalConfig;
+
+const PREFIXES: &str = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://e/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+"#;
+
+fn ex(n: &str) -> Term {
+    Term::iri(format!("http://e/{n}"))
+}
+
+fn exi(n: &str) -> Iri {
+    Iri::new(format!("http://e/{n}"))
+}
+
+fn t(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(ex(s), exi(p), ex(o))
+}
+
+/// Example 1.1–1.3: the WorkshopShape in real SHACL syntax, with the Paper
+/// class target; validation, neighborhoods and the schema fragment.
+#[test]
+fn workshop_shape_end_to_end() {
+    let schema = parse_shapes_turtle(&format!(
+        "{PREFIXES}
+ex:WorkshopShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [
+    sh:path ex:author ;
+    sh:qualifiedMinCount 1 ;
+    sh:qualifiedValueShape [ sh:class ex:Student ] ] .
+"
+    ))
+    .unwrap();
+
+    let data = turtle::parse(&format!(
+        "{PREFIXES}
+ex:p1 rdf:type ex:Paper ; ex:author ex:alice , ex:bob .
+ex:alice rdf:type ex:Student .
+ex:bob rdf:type ex:Professor .
+ex:venue rdf:type ex:Conference ; ex:hosts ex:p1 .
+"
+    ))
+    .unwrap();
+
+    // The graph validates: p1 has a student author.
+    assert!(validate(&schema, &data).conforms());
+
+    // Example 1.2: the neighborhood of p1 for the shape consists of the
+    // (p1, author, alice) triple and alice's Student typing.
+    let def = schema.iter().next().unwrap();
+    let mut ctx = Context::new(&schema, &data);
+    let v = data.id_of(&ex("p1")).unwrap();
+    assert!(ctx.conforms(v, &def.shape));
+    let b = shape_fragments::core::neighborhood(&mut ctx, v, &def.shape);
+    assert!(b.contains(&t("p1", "author", "alice")));
+    assert!(b
+        .iter()
+        .any(|tr| tr.subject == ex("alice") && tr.object == ex("Student")));
+    assert!(!b.contains(&t("p1", "author", "bob")));
+
+    // Example 1.3: the schema fragment contains the target triples plus the
+    // neighborhoods, and (Theorem 4.1) still validates.
+    let frag = schema_fragment(&schema, &data);
+    assert!(frag
+        .iter()
+        .any(|tr| tr.subject == ex("p1") && tr.object == ex("Paper")));
+    assert!(frag.contains(&t("p1", "author", "alice")));
+    assert!(!frag.iter().any(|tr| tr.subject == ex("venue")));
+    assert!(validate(&schema, &frag).conforms());
+
+    // Instrumented validation produces the same fragment in one pass.
+    let instrumented = validate_with_provenance(&schema, &data);
+    assert!(instrumented.report.conforms());
+    assert_eq!(instrumented.fragment, frag);
+
+    // And the SPARQL route (Corollary 5.5) agrees.
+    let request = schema.request_shapes();
+    let via_sparql =
+        fragment_via_sparql(&schema, &data, &request, &EvalConfig::indexed()).unwrap();
+    assert_eq!(via_sparql, frag);
+}
+
+/// Example 2.2 / 3.3: the "happy at work" shape in real SHACL syntax.
+#[test]
+fn happy_at_work_end_to_end() {
+    let schema = parse_shapes_turtle(&format!(
+        "{PREFIXES}
+ex:HappyAtWork a sh:NodeShape ;
+  sh:targetSubjectsOf ex:friend ;
+  sh:not [ sh:path ex:friend ; sh:disjoint ex:colleague ] .
+"
+    ))
+    .unwrap();
+    let data = turtle::parse(&format!(
+        "{PREFIXES}
+ex:v ex:friend ex:x , ex:y ; ex:colleague ex:x .
+ex:w ex:friend ex:z ; ex:colleague ex:q .
+"
+    ))
+    .unwrap();
+    let report = validate(&schema, &data);
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].focus, ex("w"));
+
+    // The neighborhood of the conforming node pairs each common friend and
+    // colleague (Example 3.3).
+    let def = schema.iter().next().unwrap();
+    let mut ctx = Context::new(&schema, &data);
+    let v = data.id_of(&ex("v")).unwrap();
+    let b = shape_fragments::core::neighborhood(&mut ctx, v, &def.shape);
+    assert_eq!(
+        b,
+        Graph::from_triples([t("v", "friend", "x"), t("v", "colleague", "x")])
+    );
+}
+
+/// Example 3.5 in full: two shape definitions over the paper graph,
+/// including the negation-normal-form conversion of φ₂.
+#[test]
+fn example_3_5_schema() {
+    let g = Graph::from_triples([
+        t("p1", "type", "paper"),
+        t("p1", "auth", "Anne"),
+        t("p1", "auth", "Bob"),
+        t("Anne", "type", "prof"),
+        t("Bob", "type", "student"),
+    ]);
+    let tau = Shape::geq(1, PathExpr::prop(exi("type")), Shape::has_value(ex("paper")));
+    let phi1 = Shape::geq(1, PathExpr::prop(exi("auth")), Shape::True);
+    // φ₂ written with negation, exercising the NNF path:
+    // ≤1 auth.¬≥1 type.hasValue(student).
+    let phi2 = Shape::leq(
+        1,
+        PathExpr::prop(exi("auth")),
+        Shape::geq(1, PathExpr::prop(exi("type")), Shape::has_value(ex("student"))).not(),
+    );
+    let schema = Schema::empty();
+    let mut ctx = Context::new(&schema, &g);
+    let p1 = g.id_of(&ex("p1")).unwrap();
+
+    let b1 = shape_fragments::core::neighborhood(&mut ctx, p1, &phi1.clone().and(tau.clone()));
+    assert_eq!(
+        b1,
+        Graph::from_triples([
+            t("p1", "type", "paper"),
+            t("p1", "auth", "Anne"),
+            t("p1", "auth", "Bob"),
+        ])
+    );
+
+    let b2 = shape_fragments::core::neighborhood(&mut ctx, p1, &phi2.clone().and(tau));
+    assert_eq!(
+        b2,
+        Graph::from_triples([
+            t("p1", "type", "paper"),
+            t("p1", "auth", "Bob"),
+            t("Bob", "type", "student"),
+        ])
+    );
+
+    // "We are free to add (Anne, type, prof) without breaking Sufficiency."
+    let mut relaxed = b2.clone();
+    relaxed.insert(t("Anne", "type", "prof"));
+    let mut rctx = Context::new(&schema, &relaxed);
+    let p1r = relaxed.id_of(&ex("p1")).unwrap();
+    assert!(rctx.conforms(p1r, &phi2));
+
+    // "Omitting (Bob, type, student) would break Sufficiency": with a
+    // truncated neighborhood B' = B \ {(Bob, type, student)}, the
+    // intermediate graph G' = G \ {(Bob, type, student)} satisfies
+    // B' ⊆ G' ⊆ G but p1 no longer conforms to φ₂ there (both Anne and
+    // Bob then count as non-student authors).
+    let mut broken = g.clone();
+    broken.remove(&t("Bob", "type", "student"));
+    let mut bctx = Context::new(&schema, &broken);
+    let p1b = broken.id_of(&ex("p1")).unwrap();
+    assert!(!bctx.conforms(p1b, &phi2));
+}
+
+/// Example 4.3: the converse of Corollary 4.2 fails for non-monotone
+/// shapes.
+#[test]
+fn example_4_3_converse_fails() {
+    let g = Graph::from_triples([t("a", "p", "b")]);
+    let shape = Shape::leq(0, PathExpr::prop(exi("p")), Shape::True);
+    let schema = Schema::empty();
+    let frag = fragment(&schema, &g, std::slice::from_ref(&shape));
+    assert!(frag.is_empty());
+    let mut ctx = Context::new(&schema, &g);
+    assert!(!ctx.conforms_term(&ex("a"), &shape));
+    let mut fctx = Context::new(&schema, &frag);
+    assert!(fctx.conforms_term(&ex("a"), &shape));
+}
+
+/// Example 5.6: the "all my friends like ping-pong" fragment via SPARQL.
+#[test]
+fn example_5_6_fragment_via_sparql() {
+    let g = Graph::from_triples([
+        t("me", "friend", "f1"),
+        t("f1", "likes", "pingpong"),
+        t("you", "friend", "f2"),
+        t("f2", "likes", "chess"),
+    ]);
+    let shape = Shape::for_all(
+        PathExpr::prop(exi("friend")),
+        Shape::geq(1, PathExpr::prop(exi("likes")), Shape::has_value(ex("pingpong"))),
+    );
+    let schema = Schema::empty();
+    let native = fragment(&schema, &g, std::slice::from_ref(&shape));
+    let via_sparql =
+        fragment_via_sparql(&schema, &g, std::slice::from_ref(&shape), &EvalConfig::indexed())
+            .unwrap();
+    assert_eq!(native, via_sparql);
+    assert!(native.contains(&t("me", "friend", "f1")));
+    assert!(native.contains(&t("f1", "likes", "pingpong")));
+    assert!(!native.contains(&t("you", "friend", "f2")));
+}
+
+/// Remark 3.7 via the public provenance API: why and why-not.
+#[test]
+fn why_and_why_not() {
+    let g = Graph::from_triples([t("v", "p", "c"), t("v", "p", "d")]);
+    let schema = Schema::empty();
+    let all_c = Shape::for_all(PathExpr::prop(exi("p")), Shape::has_value(ex("c")));
+
+    let e = explain(&schema, &g, &ex("v"), &all_c);
+    assert!(!e.conforms());
+    assert_eq!(e.subgraph(), &Graph::from_triples([t("v", "p", "d")]));
+
+    let some_c = Shape::geq(1, PathExpr::prop(exi("p")), Shape::has_value(ex("c")));
+    let e = explain(&schema, &g, &ex("v"), &some_c);
+    assert!(e.conforms());
+    assert_eq!(e.subgraph(), &Graph::from_triples([t("v", "p", "c")]));
+}
+
+/// The Vardi query of §5.3.2 on a miniature co-authorship graph: the
+/// fragment contains exactly the authorship triples on connecting paths.
+#[test]
+fn vardi_miniature() {
+    // papers: q1 (vardi, ann), q2 (ann, bob), q3 (zoe) — zoe is at
+    // distance ∞, bob at distance 2.
+    let g = Graph::from_triples([
+        t("q1", "a", "vardi"),
+        t("q1", "a", "ann"),
+        t("q2", "a", "ann"),
+        t("q2", "a", "bob"),
+        t("q3", "a", "zoe"),
+    ]);
+    let hop = PathExpr::prop(exi("a")).inverse().then(PathExpr::prop(exi("a")));
+    let shape = Shape::geq(1, hop.repeat(3), Shape::has_value(ex("vardi")));
+    let schema = Schema::empty();
+    let mut ctx = Context::new(&schema, &g);
+    for node in ["vardi", "ann", "bob"] {
+        assert!(ctx.conforms_term(&ex(node), &shape), "{node} within distance 3");
+    }
+    assert!(!ctx.conforms_term(&ex("zoe"), &shape));
+    let frag = fragment(&schema, &g, &[shape]);
+    assert_eq!(frag.len(), 4, "all connecting authorship triples, not q3's");
+    assert!(!frag.contains(&t("q3", "a", "zoe")));
+}
+
+/// The shapes graph of the README quickstart parses and behaves.
+#[test]
+fn nested_real_shacl_features() {
+    let schema = parse_shapes_turtle(&format!(
+        "{PREFIXES}
+ex:PersonShape a sh:NodeShape ;
+  sh:targetClass ex:Person ;
+  sh:property [ sh:path ex:email ; sh:minCount 1 ;
+                sh:pattern \"^[\\\\w.]+@[\\\\w.]+$\" ] ;
+  sh:property [ sh:path ( ex:worksFor ex:name ) ; sh:minCount 1 ] ;
+  sh:property [ sh:path [ sh:inversePath ex:manages ] ; sh:maxCount 1 ] .
+"
+    ))
+    .unwrap();
+    let ok = turtle::parse(&format!(
+        "{PREFIXES}
+ex:ann rdf:type ex:Person ; ex:email \"ann@corp.example\" ; ex:worksFor ex:acme .
+ex:acme ex:name \"Acme\" .
+ex:boss ex:manages ex:ann .
+"
+    ))
+    .unwrap();
+    assert!(validate(&schema, &ok).conforms());
+    let bad = turtle::parse(&format!(
+        "{PREFIXES}
+ex:bob rdf:type ex:Person ; ex:email \"not an email\" ; ex:worksFor ex:acme .
+ex:acme ex:name \"Acme\" .
+"
+    ))
+    .unwrap();
+    assert!(!validate(&schema, &bad).conforms());
+}

@@ -1,0 +1,90 @@
+//! Totality fuzzing: every parser in the workspace must return a proper
+//! error (never panic) on arbitrary input, including inputs that start out
+//! as valid documents and get mangled.
+
+mod common;
+
+use proptest::prelude::*;
+
+use shape_fragments::rdf::{ntriples, turtle};
+use shape_fragments::shacl::parser::parse_shapes_turtle;
+use shape_fragments::shacl::regex::Pattern;
+use shape_fragments::sparql::parser::parse_select;
+
+const VALID_TURTLE: &str = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://e/> .
+ex:S a sh:NodeShape ; sh:targetClass ex:T ;
+  sh:property [ sh:path ex:p ; sh:minCount 1 ; sh:pattern "^a+$" ] ;
+  sh:or ( ex:A ex:B ) .
+"#;
+
+const VALID_SPARQL: &str = "PREFIX ex: <http://e/>\nSELECT DISTINCT ?s WHERE { \
+    { ?s ex:p/ex:q* ?o . FILTER (?o != ex:x && strlen(str(?o)) > 2) } \
+    UNION { ?s !(ex:p|ex:q) ?o } OPTIONAL { ?o ex:r ?z } }";
+
+/// Deletes, duplicates, or replaces one character.
+fn mangle(text: &str, pos: usize, mode: u8, replacement: char) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let pos = pos % chars.len();
+    let mut out = chars.clone();
+    match mode % 3 {
+        0 => {
+            out.remove(pos);
+        }
+        1 => out.insert(pos, replacement),
+        _ => out[pos] = replacement,
+    }
+    out.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn turtle_parser_total(input in "[ -~\\n]{0,120}") {
+        let _ = turtle::parse(&input);
+    }
+
+    #[test]
+    fn ntriples_parser_total(input in "[ -~\\n]{0,120}") {
+        let _ = ntriples::parse(&input);
+    }
+
+    #[test]
+    fn sparql_parser_total(input in "[ -~\\n]{0,120}") {
+        let _ = parse_select(&input);
+    }
+
+    #[test]
+    fn shapes_graph_parser_total(input in "[ -~\\n]{0,120}") {
+        let _ = parse_shapes_turtle(&input);
+    }
+
+    #[test]
+    fn regex_compiler_total(input in "[ -~]{0,40}") {
+        let _ = Pattern::compile(&input, "i");
+    }
+
+    /// Mutations of a valid shapes document never panic the full pipeline.
+    #[test]
+    fn mangled_shapes_graph_total(pos in 0usize..400, mode in 0u8..3, c in any::<char>()) {
+        let mangled = mangle(VALID_TURTLE, pos, mode, c);
+        let _ = parse_shapes_turtle(&mangled);
+    }
+
+    /// Mutations of a valid query never panic the SPARQL parser, and when
+    /// they still parse, evaluation on a small graph never panics either.
+    #[test]
+    fn mangled_sparql_total(pos in 0usize..200, mode in 0u8..3, c in any::<char>()) {
+        let mangled = mangle(VALID_SPARQL, pos, mode, c);
+        if let Ok(query) = parse_select(&mangled) {
+            let g = turtle::parse("@prefix ex: <http://e/> . ex:a ex:p ex:b . ex:b ex:q ex:c .")
+                .unwrap();
+            let _ = shape_fragments::sparql::eval(&g, &query);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the built-in regex engine behind `sh:pattern`.
+
+use proptest::prelude::*;
+
+use shape_fragments::shacl::regex::Pattern;
+
+fn escape_regex(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        if "\\^$.|?*+()[]{}".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Compiling arbitrary pattern text never panics (it may error), and a
+    /// successfully compiled pattern never panics while matching.
+    #[test]
+    fn compile_and_match_total(
+        pattern in "[ -~]{0,16}",
+        input in "[ -~]{0,24}",
+    ) {
+        if let Ok(p) = Pattern::compile(&pattern, "") {
+            let _ = p.is_match(&input);
+        }
+    }
+
+    /// An escaped literal pattern behaves like substring search.
+    #[test]
+    fn escaped_literal_is_substring_search(
+        needle in "[a-zA-Z0-9 ]{1,8}",
+        haystack in "[a-zA-Z0-9 ]{0,24}",
+    ) {
+        let p = Pattern::compile(&escape_regex(&needle), "").unwrap();
+        prop_assert_eq!(p.is_match(&haystack), haystack.contains(&needle));
+    }
+
+    /// Fully anchored escaped literals behave like equality.
+    #[test]
+    fn anchored_literal_is_equality(
+        a in "[a-z]{0,8}",
+        b in "[a-z]{0,8}",
+    ) {
+        let p = Pattern::compile(&format!("^{}$", escape_regex(&a)), "").unwrap();
+        prop_assert_eq!(p.is_match(&b), a == b);
+    }
+
+    /// `^[c]+$` matches exactly the nonempty strings over the class.
+    #[test]
+    fn class_plus_semantics(input in "[a-c]{0,10}", other in "[d-z]{1,5}") {
+        let p = Pattern::compile("^[a-c]+$", "").unwrap();
+        prop_assert_eq!(p.is_match(&input), !input.is_empty());
+        let extended = format!("{input}{other}");
+        prop_assert!(!p.is_match(&extended));
+    }
+
+    /// Case-insensitive matching equals matching the lowercased input.
+    #[test]
+    fn case_insensitive_consistency(
+        needle in "[a-z]{1,6}",
+        input in "[a-zA-Z]{0,16}",
+    ) {
+        let ci = Pattern::compile(&needle, "i").unwrap();
+        let cs = Pattern::compile(&needle, "").unwrap();
+        prop_assert_eq!(ci.is_match(&input), cs.is_match(&input.to_lowercase()));
+    }
+
+    /// Bounded repetition agrees with unrolled alternatives.
+    #[test]
+    fn bounded_repetition(n in 0usize..6) {
+        let p = Pattern::compile("^a{2,4}$", "").unwrap();
+        let input = "a".repeat(n);
+        prop_assert_eq!(p.is_match(&input), (2..=4).contains(&n));
+    }
+}

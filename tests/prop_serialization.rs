@@ -1,0 +1,93 @@
+//! Round-trip property tests for the RDF serializers: any graph the data
+//! model can represent must survive N-Triples and Turtle serialization,
+//! including literals with awkward lexical forms.
+
+mod common;
+
+use proptest::prelude::*;
+
+use shape_fragments::rdf::{ntriples, turtle, Graph, Iri, Literal, Term, Triple};
+
+/// Terms with adversarial literal content (quotes, escapes, newlines,
+/// unicode, language tags, datatypes).
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Arbitrary text, including escapes and newlines.
+        "[ -~\\n\\t\"\\\\]{0,24}".prop_map(Literal::string),
+        // Unicode text.
+        proptest::string::string_regex("[a-zA-Zéüλ中🦀 ]{0,12}")
+            .unwrap()
+            .prop_map(Literal::string),
+        // Language-tagged.
+        ("[a-z]{2}(-[A-Z]{2})?", "[ -~]{0,10}").prop_map(|(lang, s)| {
+            Literal::lang_string(s.replace(['\\', '"'], ""), &lang)
+        }),
+        any::<i64>().prop_map(Literal::integer),
+        any::<bool>().prop_map(Literal::boolean),
+        // Custom datatype.
+        "[a-z]{1,8}".prop_map(|s| Literal::typed(s, Iri::new("http://dt.example.org/t"))),
+    ]
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        3 => "[a-z]{1,6}".prop_map(|s| Term::iri(format!("http://e/{s}"))),
+        1 => "[A-Za-z][A-Za-z0-9]{0,5}".prop_map(Term::blank),
+        2 => literal_strategy().prop_map(Term::Literal),
+    ]
+}
+
+fn any_graph() -> impl Strategy<Value = Graph> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                3 => "[a-z]{1,6}".prop_map(|s| Term::iri(format!("http://e/{s}"))),
+                1 => "[A-Za-z][A-Za-z0-9]{0,5}".prop_map(Term::blank),
+            ],
+            "[a-z]{1,6}".prop_map(|s| Iri::new(format!("http://e/p/{s}"))),
+            term_strategy(),
+        ),
+        0..25,
+    )
+    .prop_map(|triples| {
+        Graph::from_triples(triples.into_iter().map(|(s, p, o)| Triple::new(s, p, o)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// N-Triples round trip is the identity on graphs.
+    #[test]
+    fn ntriples_round_trip(g in any_graph()) {
+        let text = ntriples::serialize(&g);
+        let parsed = ntriples::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{text}")))?;
+        prop_assert_eq!(parsed, g);
+    }
+
+    /// Turtle round trip (without prefixes) is the identity on graphs.
+    #[test]
+    fn turtle_round_trip(g in any_graph()) {
+        let text = turtle::serialize(&g, &[]);
+        let parsed = turtle::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{text}")))?;
+        prop_assert_eq!(parsed, g);
+    }
+
+    /// Turtle round trip with a prefix map also preserves the graph.
+    #[test]
+    fn turtle_round_trip_with_prefixes(g in any_graph()) {
+        let text = turtle::serialize(&g, &[("e", "http://e/"), ("p", "http://e/p/")]);
+        let parsed = turtle::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{text}")))?;
+        prop_assert_eq!(parsed, g);
+    }
+
+    /// Serialization is deterministic.
+    #[test]
+    fn serialization_deterministic(g in any_graph()) {
+        prop_assert_eq!(ntriples::serialize(&g), ntriples::serialize(&g));
+        prop_assert_eq!(turtle::serialize(&g, &[]), turtle::serialize(&g, &[]));
+    }
+}

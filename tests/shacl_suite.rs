@@ -1,0 +1,298 @@
+//! A data-driven SHACL-core conformance suite in the style of the W3C
+//! data-shapes test suite: each case is (shapes Turtle, data Turtle,
+//! expected violating focus nodes), run through the full pipeline —
+//! Turtle parsing → Appendix A translation → validation — plus a
+//! provenance cross-check: every conforming target's neighborhood must be
+//! sufficient in isolation.
+
+use shape_fragments::core::neighborhood_term;
+use shape_fragments::rdf::{turtle, Term};
+use shape_fragments::shacl::parser::parse_shapes_turtle;
+use shape_fragments::shacl::validator::{validate, Context};
+use shape_fragments::shacl::Shape;
+
+const PREFIXES: &str = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://e/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+"#;
+
+struct Case {
+    name: &'static str,
+    shapes: &'static str,
+    data: &'static str,
+    /// Local names (under `http://e/`) of expected violating focus nodes.
+    violations: &'static [&'static str],
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "minCount",
+            shapes: "ex:S a sh:NodeShape ; sh:targetClass ex:T ;
+                     sh:property [ sh:path ex:p ; sh:minCount 2 ] .",
+            data: "ex:a rdf:type ex:T ; ex:p ex:x , ex:y .
+                   ex:b rdf:type ex:T ; ex:p ex:x .
+                   ex:c rdf:type ex:T .",
+            violations: &["b", "c"],
+        },
+        Case {
+            name: "maxCount-zero",
+            shapes: "ex:S a sh:NodeShape ; sh:targetClass ex:T ;
+                     sh:property [ sh:path ex:deprecated ; sh:maxCount 0 ] .",
+            data: "ex:a rdf:type ex:T .
+                   ex:b rdf:type ex:T ; ex:deprecated ex:x .",
+            violations: &["b"],
+        },
+        Case {
+            name: "class-with-subclass",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:knows ;
+                     sh:property [ sh:path ex:knows ; sh:class ex:Agent ] .",
+            data: "ex:Person rdfs:subClassOf ex:Agent .
+                   ex:a ex:knows ex:p1 . ex:p1 rdf:type ex:Person .
+                   ex:b ex:knows ex:r1 . ex:r1 rdf:type ex:Robot .",
+            violations: &["b"],
+        },
+        Case {
+            name: "datatype",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:age ;
+                     sh:property [ sh:path ex:age ; sh:datatype xsd:integer ] .",
+            data: "ex:a ex:age 30 .
+                   ex:b ex:age \"thirty\" .
+                   ex:c ex:age \"30\"^^xsd:decimal .",
+            violations: &["b", "c"],
+        },
+        Case {
+            name: "nodeKind-literal",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:label ;
+                     sh:property [ sh:path ex:label ; sh:nodeKind sh:Literal ] .",
+            data: "ex:a ex:label \"fine\" .
+                   ex:b ex:label ex:notALiteral .",
+            violations: &["b"],
+        },
+        Case {
+            name: "min-max-range",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:score ;
+                     sh:property [ sh:path ex:score ; sh:minInclusive 0 ; sh:maxInclusive 100 ] .",
+            data: "ex:a ex:score 0 . ex:b ex:score 100 . ex:c ex:score 101 . ex:d ex:score -1 .",
+            violations: &["c", "d"],
+        },
+        Case {
+            name: "pattern-with-flags",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:code ;
+                     sh:property [ sh:path ex:code ; sh:pattern \"^ab+c$\" ; sh:flags \"i\" ] .",
+            data: "ex:a ex:code \"ABBC\" . ex:b ex:code \"ac\" .",
+            violations: &["b"],
+        },
+        Case {
+            name: "minLength-on-iri",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:link ;
+                     sh:property [ sh:path ex:link ; sh:minLength 9 ] .",
+            data: "ex:a ex:link <http://e/xx> . ex:b ex:link \"short\" .",
+            violations: &["b"],
+        },
+        Case {
+            name: "languageIn",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:title ;
+                     sh:property [ sh:path ex:title ; sh:languageIn ( \"en\" \"de\" ) ] .",
+            data: "ex:a ex:title \"ok\"@en-GB .
+                   ex:b ex:title \"non\"@fr .
+                   ex:c ex:title \"untagged\" .",
+            violations: &["b", "c"],
+        },
+        Case {
+            name: "uniqueLang",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:title ;
+                     sh:property [ sh:path ex:title ; sh:uniqueLang true ] .",
+            data: "ex:a ex:title \"one\"@en , \"zwei\"@de .
+                   ex:b ex:title \"one\"@en , \"two\"@en .",
+            violations: &["b"],
+        },
+        Case {
+            name: "equals",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:given ;
+                     sh:property [ sh:path ex:given ; sh:equals ex:preferred ] .",
+            data: "ex:a ex:given ex:x ; ex:preferred ex:x .
+                   ex:b ex:given ex:x ; ex:preferred ex:y .",
+            violations: &["b"],
+        },
+        Case {
+            name: "disjoint",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:parent ;
+                     sh:property [ sh:path ex:parent ; sh:disjoint ex:child ] .",
+            data: "ex:a ex:parent ex:x ; ex:child ex:y .
+                   ex:b ex:parent ex:x ; ex:child ex:x .",
+            violations: &["b"],
+        },
+        Case {
+            name: "lessThanOrEquals",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:min ;
+                     sh:property [ sh:path ex:min ; sh:lessThanOrEquals ex:max ] .",
+            data: "ex:a ex:min 3 ; ex:max 3 .
+                   ex:b ex:min 4 ; ex:max 3 .",
+            violations: &["b"],
+        },
+        Case {
+            name: "hasValue-existential",
+            shapes: "ex:S a sh:NodeShape ; sh:targetClass ex:T ;
+                     sh:property [ sh:path ex:tag ; sh:hasValue ex:required ] .",
+            data: "ex:a rdf:type ex:T ; ex:tag ex:required , ex:other .
+                   ex:b rdf:type ex:T ; ex:tag ex:other .",
+            violations: &["b"],
+        },
+        Case {
+            name: "in-enumeration",
+            shapes: "ex:S a sh:NodeShape ; sh:targetSubjectsOf ex:status ;
+                     sh:property [ sh:path ex:status ; sh:in ( ex:on ex:off ) ] .",
+            data: "ex:a ex:status ex:on .
+                   ex:b ex:status ex:broken .",
+            violations: &["b"],
+        },
+        Case {
+            name: "not",
+            shapes: "ex:Deprecated a sh:NodeShape ;
+                       sh:property [ sh:path ex:deprecated ; sh:minCount 1 ] .
+                     ex:S a sh:NodeShape ; sh:targetClass ex:T ; sh:not ex:Deprecated .",
+            data: "ex:a rdf:type ex:T .
+                   ex:b rdf:type ex:T ; ex:deprecated true .",
+            violations: &["b"],
+        },
+        Case {
+            name: "and",
+            shapes: "ex:HasP a sh:NodeShape ; sh:property [ sh:path ex:p ; sh:minCount 1 ] .
+                     ex:HasQ a sh:NodeShape ; sh:property [ sh:path ex:q ; sh:minCount 1 ] .
+                     ex:S a sh:NodeShape ; sh:targetClass ex:T ; sh:and ( ex:HasP ex:HasQ ) .",
+            data: "ex:a rdf:type ex:T ; ex:p ex:x ; ex:q ex:y .
+                   ex:b rdf:type ex:T ; ex:p ex:x .",
+            violations: &["b"],
+        },
+        Case {
+            name: "closed-with-ignored",
+            shapes: "ex:S a sh:NodeShape ; sh:targetClass ex:T ;
+                     sh:closed true ; sh:ignoredProperties ( rdf:type ) ;
+                     sh:property [ sh:path ex:allowed ] .",
+            data: "ex:a rdf:type ex:T ; ex:allowed ex:x .
+                   ex:b rdf:type ex:T ; ex:allowed ex:x ; ex:extra ex:y .",
+            violations: &["b"],
+        },
+        Case {
+            name: "inverse-path",
+            shapes: "ex:S a sh:NodeShape ; sh:targetClass ex:T ;
+                     sh:property [ sh:path [ sh:inversePath ex:memberOf ] ; sh:minCount 1 ] .",
+            data: "ex:a rdf:type ex:T . ex:m ex:memberOf ex:a .
+                   ex:b rdf:type ex:T .",
+            violations: &["b"],
+        },
+        Case {
+            name: "sequence-path",
+            shapes: "ex:S a sh:NodeShape ; sh:targetClass ex:T ;
+                     sh:property [ sh:path ( ex:address ex:city ) ; sh:minCount 1 ] .",
+            data: "ex:a rdf:type ex:T ; ex:address ex:ad1 . ex:ad1 ex:city ex:rome .
+                   ex:b rdf:type ex:T ; ex:address ex:ad2 .",
+            violations: &["b"],
+        },
+        Case {
+            name: "zeroOrMore-path",
+            shapes: "ex:S a sh:NodeShape ; sh:targetClass ex:T ;
+                     sh:property [ sh:path [ sh:zeroOrMorePath ex:next ] ; sh:maxCount 3 ] .",
+            data: "ex:a rdf:type ex:T ; ex:next ex:n1 . ex:n1 ex:next ex:n2 .
+                   ex:b rdf:type ex:T ; ex:next ex:m1 . ex:m1 ex:next ex:m2 . ex:m2 ex:next ex:m3 .",
+            violations: &["b"],
+        },
+        Case {
+            name: "targetNode-and-targetObjectsOf",
+            shapes: "ex:S1 a sh:NodeShape ; sh:targetNode ex:a ;
+                       sh:property [ sh:path ex:p ; sh:minCount 1 ] .
+                     ex:S2 a sh:NodeShape ; sh:targetObjectsOf ex:refersTo ;
+                       sh:property [ sh:path ex:q ; sh:minCount 1 ] .",
+            data: "ex:a ex:other ex:x .
+                   ex:y ex:refersTo ex:z .",
+            violations: &["a", "z"],
+        },
+        Case {
+            name: "qualified-min-count",
+            shapes: "ex:S a sh:NodeShape ; sh:targetClass ex:T ;
+                     sh:property [ sh:path ex:member ; sh:qualifiedMinCount 2 ;
+                                   sh:qualifiedValueShape [ sh:class ex:Adult ] ] .",
+            data: "ex:a rdf:type ex:T ; ex:member ex:p1 , ex:p2 , ex:p3 .
+                   ex:p1 rdf:type ex:Adult . ex:p2 rdf:type ex:Adult .
+                   ex:b rdf:type ex:T ; ex:member ex:p1 , ex:q1 .
+                   ex:q1 rdf:type ex:Child .",
+            violations: &["b"],
+        },
+        Case {
+            name: "nested-node-shape",
+            shapes: "ex:CityShape a sh:NodeShape ;
+                       sh:property [ sh:path ex:name ; sh:minCount 1 ] .
+                     ex:S a sh:NodeShape ; sh:targetClass ex:T ;
+                       sh:property [ sh:path ex:city ; sh:node ex:CityShape ] .",
+            data: "ex:a rdf:type ex:T ; ex:city ex:rome . ex:rome ex:name \"Roma\" .
+                   ex:b rdf:type ex:T ; ex:city ex:nowhere .",
+            violations: &["b"],
+        },
+    ]
+}
+
+#[test]
+fn shacl_core_suite() {
+    for case in cases() {
+        let schema = parse_shapes_turtle(&format!("{PREFIXES}\n{}", case.shapes))
+            .unwrap_or_else(|e| panic!("[{}] shapes do not parse: {e}", case.name));
+        let data = turtle::parse(&format!("{PREFIXES}\n{}", case.data))
+            .unwrap_or_else(|e| panic!("[{}] data does not parse: {e}", case.name));
+        let report = validate(&schema, &data);
+        let mut got: Vec<String> = report
+            .violations
+            .iter()
+            .map(|v| {
+                v.focus
+                    .to_string()
+                    .trim_start_matches("<http://e/")
+                    .trim_end_matches('>')
+                    .to_string()
+            })
+            .collect();
+        got.sort();
+        got.dedup();
+        let mut want: Vec<String> = case.violations.iter().map(|s| s.to_string()).collect();
+        want.sort();
+        assert_eq!(got, want, "[{}] unexpected violation set", case.name);
+    }
+}
+
+/// For every case and every *conforming* target node, the extracted
+/// neighborhood alone must satisfy the shape (Sufficiency at `G' = B`).
+#[test]
+fn suite_neighborhoods_are_sufficient() {
+    for case in cases() {
+        let schema =
+            parse_shapes_turtle(&format!("{PREFIXES}\n{}", case.shapes)).expect("shapes parse");
+        let data = turtle::parse(&format!("{PREFIXES}\n{}", case.data)).expect("data parses");
+        let mut ctx = Context::new(&schema, &data);
+        for def in schema.iter() {
+            let targets: Vec<Term> = ctx
+                .target_nodes(&def.target)
+                .into_iter()
+                .map(|id| data.term(id).clone())
+                .collect();
+            for node in targets {
+                let shape = Shape::HasShape(def.name.clone());
+                if !ctx.conforms_term(&node, &shape) {
+                    continue;
+                }
+                let b = neighborhood_term(&mut ctx, &node, &shape);
+                let mut b2 = b.clone();
+                b2.intern(&node);
+                let mut bctx = Context::new(&schema, &b2);
+                assert!(
+                    bctx.conforms_term(&node, &shape),
+                    "[{}] neighborhood of {node} for {} is not sufficient:\n{b:?}",
+                    case.name,
+                    def.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end integration over the benchmark workload: the 57-shape suite
+//! against a sampled tourism graph, exercised through every major pipeline
+//! at once — validation, instrumented extraction, native fragments, and
+//! the SHACL write→parse round trip.
+
+use shape_fragments::core::{schema_fragment, validate_extract_fragment};
+use shape_fragments::shacl::validator::validate;
+use shape_fragments::shacl::{schema_to_turtle, Schema};
+use shape_fragments::workloads::shapes57::{benchmark_schema, benchmark_shapes};
+use shape_fragments::workloads::tyrolean::{generate, sample_induced, TyroleanConfig};
+
+fn sample() -> shape_fragments::rdf::Graph {
+    let full = generate(&TyroleanConfig::new(600, 0xE2E));
+    sample_induced(&full, 200, 1)
+}
+
+#[test]
+fn instrumented_fragment_matches_definitional_fragment() {
+    let graph = sample();
+    let schema = benchmark_schema();
+    let (report, fragment) = validate_extract_fragment(&schema, &graph);
+    let fragment = fragment.to_graph(&graph);
+    assert!(report.checked > 100, "targets were selected");
+    assert!(fragment.is_subgraph_of(&graph));
+
+    // The definitional Frag(G, H) ranges over all nodes with φ∧τ request
+    // shapes; the instrumented pass must agree on conforming targets. On a
+    // graph with violations the two coincide because non-conforming nodes
+    // contribute ∅ either way.
+    let definitional = schema_fragment(&schema, &graph);
+    assert_eq!(fragment, definitional);
+}
+
+#[test]
+fn suite_round_trips_through_shacl_turtle() {
+    let graph = sample();
+    let schema = benchmark_schema();
+    let text = schema_to_turtle(&schema);
+    assert!(text.len() > 2_000, "a real shapes document");
+    let reparsed: Schema = shape_fragments::shacl::parser::parse_shapes_turtle(&text)
+        .expect("57-shape suite reparses from Turtle");
+
+    // The reparsed schema introduces auxiliary property-shape definitions,
+    // but the original names must all survive…
+    for def in benchmark_shapes() {
+        assert!(
+            reparsed.get(&def.name).is_some(),
+            "{} lost in round trip",
+            def.name
+        );
+    }
+    // …and produce the identical validation report.
+    let before = validate(&schema, &graph);
+    let after = validate(&reparsed, &graph);
+    assert_eq!(before.conforms(), after.conforms());
+    let mut v1: Vec<_> = before.violations.iter().map(|v| (&v.shape, &v.focus)).collect();
+    let mut v2: Vec<_> = after.violations.iter().map(|v| (&v.shape, &v.focus)).collect();
+    v1.sort();
+    v2.sort();
+    assert_eq!(v1, v2, "violation sets differ after round trip");
+}
+
+#[test]
+fn fragment_validates_after_extraction() {
+    // Theorem 4.1 at workload scale: restrict to the conforming subset of
+    // the schema (drop definitions with any violating target) and check
+    // the fragment of that sub-schema still validates.
+    let graph = sample();
+    let schema = benchmark_schema();
+    let report = validate(&schema, &graph);
+    let violating: std::collections::HashSet<_> =
+        report.violations.iter().map(|v| v.shape.clone()).collect();
+    let clean = Schema::new(
+        benchmark_shapes()
+            .into_iter()
+            .filter(|d| !violating.contains(&d.name)),
+    )
+    .expect("sub-schema is valid");
+    assert!(clean.len() > 20, "most shapes validate cleanly");
+    assert!(validate(&clean, &graph).conforms());
+    let frag = schema_fragment(&clean, &graph);
+    assert!(
+        validate(&clean, &frag).conforms(),
+        "Frag(G, H) violates H at workload scale"
+    );
+}
