@@ -24,8 +24,12 @@ fn config() -> Criterion {
 fn bench_neighborhood(c: &mut Criterion) {
     let graph = generate(&TyroleanConfig::new(2_000, 11));
     let empty = Schema::empty();
-    let review = graph.id_of(&Term::iri("http://tkg.example.org/review0")).unwrap();
-    let lodging = graph.id_of(&Term::iri("http://tkg.example.org/lodging0")).unwrap();
+    let review = graph
+        .id_of(&Term::iri("http://tkg.example.org/review0"))
+        .unwrap();
+    let lodging = graph
+        .id_of(&Term::iri("http://tkg.example.org/lodging0"))
+        .unwrap();
 
     let cases: Vec<(&str, Shape, shapefrag_rdf::TermId)> = vec![
         (
@@ -61,7 +65,11 @@ fn bench_neighborhood(c: &mut Criterion) {
         ),
         (
             "not-eq",
-            Shape::Eq(PathOrId::Path(PathExpr::Prop(schema("name"))), schema("telephone")).not(),
+            Shape::Eq(
+                PathOrId::Path(PathExpr::Prop(schema("name"))),
+                schema("telephone"),
+            )
+            .not(),
             lodging,
         ),
         (
@@ -97,9 +105,7 @@ fn bench_neighborhood(c: &mut Criterion) {
             BenchmarkId::new("parallel", workers),
             &workers,
             |b, &workers| {
-                b.iter(|| {
-                    fragment_par(&empty, &graph, std::slice::from_ref(&frag_shape), workers)
-                });
+                b.iter(|| fragment_par(&empty, &graph, std::slice::from_ref(&frag_shape), workers));
             },
         );
     }
@@ -113,9 +119,11 @@ fn bench_trace_batching(c: &mut Criterion) {
     use std::collections::BTreeSet;
 
     let graph = generate(&TyroleanConfig::new(2_000, 17));
-    let review = graph.id_of(&Term::iri("http://tkg.example.org/review0")).unwrap();
-    let path = PathExpr::Prop(schema("itemReviewed"))
-        .then(PathExpr::Prop(schema("location")).opt());
+    let review = graph
+        .id_of(&Term::iri("http://tkg.example.org/review0"))
+        .unwrap();
+    let path =
+        PathExpr::Prop(schema("itemReviewed")).then(PathExpr::Prop(schema("location")).opt());
     let compiled = CompiledPath::new(&path, &graph);
     let targets: BTreeSet<_> = compiled.eval_from(&graph, review);
     if targets.is_empty() {

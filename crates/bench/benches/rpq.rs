@@ -21,8 +21,12 @@ fn config() -> Criterion {
 
 fn bench_rpq(c: &mut Criterion) {
     let graph = generate(&TyroleanConfig::new(3_000, 7));
-    let review = graph.id_of(&Term::iri("http://tkg.example.org/review0")).unwrap();
-    let lodging = graph.id_of(&Term::iri("http://tkg.example.org/lodging0")).unwrap();
+    let review = graph
+        .id_of(&Term::iri("http://tkg.example.org/review0"))
+        .unwrap();
+    let lodging = graph
+        .id_of(&Term::iri("http://tkg.example.org/lodging0"))
+        .unwrap();
 
     let paths: Vec<(&str, PathExpr, shapefrag_rdf::TermId)> = vec![
         ("simple-prop", PathExpr::Prop(schema("author")), review),
@@ -59,9 +63,13 @@ fn bench_rpq(c: &mut Criterion) {
     let mut group = c.benchmark_group("rpq_eval");
     for (name, path, from) in &paths {
         let compiled = CompiledPath::new(path, &graph);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &compiled, |b, compiled| {
-            b.iter(|| compiled.eval_from(&graph, *from));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| compiled.eval_from(&graph, *from));
+            },
+        );
     }
     group.finish();
 
@@ -72,9 +80,13 @@ fn bench_rpq(c: &mut Criterion) {
         if targets.is_empty() {
             continue;
         }
-        group.bench_with_input(BenchmarkId::from_parameter(name), &compiled, |b, compiled| {
-            b.iter(|| compiled.trace(&graph, *from, &targets));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| compiled.trace(&graph, *from, &targets));
+            },
+        );
     }
     group.finish();
 

@@ -62,8 +62,13 @@ fn bench_sparql(c: &mut Criterion) {
     });
     group.bench_function("generated-sparql", |b| {
         b.iter(|| {
-            fragment_via_sparql(&schema, &shop, std::slice::from_ref(&shape), &EvalConfig::indexed())
-                .unwrap()
+            fragment_via_sparql(
+                &schema,
+                &shop,
+                std::slice::from_ref(&shape),
+                &EvalConfig::indexed(),
+            )
+            .unwrap()
         })
     });
     group.finish();

@@ -1,0 +1,167 @@
+//! **Batch kernel experiment** — set-at-a-time vs. per-node evaluation.
+//!
+//! Runs the full Tyrolean 57-shape suite over a ladder of graph sizes and
+//! measures, per size, the median wall-clock time of
+//!
+//! - plain validation: per-node `validate` vs. `validate_batch`
+//!   (multi-source RPQ kernel + shared conformance memo), and
+//! - validation with fragment extraction:
+//!   `validate_extract_fragment_per_node` vs. the batch
+//!   `validate_extract_fragment`.
+//!
+//! Results (and the batch/per-node speedup per size) are written to
+//! `BENCH_validation.json` in the working directory. Run with `--scale` to
+//! shrink/grow the graphs and `--runs` to change the median sample count.
+
+use std::time::Duration;
+
+use shapefrag_bench::{ms, print_table, time, write_json_to, ExpOptions};
+use shapefrag_core::{validate_extract_fragment, validate_extract_fragment_per_node};
+use shapefrag_shacl::validator::{validate, validate_batch};
+use shapefrag_shacl::Schema;
+use shapefrag_workloads::shapes57::benchmark_shapes;
+use shapefrag_workloads::tyrolean::{generate, sample_induced, TyroleanConfig};
+
+struct SizeRow {
+    individuals: usize,
+    triples: usize,
+    validate_per_node_ms: f64,
+    validate_batch_ms: f64,
+    validate_speedup: f64,
+    extract_per_node_ms: f64,
+    extract_batch_ms: f64,
+    extract_speedup: f64,
+}
+
+struct BatchResults {
+    suite: String,
+    shape_count: usize,
+    runs: usize,
+    rows: Vec<SizeRow>,
+}
+
+shapefrag_bench::impl_to_json!(SizeRow {
+    individuals,
+    triples,
+    validate_per_node_ms,
+    validate_batch_ms,
+    validate_speedup,
+    extract_per_node_ms,
+    extract_batch_ms,
+    extract_speedup,
+});
+shapefrag_bench::impl_to_json!(BatchResults {
+    suite,
+    shape_count,
+    runs,
+    rows,
+});
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let base_individuals = opts.scaled(6_000);
+    let sizes: Vec<usize> = [1usize, 2, 3]
+        .iter()
+        .map(|k| k * base_individuals / 3)
+        .collect();
+    let runs = opts.runs.max(3);
+
+    eprintln!("generating tourism graph with {base_individuals} individuals…");
+    let full = generate(&TyroleanConfig::new(base_individuals, 0xBA7C));
+    let shapes = benchmark_shapes();
+    let shape_count = shapes.len();
+    let schema = Schema::new(shapes).expect("57-shape suite is nonrecursive");
+
+    let mut rows = Vec::new();
+    for (i, &individuals) in sizes.iter().enumerate() {
+        let graph = if individuals >= base_individuals {
+            full.clone()
+        } else {
+            sample_induced(&full, individuals, 300 + i as u64)
+        };
+        eprintln!(
+            "size {individuals} individuals → {} triples ({} runs each)…",
+            graph.len(),
+            runs
+        );
+
+        // Sanity: batch and per-node must agree before we time them.
+        assert_eq!(
+            validate(&schema, &graph),
+            validate_batch(&schema, &graph),
+            "batch validation diverged from per-node at {individuals} individuals"
+        );
+
+        // Interleave the four measurements so slow machine drift (thermal
+        // throttling, allocator state) affects both sides equally.
+        let mut s_val_per_node = Vec::with_capacity(runs);
+        let mut s_val_batch = Vec::with_capacity(runs);
+        let mut s_ext_per_node = Vec::with_capacity(runs);
+        let mut s_ext_batch = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            s_val_per_node.push(time(|| validate(&schema, &graph)).1);
+            s_val_batch.push(time(|| validate_batch(&schema, &graph)).1);
+            s_ext_per_node.push(time(|| validate_extract_fragment_per_node(&schema, &graph)).1);
+            s_ext_batch.push(time(|| validate_extract_fragment(&schema, &graph)).1);
+        }
+        let t_val_per_node = median(s_val_per_node);
+        let t_val_batch = median(s_val_batch);
+        let t_ext_per_node = median(s_ext_per_node);
+        let t_ext_batch = median(s_ext_batch);
+
+        rows.push(SizeRow {
+            individuals,
+            triples: graph.len(),
+            validate_per_node_ms: ms(t_val_per_node),
+            validate_batch_ms: ms(t_val_batch),
+            validate_speedup: ms(t_val_per_node) / ms(t_val_batch).max(1e-9),
+            extract_per_node_ms: ms(t_ext_per_node),
+            extract_batch_ms: ms(t_ext_batch),
+            extract_speedup: ms(t_ext_per_node) / ms(t_ext_batch).max(1e-9),
+        });
+    }
+
+    println!("\nSet-at-a-time kernel vs. per-node evaluation (57-shape suite, median of {runs})\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.individuals),
+                format!("{}", r.triples),
+                format!("{:.1}ms", r.validate_per_node_ms),
+                format!("{:.1}ms", r.validate_batch_ms),
+                format!("{:.2}x", r.validate_speedup),
+                format!("{:.1}ms", r.extract_per_node_ms),
+                format!("{:.1}ms", r.extract_batch_ms),
+                format!("{:.2}x", r.extract_speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "individuals",
+            "triples",
+            "validate/node",
+            "validate/batch",
+            "speedup",
+            "extract/node",
+            "extract/batch",
+            "speedup",
+        ],
+        &table,
+    );
+
+    let results = BatchResults {
+        suite: "tyrolean-57".to_string(),
+        shape_count,
+        runs,
+        rows,
+    };
+    write_json_to("BENCH_validation.json", &results);
+    println!("\nwrote BENCH_validation.json");
+}

@@ -14,8 +14,6 @@
 //! sizes, with the largest overheads on existential shapes that have many
 //! conforming targets with large neighborhoods.
 
-use serde::Serialize;
-
 use shapefrag_bench::{ms, print_table, time_avg, ExpOptions};
 use shapefrag_core::validate_extract_fragment;
 use shapefrag_shacl::validator::validate;
@@ -23,14 +21,12 @@ use shapefrag_shacl::Schema;
 use shapefrag_workloads::shapes57::benchmark_shapes;
 use shapefrag_workloads::tyrolean::{generate, sample_induced, TyroleanConfig};
 
-#[derive(Serialize)]
 struct ShapeRow {
     shape: String,
     /// Per graph size: (triples, validation ms, provenance ms, overhead %).
     measurements: Vec<Measurement>,
 }
 
-#[derive(Serialize)]
 struct Measurement {
     triples: usize,
     validate_ms: f64,
@@ -40,7 +36,6 @@ struct Measurement {
     fragment_triples: usize,
 }
 
-#[derive(Serialize)]
 struct Fig1Results {
     sizes: Vec<usize>,
     rows: Vec<ShapeRow>,
@@ -48,6 +43,26 @@ struct Fig1Results {
     avg_overhead_slow_pct: f64,
     per_size_avg_overhead_pct: Vec<f64>,
 }
+
+shapefrag_bench::impl_to_json!(ShapeRow {
+    shape,
+    measurements
+});
+shapefrag_bench::impl_to_json!(Measurement {
+    triples,
+    validate_ms,
+    provenance_ms,
+    overhead_pct,
+    checked,
+    fragment_triples,
+});
+shapefrag_bench::impl_to_json!(Fig1Results {
+    sizes,
+    rows,
+    avg_overhead_pct,
+    avg_overhead_slow_pct,
+    per_size_avg_overhead_pct,
+});
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -85,8 +100,7 @@ fn main() {
         let mut measurements = Vec::new();
         for (gi, graph) in graphs.iter().enumerate() {
             let (report, t_val) = time_avg(opts.runs, || validate(&single, graph));
-            let (prov, t_prov) =
-                time_avg(opts.runs, || validate_extract_fragment(&single, graph));
+            let (prov, t_prov) = time_avg(opts.runs, || validate_extract_fragment(&single, graph));
             let overhead = if t_val.as_secs_f64() > 0.0 {
                 (t_prov.as_secs_f64() - t_val.as_secs_f64()) / t_val.as_secs_f64() * 100.0
             } else {
@@ -117,7 +131,10 @@ fn main() {
     }
 
     // Report.
-    println!("\nFigure 1 — provenance extraction overhead (57 shapes, {} sizes)\n", sizes.len());
+    println!(
+        "\nFigure 1 — provenance extraction overhead (57 shapes, {} sizes)\n",
+        sizes.len()
+    );
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -178,5 +195,9 @@ fn mean(values: &[f64]) -> f64 {
 
 fn shape_label(name: &shapefrag_rdf::Term) -> String {
     let text = name.to_string();
-    text.rsplit('/').next().unwrap_or(&text).trim_end_matches('>').to_string()
+    text.rsplit('/')
+        .next()
+        .unwrap_or(&text)
+        .trim_end_matches('>')
+        .to_string()
 }

@@ -13,8 +13,6 @@
 //! complete within budget; their runtimes grow with graph size and sit far
 //! above the instrumented-validator route of Figure 1.
 
-use serde::Serialize;
-
 use shapefrag_bench::{ms, print_table, time, ExpOptions};
 use shapefrag_core::to_sparql::fragment_query;
 use shapefrag_core::validate_extract_fragment;
@@ -23,7 +21,6 @@ use shapefrag_sparql::eval::{bindings_to_graph, eval_select, EvalConfig};
 use shapefrag_workloads::shapes57::benchmark_shapes;
 use shapefrag_workloads::tyrolean::{generate, sample_induced, TyroleanConfig};
 
-#[derive(Serialize)]
 struct QueryRow {
     shape: String,
     query_chars: usize,
@@ -34,7 +31,6 @@ struct QueryRow {
     validator_route_ms: f64,
 }
 
-#[derive(Serialize)]
 struct Fig2Results {
     sizes: Vec<usize>,
     cap: usize,
@@ -42,6 +38,21 @@ struct Fig2Results {
     executable_nonempty: usize,
     rows: Vec<QueryRow>,
 }
+
+shapefrag_bench::impl_to_json!(QueryRow {
+    shape,
+    query_chars,
+    runtimes_ms,
+    fragment_triples,
+    validator_route_ms,
+});
+shapefrag_bench::impl_to_json!(Fig2Results {
+    sizes,
+    cap,
+    executable,
+    executable_nonempty,
+    rows,
+});
 
 /// The paper's reduction: substitute ⊤ for node tests.
 fn reduce(shape: &Shape) -> Shape {
@@ -137,9 +148,7 @@ fn main() {
         });
     }
 
-    println!(
-        "\nFigure 2 — shape-fragment queries in SPARQL (cap {cap} intermediate bindings)\n"
-    );
+    println!("\nFigure 2 — shape-fragment queries in SPARQL (cap {cap} intermediate bindings)\n");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -179,5 +188,9 @@ fn main() {
 
 fn shape_label(name: &shapefrag_rdf::Term) -> String {
     let text = name.to_string();
-    text.rsplit('/').next().unwrap_or(&text).trim_end_matches('>').to_string()
+    text.rsplit('/')
+        .next()
+        .unwrap_or(&text)
+        .trim_end_matches('>')
+        .to_string()
 }

@@ -13,8 +13,6 @@
 //! evaluator (index-accelerated vs. naive joins); a third series measures
 //! the instrumented-validator route for comparison.
 
-use serde::Serialize;
-
 use shapefrag_bench::{ms, print_table, time_avg, ExpOptions};
 use shapefrag_core::fragment;
 use shapefrag_core::to_sparql::fragment_via_sparql;
@@ -25,7 +23,6 @@ use shapefrag_sparql::eval::EvalConfig;
 
 use shapefrag_workloads::dblp::{authored_by, vardi_shape, Bibliography, DblpConfig};
 
-#[derive(Serialize)]
 struct SliceRow {
     from_year: u32,
     triples: usize,
@@ -38,7 +35,6 @@ struct SliceRow {
     validator_route_ms: f64,
 }
 
-#[derive(Serialize)]
 struct CoverageStats {
     triples: usize,
     authors: usize,
@@ -49,11 +45,35 @@ struct CoverageStats {
     fragment_share_pct: f64,
 }
 
-#[derive(Serialize)]
 struct Fig3Results {
     rows: Vec<SliceRow>,
     coverage_2016_2021: CoverageStats,
 }
+
+shapefrag_bench::impl_to_json!(SliceRow {
+    from_year,
+    triples,
+    authors,
+    authors_within_d3,
+    fragment_triples,
+    authorship_triples,
+    engine_indexed_ms,
+    engine_naive_ms,
+    validator_route_ms,
+});
+shapefrag_bench::impl_to_json!(CoverageStats {
+    triples,
+    authors,
+    authors_within_d3,
+    authors_within_d3_pct,
+    fragment_triples,
+    authorship_triples,
+    fragment_share_pct,
+});
+shapefrag_bench::impl_to_json!(Fig3Results {
+    rows,
+    coverage_2016_2021
+});
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -77,11 +97,7 @@ fn main() {
     let cap = opts.scaled(3_000_000);
     eprintln!("generating bibliography…");
     let bib = Bibliography::generate(&config);
-    eprintln!(
-        "{} papers, {} authors",
-        bib.papers.len(),
-        bib.author_count
-    );
+    eprintln!("{} papers, {} authors", bib.papers.len(), bib.author_count);
 
     let schema = Schema::empty();
     let shape = vardi_shape(3);

@@ -9,8 +9,6 @@
 //! feature. Paper result to reproduce: **39 of 46** expressible; the seven
 //! others use variables in the property position or arithmetic.
 
-use serde::Serialize;
-
 use shapefrag_bench::{print_table, ExpOptions};
 use shapefrag_core::fragment;
 use shapefrag_shacl::Schema;
@@ -18,7 +16,6 @@ use shapefrag_workloads::ecommerce::{generate, EcommerceConfig};
 use shapefrag_workloads::queries::{benchmark_queries, Family, Fidelity};
 use shapefrag_workloads::query2shape::{construct_images, query_to_shape};
 
-#[derive(Serialize)]
 struct QueryRow {
     id: String,
     family: String,
@@ -28,7 +25,6 @@ struct QueryRow {
     verified: Option<String>,
 }
 
-#[derive(Serialize)]
 struct ExpressibilityResults {
     total: usize,
     expressible: usize,
@@ -36,6 +32,22 @@ struct ExpressibilityResults {
     by_blocker: Vec<(String, usize)>,
     rows: Vec<QueryRow>,
 }
+
+shapefrag_bench::impl_to_json!(QueryRow {
+    id,
+    family,
+    expressible,
+    blocker,
+    shape,
+    verified,
+});
+shapefrag_bench::impl_to_json!(ExpressibilityResults {
+    total,
+    expressible,
+    inexpressible,
+    by_blocker,
+    rows,
+});
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -103,18 +115,25 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["query", "family", "expressible", "blocker", "verification"], &table);
+    print_table(
+        &["query", "family", "expressible", "blocker", "verification"],
+        &table,
+    );
 
     let total = rows.len();
     println!("\n{expressible} of {total} queries expressible as shape fragments");
     for (blocker, count) in &blockers {
         println!("  blocked by {blocker}: {count}");
     }
-    println!("paper reference: 39 of 46, blocked by variables in the property position or arithmetic.");
+    println!(
+        "paper reference: 39 of 46, blocked by variables in the property position or arithmetic."
+    );
 
     assert!(
-        rows.iter()
-            .all(|r| r.verified.as_deref().is_none_or(|v| !v.starts_with("FAILED"))),
+        rows.iter().all(|r| r
+            .verified
+            .as_deref()
+            .is_none_or(|v| !v.starts_with("FAILED"))),
         "verification failures detected"
     );
 

@@ -8,8 +8,6 @@
 //! look-alike triples, which Lemma D.1 shows no shape fragment can
 //! separate.
 
-use serde::Serialize;
-
 use shapefrag_bench::{print_table, ExpOptions};
 use shapefrag_core::fragment;
 use shapefrag_rdf::{Graph, Iri, Term, Triple};
@@ -19,7 +17,6 @@ use shapefrag_workloads::tpf::{all_tpf_forms, counterexample_graph, tpf_shape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-#[derive(Serialize)]
 struct TpfRow {
     form: String,
     expressible: bool,
@@ -27,12 +24,23 @@ struct TpfRow {
     verdict: String,
 }
 
-#[derive(Serialize)]
 struct TpfResults {
     expressible_forms: usize,
     inexpressible_forms: usize,
     rows: Vec<TpfRow>,
 }
+
+shapefrag_bench::impl_to_json!(TpfRow {
+    form,
+    expressible,
+    shape,
+    verdict
+});
+shapefrag_bench::impl_to_json!(TpfResults {
+    expressible_forms,
+    inexpressible_forms,
+    rows,
+});
 
 fn random_graph(seed: u64, triples: usize) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -92,7 +100,10 @@ fn main() {
                 },
             });
         } else {
-            assert!(tpf_shape(&query).is_none(), "{form} unexpectedly translated");
+            assert!(
+                tpf_shape(&query).is_none(),
+                "{form} unexpectedly translated"
+            );
             let g = counterexample_graph(&query).expect("counterexample exists");
             let images = query.eval(&g);
             rows.push(TpfRow {

@@ -15,9 +15,11 @@
 //! default workload size, `--runs <n>`, and `--out <path>` to choose the
 //! JSON result file.
 
+pub mod json;
+
 use std::time::{Duration, Instant};
 
-use serde::Serialize;
+use json::ToJson;
 
 /// Times a closure, returning (result, elapsed).
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
@@ -94,18 +96,23 @@ impl ExpOptions {
     }
 
     /// Writes the results JSON (to `--out` or `results/<name>.json`).
-    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) {
+    pub fn write_json<T: ToJson>(&self, name: &str, value: &T) {
         let path = self
             .out
             .clone()
             .unwrap_or_else(|| format!("results/{name}.json"));
-        if let Some(dir) = std::path::Path::new(&path).parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        let json = serde_json::to_string_pretty(value).expect("serializable results");
-        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        println!("\nresults written to {path}");
+        write_json_to(&path, value);
     }
+}
+
+/// Writes a `ToJson` value to an explicit path, creating parent dirs.
+pub fn write_json_to<T: ToJson>(path: &str, value: &T) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, value.to_json().render())
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nresults written to {path}");
 }
 
 /// Milliseconds as f64 for reporting.

@@ -1,0 +1,90 @@
+//! `any::<T>()` — default strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        // Mix of unit-interval values and full-range bit patterns (skipping
+        // NaN so equality-based properties stay meaningful).
+        if rng.bool() {
+            rng.f64_unit()
+        } else {
+            let v = f64::from_bits(rng.next_u64());
+            if v.is_nan() {
+                0.0
+            } else {
+                v
+            }
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> char {
+        // Bias toward ASCII (where parser edge cases live), with a tail of
+        // arbitrary unicode scalars.
+        match rng.usize_below(10) {
+            0..=6 => (rng.int_in_range(0x20, 0x7f) as u8) as char,
+            7 => match rng.usize_below(4) {
+                0 => '\n',
+                1 => '\t',
+                2 => '\r',
+                _ => '\0',
+            },
+            _ => loop {
+                let v = rng.int_in_range(0, 0x11_0000) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    break c;
+                }
+            },
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Minimal offline stand-in for [`proptest`].
+//!
+//! Implements the subset of the proptest 1.x API used by this workspace's
+//! test suite: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_recursive` / `boxed`, weighted unions via [`prop_oneof!`], regex
+//! string strategies, collection strategies, `any::<T>()`, and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream, chosen for zero dependencies:
+//! - **No shrinking.** A failing case reports its case number and message
+//!   but is not minimized.
+//! - **Deterministic seeding.** Each generated test function derives its
+//!   RNG seed from its module path and name, so failures reproduce exactly
+//!   on re-run.
+//! - Regex strategies support the fragment of regex syntax the suite uses
+//!   (classes, ranges, escapes, groups, `{m,n}` / `?` / `*` / `+`,
+//!   alternation).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Runs each `fn name(pat in strategy, ...) { body }` item as a `#[test]`
+/// over `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_seed_str(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    ::core::panic!(
+                        "proptest '{}' failed at case {}/{}: {}",
+                        stringify!($name), case, config.cases, err,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Weighted (or uniform) choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure aborts the case with an error
+/// instead of panicking (so the harness can report the case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "{}: `{:?}` == `{:?}`",
+                    ::std::format!($($fmt)+),
+                    l,
+                    r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `{:?}` != `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}

@@ -1,0 +1,13 @@
+//! The usual `use proptest::prelude::*;` surface.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Namespaced strategy modules (`prop::collection::vec`, …), mirroring
+/// upstream's `prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::string;
+}

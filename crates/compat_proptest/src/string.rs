@@ -1,0 +1,347 @@
+//! Regex-driven string strategies: `string_regex("[a-z]{1,6}")` produces a
+//! strategy generating matching strings.
+//!
+//! Supports the regex fragment used by the test suite: literal characters,
+//! escapes (`\n`, `\t`, `\r`, `\\`, `\"`, `\-`, `\]` …), character classes
+//! with ranges (`[ -~]`, `[a-zA-Z0-9 ]`, unicode literals), groups,
+//! alternation, and the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`
+//! (unbounded repetition is capped at 8).
+
+use std::rc::Rc;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Regex parse error (pattern + position + message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    pub message: String,
+}
+
+#[derive(Debug)]
+enum Node {
+    Seq(Vec<Node>),
+    Alt(Vec<Node>),
+    Class(Vec<(char, char)>),
+    Lit(char),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// A compiled generator for strings matching a regex.
+#[derive(Clone)]
+pub struct RegexGeneratorStrategy {
+    node: Rc<Node>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit(&self.node, rng, &mut out);
+        out
+    }
+}
+
+/// Compiles `pattern` into a string-generating strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut parser = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        pattern,
+    };
+    let node = parser.parse_alt()?;
+    if parser.pos != parser.chars.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    Ok(RegexGeneratorStrategy {
+        node: Rc::new(node),
+    })
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Alt(arms) => emit(&arms[rng.usize_below(arms.len())], rng, out),
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.int_in_range(0, i128::from(total)) as u32;
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    // The suite's classes never straddle the surrogate gap,
+                    // but guard anyway.
+                    out.push(char::from_u32(*lo as u32 + pick).unwrap_or(*lo));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick out of range")
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = rng.int_in_range(i128::from(*min), i128::from(*max) + 1) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> Error {
+        Error {
+            message: format!(
+                "{message} at offset {} in regex {:?}",
+                self.pos, self.pattern
+            ),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, Error> {
+        let mut arms = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            arms.push(self.parse_seq()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Node::Alt(arms)
+        })
+    }
+
+    fn parse_seq(&mut self) -> Result<Node, Error> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            items.push(self.parse_quantifier(atom)?);
+        }
+        Ok(Node::Seq(items))
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, Error> {
+        match self.bump().expect("parse_atom at end") {
+            '(' => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.error("unclosed group"));
+                }
+                Ok(inner)
+            }
+            '[' => self.parse_class(),
+            '\\' => {
+                let c = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+                Ok(Node::Lit(unescape(c)))
+            }
+            '.' => Ok(Node::Class(vec![(' ', '~')])),
+            '*' | '+' | '?' | '{' => Err(self.error("quantifier with nothing to repeat")),
+            c => Ok(Node::Lit(c)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, Error> {
+        if self.peek() == Some('^') {
+            return Err(self.error("negated classes are not supported"));
+        }
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        loop {
+            let c = match self.bump() {
+                None => return Err(self.error("unclosed character class")),
+                Some(']') => break,
+                Some('\\') => unescape(self.bump().ok_or_else(|| self.error("dangling escape"))?),
+                Some(c) => c,
+            };
+            // `a-z` is a range unless the '-' is last (then it's a literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = match self.bump() {
+                    None => return Err(self.error("unclosed character class")),
+                    Some('\\') => {
+                        unescape(self.bump().ok_or_else(|| self.error("dangling escape"))?)
+                    }
+                    Some(hi) => hi,
+                };
+                if hi < c {
+                    return Err(self.error("inverted class range"));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            return Err(self.error("empty character class"));
+        }
+        Ok(Node::Class(ranges))
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Result<Node, Error> {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 0, 1))
+            }
+            Some('*') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 0, 8))
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 1, 8))
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.parse_number()?;
+                let max = if self.peek() == Some(',') {
+                    self.bump();
+                    if self.peek() == Some('}') {
+                        min.saturating_add(8)
+                    } else {
+                        self.parse_number()?
+                    }
+                } else {
+                    min
+                };
+                if self.bump() != Some('}') {
+                    return Err(self.error("unclosed repetition"));
+                }
+                if max < min {
+                    return Err(self.error("inverted repetition bounds"));
+                }
+                Ok(Node::Repeat(Box::new(atom), min, max))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u32, Error> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse()
+            .map_err(|_| self.error("expected a number in repetition"))
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let strat = string_regex(pattern).unwrap();
+        let mut rng = TestRng::from_seed_str(pattern);
+        (0..n).map(|_| strat.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_range_and_length() {
+        for s in samples("[a-z]{1,6}", 200) {
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_class_with_escapes() {
+        for s in samples("[ -~\\n\\t\"\\\\]{0,24}", 200) {
+            assert!(s.chars().count() <= 24);
+            assert!(
+                s.chars()
+                    .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn optional_group() {
+        for s in samples("[a-z]{2}(-[A-Z]{2})?", 200) {
+            assert!(s.len() == 2 || s.len() == 5, "{s:?}");
+            if s.len() == 5 {
+                assert_eq!(s.as_bytes()[2], b'-');
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_class() {
+        for s in samples("[a-zA-Zéüλ中🦀 ]{0,12}", 200) {
+            assert!(s.chars().count() <= 12, "{s:?}");
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphabetic() || "éüλ中🦀 ".contains(c),
+                    "{c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concatenated_classes() {
+        for s in samples("[A-Za-z][A-Za-z0-9]{0,5}", 200) {
+            assert!(!s.is_empty() && s.chars().count() <= 6, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn alternation() {
+        for s in samples("ab|cd", 50) {
+            assert!(s == "ab" || s == "cd", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("(unclosed").is_err());
+        assert!(string_regex("a{3,1}").is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Test-runner types: configuration, case errors, and the deterministic RNG
+//! that drives value generation.
+
+use std::fmt;
+
+/// Per-`proptest!` block configuration (only `cases` is supported).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case; produced by `prop_assert!` and by
+/// explicit `TestCaseError::fail(...)` calls in test bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+
+    /// Upstream distinguishes rejects from failures; here both abort the case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic SplitMix64 generator used for all strategy generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (FNV-1a), so each generated test
+    /// function gets a stable, distinct stream.
+    pub fn from_seed_str(seed: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in seed.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[low, high)` over the full i128-embeddable
+    /// integer domain (shared by every integer-range strategy).
+    pub fn int_in_range(&mut self, low: i128, high: i128) -> i128 {
+        assert!(low < high, "strategy range is empty");
+        let span = (high - low) as u128;
+        low + ((self.next_u64() as u128) % span) as i128
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "usize_below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}

@@ -10,12 +10,15 @@
 //! `G` does and all targets are monotone.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use shapefrag_rdf::{Graph, TermId};
-use shapefrag_shacl::validator::Context;
+use shapefrag_shacl::validator::{ConformanceMemo, Context};
 use shapefrag_shacl::{Nnf, Schema, Shape};
 
-use crate::neighborhood::{materialize, neighborhood_nnf_ids, IdTriples};
+use crate::neighborhood::{
+    collect_neighborhood_many, materialize, neighborhood_nnf_ids, IdTriples,
+};
 
 /// Computes the shape fragment `Frag(G, S)` for request shapes `S`.
 pub fn fragment(schema: &Schema, graph: &Graph, shapes: &[Shape]) -> Graph {
@@ -28,8 +31,33 @@ pub fn schema_fragment(schema: &Schema, graph: &Graph) -> Graph {
     fragment(schema, graph, &schema.request_shapes())
 }
 
-/// Id-triple form of [`fragment`].
+/// Id-triple form of [`fragment`]. Runs set-at-a-time: per request shape,
+/// all graph nodes are decided in one batch (with a shared memo for
+/// `hasShape` sub-shapes) and the conforming nodes' neighborhoods are
+/// collected by the batched Table 2 collector.
 pub fn fragment_ids(schema: &Schema, graph: &Graph, shapes: &[Shape]) -> IdTriples {
+    let memo = Arc::new(ConformanceMemo::new());
+    let mut ctx = Context::with_memo(schema, graph, memo);
+    let nodes: Vec<TermId> = graph.node_ids().into_iter().collect();
+    let mut out = IdTriples::default();
+    for shape in shapes {
+        let nnf = Nnf::from_shape(shape);
+        let decisions = ctx.conforms_all_nnf(&nodes, &nnf);
+        let conforming: Vec<TermId> = nodes
+            .iter()
+            .zip(decisions)
+            .filter(|(_, ok)| *ok)
+            .map(|(&v, _)| v)
+            .collect();
+        collect_neighborhood_many(&mut ctx, &conforming, &nnf, &mut out);
+    }
+    out
+}
+
+/// Per-node reference implementation of [`fragment_ids`] (one neighborhood
+/// computation per (node, shape) pair); baseline for benchmarks and
+/// agreement tests.
+pub fn fragment_ids_per_node(schema: &Schema, graph: &Graph, shapes: &[Shape]) -> IdTriples {
     let mut ctx = Context::new(schema, graph);
     let nodes = graph.node_ids();
     let mut out = IdTriples::default();
@@ -43,9 +71,10 @@ pub fn fragment_ids(schema: &Schema, graph: &Graph, shapes: &[Shape]) -> IdTripl
 }
 
 /// Parallel fragment computation: partitions the node set over worker
-/// threads, each with its own evaluation context (compiled-path cache), and
-/// unions the per-worker results. Produces exactly the same fragment as
-/// [`fragment`] — neighborhoods are independent per (node, shape) pair.
+/// threads, each with its own evaluation context (compiled-path cache) but
+/// one [`ConformanceMemo`] shared across threads, and unions the per-worker
+/// results. Produces exactly the same fragment as [`fragment`] —
+/// neighborhoods are independent per (node, shape) pair.
 pub fn fragment_par(schema: &Schema, graph: &Graph, shapes: &[Shape], workers: usize) -> Graph {
     let workers = workers.max(1);
     let nodes: Vec<TermId> = graph.node_ids().into_iter().collect();
@@ -53,19 +82,26 @@ pub fn fragment_par(schema: &Schema, graph: &Graph, shapes: &[Shape], workers: u
         return fragment(schema, graph, shapes);
     }
     let nnfs: Vec<Nnf> = shapes.iter().map(Nnf::from_shape).collect();
+    let memo = Arc::new(ConformanceMemo::new());
     let chunk = nodes.len().div_ceil(workers);
     let mut results: Vec<IdTriples> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in nodes.chunks(chunk) {
             let nnfs = &nnfs;
+            let memo = Arc::clone(&memo);
             handles.push(scope.spawn(move |_| {
-                let mut ctx = Context::new(schema, graph);
+                let mut ctx = Context::with_memo(schema, graph, memo);
                 let mut out = IdTriples::default();
                 for nnf in nnfs {
-                    for &v in part {
-                        out.extend(neighborhood_nnf_ids(&mut ctx, v, nnf));
-                    }
+                    let decisions = ctx.conforms_all_nnf(part, nnf);
+                    let conforming: Vec<TermId> = part
+                        .iter()
+                        .zip(decisions)
+                        .filter(|(_, ok)| *ok)
+                        .map(|(&v, _)| v)
+                        .collect();
+                    collect_neighborhood_many(&mut ctx, &conforming, nnf, &mut out);
                 }
                 out
             }));
@@ -132,10 +168,8 @@ mod tests {
             Shape::geq(1, p("type"), Shape::has_value(term("Student"))),
         );
         let frag = fragment(&Schema::empty(), &g, &[shape]);
-        let expected = Graph::from_triples([
-            t("p1", "author", "alice"),
-            t("alice", "type", "Student"),
-        ]);
+        let expected =
+            Graph::from_triples([t("p1", "author", "alice"), t("alice", "type", "Student")]);
         assert_eq!(frag, expected);
     }
 
@@ -214,7 +248,10 @@ mod tests {
                 let mut frag2 = frag.clone();
                 let vf = frag2.intern(&vt);
                 let mut ctx_f = Context::new(&schema, &frag2);
-                assert!(ctx_f.conforms(vf, shape), "{vt} lost conformance to {shape}");
+                assert!(
+                    ctx_f.conforms(vf, shape),
+                    "{vt} lost conformance to {shape}"
+                );
             }
         }
     }
@@ -230,7 +267,11 @@ mod tests {
         }
         let g = Graph::from_triples(triples);
         let shapes = vec![
-            Shape::geq(1, p("p"), Shape::geq(1, p("type"), Shape::has_value(term("C")))),
+            Shape::geq(
+                1,
+                p("p"),
+                Shape::geq(1, p("type"), Shape::has_value(term("C"))),
+            ),
             Shape::for_all(p("type"), Shape::has_value(term("C"))),
         ];
         let schema = Schema::empty();

@@ -20,14 +20,15 @@
 //!   API consumers.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use shapefrag_rdf::{Graph, Term, TermId};
 use shapefrag_shacl::path::PathExpr;
-use shapefrag_shacl::validator::{Context, ValidationReport, Violation};
+use shapefrag_shacl::validator::{ConformanceMemo, Context, ValidationReport, Violation};
 use shapefrag_shacl::{Nnf, Schema, Shape};
 
 use crate::neighborhood::{
-    conforms_and_collect, materialize, neighborhood_nnf_ids, IdTriples,
+    collect_neighborhood_many, conforms_and_collect, materialize, neighborhood_nnf_ids, IdTriples,
 };
 
 /// The fragment collected by [`validate_extract_fragment`], kept as interned
@@ -189,30 +190,40 @@ impl TargetEvidence {
 /// threads (each with its own compiled-path cache) and merges the reports.
 /// Produces exactly the report of [`shapefrag_shacl::validator::validate`],
 /// with violations in a canonical order.
+///
+/// Every worker runs the set-at-a-time batch driver against one
+/// [`ConformanceMemo`] shared across threads, so a `hasShape` sub-shape
+/// referenced from definitions on different workers is still decided only
+/// once per node.
 pub fn validate_par(schema: &Schema, graph: &Graph, workers: usize) -> ValidationReport {
     let workers = workers.max(1);
     let defs: Vec<_> = schema.iter().cloned().collect();
     if workers == 1 || defs.len() < 2 {
-        let mut report = shapefrag_shacl::validator::validate(schema, graph);
-        report.violations.sort_by(|a, b| (&a.shape, &a.focus).cmp(&(&b.shape, &b.focus)));
+        let mut report = shapefrag_shacl::validate_batch(schema, graph);
+        report
+            .violations
+            .sort_by(|a, b| (&a.shape, &a.focus).cmp(&(&b.shape, &b.focus)));
         return report;
     }
+    let memo = Arc::new(ConformanceMemo::new());
     let chunk = defs.len().div_ceil(workers);
     let mut reports: Vec<ValidationReport> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in defs.chunks(chunk) {
+            let memo = Arc::clone(&memo);
             handles.push(scope.spawn(move |_| {
-                let mut ctx = Context::new(schema, graph);
+                let mut ctx = Context::with_memo(schema, graph, memo);
                 let mut report = ValidationReport::default();
                 for def in part {
-                    let targets = ctx.target_nodes(&def.target);
-                    for node in targets {
-                        report.checked += 1;
-                        if !ctx.conforms(node, &def.shape) {
+                    let targets: Vec<TermId> = ctx.target_nodes(&def.target).into_iter().collect();
+                    let conforming = ctx.conforms_all(&targets, &def.shape);
+                    report.checked += targets.len();
+                    for (node, ok) in targets.iter().zip(conforming) {
+                        if !ok {
                             report.violations.push(Violation {
                                 shape: def.name.clone(),
-                                focus: graph.term(node).clone(),
+                                focus: graph.term(*node).clone(),
                             });
                         }
                     }
@@ -240,15 +251,64 @@ pub fn validate_par(schema: &Schema, graph: &Graph, workers: usize) -> Validatio
 /// `Frag(G, H)` (the union of `B(v, φ ∧ τ)` over all conforming target
 /// nodes). This is the configuration the Figure 1 overhead experiment
 /// measures against plain validation.
+///
+/// Runs set-at-a-time: each definition's targets are decided in one
+/// [`Context::conforms_all_nnf`] batch over a fresh shared memo and the
+/// conforming nodes' neighborhoods are collected by the batched Table 2
+/// collector. Produces exactly the report and fragment of
+/// [`validate_extract_fragment_per_node`].
 pub fn validate_extract_fragment(
+    schema: &Schema,
+    graph: &Graph,
+) -> (ValidationReport, SchemaFragment) {
+    validate_extract_fragment_with_memo(schema, graph, Arc::new(ConformanceMemo::new()))
+}
+
+/// [`validate_extract_fragment`] against a caller-provided memo (which must
+/// belong to this `(graph, schema)` pair).
+pub fn validate_extract_fragment_with_memo(
+    schema: &Schema,
+    graph: &Graph,
+    memo: Arc<ConformanceMemo>,
+) -> (ValidationReport, SchemaFragment) {
+    let mut ctx = Context::with_memo(schema, graph, memo);
+    let mut report = ValidationReport::default();
+    let mut all = IdTriples::default();
+    for def in schema.iter() {
+        let shape_nnf = Nnf::from_shape(&def.shape);
+        let targets: Vec<TermId> = ctx.target_nodes(&def.target).into_iter().collect();
+        let evidence = TargetEvidence::analyze(&mut ctx, &def.target);
+        let decisions = ctx.conforms_all_nnf(&targets, &shape_nnf);
+        report.checked += targets.len();
+        let mut conforming: Vec<TermId> = Vec::with_capacity(targets.len());
+        for (node, ok) in targets.iter().zip(decisions) {
+            if ok {
+                conforming.push(*node);
+                evidence.collect(&mut ctx, *node, &mut all);
+            } else {
+                report.violations.push(Violation {
+                    shape: def.name.clone(),
+                    focus: graph.term(*node).clone(),
+                });
+            }
+        }
+        collect_neighborhood_many(&mut ctx, &conforming, &shape_nnf, &mut all);
+    }
+    (report, SchemaFragment { triples: all })
+}
+
+/// The per-node reference implementation of [`validate_extract_fragment`]:
+/// one instrumented [`conforms_and_collect`] traversal per (definition,
+/// target) pair. Kept as the baseline for the batch-vs-per-node benchmark
+/// and the agreement property tests.
+pub fn validate_extract_fragment_per_node(
     schema: &Schema,
     graph: &Graph,
 ) -> (ValidationReport, SchemaFragment) {
     let mut ctx = Context::new(schema, graph);
     let mut report = ValidationReport::default();
     let mut all = IdTriples::default();
-    let mut journal: Vec<(shapefrag_rdf::TermId, shapefrag_rdf::TermId, shapefrag_rdf::TermId)> =
-        Vec::new();
+    let mut journal: Vec<(TermId, TermId, TermId)> = Vec::new();
     for def in schema.iter() {
         let shape_nnf = Nnf::from_shape(&def.shape);
         let targets = ctx.target_nodes(&def.target);
@@ -455,13 +515,23 @@ mod tests {
     fn parallel_validation_matches_sequential() {
         // A multi-definition schema with mixed outcomes.
         let schema = Schema::new([
-            ShapeDef::new(term("S1"), Shape::geq(1, p("author"), Shape::True),
-                Shape::geq(1, p("type"), Shape::has_value(term("Paper")))),
-            ShapeDef::new(term("S2"), Shape::geq(1, p("title"), Shape::True),
-                Shape::geq(1, p("type"), Shape::has_value(term("Paper")))),
-            ShapeDef::new(term("S3"), Shape::leq(1, p("author"), Shape::True),
-                Shape::geq(1, p("author"), Shape::True)),
-        ]).unwrap();
+            ShapeDef::new(
+                term("S1"),
+                Shape::geq(1, p("author"), Shape::True),
+                Shape::geq(1, p("type"), Shape::has_value(term("Paper"))),
+            ),
+            ShapeDef::new(
+                term("S2"),
+                Shape::geq(1, p("title"), Shape::True),
+                Shape::geq(1, p("type"), Shape::has_value(term("Paper"))),
+            ),
+            ShapeDef::new(
+                term("S3"),
+                Shape::leq(1, p("author"), Shape::True),
+                Shape::geq(1, p("author"), Shape::True),
+            ),
+        ])
+        .unwrap();
         let g = Graph::from_triples([
             t("p1", "type", "Paper"),
             t("p1", "author", "a"),
@@ -478,7 +548,6 @@ mod tests {
             assert_eq!(sequential, parallel, "workers = {workers}");
         }
     }
-
 
     #[test]
     fn violating_nodes_get_no_neighborhood() {

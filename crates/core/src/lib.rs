@@ -53,7 +53,15 @@ pub mod neighborhood;
 pub mod provenance;
 pub mod to_sparql;
 
-pub use fragment::{conforming_nodes, fragment, fragment_par, schema_fragment};
-pub use instrumented::{validate_extract_fragment, validate_par, validate_with_provenance, ProvenancedReport, SchemaFragment};
-pub use neighborhood::{conforms_and_collect, neighborhood, neighborhood_term, IdTriples};
+pub use fragment::{
+    conforming_nodes, fragment, fragment_ids, fragment_ids_per_node, fragment_par, schema_fragment,
+};
+pub use instrumented::{
+    validate_extract_fragment, validate_extract_fragment_per_node,
+    validate_extract_fragment_with_memo, validate_par, validate_with_provenance, ProvenancedReport,
+    SchemaFragment,
+};
+pub use neighborhood::{
+    collect_neighborhood_many, conforms_and_collect, neighborhood, neighborhood_term, IdTriples,
+};
 pub use provenance::{describe, explain, minimal_witness, Explanation};

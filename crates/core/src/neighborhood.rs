@@ -15,7 +15,7 @@
 //! `B(v, G, φ) ⊆ G' ⊆ G`. It is exercised extensively by the property
 //! tests in `tests/`.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::hash::BuildHasherDefault;
 
 use shapefrag_rdf::graph::IntHasher;
@@ -73,6 +73,160 @@ pub fn collect_neighborhood_into(
     collect(ctx, v, shape, out);
 }
 
+/// Set-at-a-time Table 2 collection: appends `⋃_i B(nodes[i], G, φ)` for
+/// focus nodes the caller has already established to conform to φ.
+///
+/// Equals running [`collect_neighborhood_into`] per node, but path endpoints
+/// come from one multi-source RPQ pass over all foci, traces are batched
+/// through [`Context::trace_path_many`], and sub-neighborhoods of quantifier
+/// endpoints are collected once per *distinct* endpoint instead of once per
+/// referencing focus (the collection is focus-independent, so the unions
+/// coincide).
+pub fn collect_neighborhood_many(
+    ctx: &mut Context<'_>,
+    nodes: &[TermId],
+    shape: &Nnf,
+    out: &mut IdTriples,
+) {
+    collect_many(ctx, nodes, shape, out);
+}
+
+/// The recursive batch worker behind [`collect_neighborhood_many`].
+fn collect_many(ctx: &mut Context<'_>, nodes: &[TermId], shape: &Nnf, out: &mut IdTriples) {
+    if nodes.is_empty() {
+        return;
+    }
+    match shape {
+        // Node-local shapes have empty neighborhoods (as in `collect`).
+        Nnf::True
+        | Nnf::False
+        | Nnf::Test(_)
+        | Nnf::NotTest(_)
+        | Nnf::HasValue(_)
+        | Nnf::NotHasValue(_)
+        | Nnf::Closed(_)
+        | Nnf::Disj(_, _)
+        | Nnf::LessThan(_, _)
+        | Nnf::LessThanEq(_, _)
+        | Nnf::MoreThan(_, _)
+        | Nnf::MoreThanEq(_, _)
+        | Nnf::UniqueLang(_) => {}
+
+        Nnf::Eq(PathOrId::Path(e), p) => {
+            let union = e.clone().or(PathExpr::Prop(p.clone()));
+            let endpoint_sets = ctx.eval_path_many(&union, nodes);
+            let requests: Vec<(TermId, BTreeSet<TermId>)> =
+                nodes.iter().copied().zip(endpoint_sets).collect();
+            for traced in ctx.trace_path_many(&union, &requests) {
+                out.extend(traced);
+            }
+        }
+        Nnf::Eq(PathOrId::Id, p) => {
+            if let Some(pid) = ctx.graph.id_of_iri(p) {
+                out.extend(nodes.iter().map(|&v| (v, pid, v)));
+            }
+        }
+
+        Nnf::HasShape(name) => {
+            let def = Nnf::from_shape(&ctx.schema.def(name));
+            collect_many(ctx, nodes, &def, out);
+        }
+        Nnf::NotHasShape(name) => {
+            let def = Nnf::from_negated_shape(&ctx.schema.def(name));
+            collect_many(ctx, nodes, &def, out);
+        }
+
+        Nnf::And(items) | Nnf::Or(items) => {
+            for item in items {
+                let oks = ctx.conforms_all_nnf(nodes, item);
+                let conforming: Vec<TermId> = nodes
+                    .iter()
+                    .zip(&oks)
+                    .filter(|(_, ok)| **ok)
+                    .map(|(&v, _)| v)
+                    .collect();
+                collect_many(ctx, &conforming, item, out);
+            }
+        }
+
+        Nnf::Geq(_, e, inner) => {
+            batch_quantifier(ctx, nodes, e, inner, out);
+        }
+        Nnf::Leq(_, e, inner) => {
+            let negated = inner.negated();
+            batch_quantifier(ctx, nodes, e, &negated, out);
+        }
+        Nnf::ForAll(e, inner) => {
+            let endpoint_sets = ctx.eval_path_many(e, nodes);
+            let mut distinct: BTreeSet<TermId> = BTreeSet::new();
+            for set in &endpoint_sets {
+                distinct.extend(set.iter().copied());
+            }
+            let requests: Vec<(TermId, BTreeSet<TermId>)> =
+                nodes.iter().copied().zip(endpoint_sets).collect();
+            for traced in ctx.trace_path_many(e, &requests) {
+                out.extend(traced);
+            }
+            if !matches!(inner.as_ref(), Nnf::True) {
+                let distinct: Vec<TermId> = distinct.into_iter().collect();
+                collect_many(ctx, &distinct, inner, out);
+            }
+        }
+
+        // The remaining negated atoms have bounded, focus-local evidence;
+        // collect per node.
+        _ => {
+            for &v in nodes {
+                collect(ctx, v, shape, out);
+            }
+        }
+    }
+}
+
+/// Shared machinery for batch `≥n E.ψ` / `≤n E.ψ` collection: for each
+/// focus, the qualifying endpoints are its `E`-candidates conforming to
+/// `inner` (already the negated shape for `≤`); all per-focus traces run in
+/// one batch and each distinct qualifying endpoint's `inner`-neighborhood
+/// is collected once.
+fn batch_quantifier(
+    ctx: &mut Context<'_>,
+    nodes: &[TermId],
+    e: &PathExpr,
+    inner: &Nnf,
+    out: &mut IdTriples,
+) {
+    let cand_sets = ctx.eval_path_many(e, nodes);
+    if matches!(inner, Nnf::True) {
+        let requests: Vec<(TermId, BTreeSet<TermId>)> =
+            nodes.iter().copied().zip(cand_sets).collect();
+        for traced in ctx.trace_path_many(e, &requests) {
+            out.extend(traced);
+        }
+        return;
+    }
+    let mut union: BTreeSet<TermId> = BTreeSet::new();
+    for set in &cand_sets {
+        union.extend(set.iter().copied());
+    }
+    let union_vec: Vec<TermId> = union.into_iter().collect();
+    let decided = ctx.conforms_all_nnf(&union_vec, inner);
+    let ok: HashMap<TermId, bool> = union_vec
+        .iter()
+        .copied()
+        .zip(decided.iter().copied())
+        .collect();
+    let requests: Vec<(TermId, BTreeSet<TermId>)> = nodes
+        .iter()
+        .zip(cand_sets)
+        .map(|(&v, cands)| (v, cands.into_iter().filter(|x| ok[x]).collect()))
+        .collect();
+    for traced in ctx.trace_path_many(e, &requests) {
+        out.extend(traced);
+    }
+    let qualifying: Vec<TermId> = union_vec.into_iter().filter(|x| ok[x]).collect();
+    collect_many(ctx, &qualifying, inner, out);
+}
+
 /// Materializes id triples into a [`Graph`].
 pub fn materialize(graph: &Graph, triples: &IdTriples) -> Graph {
     let mut g = Graph::new();
@@ -81,7 +235,6 @@ pub fn materialize(graph: &Graph, triples: &IdTriples) -> Graph {
     }
     g
 }
-
 
 /// Single-pass instrumented conformance: decides `G, v ⊨ φ` **and**
 /// journals the neighborhood `B(v, G, φ)` in the same traversal — the
@@ -364,8 +517,7 @@ fn collect(ctx: &mut Context<'_>, v: TermId, shape: &Nnf, out: &mut IdTriples) {
         Nnf::NotEq(PathOrId::Path(e), p) => {
             let reachable = ctx.eval_path(e, v);
             let p_values = prop_objects(ctx.graph, v, p);
-            let only_e: BTreeSet<TermId> =
-                reachable.difference(&p_values).copied().collect();
+            let only_e: BTreeSet<TermId> = reachable.difference(&p_values).copied().collect();
             out.extend(ctx.trace_path(e, v, &only_e));
             if let Some(pid) = ctx.graph.id_of_iri(p) {
                 for x in p_values.difference(&reachable) {
@@ -390,8 +542,7 @@ fn collect(ctx: &mut Context<'_>, v: TermId, shape: &Nnf, out: &mut IdTriples) {
         Nnf::NotDisj(PathOrId::Path(e), p) => {
             let reachable = ctx.eval_path(e, v);
             let p_values = prop_objects(ctx.graph, v, p);
-            let common: BTreeSet<TermId> =
-                reachable.intersection(&p_values).copied().collect();
+            let common: BTreeSet<TermId> = reachable.intersection(&p_values).copied().collect();
             out.extend(ctx.trace_path(e, v, &common));
             if let Some(pid) = ctx.graph.id_of_iri(p) {
                 for x in &common {
@@ -547,10 +698,8 @@ mod tests {
             Shape::geq(1, p("type"), Shape::has_value(term("Student"))),
         );
         let b = nbh(&g, "p1", &shape);
-        let expected = Graph::from_triples([
-            t("p1", "author", "alice"),
-            t("alice", "type", "Student"),
-        ]);
+        let expected =
+            Graph::from_triples([t("p1", "author", "alice"), t("alice", "type", "Student")]);
         assert_eq!(b, expected);
     }
 
@@ -582,10 +731,7 @@ mod tests {
         ]);
         let shape = Shape::Disj(PathOrId::Path(p("friend")), iri("colleague")).not();
         let b = nbh(&g, "v", &shape);
-        let expected = Graph::from_triples([
-            t("v", "friend", "x"),
-            t("v", "colleague", "x"),
-        ]);
+        let expected = Graph::from_triples([t("v", "friend", "x"), t("v", "colleague", "x")]);
         assert_eq!(b, expected);
     }
 
@@ -768,10 +914,7 @@ mod tests {
             Shape::leq(0, p("type"), Shape::has_value(term("student"))),
         );
         let b = nbh(&g, "v", &shape);
-        let expected = Graph::from_triples([
-            t("v", "auth", "bob"),
-            t("bob", "type", "student"),
-        ]);
+        let expected = Graph::from_triples([t("v", "auth", "bob"), t("bob", "type", "student")]);
         assert_eq!(b, expected);
     }
 
@@ -810,11 +953,7 @@ mod tests {
 
     #[test]
     fn neighborhood_is_always_subgraph() {
-        let g = Graph::from_triples([
-            t("a", "p", "b"),
-            t("b", "q", "c"),
-            t("a", "r", "c"),
-        ]);
+        let g = Graph::from_triples([t("a", "p", "b"), t("b", "q", "c"), t("a", "r", "c")]);
         let shapes = [
             Shape::geq(1, p("p").then(p("q")), Shape::True),
             Shape::for_all(p("p").or(p("r")), Shape::True),
@@ -841,20 +980,29 @@ mod tests {
             t("loop", "p", "loop"),
         ]);
         let shapes = [
-            Shape::geq(1, p("author"), Shape::geq(1, p("type"), Shape::has_value(term("Student")))),
-            Shape::leq(1, p("author"), Shape::leq(0, p("type"), Shape::has_value(term("Student")))),
+            Shape::geq(
+                1,
+                p("author"),
+                Shape::geq(1, p("type"), Shape::has_value(term("Student"))),
+            ),
+            Shape::leq(
+                1,
+                p("author"),
+                Shape::leq(0, p("type"), Shape::has_value(term("Student"))),
+            ),
             Shape::for_all(p("author"), Shape::geq(1, p("type"), Shape::True)),
             Shape::geq(2, p("author"), Shape::True),
             Shape::geq(5, p("author"), Shape::True), // fails: journal must roll back
             Shape::Eq(PathOrId::Path(p("friend")), iri("colleague")),
             Shape::Disj(PathOrId::Path(p("friend")), iri("colleague")).not(),
             Shape::Closed([iri("p")].into()).not(),
-            Shape::geq(1, p("author"), Shape::True)
-                .or(Shape::geq(1, p("friend"), Shape::True)),
-            Shape::geq(1, p("author"), Shape::True)
-                .and(Shape::geq(1, p("type"), Shape::has_value(term("Paper")))),
-            Shape::geq(1, p("author"), Shape::True)
-                .and(Shape::geq(1, p("zzz"), Shape::True)), // And failure rollback
+            Shape::geq(1, p("author"), Shape::True).or(Shape::geq(1, p("friend"), Shape::True)),
+            Shape::geq(1, p("author"), Shape::True).and(Shape::geq(
+                1,
+                p("type"),
+                Shape::has_value(term("Paper")),
+            )),
+            Shape::geq(1, p("author"), Shape::True).and(Shape::geq(1, p("zzz"), Shape::True)), // And failure rollback
         ];
         let schema = Schema::empty();
         let mut ctx = Context::new(&schema, &g);
@@ -865,10 +1013,20 @@ mod tests {
                 journal.clear();
                 let single = conforms_and_collect(&mut ctx, v, &nnf, &mut journal);
                 let two_pass = ctx.conforms_nnf(v, &nnf);
-                assert_eq!(single, two_pass, "verdicts differ for {shape} at {}", g.term(v));
+                assert_eq!(
+                    single,
+                    two_pass,
+                    "verdicts differ for {shape} at {}",
+                    g.term(v)
+                );
                 let expected = neighborhood_nnf_ids(&mut ctx, v, &nnf);
                 let got: IdTriples = journal.iter().copied().collect();
-                assert_eq!(got, expected, "evidence differs for {shape} at {}", g.term(v));
+                assert_eq!(
+                    got,
+                    expected,
+                    "evidence differs for {shape} at {}",
+                    g.term(v)
+                );
             }
         }
     }

@@ -214,10 +214,7 @@ mod tests {
     #[test]
     fn minimal_witness_keeps_essential_triples() {
         // Example 3.5's essential triple survives pruning.
-        let g = Graph::from_triples([
-            t("v", "auth", "bob"),
-            t("bob", "type", "student"),
-        ]);
+        let g = Graph::from_triples([t("v", "auth", "bob"), t("bob", "type", "student")]);
         let shape = Shape::leq(
             1,
             p("auth"),

@@ -23,9 +23,7 @@ use shapefrag_rdf::{Graph, Iri, Literal, Term};
 use shapefrag_shacl::node_test::{NodeKind, NodeTest};
 use shapefrag_shacl::shape::PathOrId;
 use shapefrag_shacl::{Nnf, PathExpr, Schema, Shape};
-use shapefrag_sparql::algebra::{
-    Expr, Pattern, Projection, Select, TriplePattern, VarOrTerm,
-};
+use shapefrag_sparql::algebra::{Expr, Pattern, Projection, Select, TriplePattern, VarOrTerm};
 use shapefrag_sparql::eval::{bindings_to_graph, eval_select, EvalConfig, ResourceExhausted};
 
 /// `Q_E(?t, ?s, ?p, ?o, ?h)` for a path expression (Lemma 5.1).
@@ -428,11 +426,8 @@ impl<'s> Translator<'s> {
             Nnf::NotHasValue(c) => {
                 let nodes = self.all_nodes("v");
                 nodes.filter(
-                    Expr::SameTerm(
-                        Box::new(Expr::var("v")),
-                        Box::new(Expr::Const(c.clone())),
-                    )
-                    .not(),
+                    Expr::SameTerm(Box::new(Expr::var("v")), Box::new(Expr::Const(c.clone())))
+                        .not(),
                 )
             }
             Nnf::And(items) => {
@@ -574,7 +569,10 @@ impl<'s> Translator<'s> {
                 let nodes = self.all_nodes("v");
                 Pattern::Minus(
                     Box::new(nodes),
-                    Box::new(sub(sel_distinct(vec![proj_var("v")], self_loop_bgp("v", p)))),
+                    Box::new(sub(sel_distinct(
+                        vec![proj_var("v")],
+                        self_loop_bgp("v", p),
+                    ))),
                 )
             }
             Nnf::NotDisj(PathOrId::Id, p) => {
@@ -676,8 +674,7 @@ impl<'s> Translator<'s> {
         for i in 0..xs.len() {
             for j in (i + 1)..xs.len() {
                 pattern = pattern.filter(
-                    Expr::SameTerm(Box::new(Expr::var(&xs[i])), Box::new(Expr::var(&xs[j])))
-                        .not(),
+                    Expr::SameTerm(Box::new(Expr::var(&xs[i])), Box::new(Expr::var(&xs[j]))).not(),
                 );
             }
         }
@@ -729,10 +726,7 @@ impl<'s> Translator<'s> {
         pattern.filter(
             Expr::SameTerm(Box::new(Expr::var(&x)), Box::new(Expr::var(&y)))
                 .not()
-                .and(
-                    Expr::Lang(Box::new(Expr::var(&x)))
-                        .eq(Expr::Lang(Box::new(Expr::var(&y)))),
-                )
+                .and(Expr::Lang(Box::new(Expr::var(&x))).eq(Expr::Lang(Box::new(Expr::var(&y)))))
                 .and(
                     Expr::Lang(Box::new(Expr::var(&x)))
                         .neq(Expr::Const(Term::Literal(Literal::string("")))),
@@ -745,7 +739,12 @@ impl<'s> Translator<'s> {
     /// `Q_φ(?v, ?s, ?p, ?o)`.
     fn nq(&mut self, shape: &Nnf) -> Select {
         let out = vec![proj_var("v"), proj_var("s"), proj_var("p"), proj_var("o")];
-        let out_from_t = vec![rename("t", "v"), proj_var("s"), proj_var("p"), proj_var("o")];
+        let out_from_t = vec![
+            rename("t", "v"),
+            proj_var("s"),
+            proj_var("p"),
+            proj_var("o"),
+        ];
         match shape {
             // Empty-neighborhood cases.
             Nnf::True
@@ -760,10 +759,9 @@ impl<'s> Translator<'s> {
             | Nnf::LessThanEq(_, _)
             | Nnf::MoreThan(_, _)
             | Nnf::MoreThanEq(_, _)
-            | Nnf::UniqueLang(_) => sel(
-                out,
-                Pattern::Filter(Box::new(Pattern::Unit), false_expr()),
-            ),
+            | Nnf::UniqueLang(_) => {
+                sel(out, Pattern::Filter(Box::new(Pattern::Unit), false_expr()))
+            }
 
             Nnf::HasShape(name) => {
                 let def = Nnf::from_shape(&self.schema.def(name));
@@ -776,9 +774,11 @@ impl<'s> Translator<'s> {
 
             Nnf::And(items) | Nnf::Or(items) => {
                 let guard = self.cq_as(shape, "v");
-                let branches: Vec<Pattern> =
-                    items.iter().map(|i| sub(self.nq(i))).collect();
-                sel(out, Pattern::Join(Box::new(guard), Box::new(union_all(branches))))
+                let branches: Vec<Pattern> = items.iter().map(|i| sub(self.nq(i))).collect();
+                sel(
+                    out,
+                    Pattern::Join(Box::new(guard), Box::new(union_all(branches))),
+                )
             }
 
             Nnf::Geq(_, e, inner) => self.nq_quantifier(shape, e, inner, true),
@@ -813,10 +813,7 @@ impl<'s> Translator<'s> {
                 let guard = self.cq_t(shape);
                 let q_e = self.q_path(e);
                 let q_p = self.q_path(&PathExpr::Prop(p.clone()));
-                let e_side = Pattern::Minus(
-                    Box::new(sub(q_e)),
-                    Box::new(prop_bgp("t", p, "h")),
-                );
+                let e_side = Pattern::Minus(Box::new(sub(q_e)), Box::new(prop_bgp("t", p, "h")));
                 let p_side = Pattern::Minus(
                     Box::new(sub(q_p)),
                     Box::new(Pattern::Path {
@@ -854,8 +851,7 @@ impl<'s> Translator<'s> {
                 let guard = self.cq_t(shape);
                 let q_e = self.q_path(e);
                 let q_p = self.q_path(&PathExpr::Prop(p.clone()));
-                let e_side =
-                    Pattern::Join(Box::new(sub(q_e)), Box::new(prop_bgp("t", p, "h")));
+                let e_side = Pattern::Join(Box::new(sub(q_e)), Box::new(prop_bgp("t", p, "h")));
                 let p_side = Pattern::Join(
                     Box::new(sub(q_p)),
                     Box::new(Pattern::Path {
@@ -905,8 +901,7 @@ impl<'s> Translator<'s> {
             Nnf::NotClosed(allowed) => {
                 let guard = self.cq_as(shape, "v");
                 let (q, x) = (self.fresh("q"), self.fresh("x"));
-                let triple =
-                    Pattern::Bgp(vec![TriplePattern::new(var("v"), var(&q), var(&x))]);
+                let triple = Pattern::Bgp(vec![TriplePattern::new(var("v"), var(&q), var(&x))]);
                 let outside = triple.filter(Expr::In(
                     Box::new(Expr::var(&q)),
                     allowed.iter().map(|p| Term::Iri(p.clone())).collect(),
@@ -972,7 +967,12 @@ impl<'s> Translator<'s> {
             endpoint_neighborhood,
         ]);
         sel(
-            vec![rename("t", "v"), proj_var("s"), proj_var("p"), proj_var("o")],
+            vec![
+                rename("t", "v"),
+                proj_var("s"),
+                proj_var("p"),
+                proj_var("o"),
+            ],
             Pattern::Union(Box::new(branch1), Box::new(branch2)),
         )
     }
@@ -996,7 +996,12 @@ impl<'s> Translator<'s> {
         )
         .filter(not_cmp(Expr::var(&h2), Expr::var("h"), kind));
         sel(
-            vec![rename("t", "v"), proj_var("s"), proj_var("p"), proj_var("o")],
+            vec![
+                rename("t", "v"),
+                proj_var("s"),
+                proj_var("p"),
+                proj_var("o"),
+            ],
             Pattern::Join(
                 Box::new(guard),
                 Box::new(Pattern::Union(Box::new(e_side), Box::new(p_side))),
@@ -1206,11 +1211,9 @@ mod tests {
         );
         assert_eq!(sub.len(), 4);
         // Identity rows exist: (a, a) with unbound s/p/o.
-        assert!(rows
-            .iter()
-            .any(|b| b.get("t") == Some(&term("a"))
-                && b.get("h") == Some(&term("a"))
-                && !b.contains_key("s")));
+        assert!(rows.iter().any(|b| b.get("t") == Some(&term("a"))
+            && b.get("h") == Some(&term("a"))
+            && !b.contains_key("s")));
     }
 
     #[test]
@@ -1304,7 +1307,11 @@ mod tests {
                 p("pages"),
                 Shape::Test(NodeTest::Datatype(shapefrag_rdf::vocab::xsd::integer())),
             ),
-            Shape::geq(1, p("pages"), Shape::Test(NodeTest::MinInclusive(Literal::integer(10)))),
+            Shape::geq(
+                1,
+                p("pages"),
+                Shape::Test(NodeTest::MinInclusive(Literal::integer(10))),
+            ),
             Shape::geq(1, p("title"), Shape::Test(NodeTest::Language("en".into()))),
             Shape::geq(
                 1,
@@ -1341,10 +1348,12 @@ mod tests {
             Shape::Eq(PathOrId::Id, iri("p")).not(),
             Shape::Disj(PathOrId::Id, iri("p")).not(),
             Shape::Closed([iri("type")].into()).not(),
-            Shape::geq(1, p("author"), Shape::True)
-                .and(Shape::geq(1, p("type"), Shape::has_value(term("Paper")))),
-            Shape::geq(1, p("author"), Shape::True)
-                .or(Shape::geq(1, p("friend"), Shape::True)),
+            Shape::geq(1, p("author"), Shape::True).and(Shape::geq(
+                1,
+                p("type"),
+                Shape::has_value(term("Paper")),
+            )),
+            Shape::geq(1, p("author"), Shape::True).or(Shape::geq(1, p("friend"), Shape::True)),
         ];
         for shape in &shapes {
             assert_nq_agrees(&g, shape);
@@ -1419,8 +1428,7 @@ mod tests {
             Shape::Disj(PathOrId::Path(p("friend")), iri("colleague")).not(),
         ];
         let schema = Schema::empty();
-        let via_sparql =
-            fragment_via_sparql(&schema, &g, &shapes, &EvalConfig::indexed()).unwrap();
+        let via_sparql = fragment_via_sparql(&schema, &g, &shapes, &EvalConfig::indexed()).unwrap();
         let native = crate::fragment::fragment(&schema, &g, &shapes);
         assert_eq!(via_sparql, native);
     }
@@ -1444,8 +1452,7 @@ mod tests {
         assert_cq_agrees(&g, &shape);
         assert_nq_agrees(&g, &shape);
         let schema = Schema::empty();
-        let frag =
-            fragment_via_sparql(&schema, &g, &[shape], &EvalConfig::indexed()).unwrap();
+        let frag = fragment_via_sparql(&schema, &g, &[shape], &EvalConfig::indexed()).unwrap();
         // me conforms: friend edges + likes-pingpong edges. f3's owner fails.
         assert!(frag.contains(&t("me", "friend", "f1")));
         assert!(frag.contains(&t("f1", "likes", "pingpong")));
@@ -1459,11 +1466,8 @@ mod tests {
     fn generated_query_sizes_are_linear_ish() {
         // The printed query grows with the shape but stays bounded (the
         // linear-size claim of Prop 5.3, with counts in unary).
-        let small = neighborhood_query(
-            &Schema::empty(),
-            &Shape::geq(1, p("a"), Shape::True),
-        )
-        .to_string();
+        let small =
+            neighborhood_query(&Schema::empty(), &Shape::geq(1, p("a"), Shape::True)).to_string();
         let big = neighborhood_query(
             &Schema::empty(),
             &Shape::geq(

@@ -12,10 +12,10 @@
 //! Sets are `BTreeSet`s over ids so iteration order is deterministic for a
 //! given insertion sequence, which keeps experiments reproducible.
 
-use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 use crate::term::{Iri, Term, Triple};
 
@@ -53,23 +53,25 @@ pub type IntMap<K, V> = HashMap<K, V, BuildHasherDefault<IntHasher>>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TermId(pub u32);
 
+/// Both the id→term table and the term→id map point at one shared
+/// allocation per distinct term (`Arc<Term>`; `Arc<Term>: Borrow<Term>`
+/// keeps map lookups allocation-free), instead of storing every term twice.
 #[derive(Debug, Default, Clone)]
 struct Interner {
-    lookup: HashMap<Term, TermId>,
-    terms: Vec<Term>,
+    lookup: HashMap<Arc<Term>, TermId>,
+    terms: Vec<Arc<Term>>,
 }
 
 impl Interner {
     fn intern(&mut self, term: &Term) -> TermId {
-        match self.lookup.entry(term.clone()) {
-            Entry::Occupied(e) => *e.get(),
-            Entry::Vacant(e) => {
-                let id = TermId(self.terms.len() as u32);
-                self.terms.push(e.key().clone());
-                e.insert(id);
-                id
-            }
+        if let Some(&id) = self.lookup.get(term) {
+            return id;
         }
+        let shared = Arc::new(term.clone());
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(Arc::clone(&shared));
+        self.lookup.insert(shared, id);
+        id
     }
 
     fn get(&self, term: &Term) -> Option<TermId> {
@@ -141,7 +143,12 @@ impl Graph {
             .or_default()
             .insert(o);
         if added {
-            self.ops.entry(o).or_default().entry(p).or_default().insert(s);
+            self.ops
+                .entry(o)
+                .or_default()
+                .entry(p)
+                .or_default()
+                .insert(s);
             self.pso.entry(p).or_default().insert((s, o));
             self.len += 1;
         }
@@ -245,7 +252,8 @@ impl Graph {
 
     /// Iterates all triples (deterministic order per index structure).
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.iter_ids().map(move |(s, p, o)| self.triple_of(s, p, o))
+        self.iter_ids()
+            .map(move |(s, p, o)| self.triple_of(s, p, o))
     }
 
     /// Iterates all triples as id tuples.
@@ -291,22 +299,25 @@ impl Graph {
 
     /// Outgoing `(predicate, object)` id pairs of a subject.
     pub fn out_edges_ids(&self, s: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
-        self.spo
-            .get(&s)
-            .into_iter()
-            .flat_map(|m| m.iter().flat_map(|(p, objs)| objs.iter().map(move |o| (*p, *o))))
+        self.spo.get(&s).into_iter().flat_map(|m| {
+            m.iter()
+                .flat_map(|(p, objs)| objs.iter().map(move |o| (*p, *o)))
+        })
     }
 
     /// Incoming `(predicate, subject)` id pairs of an object.
     pub fn in_edges_ids(&self, o: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
-        self.ops
-            .get(&o)
-            .into_iter()
-            .flat_map(|m| m.iter().flat_map(|(p, subs)| subs.iter().map(move |s| (*p, *s))))
+        self.ops.get(&o).into_iter().flat_map(|m| {
+            m.iter()
+                .flat_map(|(p, subs)| subs.iter().map(move |s| (*p, *s)))
+        })
     }
 
     /// All `(s, o)` id pairs with predicate `p`.
-    pub fn edges_with_predicate_ids(&self, p: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+    pub fn edges_with_predicate_ids(
+        &self,
+        p: TermId,
+    ) -> impl Iterator<Item = (TermId, TermId)> + '_ {
         self.pso
             .get(&p)
             .into_iter()
@@ -402,7 +413,10 @@ impl Graph {
 
     /// All nodes of the graph as terms.
     pub fn nodes(&self) -> Vec<&Term> {
-        self.node_ids().into_iter().map(|id| self.term(id)).collect()
+        self.node_ids()
+            .into_iter()
+            .map(|id| self.term(id))
+            .collect()
     }
 
     /// All distinct predicates.
@@ -419,10 +433,7 @@ impl Graph {
 
     /// Distinct outgoing predicates of a subject, as ids.
     pub fn predicates_out_ids(&self, s: TermId) -> impl Iterator<Item = TermId> + '_ {
-        self.spo
-            .get(&s)
-            .into_iter()
-            .flat_map(|m| m.keys().copied())
+        self.spo.get(&s).into_iter().flat_map(|m| m.keys().copied())
     }
 
     /// True iff `other` contains every triple of `self`.
@@ -509,9 +520,18 @@ mod tests {
     fn triples_matching_all_patterns() {
         let g = Graph::from_triples([t("a", "p", "b"), t("a", "q", "c"), t("b", "p", "c")]);
         assert_eq!(g.triples_matching(None, None, None).len(), 3);
-        assert_eq!(g.triples_matching(Some(&Term::iri("a")), None, None).len(), 2);
-        assert_eq!(g.triples_matching(None, Some(&Iri::new("p")), None).len(), 2);
-        assert_eq!(g.triples_matching(None, None, Some(&Term::iri("c"))).len(), 2);
+        assert_eq!(
+            g.triples_matching(Some(&Term::iri("a")), None, None).len(),
+            2
+        );
+        assert_eq!(
+            g.triples_matching(None, Some(&Iri::new("p")), None).len(),
+            2
+        );
+        assert_eq!(
+            g.triples_matching(None, None, Some(&Term::iri("c"))).len(),
+            2
+        );
         assert_eq!(
             g.triples_matching(Some(&Term::iri("a")), Some(&Iri::new("p")), None)
                 .len(),
@@ -561,6 +581,16 @@ mod tests {
         assert_eq!(g.len(), 1);
         let objs = g.objects_for(&Term::iri("a"), &Iri::new("p"));
         assert!(objs[0].is_literal());
+    }
+
+    #[test]
+    fn interner_shares_one_allocation_per_term() {
+        let mut i = Interner::default();
+        let id = i.intern(&Term::iri("shared"));
+        assert_eq!(i.intern(&Term::iri("shared")), id);
+        // The `terms` slot and the `lookup` key are the same allocation.
+        assert_eq!(Arc::strong_count(&i.terms[id.0 as usize]), 2);
+        assert_eq!(i.resolve(id), &Term::iri("shared"));
     }
 
     #[test]

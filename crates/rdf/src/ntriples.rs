@@ -194,7 +194,9 @@ impl Cursor {
     fn unicode_escape(&mut self, digits: usize) -> Result<char, ParseError> {
         let mut v: u32 = 0;
         for _ in 0..digits {
-            let c = self.bump().ok_or_else(|| self.err("short unicode escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("short unicode escape"))?;
             let d = c
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -255,7 +257,9 @@ mod tests {
 
     #[test]
     fn parse_basic() {
-        let g = parse("<http://e/a> <http://e/p> <http://e/b> .\n<http://e/a> <http://e/q> \"lit\" .").unwrap();
+        let g =
+            parse("<http://e/a> <http://e/p> <http://e/b> .\n<http://e/a> <http://e/q> \"lit\" .")
+                .unwrap();
         assert_eq!(g.len(), 2);
     }
 

@@ -326,7 +326,11 @@ impl Triple {
     /// Creates a triple. Panics if `subject` is a literal — such a triple is
     /// not an RDF triple (§2); parsers reject this earlier with a proper
     /// error.
-    pub fn new(subject: impl Into<Term>, predicate: impl Into<Iri>, object: impl Into<Term>) -> Self {
+    pub fn new(
+        subject: impl Into<Term>,
+        predicate: impl Into<Iri>,
+        object: impl Into<Term>,
+    ) -> Self {
         let subject = subject.into();
         assert!(
             subject.is_subject(),
@@ -400,7 +404,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "subject must be an IRI or blank node")]
     fn literal_subject_rejected() {
-        let _ = Triple::new(Term::Literal(Literal::string("x")), Iri::new("p"), Term::iri("o"));
+        let _ = Triple::new(
+            Term::Literal(Literal::string("x")),
+            Iri::new("p"),
+            Term::iri("o"),
+        );
     }
 
     #[test]

@@ -247,9 +247,7 @@ impl<'a> Parser<'a> {
         match self.peek() {
             Some('<') => Ok(Term::Iri(Iri::new(self.parse_iri_ref()?))),
             Some('_') => Ok(Term::Blank(self.parse_blank_node_label()?)),
-            Some(c) if is_pname_start(c) || c == ':' => {
-                Ok(Term::Iri(self.parse_prefixed_name()?))
-            }
+            Some(c) if is_pname_start(c) || c == ':' => Ok(Term::Iri(self.parse_prefixed_name()?)),
             Some(c) => Err(self.error(format!("unexpected character '{c}' in subject position"))),
             None => Err(self.error("unexpected end of input, expected subject")),
         }
@@ -259,9 +257,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         match self.peek() {
             Some('<') => Ok(Iri::new(self.parse_iri_ref()?)),
-            Some('a')
-                if !matches!(self.peek_at(1), Some(c) if is_pname_char(c) || c == ':') =>
-            {
+            Some('a') if !matches!(self.peek_at(1), Some(c) if is_pname_char(c) || c == ':') => {
                 self.bump();
                 Ok(rdf::type_())
             }
@@ -282,14 +278,10 @@ impl<'a> Parser<'a> {
             Some(c) if c.is_ascii_digit() || c == '+' || c == '-' => {
                 Ok(Term::Literal(self.parse_numeric_literal()?))
             }
-            Some('t') | Some('f')
-                if self.looking_at_boolean() =>
-            {
+            Some('t') | Some('f') if self.looking_at_boolean() => {
                 Ok(Term::Literal(self.parse_boolean_literal()?))
             }
-            Some(c) if is_pname_start(c) || c == ':' => {
-                Ok(Term::Iri(self.parse_prefixed_name()?))
-            }
+            Some(c) if is_pname_start(c) || c == ':' => Ok(Term::Iri(self.parse_prefixed_name()?)),
             Some(c) => Err(self.error(format!("unexpected character '{c}' in object position"))),
             None => Err(self.error("unexpected end of input, expected object")),
         }
@@ -497,7 +489,8 @@ impl<'a> Parser<'a> {
         while let Some(c) = self.peek() {
             if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
                 // A '.' may be the statement terminator.
-                if c == '.' && !matches!(self.peek_at(1), Some(n) if n.is_alphanumeric() || n == '_')
+                if c == '.'
+                    && !matches!(self.peek_at(1), Some(n) if n.is_alphanumeric() || n == '_')
                 {
                     break;
                 }
@@ -644,7 +637,9 @@ pub fn serialize(graph: &Graph, prefixes: &[(&str, &str)]) -> String {
         for (name, ns) in prefixes {
             if let Some(local) = iri.as_str().strip_prefix(ns) {
                 if !local.is_empty()
-                    && local.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                    && local
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
                 {
                     return format!("{name}:{local}");
                 }
@@ -794,7 +789,9 @@ ex:s ex:langs ( "en" "fr" "de" ) ."#,
 
     #[test]
     fn long_strings() {
-        let g = parse("@prefix ex: <http://e/> .\nex:s ex:p \"\"\"multi\nline \"quoted\" text\"\"\" .").unwrap();
+        let g =
+            parse("@prefix ex: <http://e/> .\nex:s ex:p \"\"\"multi\nline \"quoted\" text\"\"\" .")
+                .unwrap();
         let objs = g.objects_for(&Term::iri("http://e/s"), &Iri::new("http://e/p"));
         assert!(objs[0].as_literal().unwrap().lexical().contains('\n'));
     }

@@ -220,6 +220,9 @@ mod tests {
         assert_eq!(rdf::type_().as_str(), format!("{RDF_NS}type"));
         assert_eq!(sh::min_count().as_str(), format!("{SH_NS}minCount"));
         assert_eq!(xsd::date_time().as_str(), format!("{XSD_NS}dateTime"));
-        assert_eq!(rdfs::sub_class_of().as_str(), format!("{RDFS_NS}subClassOf"));
+        assert_eq!(
+            rdfs::sub_class_of().as_str(),
+            format!("{RDFS_NS}subClassOf")
+        );
     }
 }

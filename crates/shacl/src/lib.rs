@@ -47,5 +47,8 @@ pub use path::PathExpr;
 pub use rpq::{CompiledPath, Nfa, PathCache};
 pub use schema::{Schema, SchemaError, ShapeDef};
 pub use shape::{PathOrId, Shape};
-pub use validator::{validate, Context, ValidationReport, Violation};
+pub use validator::{
+    validate, validate_batch, validate_batch_with_memo, ConformanceMemo, Context, ValidationReport,
+    Violation,
+};
 pub use writer::{schema_to_shapes_graph, schema_to_shapes_graph_strict, schema_to_turtle};

@@ -314,10 +314,7 @@ mod tests {
     #[test]
     fn double_negation_cancels() {
         let s = Shape::has_value(Term::iri("http://e/c")).not().not();
-        assert_eq!(
-            Nnf::from_shape(&s),
-            Nnf::HasValue(Term::iri("http://e/c"))
-        );
+        assert_eq!(Nnf::from_shape(&s), Nnf::HasValue(Term::iri("http://e/c")));
     }
 
     #[test]
@@ -362,7 +359,9 @@ mod tests {
         let s = Shape::geq(
             1,
             p("a"),
-            Shape::True.and(Shape::has_value(Term::iri("http://e/c"))).not(),
+            Shape::True
+                .and(Shape::has_value(Term::iri("http://e/c")))
+                .not(),
         );
         let nnf = Nnf::from_shape(&s);
         match nnf {

@@ -93,9 +93,7 @@ impl NodeTest {
             NodeTest::MinInclusive(bound) => {
                 compare_to_bound(node, bound).is_some_and(|o| o != Ordering::Less)
             }
-            NodeTest::MaxExclusive(bound) => {
-                compare_to_bound(node, bound) == Some(Ordering::Less)
-            }
+            NodeTest::MaxExclusive(bound) => compare_to_bound(node, bound) == Some(Ordering::Less),
             NodeTest::MaxInclusive(bound) => {
                 compare_to_bound(node, bound).is_some_and(|o| o != Ordering::Greater)
             }
@@ -107,9 +105,7 @@ impl NodeTest {
             }
             NodeTest::Pattern(p) => string_repr(node).is_some_and(|s| p.is_match(s)),
             NodeTest::Language(range) => match node {
-                Term::Literal(lit) => lit
-                    .language()
-                    .is_some_and(|tag| lang_matches(tag, range)),
+                Term::Literal(lit) => lit.language().is_some_and(|tag| lang_matches(tag, range)),
                 _ => false,
             },
         }
@@ -157,7 +153,10 @@ fn string_repr(node: &Term) -> Option<&str> {
 /// already lower-cased.
 fn lang_matches(tag: &str, range: &str) -> bool {
     let range = range.to_ascii_lowercase();
-    tag == range || (tag.len() > range.len() && tag.starts_with(&range) && tag.as_bytes()[range.len()] == b'-')
+    tag == range
+        || (tag.len() > range.len()
+            && tag.starts_with(&range)
+            && tag.as_bytes()[range.len()] == b'-')
 }
 
 #[cfg(test)]

@@ -18,9 +18,9 @@ use shapefrag_rdf::{Graph, Iri, Literal, Term};
 
 use crate::node_test::{NodeKind, NodeTest};
 use crate::path::PathExpr;
-use crate::writer::SHX_NS;
 use crate::schema::{Schema, SchemaError, ShapeDef};
 use crate::shape::{PathOrId, Shape};
+use crate::writer::SHX_NS;
 
 /// An error translating a shapes graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +52,12 @@ pub fn schema_from_shapes_graph(shapes: &Graph) -> Result<Schema, ShaclParseErro
     let shape_nodes = tr.collect_shape_nodes()?;
     let mut defs = Vec::new();
     for node in shape_nodes {
+        if node.is_literal() {
+            // A malformed document can reference a literal where a shape is
+            // expected (e.g. as an `sh:node` object); shape names must be
+            // IRIs or blank nodes.
+            return Err(ShaclParseError(format!("literal used as a shape: {node}")));
+        }
         let expr = tr.translate_shape(&node)?;
         let target = tr.translate_target(&node)?;
         defs.push(ShapeDef::new(node, expr, target));
@@ -92,9 +98,9 @@ impl<'g> Translator<'g> {
         {
             queue.push(t.subject);
         }
-        for t in self
-            .g
-            .triples_matching(None, Some(&type_p), Some(&Term::Iri(sh::property_shape())))
+        for t in
+            self.g
+                .triples_matching(None, Some(&type_p), Some(&Term::Iri(sh::property_shape())))
         {
             queue.push(t.subject);
         }
@@ -106,7 +112,12 @@ impl<'g> Translator<'g> {
                 continue;
             }
             // References to other shapes.
-            for p in [sh::node(), sh::property(), sh::not(), sh::qualified_value_shape()] {
+            for p in [
+                sh::node(),
+                sh::property(),
+                sh::not(),
+                sh::qualified_value_shape(),
+            ] {
                 queue.extend(self.objects(&node, &p));
             }
             for p in [sh::and(), sh::or(), sh::xone()] {
@@ -194,7 +205,9 @@ impl<'g> Translator<'g> {
         for head in self.objects(x, &sh::and()) {
             let items = read_list(self.g, &head)
                 .ok_or_else(|| ShaclParseError("malformed sh:and list".into()))?;
-            out.push(Shape::conj(items.into_iter().map(Shape::HasShape).collect()));
+            out.push(Shape::conj(
+                items.into_iter().map(Shape::HasShape).collect(),
+            ));
         }
         for head in self.objects(x, &sh::or()) {
             let items = read_list(self.g, &head)
@@ -258,7 +271,10 @@ impl<'g> Translator<'g> {
             out.push(Shape::Test(NodeTest::Kind(kind)));
         }
         for (prop, make) in [
-            (sh::min_exclusive(), NodeTest::MinExclusive as fn(Literal) -> NodeTest),
+            (
+                sh::min_exclusive(),
+                NodeTest::MinExclusive as fn(Literal) -> NodeTest,
+            ),
             (sh::min_inclusive(), NodeTest::MinInclusive),
             (sh::max_exclusive(), NodeTest::MaxExclusive),
             (sh::max_inclusive(), NodeTest::MaxInclusive),
@@ -717,8 +733,7 @@ ex:S a sh:NodeShape ;
   sh:property [ sh:path ex:friend ; sh:nodeKind sh:IRI ] .
 "#,
         );
-        let ok = turtle::parse(&format!("{PREFIXES}\nex:a ex:age 42 ; ex:friend ex:b ."))
-            .unwrap();
+        let ok = turtle::parse(&format!("{PREFIXES}\nex:a ex:age 42 ; ex:friend ex:b .")).unwrap();
         assert!(validate(&s, &ok).conforms());
         let bad_age = turtle::parse(&format!("{PREFIXES}\nex:a ex:age 200 .")).unwrap();
         assert!(!validate(&s, &bad_age).conforms());
@@ -905,8 +920,7 @@ ex:S a sh:NodeShape ;
         .unwrap();
         assert!(!validate(&s, &bad_in).conforms());
         // hasValue on a property shape is existential: missing entirely fails.
-        let missing =
-            turtle::parse(&format!("{PREFIXES}\nex:a ex:status ex:Active .")).unwrap();
+        let missing = turtle::parse(&format!("{PREFIXES}\nex:a ex:status ex:Active .")).unwrap();
         assert!(!validate(&s, &missing).conforms());
     }
 
@@ -1012,10 +1026,8 @@ ex:SelfLoop a sh:NodeShape ;
 "#,
         );
         // eq(id, p): the node's only p-successor is itself.
-        let data = turtle::parse(&format!(
-            "{PREFIXES}\nex:a ex:p ex:a .\nex:b ex:p ex:c ."
-        ))
-        .unwrap();
+        let data =
+            turtle::parse(&format!("{PREFIXES}\nex:a ex:p ex:a .\nex:b ex:p ex:c .")).unwrap();
         let report = validate(&s, &data);
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].focus, ex("b"));

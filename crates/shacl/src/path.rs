@@ -212,10 +212,7 @@ mod tests {
     #[test]
     fn display_uses_sparql_syntax() {
         let e = p("a").inverse().then(p("b").or(p("c")).star());
-        assert_eq!(
-            e.to_string(),
-            "^<http://e/a>/(<http://e/b>|<http://e/c>)*"
-        );
+        assert_eq!(e.to_string(), "^<http://e/a>/(<http://e/b>|<http://e/c>)*");
     }
 
     #[test]

@@ -66,7 +66,12 @@ impl Ord for Pattern {
 
 impl fmt::Debug for Pattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "/{}/{}", self.source, if self.case_insensitive { "i" } else { "" })
+        write!(
+            f,
+            "/{}/{}",
+            self.source,
+            if self.case_insensitive { "i" } else { "" }
+        )
     }
 }
 
@@ -86,7 +91,10 @@ enum Node {
     Repeat(Box<Node>, u32, Option<u32>),
     Literal(char),
     AnyChar,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     StartAnchor,
     EndAnchor,
 }
@@ -293,14 +301,34 @@ impl RegexParser {
             Some('^') => Ok(Node::StartAnchor),
             Some('$') => Ok(Node::EndAnchor),
             Some('\\') => {
-                let c = self.bump().ok_or_else(|| RegexError("dangling '\\'".into()))?;
+                let c = self
+                    .bump()
+                    .ok_or_else(|| RegexError("dangling '\\'".into()))?;
                 Ok(match c {
-                    'd' => Node::Class { negated: false, items: vec![ClassItem::Digit(false)] },
-                    'D' => Node::Class { negated: false, items: vec![ClassItem::Digit(true)] },
-                    'w' => Node::Class { negated: false, items: vec![ClassItem::Word(false)] },
-                    'W' => Node::Class { negated: false, items: vec![ClassItem::Word(true)] },
-                    's' => Node::Class { negated: false, items: vec![ClassItem::Space(false)] },
-                    'S' => Node::Class { negated: false, items: vec![ClassItem::Space(true)] },
+                    'd' => Node::Class {
+                        negated: false,
+                        items: vec![ClassItem::Digit(false)],
+                    },
+                    'D' => Node::Class {
+                        negated: false,
+                        items: vec![ClassItem::Digit(true)],
+                    },
+                    'w' => Node::Class {
+                        negated: false,
+                        items: vec![ClassItem::Word(false)],
+                    },
+                    'W' => Node::Class {
+                        negated: false,
+                        items: vec![ClassItem::Word(true)],
+                    },
+                    's' => Node::Class {
+                        negated: false,
+                        items: vec![ClassItem::Space(false)],
+                    },
+                    'S' => Node::Class {
+                        negated: false,
+                        items: vec![ClassItem::Space(true)],
+                    },
                     'n' => Node::Literal('\n'),
                     't' => Node::Literal('\t'),
                     'r' => Node::Literal('\r'),
@@ -331,7 +359,9 @@ impl RegexParser {
                     items.push(ClassItem::Char(']'));
                 }
                 Some('\\') => {
-                    let c = self.bump().ok_or_else(|| RegexError("dangling '\\'".into()))?;
+                    let c = self
+                        .bump()
+                        .ok_or_else(|| RegexError("dangling '\\'".into()))?;
                     items.push(match c {
                         'd' => ClassItem::Digit(false),
                         'D' => ClassItem::Digit(true),
@@ -375,7 +405,13 @@ impl<'a> Matcher<'a> {
     /// Calls `k(end)` for match end positions; `k` returns `true` to stop.
     /// `at_start` tracks whether position 0 is a valid `^` anchor point for
     /// this attempt (it is only when the search started at 0).
-    fn match_node(&self, node: &Node, pos: usize, at_start: bool, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    fn match_node(
+        &self,
+        node: &Node,
+        pos: usize,
+        at_start: bool,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
         if self.budget.get() == 0 {
             return true; // Out of budget: abort the search (treat as no match).
         }
@@ -430,7 +466,9 @@ impl<'a> Matcher<'a> {
                 }
                 false
             }
-            Node::Repeat(inner, min, max) => self.match_repeat(inner, *min, *max, 0, pos, at_start, k),
+            Node::Repeat(inner, min, max) => {
+                self.match_repeat(inner, *min, *max, 0, pos, at_start, k)
+            }
         }
     }
 

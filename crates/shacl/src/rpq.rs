@@ -46,6 +46,81 @@ impl ProductSet {
     }
 }
 
+/// How many sources one multi-source BFS pass handles; bounds the bitset
+/// width (`256 / 64 = 4` words per product pair).
+const SOURCE_CHUNK: usize = 256;
+
+/// Per-source reachability bits over the product graph: for each
+/// `(node, state)` pair, the set of source indices (within one chunk) that
+/// reach it. The map per state keeps memory proportional to the pairs
+/// actually discovered.
+struct BitMatrix {
+    per_state: Vec<HashMap<TermId, Box<[u64]>, BuildHasherDefault<IntHasher>>>,
+    words: usize,
+}
+
+impl BitMatrix {
+    fn new(states: usize, words: usize) -> Self {
+        BitMatrix {
+            per_state: (0..states).map(|_| HashMap::default()).collect(),
+            words,
+        }
+    }
+
+    /// Unions `bits` into the pair's set; true iff any new bit appeared.
+    fn union(&mut self, node: TermId, state: u32, bits: &[u64]) -> bool {
+        let entry = self.per_state[state as usize]
+            .entry(node)
+            .or_insert_with(|| vec![0u64; self.words].into_boxed_slice());
+        let mut grew = false;
+        for (word, add) in entry.iter_mut().zip(bits) {
+            let merged = *word | add;
+            grew |= merged != *word;
+            *word = merged;
+        }
+        grew
+    }
+
+    fn get(&self, node: TermId, state: u32) -> Option<&[u64]> {
+        self.per_state[state as usize].get(&node).map(|b| &**b)
+    }
+
+    /// Copies the pair's bits into `buf` (zeroing it first); false when the
+    /// pair was never reached.
+    fn copy_into(&self, node: TermId, state: u32, buf: &mut [u64]) -> bool {
+        match self.get(node, state) {
+            Some(bits) => {
+                buf.copy_from_slice(bits);
+                true
+            }
+            None => {
+                buf.fill(0);
+                false
+            }
+        }
+    }
+}
+
+fn bits_intersect(a: &[u64], b: &[u64], out: &mut [u64]) -> bool {
+    let mut any = false;
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x & y;
+        any |= *o != 0;
+    }
+    any
+}
+
+fn for_each_bit(bits: &[u64], mut f: impl FnMut(usize)) {
+    for (w, word) in bits.iter().enumerate() {
+        let mut word = *word;
+        while word != 0 {
+            let bit = word.trailing_zeros() as usize;
+            f(w * 64 + bit);
+            word &= word - 1;
+        }
+    }
+}
+
 use crate::path::PathExpr;
 
 /// A transition label: one property, or any property outside a negated set
@@ -396,6 +471,219 @@ impl CompiledPath {
         }
         out
     }
+
+    /// Set-at-a-time evaluation: `⟦E⟧^G(sources[i])` for every source in one
+    /// (chunked) product-graph traversal instead of `sources.len()`
+    /// independent BFS passes.
+    ///
+    /// Each product pair `(node, state)` carries a bitset of the source
+    /// indices that reach it; a pair is re-expanded only when its bitset
+    /// grows, so regions of the product graph shared between sources are
+    /// walked once per chunk rather than once per source. Results are
+    /// per-source and identical to [`CompiledPath::eval_from`].
+    pub fn eval_from_many(&self, graph: &Graph, sources: &[TermId]) -> Vec<BTreeSet<TermId>> {
+        if let Some((pid, inv)) = self.simple {
+            // Single-property paths are direct index lookups per source;
+            // nothing is shared between sources.
+            return sources
+                .iter()
+                .map(|&from| {
+                    if inv {
+                        graph.subjects_ids(from, pid).collect()
+                    } else {
+                        graph.objects_ids(from, pid).collect()
+                    }
+                })
+                .collect();
+        }
+        let mut results: Vec<BTreeSet<TermId>> = vec![BTreeSet::new(); sources.len()];
+        for (chunk_idx, chunk) in sources.chunks(SOURCE_CHUNK).enumerate() {
+            let base = chunk_idx * SOURCE_CHUNK;
+            let forward = self.forward_bits(graph, chunk);
+            // Read results off the accept state: bit i set at (node, accept)
+            // means source i reaches node.
+            for (&node, bits) in &forward.per_state[self.nfa.accept as usize] {
+                for_each_bit(bits, |i| {
+                    results[base + i].insert(node);
+                });
+            }
+        }
+        results
+    }
+
+    /// Batched tracing: for each request `(from, targets)`, computes
+    /// `⋃_{x ∈ targets} graph(paths(E, G, from, x))`, sharing the forward
+    /// and backward product traversals across all requests in a chunk.
+    ///
+    /// An edge `(node, q) → (n2, next)` of the product graph lies on an
+    /// accepting run for request `i` iff `i ∈ forward(node, q)` and
+    /// `i ∈ backward(n2, next)`, where the backward bits are seeded from
+    /// each request's admissible targets at the accept state and propagated
+    /// through forward-reachable pairs only. Results are per-request and
+    /// identical to [`CompiledPath::trace`].
+    pub fn trace_many(
+        &self,
+        graph: &Graph,
+        requests: &[(TermId, BTreeSet<TermId>)],
+    ) -> Vec<BTreeSet<(TermId, TermId, TermId)>> {
+        if let Some((pid, inv)) = self.simple {
+            return requests
+                .iter()
+                .map(|(from, targets)| {
+                    let mut out = BTreeSet::new();
+                    for &x in targets {
+                        if inv {
+                            if graph.contains_ids(x, pid, *from) {
+                                out.insert((x, pid, *from));
+                            }
+                        } else if graph.contains_ids(*from, pid, x) {
+                            out.insert((*from, pid, x));
+                        }
+                    }
+                    out
+                })
+                .collect();
+        }
+        let states = self.nfa.state_count();
+        let mut results: Vec<BTreeSet<(TermId, TermId, TermId)>> =
+            vec![BTreeSet::new(); requests.len()];
+        for (chunk_idx, chunk) in requests.chunks(SOURCE_CHUNK).enumerate() {
+            let base = chunk_idx * SOURCE_CHUNK;
+            let words = chunk.len().div_ceil(64);
+            let sources: Vec<TermId> = chunk.iter().map(|(from, _)| *from).collect();
+            let forward = self.forward_bits(graph, &sources);
+
+            // Backward propagation restricted to forward-reachable pairs:
+            // bits flowing into (m, prev) are the mover's bits intersected
+            // with forward(m, prev).
+            let mut backward = BitMatrix::new(states, words);
+            let mut queue: VecDeque<(TermId, u32)> = VecDeque::new();
+            let mut seed = vec![0u64; words];
+            let mut scratch = vec![0u64; words];
+            let mut gated = vec![0u64; words];
+            for (i, (_, targets)) in chunk.iter().enumerate() {
+                seed.fill(0);
+                seed[i / 64] = 1u64 << (i % 64);
+                for &x in targets {
+                    let reached = forward
+                        .get(x, self.nfa.accept)
+                        .is_some_and(|bits| bits[i / 64] & seed[i / 64] != 0);
+                    if reached && backward.union(x, self.nfa.accept, &seed) {
+                        queue.push_back((x, self.nfa.accept));
+                    }
+                }
+            }
+            while let Some((node, q)) = queue.pop_front() {
+                if !backward.copy_into(node, q, &mut scratch) {
+                    continue;
+                }
+                for &prev in &self.eps_rev[q as usize] {
+                    let fwd = match forward.get(node, prev) {
+                        Some(bits) => bits,
+                        None => continue,
+                    };
+                    if bits_intersect(&scratch, fwd, &mut gated)
+                        && backward.union(node, prev, &gated)
+                    {
+                        queue.push_back((node, prev));
+                    }
+                }
+                for (label, inv, prev) in &self.resolved_rev[q as usize] {
+                    let mut grown: Vec<TermId> = Vec::new();
+                    predecessors(graph, node, label, *inv, |_pred, m| {
+                        if forward.get(m, *prev).is_some() {
+                            grown.push(m);
+                        }
+                    });
+                    for m in grown {
+                        let fwd = forward.get(m, *prev).expect("filtered above");
+                        if bits_intersect(&scratch, fwd, &mut gated)
+                            && backward.union(m, *prev, &gated)
+                        {
+                            queue.push_back((m, *prev));
+                        }
+                    }
+                }
+            }
+
+            // Edge collection: attribute each surviving product edge to the
+            // requests in forward(src pair) ∩ backward(dst pair).
+            for q in 0..states {
+                let nodes: Vec<TermId> = backward.per_state[q].keys().copied().collect();
+                for node in nodes {
+                    let fwd = match forward.get(node, q as u32) {
+                        Some(bits) => bits.to_vec(),
+                        None => continue,
+                    };
+                    for (label, inv, next) in &self.resolved[q] {
+                        let mut hits: Vec<(TermId, TermId)> = Vec::new();
+                        successors(graph, node, label, *inv, |pred, n2| {
+                            hits.push((pred, n2));
+                        });
+                        for (pred, n2) in hits {
+                            let bwd = match backward.get(n2, *next) {
+                                Some(bits) => bits,
+                                None => continue,
+                            };
+                            if bits_intersect(&fwd, bwd, &mut gated) {
+                                let triple = if *inv {
+                                    (n2, pred, node)
+                                } else {
+                                    (node, pred, n2)
+                                };
+                                for_each_bit(&gated, |i| {
+                                    results[base + i].insert(triple);
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Multi-source forward reachability over the product graph: one worklist
+    /// pass labeling each reached `(node, state)` pair with the set of chunk
+    /// source indices that reach it.
+    fn forward_bits(&self, graph: &Graph, chunk: &[TermId]) -> BitMatrix {
+        let words = chunk.len().div_ceil(64);
+        let mut forward = BitMatrix::new(self.nfa.state_count(), words);
+        let mut queue: VecDeque<(TermId, u32)> = VecDeque::new();
+        let mut seed = vec![0u64; words];
+        for (i, &from) in chunk.iter().enumerate() {
+            seed.fill(0);
+            seed[i / 64] = 1u64 << (i % 64);
+            if forward.union(from, self.nfa.start, &seed) {
+                queue.push_back((from, self.nfa.start));
+            }
+        }
+        let mut scratch = vec![0u64; words];
+        while let Some((node, q)) = queue.pop_front() {
+            // Re-read current bits: the pair may have grown again since it
+            // was queued (stale entries just propagate the newest bits).
+            if !forward.copy_into(node, q, &mut scratch) {
+                continue;
+            }
+            for &next in &self.nfa.eps[q as usize] {
+                if forward.union(node, next, &scratch) {
+                    queue.push_back((node, next));
+                }
+            }
+            for (label, inv, next) in &self.resolved[q as usize] {
+                let mut grown: Vec<TermId> = Vec::new();
+                successors(graph, node, label, *inv, |_pred, n2| {
+                    grown.push(n2);
+                });
+                for n2 in grown {
+                    if forward.union(n2, *next, &scratch) {
+                        queue.push_back((n2, *next));
+                    }
+                }
+            }
+        }
+        forward
+    }
 }
 
 /// Enumerates the `(predicate id, neighbor)` pairs reachable from `node`
@@ -516,6 +804,26 @@ impl PathCache {
     ) -> BTreeSet<(TermId, TermId, TermId)> {
         self.get(path, graph).trace(graph, from, targets)
     }
+
+    /// Convenience: set-at-a-time `⟦E⟧^G(sources[i])` for all sources.
+    pub fn eval_many(
+        &mut self,
+        path: &PathExpr,
+        graph: &Graph,
+        sources: &[TermId],
+    ) -> Vec<BTreeSet<TermId>> {
+        self.get(path, graph).eval_from_many(graph, sources)
+    }
+
+    /// Convenience: batched tracing for all `(from, targets)` requests.
+    pub fn trace_many(
+        &mut self,
+        path: &PathExpr,
+        graph: &Graph,
+        requests: &[(TermId, BTreeSet<TermId>)],
+    ) -> Vec<BTreeSet<(TermId, TermId, TermId)>> {
+        self.get(path, graph).trace_many(graph, requests)
+    }
 }
 
 #[cfg(test)]
@@ -528,7 +836,11 @@ mod tests {
     }
 
     fn t(s: &str, p: &str, o: &str) -> Triple {
-        Triple::new(Term::iri(format!("http://e/{s}")), iri(p), Term::iri(format!("http://e/{o}")))
+        Triple::new(
+            Term::iri(format!("http://e/{s}")),
+            iri(p),
+            Term::iri(format!("http://e/{o}")),
+        )
     }
 
     fn p(n: &str) -> PathExpr {
@@ -749,11 +1061,7 @@ mod tests {
         let a = id(&g, "a");
         for x in c.eval_from(&g, a) {
             let traced = c.trace(&g, a, &BTreeSet::from([x]));
-            let f = Graph::from_triples(
-                traced
-                    .iter()
-                    .map(|&(s, pp, o)| g.triple_of(s, pp, o)),
-            );
+            let f = Graph::from_triples(traced.iter().map(|&(s, pp, o)| g.triple_of(s, pp, o)));
             let cf = CompiledPath::new(&e, &f);
             let a_f = f.id_of(g.term(a)).expect("start node in traced graph");
             let x_term = g.term(x);
@@ -790,6 +1098,148 @@ mod tests {
             eval(&g, &p("unknown").star(), "a"),
             BTreeSet::from([n("a")])
         );
+    }
+
+    #[test]
+    fn eval_from_many_matches_eval_from() {
+        // A braided graph exercising star/alt sharing between sources.
+        let g = Graph::from_triples([
+            t("a", "p", "b"),
+            t("b", "p", "c"),
+            t("c", "p", "d"),
+            t("b", "q", "x"),
+            t("x", "p", "c"),
+            t("d", "q", "a"),
+            t("z", "p", "z"),
+        ]);
+        let exprs = [
+            p("p"),
+            p("p").inverse(),
+            p("p").star(),
+            p("p").or(p("q")).star(),
+            p("p").then(p("q").opt()),
+            p("q").inverse().then(p("p").star()),
+        ];
+        let sources: Vec<TermId> = ["a", "b", "c", "d", "x", "z"]
+            .iter()
+            .map(|s| id(&g, s))
+            .collect();
+        for e in &exprs {
+            let c = CompiledPath::new(e, &g);
+            let batch = c.eval_from_many(&g, &sources);
+            assert_eq!(batch.len(), sources.len());
+            for (i, &from) in sources.iter().enumerate() {
+                assert_eq!(batch[i], c.eval_from(&g, from), "expr {e}, source {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_from_many_handles_duplicate_sources() {
+        let g = Graph::from_triples([t("a", "p", "b"), t("b", "p", "c")]);
+        let c = CompiledPath::new(&p("p").star(), &g);
+        let a = id(&g, "a");
+        let batch = c.eval_from_many(&g, &[a, a, id(&g, "b"), a]);
+        let single = c.eval_from(&g, a);
+        assert_eq!(batch[0], single);
+        assert_eq!(batch[1], single);
+        assert_eq!(batch[3], single);
+        assert_eq!(batch[2], c.eval_from(&g, id(&g, "b")));
+    }
+
+    #[test]
+    fn eval_from_many_empty_sources() {
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        let c = CompiledPath::new(&p("p"), &g);
+        assert!(c.eval_from_many(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn eval_from_many_spans_chunks() {
+        // More sources than one bitset chunk: chain x0 -p-> x1 -p-> … so
+        // every source has a distinct result.
+        let chain: Vec<Triple> = (0..(SOURCE_CHUNK + 40))
+            .map(|i| t(&format!("x{i}"), "p", &format!("x{}", i + 1)))
+            .collect();
+        let g = Graph::from_triples(chain);
+        let e = p("p").then(p("p"));
+        let c = CompiledPath::new(&e, &g);
+        let sources: Vec<TermId> = (0..(SOURCE_CHUNK + 40))
+            .map(|i| id(&g, &format!("x{i}")))
+            .collect();
+        let batch = c.eval_from_many(&g, &sources);
+        for (i, &from) in sources.iter().enumerate() {
+            assert_eq!(batch[i], c.eval_from(&g, from), "source {i}");
+        }
+    }
+
+    #[test]
+    fn trace_many_matches_trace() {
+        let g = Graph::from_triples([
+            t("a", "p", "b"),
+            t("b", "p", "d"),
+            t("a", "p", "c"),
+            t("c", "p", "d"),
+            t("d", "p", "e"),
+            t("b", "q", "c"),
+            t("e", "q", "a"),
+        ]);
+        let exprs = [
+            p("p"),
+            p("p").star(),
+            p("p").or(p("q")).star(),
+            p("p").then(p("q")),
+            p("q").inverse(),
+        ];
+        let all: Vec<&str> = vec!["a", "b", "c", "d", "e"];
+        for e in &exprs {
+            let c = CompiledPath::new(e, &g);
+            let requests: Vec<(TermId, BTreeSet<TermId>)> = all
+                .iter()
+                .map(|s| {
+                    let from = id(&g, s);
+                    (from, c.eval_from(&g, from))
+                })
+                .collect();
+            let batch = c.trace_many(&g, &requests);
+            for (i, (from, targets)) in requests.iter().enumerate() {
+                assert_eq!(
+                    batch[i],
+                    c.trace(&g, *from, targets),
+                    "expr {e}, source {}",
+                    all[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_many_separates_overlapping_sources() {
+        // Both sources reach d through shared edges, but only edges on
+        // *that source's* paths may appear in its result.
+        let g = Graph::from_triples([
+            t("a", "p", "m"),
+            t("b", "p", "m"),
+            t("m", "p", "d"),
+            t("b", "p", "d"),
+        ]);
+        let c = CompiledPath::new(&p("p").plus(), &g);
+        let d = id(&g, "d");
+        let requests = vec![
+            (id(&g, "a"), BTreeSet::from([d])),
+            (id(&g, "b"), BTreeSet::from([d])),
+        ];
+        let batch = c.trace_many(&g, &requests);
+        // Source a never uses b's edges.
+        let a_subjects: BTreeSet<String> =
+            names(&g, &batch[0].iter().map(|&(s, _, _)| s).collect());
+        assert_eq!(a_subjects, BTreeSet::from([n("a"), n("m")]));
+        let b_subjects: BTreeSet<String> =
+            names(&g, &batch[1].iter().map(|&(s, _, _)| s).collect());
+        assert_eq!(b_subjects, BTreeSet::from([n("b"), n("m")]));
+        for (i, (from, targets)) in requests.iter().enumerate() {
+            assert_eq!(batch[i], c.trace(&g, *from, targets));
+        }
     }
 
     #[test]

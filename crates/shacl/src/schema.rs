@@ -69,6 +69,9 @@ impl std::error::Error for SchemaError {}
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schema {
     defs: BTreeMap<Term, ShapeDef>,
+    /// Dense ids for defined shape names in definition (name) order; used
+    /// as compact memo keys by the batch validator.
+    name_ids: HashMap<Term, u32>,
 }
 
 impl Schema {
@@ -87,11 +90,25 @@ impl Schema {
                 return Err(SchemaError::DuplicateName(name));
             }
         }
-        let schema = Schema { defs: map };
+        let name_ids = map
+            .keys()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), i as u32))
+            .collect();
+        let schema = Schema {
+            defs: map,
+            name_ids,
+        };
         if let Some(name) = schema.find_cycle() {
             return Err(SchemaError::Recursive(name));
         }
         Ok(schema)
+    }
+
+    /// The dense id of a defined shape name (`None` for undefined names,
+    /// which default to ⊤ and need no memoization).
+    pub fn name_id(&self, name: &Term) -> Option<u32> {
+        self.name_ids.get(name).copied()
     }
 
     /// `def(s, H)`: the shape expression defining `s`, or ⊤ if `s` has no

@@ -335,14 +335,19 @@ mod tests {
         );
         assert!(class_target.is_monotone_syntactically());
         assert!(!Shape::leq(0, p("a"), Shape::True).is_monotone_syntactically());
-        assert!(!Shape::geq(1, p("a"), Shape::True).not().is_monotone_syntactically());
+        assert!(!Shape::geq(1, p("a"), Shape::True)
+            .not()
+            .is_monotone_syntactically());
         assert!(!Shape::for_all(p("a"), Shape::True).is_monotone_syntactically());
     }
 
     #[test]
     fn display_is_readable() {
         let s = Shape::geq(1, p("author"), Shape::has_value(Term::iri("http://e/x")));
-        assert_eq!(s.to_string(), "≥1 <http://e/author>.(hasValue(<http://e/x>))");
+        assert_eq!(
+            s.to_string(),
+            "≥1 <http://e/author>.(hasValue(<http://e/x>))"
+        );
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! style of a SHACL engine — this is the "mere validation" baseline of the
 //! overhead experiment (§5.3.1).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
+use parking_lot::RwLock;
+use shapefrag_rdf::graph::IntMap;
 use shapefrag_rdf::{Graph, Term, TermId};
 
 use crate::nnf::Nnf;
@@ -17,11 +20,51 @@ use crate::rpq::PathCache;
 use crate::schema::Schema;
 use crate::shape::{PathOrId, Shape};
 
+/// A shared table of decided `(shape name, node)` conformance facts.
+///
+/// Conformance of a node to a *named* shape is a pure function of the graph
+/// and schema, so once decided it can be reused by every referencing target
+/// — and, behind the lock, by every worker thread. A memo is valid for
+/// exactly one `(graph, schema)` pair; see DESIGN.md for the contract.
+#[derive(Default)]
+pub struct ConformanceMemo {
+    decided: RwLock<HashMap<(u32, TermId), bool>>,
+}
+
+impl ConformanceMemo {
+    /// Creates an empty memo (for one graph + schema pair).
+    pub fn new() -> Self {
+        ConformanceMemo::default()
+    }
+
+    /// Looks up a decided fact.
+    pub fn lookup(&self, shape: u32, node: TermId) -> Option<bool> {
+        self.decided.read().get(&(shape, node)).copied()
+    }
+
+    /// Records a decided fact.
+    pub fn insert(&self, shape: u32, node: TermId, value: bool) {
+        self.decided.write().insert((shape, node), value);
+    }
+
+    /// Number of decided facts.
+    pub fn len(&self) -> usize {
+        self.decided.read().len()
+    }
+
+    /// True iff nothing has been decided yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Evaluation context: a schema, a graph, and the path-compilation cache.
 pub struct Context<'a> {
     pub schema: &'a Schema,
     pub graph: &'a Graph,
     paths: PathCache,
+    /// Shared `hasShape` decisions; `None` disables memoization.
+    memo: Option<Arc<ConformanceMemo>>,
 }
 
 impl<'a> Context<'a> {
@@ -31,6 +74,19 @@ impl<'a> Context<'a> {
             schema,
             graph,
             paths: PathCache::new(),
+            memo: None,
+        }
+    }
+
+    /// Creates a context sharing a conformance memo with other contexts
+    /// (possibly on other threads). The memo must have been created for
+    /// this same `(graph, schema)` pair.
+    pub fn with_memo(schema: &'a Schema, graph: &'a Graph, memo: Arc<ConformanceMemo>) -> Self {
+        Context {
+            schema,
+            graph,
+            paths: PathCache::new(),
+            memo: Some(memo),
         }
     }
 
@@ -62,10 +118,7 @@ impl<'a> Context<'a> {
         match shape {
             Shape::True => true,
             Shape::False => false,
-            Shape::HasShape(name) => {
-                let def = self.schema.def(name);
-                self.conforms(node, &def)
-            }
+            Shape::HasShape(name) => self.conforms_named(node, name),
             Shape::Test(t) => t.satisfied_by(self.graph.term(node)),
             Shape::HasValue(c) => self.graph.term(node) == c,
             Shape::Eq(f, p) => {
@@ -145,14 +198,8 @@ impl<'a> Context<'a> {
         match shape {
             Nnf::True => true,
             Nnf::False => false,
-            Nnf::HasShape(name) => {
-                let def = self.schema.def(name);
-                self.conforms(node, &def)
-            }
-            Nnf::NotHasShape(name) => {
-                let def = self.schema.def(name);
-                !self.conforms(node, &def)
-            }
+            Nnf::HasShape(name) => self.conforms_named(node, name),
+            Nnf::NotHasShape(name) => !self.conforms_named(node, name),
             Nnf::Test(t) => t.satisfied_by(self.graph.term(node)),
             Nnf::NotTest(t) => !t.satisfied_by(self.graph.term(node)),
             Nnf::HasValue(c) => self.graph.term(node) == c,
@@ -206,6 +253,311 @@ impl<'a> Context<'a> {
                 candidates.into_iter().all(|b| self.conforms_nnf(b, inner))
             }
         }
+    }
+
+    /// Decides `H, G, a ⊨ hasShape(s)`, consulting the shared memo when one
+    /// is attached: each `(shape name, node)` pair is decided at most once
+    /// per memo, no matter how many referencing shapes or targets ask.
+    pub fn conforms_named(&mut self, node: TermId, name: &Term) -> bool {
+        let memo = self.memo.clone();
+        if let Some(memo) = memo {
+            if let Some(sid) = self.schema.name_id(name) {
+                if let Some(decided) = memo.lookup(sid, node) {
+                    return decided;
+                }
+                let def = self.schema.def(name);
+                let value = self.conforms(node, &def);
+                memo.insert(sid, node, value);
+                return value;
+            }
+        }
+        let def = self.schema.def(name);
+        self.conforms(node, &def)
+    }
+
+    /// Set-at-a-time `⟦E⟧^G(sources[i])` through the multi-source kernel.
+    pub fn eval_path_many(&mut self, path: &PathExpr, sources: &[TermId]) -> Vec<BTreeSet<TermId>> {
+        self.paths.eval_many(path, self.graph, sources)
+    }
+
+    /// Batched path tracing through the multi-source kernel.
+    pub fn trace_path_many(
+        &mut self,
+        path: &PathExpr,
+        requests: &[(TermId, BTreeSet<TermId>)],
+    ) -> Vec<BTreeSet<(TermId, TermId, TermId)>> {
+        self.paths.trace_many(path, self.graph, requests)
+    }
+
+    /// Batch driver: decides `H, G, a ⊨ φ` for every node at once,
+    /// agreeing pointwise with [`Context::conforms`].
+    ///
+    /// Boolean structure is evaluated set-wise (narrowing to still-undecided
+    /// nodes), quantifier candidate sets come from one multi-source RPQ pass
+    /// over all focus nodes, and candidate conformance is decided once per
+    /// *distinct* candidate instead of once per (focus, candidate) pair.
+    pub fn conforms_all(&mut self, nodes: &[TermId], shape: &Shape) -> Vec<bool> {
+        match shape {
+            Shape::True => vec![true; nodes.len()],
+            Shape::False => vec![false; nodes.len()],
+            Shape::HasShape(name) => self.conforms_all_named(nodes, name),
+            Shape::Not(inner) => {
+                let mut out = self.conforms_all(nodes, inner);
+                for b in &mut out {
+                    *b = !*b;
+                }
+                out
+            }
+            Shape::And(items) => {
+                let mut out = vec![true; nodes.len()];
+                for item in items {
+                    let live: Vec<usize> = (0..nodes.len()).filter(|&i| out[i]).collect();
+                    if live.is_empty() {
+                        break;
+                    }
+                    let subset: Vec<TermId> = live.iter().map(|&i| nodes[i]).collect();
+                    let sub = self.conforms_all(&subset, item);
+                    for (k, &i) in live.iter().enumerate() {
+                        out[i] = sub[k];
+                    }
+                }
+                out
+            }
+            Shape::Or(items) => {
+                let mut out = vec![false; nodes.len()];
+                for item in items {
+                    let live: Vec<usize> = (0..nodes.len()).filter(|&i| !out[i]).collect();
+                    if live.is_empty() {
+                        break;
+                    }
+                    let subset: Vec<TermId> = live.iter().map(|&i| nodes[i]).collect();
+                    let sub = self.conforms_all(&subset, item);
+                    for (k, &i) in live.iter().enumerate() {
+                        out[i] = sub[k];
+                    }
+                }
+                out
+            }
+            Shape::Geq(n, e, inner) => {
+                let need = *n as usize;
+                if matches!(**inner, Shape::True) {
+                    self.counted_all(nodes, e, move |count| count >= need)
+                } else {
+                    self.quantified_all(
+                        nodes,
+                        e,
+                        |ctx, cands| ctx.conforms_all(cands, inner),
+                        move |count, _total| count >= need,
+                    )
+                }
+            }
+            Shape::Leq(n, e, inner) => {
+                let cap = *n as usize;
+                if matches!(**inner, Shape::True) {
+                    self.counted_all(nodes, e, move |count| count <= cap)
+                } else {
+                    self.quantified_all(
+                        nodes,
+                        e,
+                        |ctx, cands| ctx.conforms_all(cands, inner),
+                        move |count, _total| count <= cap,
+                    )
+                }
+            }
+            Shape::ForAll(e, inner) => {
+                if matches!(**inner, Shape::True) {
+                    // Every candidate conforms to ⊤, so ∀E.⊤ holds trivially.
+                    vec![true; nodes.len()]
+                } else {
+                    self.quantified_all(
+                        nodes,
+                        e,
+                        |ctx, cands| ctx.conforms_all(cands, inner),
+                        |count, total| count == total,
+                    )
+                }
+            }
+            // Shape-free atoms: no sub-shape to share, decide per node.
+            atom => nodes.iter().map(|&a| self.conforms(a, atom)).collect(),
+        }
+    }
+
+    /// NNF twin of [`Context::conforms_all`], agreeing pointwise with
+    /// [`Context::conforms_nnf`].
+    pub fn conforms_all_nnf(&mut self, nodes: &[TermId], shape: &Nnf) -> Vec<bool> {
+        match shape {
+            Nnf::True => vec![true; nodes.len()],
+            Nnf::False => vec![false; nodes.len()],
+            Nnf::HasShape(name) => self.conforms_all_named(nodes, name),
+            Nnf::NotHasShape(name) => {
+                let mut out = self.conforms_all_named(nodes, name);
+                for b in &mut out {
+                    *b = !*b;
+                }
+                out
+            }
+            Nnf::And(items) => {
+                let mut out = vec![true; nodes.len()];
+                for item in items {
+                    let live: Vec<usize> = (0..nodes.len()).filter(|&i| out[i]).collect();
+                    if live.is_empty() {
+                        break;
+                    }
+                    let subset: Vec<TermId> = live.iter().map(|&i| nodes[i]).collect();
+                    let sub = self.conforms_all_nnf(&subset, item);
+                    for (k, &i) in live.iter().enumerate() {
+                        out[i] = sub[k];
+                    }
+                }
+                out
+            }
+            Nnf::Or(items) => {
+                let mut out = vec![false; nodes.len()];
+                for item in items {
+                    let live: Vec<usize> = (0..nodes.len()).filter(|&i| !out[i]).collect();
+                    if live.is_empty() {
+                        break;
+                    }
+                    let subset: Vec<TermId> = live.iter().map(|&i| nodes[i]).collect();
+                    let sub = self.conforms_all_nnf(&subset, item);
+                    for (k, &i) in live.iter().enumerate() {
+                        out[i] = sub[k];
+                    }
+                }
+                out
+            }
+            Nnf::Geq(n, e, inner) => {
+                let need = *n as usize;
+                if matches!(**inner, Nnf::True) {
+                    self.counted_all(nodes, e, move |count| count >= need)
+                } else {
+                    self.quantified_all(
+                        nodes,
+                        e,
+                        |ctx, cands| ctx.conforms_all_nnf(cands, inner),
+                        move |count, _total| count >= need,
+                    )
+                }
+            }
+            Nnf::Leq(n, e, inner) => {
+                let cap = *n as usize;
+                if matches!(**inner, Nnf::True) {
+                    self.counted_all(nodes, e, move |count| count <= cap)
+                } else {
+                    self.quantified_all(
+                        nodes,
+                        e,
+                        |ctx, cands| ctx.conforms_all_nnf(cands, inner),
+                        move |count, _total| count <= cap,
+                    )
+                }
+            }
+            Nnf::ForAll(e, inner) => {
+                if matches!(**inner, Nnf::True) {
+                    vec![true; nodes.len()]
+                } else {
+                    self.quantified_all(
+                        nodes,
+                        e,
+                        |ctx, cands| ctx.conforms_all_nnf(cands, inner),
+                        |count, total| count == total,
+                    )
+                }
+            }
+            atom => nodes.iter().map(|&a| self.conforms_nnf(a, atom)).collect(),
+        }
+    }
+
+    /// Shared quantifier machinery for the batch drivers: one multi-source
+    /// RPQ pass yields each focus node's candidate set; the *union* of
+    /// candidates is decided in one recursive batch; each focus then counts
+    /// its conforming candidates and `decide(count, total)` gives the bit.
+    fn quantified_all<F, D>(
+        &mut self,
+        nodes: &[TermId],
+        path: &PathExpr,
+        mut conforms_batch: F,
+        decide: D,
+    ) -> Vec<bool>
+    where
+        F: FnMut(&mut Self, &[TermId]) -> Vec<bool>,
+        D: Fn(usize, usize) -> bool,
+    {
+        let cand_sets = self.eval_path_many(path, nodes);
+        let mut union_vec: Vec<TermId> = cand_sets
+            .iter()
+            .flat_map(|set| set.iter().copied())
+            .collect();
+        union_vec.sort_unstable();
+        union_vec.dedup();
+        let decided = conforms_batch(self, &union_vec);
+        let ok: IntMap<TermId, bool> = union_vec.into_iter().zip(decided).collect();
+        cand_sets
+            .iter()
+            .map(|cands| {
+                let count = cands.iter().filter(|c| ok[c]).count();
+                decide(count, cands.len())
+            })
+            .collect()
+    }
+
+    /// Quantifier fast path for a `⊤` inner shape: every path candidate
+    /// conforms, so only the candidate *counts* are needed.
+    fn counted_all<D: Fn(usize) -> bool>(
+        &mut self,
+        nodes: &[TermId],
+        path: &PathExpr,
+        decide: D,
+    ) -> Vec<bool> {
+        self.eval_path_many(path, nodes)
+            .iter()
+            .map(|cands| decide(cands.len()))
+            .collect()
+    }
+
+    /// Batch form of [`Context::conforms_named`]: memo hits answer
+    /// immediately; the distinct undecided nodes are evaluated in one
+    /// recursive batch against the definition and recorded.
+    fn conforms_all_named(&mut self, nodes: &[TermId], name: &Term) -> Vec<bool> {
+        let memo = self.memo.clone();
+        let sid = self.schema.name_id(name);
+        let (Some(memo), Some(sid)) = (memo, sid) else {
+            let def = self.schema.def(name);
+            return self.conforms_all(nodes, &def);
+        };
+        let mut out = vec![false; nodes.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let table = memo.decided.read();
+            for (i, &node) in nodes.iter().enumerate() {
+                match table.get(&(sid, node)) {
+                    Some(&v) => out[i] = v,
+                    None => missing.push(i),
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let mut uniq_vec: Vec<TermId> = missing.iter().map(|&i| nodes[i]).collect();
+            uniq_vec.sort_unstable();
+            uniq_vec.dedup();
+            let def = self.schema.def(name);
+            let decided = self.conforms_all(&uniq_vec, &def);
+            let map: IntMap<TermId, bool> = uniq_vec
+                .iter()
+                .copied()
+                .zip(decided.iter().copied())
+                .collect();
+            {
+                let mut table = memo.decided.write();
+                for (&node, &v) in map.iter() {
+                    table.insert((sid, node), v);
+                }
+            }
+            for &i in &missing {
+                out[i] = map[&nodes[i]];
+            }
+        }
+        out
     }
 
     /// Term-level convenience for [`Context::conforms`]; nodes not occurring
@@ -383,7 +735,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "node {} does not conform to shape {}", self.focus, self.shape)
+        write!(
+            f,
+            "node {} does not conform to shape {}",
+            self.focus, self.shape
+        )
     }
 }
 
@@ -427,8 +783,16 @@ impl ValidationReport {
                 rdf::type_(),
                 Term::Iri(sh::validation_result()),
             ));
-            g.insert(Triple::new(result.clone(), sh::focus_node(), v.focus.clone()));
-            g.insert(Triple::new(result.clone(), sh::source_shape(), v.shape.clone()));
+            g.insert(Triple::new(
+                result.clone(),
+                sh::focus_node(),
+                v.focus.clone(),
+            ));
+            g.insert(Triple::new(
+                result.clone(),
+                sh::source_shape(),
+                v.shape.clone(),
+            ));
             g.insert(Triple::new(
                 result,
                 sh::result_severity(),
@@ -444,7 +808,12 @@ impl fmt::Display for ValidationReport {
         if self.conforms() {
             write!(f, "conforms ({} checks)", self.checked)
         } else {
-            writeln!(f, "{} violations ({} checks):", self.violations.len(), self.checked)?;
+            writeln!(
+                f,
+                "{} violations ({} checks):",
+                self.violations.len(),
+                self.checked
+            )?;
             for v in &self.violations {
                 writeln!(f, "  {v}")?;
             }
@@ -466,6 +835,40 @@ pub fn validate(schema: &Schema, graph: &Graph) -> ValidationReport {
                 report.violations.push(Violation {
                     shape: def.name.clone(),
                     focus: graph.term(node).clone(),
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Set-at-a-time [`validate`]: same report, but each definition's targets
+/// are decided in one [`Context::conforms_all`] batch with a fresh shared
+/// memo, so `hasShape` sub-shapes are checked once per node across all
+/// referencing targets and path work is shared via the multi-source kernel.
+pub fn validate_batch(schema: &Schema, graph: &Graph) -> ValidationReport {
+    validate_batch_with_memo(schema, graph, Arc::new(ConformanceMemo::new()))
+}
+
+/// [`validate_batch`] against a caller-provided memo (which must belong to
+/// this `(graph, schema)` pair); lets parallel drivers share decisions
+/// across worker threads.
+pub fn validate_batch_with_memo(
+    schema: &Schema,
+    graph: &Graph,
+    memo: Arc<ConformanceMemo>,
+) -> ValidationReport {
+    let mut ctx = Context::with_memo(schema, graph, memo);
+    let mut report = ValidationReport::default();
+    for def in schema.iter() {
+        let targets: Vec<TermId> = ctx.target_nodes(&def.target).into_iter().collect();
+        let conforming = ctx.conforms_all(&targets, &def.shape);
+        report.checked += targets.len();
+        for (node, ok) in targets.iter().zip(conforming) {
+            if !ok {
+                report.violations.push(Violation {
+                    shape: def.name.clone(),
+                    focus: graph.term(*node).clone(),
                 });
             }
         }
@@ -587,7 +990,10 @@ mod tests {
     #[test]
     fn forall_vacuous_and_strict() {
         let g = Graph::from_triples([t("a", "p", "x"), t("x", "type", "C"), t("b", "p", "y")]);
-        let all_c = Shape::for_all(p("p"), Shape::geq(1, p("type"), Shape::has_value(term("C"))));
+        let all_c = Shape::for_all(
+            p("p"),
+            Shape::geq(1, p("type"), Shape::has_value(term("C"))),
+        );
         assert!(check(&g, "a", &all_c));
         assert!(!check(&g, "b", &all_c));
         assert!(check(&g, "zzz-no-edges", &all_c)); // vacuously true
@@ -646,10 +1052,7 @@ mod tests {
 
     #[test]
     fn node_tests_in_shapes() {
-        let g = Graph::from_triples([
-            lit("a", "age", Literal::integer(30)),
-            t("a", "friend", "b"),
-        ]);
+        let g = Graph::from_triples([lit("a", "age", Literal::integer(30)), t("a", "friend", "b")]);
         let all_int = Shape::for_all(
             p("age"),
             Shape::Test(NodeTest::Datatype(shapefrag_rdf::vocab::xsd::integer())),
@@ -687,7 +1090,10 @@ mod tests {
         ]);
         let shapes = [
             Shape::geq(1, p("p"), Shape::True).not(),
-            Shape::for_all(p("p"), Shape::geq(1, p("type"), Shape::has_value(term("C")))),
+            Shape::for_all(
+                p("p"),
+                Shape::geq(1, p("type"), Shape::has_value(term("C"))),
+            ),
             Shape::Eq(PathOrId::Path(p("p")), iri("q")),
             Shape::Disj(PathOrId::Path(p("p")), iri("q")).not(),
             Shape::UniqueLang(p("l")).not(),
@@ -727,7 +1133,11 @@ mod tests {
                 p("author"),
                 Shape::geq(1, p("type"), Shape::has_value(term("Student"))),
             ),
-            Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::has_value(term("Paper"))),
+            Shape::geq(
+                1,
+                PathExpr::Prop(rdf::type_()),
+                Shape::has_value(term("Paper")),
+            ),
         )])
         .unwrap();
         let mut ok = Graph::from_triples([
@@ -802,10 +1212,7 @@ mod tests {
         assert_eq!(focus.len(), 1);
         assert_eq!(focus[0].object, term("a"));
         let conforms = rg.triples_matching(None, Some(&sh::conforms()), None);
-        assert_eq!(
-            conforms[0].object.as_literal().unwrap().lexical(),
-            "false"
-        );
+        assert_eq!(conforms[0].object.as_literal().unwrap().lexical(), "false");
         // A conforming report says so.
         let ok = validate(&schema, &Graph::new());
         let okg = ok.to_graph();
@@ -817,6 +1224,120 @@ mod tests {
                 .lexical(),
             "true"
         );
+    }
+
+    #[test]
+    fn conforms_all_agrees_with_conforms() {
+        let g = Graph::from_triples([
+            t("a", "p", "x"),
+            t("a", "p", "y"),
+            t("b", "p", "x"),
+            t("x", "type", "C"),
+            t("y", "type", "D"),
+            t("a", "q", "x"),
+            lit("a", "l", Literal::lang_string("v", "en")),
+        ]);
+        let schema = Schema::new([ShapeDef::new(
+            term("Typed"),
+            Shape::geq(1, p("type"), Shape::True),
+            Shape::False,
+        )])
+        .unwrap();
+        let shapes = [
+            Shape::geq(1, p("p"), Shape::HasShape(term("Typed"))),
+            Shape::for_all(p("p"), Shape::HasShape(term("Typed"))),
+            Shape::leq(
+                1,
+                p("p"),
+                Shape::geq(1, p("type"), Shape::has_value(term("C"))),
+            ),
+            Shape::geq(2, p("p"), Shape::True).and(Shape::UniqueLang(p("l"))),
+            Shape::geq(1, p("q"), Shape::True).or(Shape::geq(1, p("zz"), Shape::True)),
+            Shape::Eq(PathOrId::Path(p("p")), iri("q")).not(),
+            Shape::Closed(BTreeSet::from([iri("p"), iri("q"), iri("l")])),
+        ];
+        let nodes: Vec<TermId> = g.node_ids().into_iter().collect();
+        for shape in &shapes {
+            let mut batch_ctx = Context::with_memo(&schema, &g, Arc::new(ConformanceMemo::new()));
+            let batch = batch_ctx.conforms_all(&nodes, shape);
+            let mut plain_ctx = Context::new(&schema, &g);
+            for (i, &node) in nodes.iter().enumerate() {
+                assert_eq!(
+                    batch[i],
+                    plain_ctx.conforms(node, shape),
+                    "disagreement on {shape} at {}",
+                    g.term(node)
+                );
+            }
+            // NNF twin agrees as well.
+            let nnf = Nnf::from_shape(shape);
+            let nnf_batch = batch_ctx.conforms_all_nnf(&nodes, &nnf);
+            assert_eq!(batch, nnf_batch, "NNF batch disagreement on {shape}");
+        }
+    }
+
+    #[test]
+    fn memo_decides_shared_subshapes_once() {
+        // Two definitions both reference Typed; with a shared memo the
+        // second pass answers from the table.
+        let schema = Schema::new([
+            ShapeDef::new(
+                term("A"),
+                Shape::for_all(p("p"), Shape::HasShape(term("Typed"))),
+                Shape::geq(1, p("p"), Shape::True),
+            ),
+            ShapeDef::new(
+                term("B"),
+                Shape::geq(1, p("p"), Shape::HasShape(term("Typed"))),
+                Shape::geq(1, p("p"), Shape::True),
+            ),
+            ShapeDef::new(
+                term("Typed"),
+                Shape::geq(1, p("type"), Shape::True),
+                Shape::False,
+            ),
+        ])
+        .unwrap();
+        let g = Graph::from_triples([t("a", "p", "x"), t("a", "p", "y"), t("x", "type", "C")]);
+        let memo = Arc::new(ConformanceMemo::new());
+        let report = validate_batch_with_memo(&schema, &g, Arc::clone(&memo));
+        // x and y were each decided once for Typed.
+        let sid = schema.name_id(&term("Typed")).unwrap();
+        assert_eq!(memo.lookup(sid, g.id_of(&term("x")).unwrap()), Some(true));
+        assert_eq!(memo.lookup(sid, g.id_of(&term("y")).unwrap()), Some(false));
+        assert_eq!(report, validate(&schema, &g));
+    }
+
+    #[test]
+    fn validate_batch_matches_validate() {
+        let schema = Schema::new([
+            ShapeDef::new(
+                term("S"),
+                Shape::geq(
+                    1,
+                    p("author"),
+                    Shape::geq(1, p("type"), Shape::has_value(term("Student"))),
+                ),
+                Shape::geq(1, p("author"), Shape::True),
+            ),
+            ShapeDef::new(
+                term("T"),
+                Shape::for_all(p("author"), Shape::geq(1, p("type"), Shape::True)),
+                Shape::geq(1, p("author"), Shape::True),
+            ),
+        ])
+        .unwrap();
+        let g = Graph::from_triples([
+            t("p1", "author", "alice"),
+            t("alice", "type", "Student"),
+            t("p2", "author", "bob"),
+            t("p3", "author", "alice"),
+            t("p3", "author", "bob"),
+        ]);
+        let per_node = validate(&schema, &g);
+        let batch = validate_batch(&schema, &g);
+        assert_eq!(per_node, batch);
+        assert_eq!(batch.checked, per_node.checked);
     }
 
     #[test]

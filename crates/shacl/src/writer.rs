@@ -172,21 +172,16 @@ impl Writer {
                 self.pair_property(node, e, sh::disjoint(), p);
             }
             Shape::LessThan(e, p) => self.pair_property(node, e, sh::less_than(), p),
-            Shape::LessThanEq(e, p) => {
-                self.pair_property(node, e, sh::less_than_or_equals(), p)
-            }
+            Shape::LessThanEq(e, p) => self.pair_property(node, e, sh::less_than_or_equals(), p),
             Shape::MoreThan(e, p) => self.pair_property(node, e, shx("moreThan"), p),
-            Shape::MoreThanEq(e, p) => {
-                self.pair_property(node, e, shx("moreThanOrEquals"), p)
-            }
+            Shape::MoreThanEq(e, p) => self.pair_property(node, e, shx("moreThanOrEquals"), p),
             Shape::Closed(allowed) => {
                 self.insert(
                     node.clone(),
                     sh::closed(),
                     Term::Literal(Literal::boolean(true)),
                 );
-                let items: Vec<Term> =
-                    allowed.iter().map(|p| Term::Iri(p.clone())).collect();
+                let items: Vec<Term> = allowed.iter().map(|p| Term::Iri(p.clone())).collect();
                 let list = self.list(items);
                 self.insert(node.clone(), sh::ignored_properties(), list);
             }
@@ -229,7 +224,11 @@ impl Writer {
         let prop = self.property_shape(e);
         let count = Term::Literal(Literal::integer(n as i64));
         if matches!(inner, Shape::True) {
-            let keyword = if min { sh::min_count() } else { sh::max_count() };
+            let keyword = if min {
+                sh::min_count()
+            } else {
+                sh::max_count()
+            };
             self.insert(prop.clone(), keyword, count);
         } else {
             let aux = self.aux_shape(inner);
@@ -545,11 +544,7 @@ mod tests {
             term("Ext"),
             Shape::MoreThan(p("lit"), iri("lit2"))
                 .and(Shape::MoreThanEq(p("lit"), iri("lit3")))
-                .and(Shape::geq(
-                    1,
-                    PathExpr::neg_props([iri("p0")]),
-                    Shape::True,
-                )),
+                .and(Shape::geq(1, PathExpr::neg_props([iri("p0")]), Shape::True)),
             Shape::geq(1, p("p0"), Shape::True),
         )];
         let schema = Schema::new(defs).unwrap();
@@ -598,7 +593,11 @@ mod tests {
     fn written_turtle_parses() {
         let schema = Schema::new(vec![ShapeDef::new(
             term("S"),
-            Shape::geq(1, p("p0"), Shape::Test(NodeTest::pattern("^a", "i").unwrap())),
+            Shape::geq(
+                1,
+                p("p0"),
+                Shape::Test(NodeTest::pattern("^a", "i").unwrap()),
+            ),
             Shape::geq(1, p("p0"), Shape::True),
         )])
         .unwrap();

@@ -201,7 +201,11 @@ impl fmt::Display for Expr {
                 write!(f, ")")
             }
             Expr::Regex(e, pattern, flags) => {
-                write!(f, "regex({e}, \"{}\"", pattern.replace('\\', "\\\\").replace('"', "\\\""))?;
+                write!(
+                    f,
+                    "regex({e}, \"{}\"",
+                    pattern.replace('\\', "\\\\").replace('"', "\\\"")
+                )?;
                 if flags.is_empty() {
                     write!(f, ")")
                 } else {
@@ -358,7 +362,11 @@ impl Select {
     pub fn vars(vars: impl IntoIterator<Item = impl Into<String>>, pattern: Pattern) -> Select {
         Select {
             distinct: false,
-            projection: Some(vars.into_iter().map(|v| Projection::Var(v.into())).collect()),
+            projection: Some(
+                vars.into_iter()
+                    .map(|v| Projection::Var(v.into()))
+                    .collect(),
+            ),
             pattern,
         }
     }

@@ -231,8 +231,7 @@ impl<'g> Evaluator<'g> {
                     .into_iter()
                     .filter(|mu1| {
                         !right.iter().any(|mu2| {
-                            compatible(mu1, mu2)
-                                && mu1.keys().any(|k| mu2.contains_key(k))
+                            compatible(mu1, mu2) && mu1.keys().any(|k| mu2.contains_key(k))
                         })
                     })
                     .collect())
@@ -248,10 +247,9 @@ impl<'g> Evaluator<'g> {
                             let merged = merge(&mu1, mu2);
                             let keep = match expr {
                                 None => true,
-                                Some(e) => matches!(
-                                    eval_expr(e, &merged).and_then(|t| ebv(&t)),
-                                    Ok(true)
-                                ),
+                                Some(e) => {
+                                    matches!(eval_expr(e, &merged).and_then(|t| ebv(&t)), Ok(true))
+                                }
                             };
                             if keep {
                                 out.push(merged);
@@ -337,9 +335,9 @@ impl<'g> Evaluator<'g> {
             VarOrTerm::Term(t) => Some(t.clone()),
             _ => None,
         };
-        for triple in
-            self.graph
-                .triples_matching(s_term.as_ref(), p_iri.as_ref(), o_term.as_ref())
+        for triple in self
+            .graph
+            .triples_matching(s_term.as_ref(), p_iri.as_ref(), o_term.as_ref())
         {
             let mut b = binding.clone();
             let mut ok = true;
@@ -480,12 +478,7 @@ impl<'g> Evaluator<'g> {
                     // scan — but only when such keys exist at all.
                     if any_partial_right {
                         for (rk, matches) in &table {
-                            if rk != &k
-                                && rk
-                                    .iter()
-                                    .zip(&k)
-                                    .all(|(r, l)| r.is_none() || r == l)
-                            {
+                            if rk != &k && rk.iter().zip(&k).all(|(r, l)| r.is_none() || r == l) {
                                 for mu2 in matches {
                                     out.push(merge(mu1, mu2));
                                 }
@@ -623,9 +616,7 @@ pub fn eval_expr(expr: &Expr, binding: &Binding) -> Result<Term, ()> {
         Expr::IsIri(e) => Ok(bool_term(eval_expr(e, binding)?.is_iri())),
         Expr::IsLiteral(e) => Ok(bool_term(eval_expr(e, binding)?.is_literal())),
         Expr::IsBlank(e) => Ok(bool_term(eval_expr(e, binding)?.is_blank())),
-        Expr::SameTerm(a, b) => {
-            Ok(bool_term(eval_expr(a, binding)? == eval_expr(b, binding)?))
-        }
+        Expr::SameTerm(a, b) => Ok(bool_term(eval_expr(a, binding)? == eval_expr(b, binding)?)),
         Expr::Coalesce(items) => {
             for e in items {
                 if let Ok(t) = eval_expr(e, binding) {
@@ -647,7 +638,7 @@ pub fn eval_expr(expr: &Expr, binding: &Binding) -> Result<Term, ()> {
                 return Err(());
             };
             Ok(Term::Literal(Literal::integer(
-                l.lexical().chars().count() as i64,
+                l.lexical().chars().count() as i64
             )))
         }
         Expr::Datatype(e) => match eval_expr(e, binding)? {
@@ -678,12 +669,7 @@ fn arith_operands(a: &Expr, b: &Expr, binding: &Binding) -> Result<(f64, f64), (
     }
 }
 
-fn arith(
-    a: &Expr,
-    b: &Expr,
-    binding: &Binding,
-    op: impl Fn(f64, f64) -> f64,
-) -> Result<Term, ()> {
+fn arith(a: &Expr, b: &Expr, binding: &Binding, op: impl Fn(f64, f64) -> f64) -> Result<Term, ()> {
     let (x, y) = arith_operands(a, b, binding)?;
     Ok(num_term(op(x, y)))
 }
@@ -836,9 +822,8 @@ mod tests {
     fn union_concatenates() {
         let g = test_graph();
         let q = Select::star(
-            Pattern::Bgp(vec![tp(v("s"), iri_term(iri("p")), v("o"))]).union(Pattern::Bgp(vec![
-                tp(v("s"), iri_term(iri("r")), v("o")),
-            ])),
+            Pattern::Bgp(vec![tp(v("s"), iri_term(iri("p")), v("o"))])
+                .union(Pattern::Bgp(vec![tp(v("s"), iri_term(iri("r")), v("o"))])),
         );
         assert_eq!(eval(&g, &q).len(), 3);
     }
@@ -904,9 +889,8 @@ mod tests {
             ));
         }
         let q = Select::star(
-            Pattern::Bgp(vec![tp(v("s"), iri_term(iri("v")), v("n"))]).filter(
-                Expr::var("n").lt(Expr::Const(Term::Literal(Literal::integer(6)))),
-            ),
+            Pattern::Bgp(vec![tp(v("s"), iri_term(iri("v")), v("n"))])
+                .filter(Expr::var("n").lt(Expr::Const(Term::Literal(Literal::integer(6))))),
         );
         assert_eq!(eval(&g, &q).len(), 2);
     }
@@ -916,9 +900,8 @@ mod tests {
         let mut g = Graph::new();
         g.insert(t("a", "v", "notanumber"));
         let q = Select::star(
-            Pattern::Bgp(vec![tp(v("s"), iri_term(iri("v")), v("n"))]).filter(
-                Expr::var("n").lt(Expr::Const(Term::Literal(Literal::integer(6)))),
-            ),
+            Pattern::Bgp(vec![tp(v("s"), iri_term(iri("v")), v("n"))])
+                .filter(Expr::var("n").lt(Expr::Const(Term::Literal(Literal::integer(6))))),
         );
         assert!(eval(&g, &q).is_empty());
     }
@@ -1020,10 +1003,13 @@ mod tests {
     #[test]
     fn distinct_dedupes() {
         let g = test_graph();
-        let q = Select::vars(["o2"], Pattern::Bgp(vec![
-            tp(v("s"), iri_term(iri("p")), v("m")),
-            tp(v("m"), iri_term(iri("q")), v("o2")),
-        ]))
+        let q = Select::vars(
+            ["o2"],
+            Pattern::Bgp(vec![
+                tp(v("s"), iri_term(iri("p")), v("m")),
+                tp(v("m"), iri_term(iri("q")), v("o2")),
+            ]),
+        )
         .distinct();
         assert_eq!(eval(&g, &q).len(), 1);
     }
@@ -1068,8 +1054,16 @@ mod tests {
     fn arithmetic_expressions() {
         let mut g = Graph::new();
         for (s, a, b) in [("x", 10, 2), ("y", 9, 3), ("z", 5, 0)] {
-            g.insert(Triple::new(term(s), iri("a"), Term::Literal(Literal::integer(a))));
-            g.insert(Triple::new(term(s), iri("b"), Term::Literal(Literal::integer(b))));
+            g.insert(Triple::new(
+                term(s),
+                iri("a"),
+                Term::Literal(Literal::integer(a)),
+            ));
+            g.insert(Triple::new(
+                term(s),
+                iri("b"),
+                Term::Literal(Literal::integer(b)),
+            ));
         }
         let base = Pattern::Bgp(vec![
             tp(v("s"), iri_term(iri("a")), v("a")),
@@ -1077,25 +1071,30 @@ mod tests {
         ]);
         // a / b > 3 — x: 5, y: 3, z: division by zero (error → dropped).
         let q = Select::star(base.clone().filter(Expr::Gt(
-            Box::new(Expr::Div(Box::new(Expr::var("a")), Box::new(Expr::var("b")))),
+            Box::new(Expr::Div(
+                Box::new(Expr::var("a")),
+                Box::new(Expr::var("b")),
+            )),
             Box::new(Expr::Const(Term::Literal(Literal::integer(3)))),
         )));
         let res = eval(&g, &q);
         assert_eq!(res.len(), 1);
         assert_eq!(res[0]["s"], term("x"));
         // a + b = 12 and a - b = 8 and a * b = 20 all hold only for x.
-        let q = Select::star(base.filter(
-            Expr::Add(Box::new(Expr::var("a")), Box::new(Expr::var("b")))
-                .eq(Expr::Const(Term::Literal(Literal::integer(12))))
-                .and(
-                    Expr::Sub(Box::new(Expr::var("a")), Box::new(Expr::var("b")))
-                        .eq(Expr::Const(Term::Literal(Literal::integer(8)))),
-                )
-                .and(
-                    Expr::Mul(Box::new(Expr::var("a")), Box::new(Expr::var("b")))
-                        .eq(Expr::Const(Term::Literal(Literal::integer(20)))),
-                ),
-        ));
+        let q = Select::star(
+            base.filter(
+                Expr::Add(Box::new(Expr::var("a")), Box::new(Expr::var("b")))
+                    .eq(Expr::Const(Term::Literal(Literal::integer(12))))
+                    .and(
+                        Expr::Sub(Box::new(Expr::var("a")), Box::new(Expr::var("b")))
+                            .eq(Expr::Const(Term::Literal(Literal::integer(8)))),
+                    )
+                    .and(
+                        Expr::Mul(Box::new(Expr::var("a")), Box::new(Expr::var("b")))
+                            .eq(Expr::Const(Term::Literal(Literal::integer(20)))),
+                    ),
+            ),
+        );
         let res = eval(&g, &q);
         assert_eq!(res.len(), 1);
         assert_eq!(res[0]["s"], term("x"));
@@ -1104,8 +1103,16 @@ mod tests {
     #[test]
     fn coalesce_strlen_datatype_builtins() {
         let mut g = Graph::new();
-        g.insert(Triple::new(term("a"), iri("v"), Term::Literal(Literal::string("hello"))));
-        g.insert(Triple::new(term("b"), iri("v"), Term::iri("http://e/thing")));
+        g.insert(Triple::new(
+            term("a"),
+            iri("v"),
+            Term::Literal(Literal::string("hello")),
+        ));
+        g.insert(Triple::new(
+            term("b"),
+            iri("v"),
+            Term::iri("http://e/thing"),
+        ));
         // strlen errors on IRIs; COALESCE falls back.
         let q = Select::star(
             Pattern::Bgp(vec![tp(v("s"), iri_term(iri("v")), v("x"))]).filter(Expr::Eq(

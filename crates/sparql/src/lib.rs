@@ -28,7 +28,5 @@ pub mod eval;
 pub mod parser;
 
 pub use algebra::{Expr, Pattern, Projection, Select, TriplePattern, VarOrTerm};
-pub use eval::{
-    bindings_to_graph, eval, eval_select, Binding, EvalConfig, ResourceExhausted,
-};
+pub use eval::{bindings_to_graph, eval, eval_select, Binding, EvalConfig, ResourceExhausted};
 pub use parser::parse_select;

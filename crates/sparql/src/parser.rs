@@ -27,7 +27,11 @@ pub struct SparqlParseError {
 
 impl fmt::Display for SparqlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SPARQL parse error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SPARQL parse error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -653,9 +657,8 @@ impl Parser {
                     match self.parse_path_primary()? {
                         PathExpr::Prop(p) => props.push(p),
                         other => {
-                            return Err(self.err(format!(
-                                "only a plain property may follow '!', got {other}"
-                            )))
+                            return Err(self
+                                .err(format!("only a plain property may follow '!', got {other}")))
                         }
                     }
                 }
@@ -668,8 +671,7 @@ impl Parser {
                 Ok(inner)
             }
             Some('<') => Ok(PathExpr::Prop(Iri::new(self.parse_iri_ref()?))),
-            Some('a')
-                if !matches!(self.peek_at(1), Some(c) if c.is_alphanumeric() || c == '_' || c == ':') =>
+            Some('a') if !matches!(self.peek_at(1), Some(c) if c.is_alphanumeric() || c == '_' || c == ':') =>
             {
                 self.pos += 1;
                 Ok(PathExpr::Prop(rdf::type_()))
@@ -746,11 +748,17 @@ impl Parser {
             }
             (Some('<'), Some('=')) => {
                 self.pos += 2;
-                Ok(Expr::Le(Box::new(left), Box::new(self.parse_expr_additive()?)))
+                Ok(Expr::Le(
+                    Box::new(left),
+                    Box::new(self.parse_expr_additive()?),
+                ))
             }
             (Some('>'), Some('=')) => {
                 self.pos += 2;
-                Ok(Expr::Ge(Box::new(left), Box::new(self.parse_expr_additive()?)))
+                Ok(Expr::Ge(
+                    Box::new(left),
+                    Box::new(self.parse_expr_additive()?),
+                ))
             }
             (Some('='), _) => {
                 self.pos += 1;
@@ -758,11 +766,17 @@ impl Parser {
             }
             (Some('<'), _) => {
                 self.pos += 1;
-                Ok(Expr::Lt(Box::new(left), Box::new(self.parse_expr_additive()?)))
+                Ok(Expr::Lt(
+                    Box::new(left),
+                    Box::new(self.parse_expr_additive()?),
+                ))
             }
             (Some('>'), _) => {
                 self.pos += 1;
-                Ok(Expr::Gt(Box::new(left), Box::new(self.parse_expr_additive()?)))
+                Ok(Expr::Gt(
+                    Box::new(left),
+                    Box::new(self.parse_expr_additive()?),
+                ))
             }
             _ => Ok(left),
         }
@@ -988,25 +1002,24 @@ mod tests {
 
     #[test]
     fn projection_expressions() {
-        let q = parse_select(
-            "SELECT (?s AS ?t) (<http://e/p> AS ?pred) WHERE { ?s <http://e/p> ?o }",
-        )
-        .unwrap();
+        let q =
+            parse_select("SELECT (?s AS ?t) (<http://e/p> AS ?pred) WHERE { ?s <http://e/p> ?o }")
+                .unwrap();
         let res = eval(&g(), &q);
-        assert!(res.iter().all(|b| b.contains_key("t") && b.contains_key("pred")));
+        assert!(res
+            .iter()
+            .all(|b| b.contains_key("t") && b.contains_key("pred")));
     }
 
     #[test]
     fn union_and_minus() {
-        let q = parse_select(
-            "SELECT ?s WHERE { { ?s <http://e/p> ?o } UNION { ?s <http://e/r> ?o } }",
-        )
-        .unwrap();
+        let q =
+            parse_select("SELECT ?s WHERE { { ?s <http://e/p> ?o } UNION { ?s <http://e/r> ?o } }")
+                .unwrap();
         assert_eq!(eval(&g(), &q).len(), 3);
-        let q = parse_select(
-            "SELECT ?s WHERE { { ?s <http://e/p> ?o } MINUS { ?o <http://e/q> ?c } }",
-        )
-        .unwrap();
+        let q =
+            parse_select("SELECT ?s WHERE { { ?s <http://e/p> ?o } MINUS { ?o <http://e/q> ?c } }")
+                .unwrap();
         assert_eq!(eval(&g(), &q).len(), 0);
     }
 
@@ -1048,8 +1061,8 @@ mod tests {
 
     #[test]
     fn property_paths() {
-        let q = parse_select("SELECT ?o WHERE { <http://e/a> <http://e/p>/<http://e/q> ?o }")
-            .unwrap();
+        let q =
+            parse_select("SELECT ?o WHERE { <http://e/a> <http://e/p>/<http://e/q> ?o }").unwrap();
         let res = eval(&g(), &q);
         // ⟦p/q⟧(a) is a *set* of endpoints: {c} (the two ways of reaching c
         // collapse; property paths have set semantics here, per Table 1).

@@ -57,7 +57,11 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
 
     let countries: Vec<Term> = (0..5).map(|i| ent(&format!("country{i}"))).collect();
     for (i, c) in countries.iter().enumerate() {
-        g.insert(Triple::new(c.clone(), rdf::type_(), Term::Iri(ec("Country"))));
+        g.insert(Triple::new(
+            c.clone(),
+            rdf::type_(),
+            Term::Iri(ec("Country")),
+        ));
         g.insert(Triple::new(
             c.clone(),
             ec("name"),
@@ -67,12 +71,20 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
     let cities: Vec<Term> = (0..12).map(|i| ent(&format!("city{i}"))).collect();
     for (i, c) in cities.iter().enumerate() {
         g.insert(Triple::new(c.clone(), rdf::type_(), Term::Iri(ec("City"))));
-        g.insert(Triple::new(c.clone(), ec("country"), countries[i % countries.len()].clone()));
+        g.insert(Triple::new(
+            c.clone(),
+            ec("country"),
+            countries[i % countries.len()].clone(),
+        ));
     }
 
     let genres: Vec<Term> = (0..6).map(|i| ent(&format!("genre{i}"))).collect();
     for (i, genre) in genres.iter().enumerate() {
-        g.insert(Triple::new(genre.clone(), rdf::type_(), Term::Iri(ec("Genre"))));
+        g.insert(Triple::new(
+            genre.clone(),
+            rdf::type_(),
+            Term::Iri(ec("Genre")),
+        ));
         g.insert(Triple::new(
             genre.clone(),
             ec("label"),
@@ -82,13 +94,21 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
 
     let vendors: Vec<Term> = (0..8).map(|i| ent(&format!("vendor{i}"))).collect();
     for (i, v) in vendors.iter().enumerate() {
-        g.insert(Triple::new(v.clone(), rdf::type_(), Term::Iri(ec("Vendor"))));
+        g.insert(Triple::new(
+            v.clone(),
+            rdf::type_(),
+            Term::Iri(ec("Vendor")),
+        ));
         g.insert(Triple::new(
             v.clone(),
             ec("label"),
             Term::Literal(Literal::string(format!("Vendor {i}"))),
         ));
-        g.insert(Triple::new(v.clone(), ec("country"), countries[i % countries.len()].clone()));
+        g.insert(Triple::new(
+            v.clone(),
+            ec("country"),
+            countries[i % countries.len()].clone(),
+        ));
         g.insert(Triple::new(
             v.clone(),
             ec("homepage"),
@@ -101,7 +121,9 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
         .map(|i| ent(&format!("feature{i}")))
         .collect();
 
-    let users: Vec<Term> = (0..config.users).map(|i| ent(&format!("user{i}"))).collect();
+    let users: Vec<Term> = (0..config.users)
+        .map(|i| ent(&format!("user{i}")))
+        .collect();
     for (i, u) in users.iter().enumerate() {
         g.insert(Triple::new(u.clone(), rdf::type_(), Term::Iri(ec("User"))));
         g.insert(Triple::new(
@@ -109,7 +131,11 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
             ec("name"),
             Term::Literal(Literal::string(format!("User {i}"))),
         ));
-        g.insert(Triple::new(u.clone(), ec("location"), cities[i % cities.len()].clone()));
+        g.insert(Triple::new(
+            u.clone(),
+            ec("location"),
+            cities[i % cities.len()].clone(),
+        ));
         if i % 3 != 0 {
             g.insert(Triple::new(
                 u.clone(),
@@ -132,10 +158,16 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
         }
     }
 
-    let products: Vec<Term> = (0..config.products).map(|i| ent(&format!("product{i}"))).collect();
+    let products: Vec<Term> = (0..config.products)
+        .map(|i| ent(&format!("product{i}")))
+        .collect();
     let mut review_id = 0usize;
     for (i, p) in products.iter().enumerate() {
-        g.insert(Triple::new(p.clone(), rdf::type_(), Term::Iri(ec("Product"))));
+        g.insert(Triple::new(
+            p.clone(),
+            rdf::type_(),
+            Term::Iri(ec("Product")),
+        ));
         g.insert(Triple::new(
             p.clone(),
             ec("label"),
@@ -149,7 +181,11 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
                 if i % 2 == 0 { "en" } else { "de" },
             )),
         ));
-        g.insert(Triple::new(p.clone(), ec("hasGenre"), genres[i % genres.len()].clone()));
+        g.insert(Triple::new(
+            p.clone(),
+            ec("hasGenre"),
+            genres[i % genres.len()].clone(),
+        ));
         // Features: all products get some; 870 and 59 overlap partially so
         // the negated-bound query has results.
         if i % 2 == 0 {
@@ -163,7 +199,11 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
             ec("feature"),
             features[i % features.len()].clone(),
         ));
-        g.insert(Triple::new(p.clone(), ec("producer"), vendors[i % vendors.len()].clone()));
+        g.insert(Triple::new(
+            p.clone(),
+            ec("producer"),
+            vendors[i % vendors.len()].clone(),
+        ));
         g.insert(Triple::new(
             p.clone(),
             ec("price"),
@@ -184,9 +224,17 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
         // Offers.
         for k in 0..(1 + i % 3) {
             let offer = ent(&format!("offer{i}_{k}"));
-            g.insert(Triple::new(offer.clone(), rdf::type_(), Term::Iri(ec("Offer"))));
+            g.insert(Triple::new(
+                offer.clone(),
+                rdf::type_(),
+                Term::Iri(ec("Offer")),
+            ));
             g.insert(Triple::new(offer.clone(), ec("product"), p.clone()));
-            g.insert(Triple::new(offer.clone(), ec("vendor"), vendors[(i + k) % vendors.len()].clone()));
+            g.insert(Triple::new(
+                offer.clone(),
+                ec("vendor"),
+                vendors[(i + k) % vendors.len()].clone(),
+            ));
             g.insert(Triple::new(
                 offer.clone(),
                 ec("price"),
@@ -201,14 +249,22 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
         for _ in 0..(i % 4) {
             let review = ent(&format!("review{review_id}"));
             review_id += 1;
-            g.insert(Triple::new(review.clone(), rdf::type_(), Term::Iri(ec("Review"))));
+            g.insert(Triple::new(
+                review.clone(),
+                rdf::type_(),
+                Term::Iri(ec("Review")),
+            ));
             g.insert(Triple::new(p.clone(), ec("hasReview"), review.clone()));
             g.insert(Triple::new(
                 review.clone(),
                 ec("title"),
                 Term::Literal(Literal::string(format!("Review of product {i}"))),
             ));
-            let lang = if review_id.is_multiple_of(3) { "de" } else { "en" };
+            let lang = if review_id.is_multiple_of(3) {
+                "de"
+            } else {
+                "en"
+            };
             g.insert(Triple::new(
                 review.clone(),
                 ec("text"),
@@ -228,7 +284,11 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
     // Websites and retailers for WatDiv-style star queries.
     for i in 0..10 {
         let site = ent(&format!("website{i}"));
-        g.insert(Triple::new(site.clone(), rdf::type_(), Term::Iri(ec("Website"))));
+        g.insert(Triple::new(
+            site.clone(),
+            rdf::type_(),
+            Term::Iri(ec("Website")),
+        ));
         g.insert(Triple::new(
             site.clone(),
             ec("url"),
@@ -240,9 +300,17 @@ pub fn generate(config: &EcommerceConfig) -> Graph {
             }
         }
         let retailer = ent(&format!("retailer{i}"));
-        g.insert(Triple::new(retailer.clone(), rdf::type_(), Term::Iri(ec("Retailer"))));
+        g.insert(Triple::new(
+            retailer.clone(),
+            rdf::type_(),
+            Term::Iri(ec("Retailer")),
+        ));
         g.insert(Triple::new(retailer.clone(), ec("operates"), site.clone()));
-        g.insert(Triple::new(retailer.clone(), ec("country"), countries[i % countries.len()].clone()));
+        g.insert(Triple::new(
+            retailer.clone(),
+            ec("country"),
+            countries[i % countries.len()].clone(),
+        ));
     }
 
     g

@@ -100,7 +100,11 @@ impl Collected {
         }
     }
 
-    fn add_triples(&mut self, tps: &[TriplePattern], optional: Option<usize>) -> Result<(), Blocker> {
+    fn add_triples(
+        &mut self,
+        tps: &[TriplePattern],
+        optional: Option<usize>,
+    ) -> Result<(), Blocker> {
         for tp in tps {
             let p = match &tp.predicate {
                 VarOrTerm::Var(_) => return Err(Blocker::VariablePredicate),
@@ -210,10 +214,11 @@ pub fn query_to_shape(query: &Select) -> Result<TranslatedQuery, Blocker> {
     // group — FILTER(!bound(?v)) over a mandatory variable is constant
     // false and has no shape translation.
     for v in &collected.negated_vars {
-        let in_mandatory = collected
-            .edges
-            .iter()
-            .any(|e| [&e.s, &e.o].into_iter().any(|n| matches!(n, Node::Var(x) if x == v)));
+        let in_mandatory = collected.edges.iter().any(|e| {
+            [&e.s, &e.o]
+                .into_iter()
+                .any(|n| matches!(n, Node::Var(x) if x == v))
+        });
         let in_optional = collected.optionals.iter().flatten().any(|e| {
             [&e.s, &e.o]
                 .into_iter()
@@ -229,9 +234,7 @@ pub fn query_to_shape(query: &Select) -> Result<TranslatedQuery, Blocker> {
     // Tree check on the mandatory part.
     let root = match &collected.edges[0].s {
         Node::Var(v) => Node::Var(v.clone()),
-        Node::Const(..) => {
-            return Err(Blocker::UnsupportedPattern("constant root subject".into()))
-        }
+        Node::Const(..) => return Err(Blocker::UnsupportedPattern("constant root subject".into())),
     };
     let mandatory = TreeBuilder::new(&collected.edges, &var_tests)?;
     let mut shape = mandatory.build(&root)?;
@@ -325,11 +328,7 @@ impl<'a> TreeBuilder<'a> {
                 conj.extend(tests.iter().cloned());
             }
         }
-        let incident: Vec<(usize, bool)> = self
-            .adjacency
-            .get(node)
-            .cloned()
-            .unwrap_or_default();
+        let incident: Vec<(usize, bool)> = self.adjacency.get(node).cloned().unwrap_or_default();
         for (edge_idx, forward) in incident {
             if !self.visited.borrow_mut().insert(edge_idx) {
                 continue;
@@ -423,8 +422,8 @@ fn filter_to_test(expr: &Expr) -> Result<(String, Shape), Blocker> {
                 },
                 _ => return Err(unsupported()),
             };
-            let test =
-                NodeTest::pattern(pattern, flags).map_err(|e| Blocker::UnsupportedFilter(e.to_string()))?;
+            let test = NodeTest::pattern(pattern, flags)
+                .map_err(|e| Blocker::UnsupportedFilter(e.to_string()))?;
             Ok((v, Shape::Test(test)))
         }
         _ => Err(unsupported()),
@@ -634,7 +633,10 @@ mod tests {
         let text = shape.to_string();
         assert!(text.contains("caption"), "{text}");
         assert!(text.contains("hasReview"), "{text}");
-        assert!(text.contains("^<http://ec.example.org/vocab/follows>"), "{text}");
+        assert!(
+            text.contains("^<http://ec.example.org/vocab/follows>"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -50,10 +50,7 @@ fn is_class(class: &str) -> Shape {
 fn dtype(local: &str) -> Shape {
     let dt = match local {
         "langString" => shapefrag_rdf::vocab::rdf::lang_string(),
-        other => shapefrag_rdf::Iri::new(format!(
-            "{}{other}",
-            shapefrag_rdf::vocab::XSD_NS
-        )),
+        other => shapefrag_rdf::Iri::new(format!("{}{other}", shapefrag_rdf::vocab::XSD_NS)),
     };
     Shape::Test(NodeTest::Datatype(dt))
 }
@@ -75,9 +72,24 @@ pub fn benchmark_shapes() -> Vec<ShapeDef> {
     };
 
     // --- Events (1–10) ---------------------------------------------------
-    add(1, "EventHasName", Shape::geq(1, prop("name"), Shape::True), class_target("Event"));
-    add(2, "EventNameLangString", Shape::for_all(prop("name"), dtype("langString")), class_target("Event"));
-    add(3, "EventHasStartDate", Shape::geq(1, prop("startDate"), Shape::True), class_target("Event"));
+    add(
+        1,
+        "EventHasName",
+        Shape::geq(1, prop("name"), Shape::True),
+        class_target("Event"),
+    );
+    add(
+        2,
+        "EventNameLangString",
+        Shape::for_all(prop("name"), dtype("langString")),
+        class_target("Event"),
+    );
+    add(
+        3,
+        "EventHasStartDate",
+        Shape::geq(1, prop("startDate"), Shape::True),
+        class_target("Event"),
+    );
     add(
         4,
         "EventDatesAreDateTime",
@@ -85,25 +97,64 @@ pub fn benchmark_shapes() -> Vec<ShapeDef> {
             .and(Shape::for_all(prop("endDate"), dtype("dateTime"))),
         class_target("Event"),
     );
-    add(5, "EventStartBeforeEnd", Shape::LessThan(prop("startDate"), schema("endDate")), class_target("Event"));
-    add(6, "EventMaxOneStart", Shape::leq(1, prop("startDate"), Shape::True), class_target("Event"));
-    add(7, "EventHasLocation", Shape::geq(1, prop("location"), Shape::True), class_target("Event"));
-    add(8, "EventLocationIsPlace", Shape::for_all(prop("location"), is_class("Place")), class_target("Event"));
+    add(
+        5,
+        "EventStartBeforeEnd",
+        Shape::LessThan(prop("startDate"), schema("endDate")),
+        class_target("Event"),
+    );
+    add(
+        6,
+        "EventMaxOneStart",
+        Shape::leq(1, prop("startDate"), Shape::True),
+        class_target("Event"),
+    );
+    add(
+        7,
+        "EventHasLocation",
+        Shape::geq(1, prop("location"), Shape::True),
+        class_target("Event"),
+    );
+    add(
+        8,
+        "EventLocationIsPlace",
+        Shape::for_all(prop("location"), is_class("Place")),
+        class_target("Event"),
+    );
     add(
         9,
         "EventOrganizerIsPerson",
         Shape::for_all(prop("organizer"), is_class("Person")),
         class_target("Event"),
     );
-    add(10, "EventNameUniqueLang", Shape::UniqueLang(prop("name")), class_target("Event"));
+    add(
+        10,
+        "EventNameUniqueLang",
+        Shape::UniqueLang(prop("name")),
+        class_target("Event"),
+    );
 
     // --- Places (11–16) ---------------------------------------------------
-    add(11, "PlaceHasName", Shape::geq(1, prop("name"), Shape::True), class_target("Place"));
-    add(12, "PlacePostalCodePattern", Shape::for_all(prop("postalCode"), pattern("^\\d{4}$")), class_target("Place"));
+    add(
+        11,
+        "PlaceHasName",
+        Shape::geq(1, prop("name"), Shape::True),
+        class_target("Place"),
+    );
+    add(
+        12,
+        "PlacePostalCodePattern",
+        Shape::for_all(prop("postalCode"), pattern("^\\d{4}$")),
+        class_target("Place"),
+    );
     add(
         13,
         "PlaceHasCoordinates",
-        Shape::geq(1, prop("latitude"), Shape::True).and(Shape::geq(1, prop("longitude"), Shape::True)),
+        Shape::geq(1, prop("latitude"), Shape::True).and(Shape::geq(
+            1,
+            prop("longitude"),
+            Shape::True,
+        )),
         class_target("Place"),
     );
     add(
@@ -116,18 +167,38 @@ pub fn benchmark_shapes() -> Vec<ShapeDef> {
         ),
         class_target("Place"),
     );
-    add(15, "PlaceCoordsDecimal", Shape::for_all(prop("latitude"), dtype("decimal")), class_target("Place"));
-    add(16, "PlaceMaxOnePostal", Shape::leq(1, prop("postalCode"), Shape::True), class_target("Place"));
+    add(
+        15,
+        "PlaceCoordsDecimal",
+        Shape::for_all(prop("latitude"), dtype("decimal")),
+        class_target("Place"),
+    );
+    add(
+        16,
+        "PlaceMaxOnePostal",
+        Shape::leq(1, prop("postalCode"), Shape::True),
+        class_target("Place"),
+    );
 
     // --- Lodging businesses (17–24) ----------------------------------------
-    add(17, "LodgingHasName", Shape::geq(1, prop("name"), Shape::True), class_target("LodgingBusiness"));
+    add(
+        17,
+        "LodgingHasName",
+        Shape::geq(1, prop("name"), Shape::True),
+        class_target("LodgingBusiness"),
+    );
     add(
         18,
         "LodgingStarRange",
         Shape::for_all(prop("starRating"), int_range(1, 5)),
         class_target("LodgingBusiness"),
     );
-    add(19, "LodgingHasLocation", Shape::geq(1, prop("location"), Shape::True), class_target("LodgingBusiness"));
+    add(
+        19,
+        "LodgingHasLocation",
+        Shape::geq(1, prop("location"), Shape::True),
+        class_target("LodgingBusiness"),
+    );
     add(
         20,
         "LodgingTelephonePattern",
@@ -142,26 +213,46 @@ pub fn benchmark_shapes() -> Vec<ShapeDef> {
     );
     // The worst-case pattern of §5.3.1: an existential shape over a class
     // with many targets and large satisfying edge sets.
-    add(22, "LodgingHasOffer", Shape::geq(1, prop("makesOffer"), Shape::True), class_target("LodgingBusiness"));
+    add(
+        22,
+        "LodgingHasOffer",
+        Shape::geq(1, prop("makesOffer"), Shape::True),
+        class_target("LodgingBusiness"),
+    );
     add(
         23,
         "LodgingOfferPriced",
-        Shape::for_all(prop("makesOffer"), Shape::geq(1, prop("price"), Shape::True)),
+        Shape::for_all(
+            prop("makesOffer"),
+            Shape::geq(1, prop("price"), Shape::True),
+        ),
         class_target("LodgingBusiness"),
     );
     add(
         24,
         "HotelStarAtLeast1",
-        Shape::geq(1, prop("starRating"), Shape::Test(NodeTest::MinInclusive(Literal::integer(1)))),
+        Shape::geq(
+            1,
+            prop("starRating"),
+            Shape::Test(NodeTest::MinInclusive(Literal::integer(1))),
+        ),
         class_target("Hotel"),
     );
 
     // --- Offers (25–30) -----------------------------------------------------
-    add(25, "OfferHasPrice", Shape::geq(1, prop("price"), Shape::True), class_target("Offer"));
+    add(
+        25,
+        "OfferHasPrice",
+        Shape::geq(1, prop("price"), Shape::True),
+        class_target("Offer"),
+    );
     add(
         26,
         "OfferPricePositive",
-        Shape::for_all(prop("price"), Shape::Test(NodeTest::MinExclusive(Literal::integer(0)))),
+        Shape::for_all(
+            prop("price"),
+            Shape::Test(NodeTest::MinExclusive(Literal::integer(0))),
+        ),
         class_target("Offer"),
     );
     add(
@@ -194,22 +285,42 @@ pub fn benchmark_shapes() -> Vec<ShapeDef> {
     );
 
     // --- Reviews (31–37) ------------------------------------------------------
-    add(31, "ReviewHasRating", Shape::geq(1, prop("ratingValue"), Shape::True), class_target("Review"));
+    add(
+        31,
+        "ReviewHasRating",
+        Shape::geq(1, prop("ratingValue"), Shape::True),
+        class_target("Review"),
+    );
     add(
         32,
         "ReviewRatingInRange",
         Shape::for_all(prop("ratingValue"), int_range(1, 5)),
         class_target("Review"),
     );
-    add(33, "ReviewRatingInteger", Shape::for_all(prop("ratingValue"), dtype("integer")), class_target("Review"));
-    add(34, "ReviewHasAuthor", Shape::geq(1, prop("author"), Shape::True), class_target("Review"));
+    add(
+        33,
+        "ReviewRatingInteger",
+        Shape::for_all(prop("ratingValue"), dtype("integer")),
+        class_target("Review"),
+    );
+    add(
+        34,
+        "ReviewHasAuthor",
+        Shape::geq(1, prop("author"), Shape::True),
+        class_target("Review"),
+    );
     add(
         35,
         "ReviewAuthorIsPerson",
         Shape::for_all(prop("author"), is_class("Person")),
         class_target("Review"),
     );
-    add(36, "ReviewMaxOneRating", Shape::leq(1, prop("ratingValue"), Shape::True), class_target("Review"));
+    add(
+        36,
+        "ReviewMaxOneRating",
+        Shape::leq(1, prop("ratingValue"), Shape::True),
+        class_target("Review"),
+    );
     add(
         37,
         "ReviewOfLodging",
@@ -218,19 +329,31 @@ pub fn benchmark_shapes() -> Vec<ShapeDef> {
     );
 
     // --- People (38–41) ---------------------------------------------------------
-    add(38, "PersonHasName", Shape::geq(1, prop("name"), Shape::True), class_target("Person"));
+    add(
+        38,
+        "PersonHasName",
+        Shape::geq(1, prop("name"), Shape::True),
+        class_target("Person"),
+    );
     add(
         39,
         "PersonEmailPattern",
         Shape::for_all(prop("email"), pattern("^[\\w.]+@[\\w.]+$")),
         class_target("Person"),
     );
-    add(40, "PersonMaxOneEmail", Shape::leq(1, prop("email"), Shape::True), class_target("Person"));
+    add(
+        40,
+        "PersonMaxOneEmail",
+        Shape::leq(1, prop("email"), Shape::True),
+        class_target("Person"),
+    );
     add(
         41,
         "PersonClosed",
         Shape::Closed(
-            [rdf::type_(), schema("name"), schema("email")].into_iter().collect(),
+            [rdf::type_(), schema("name"), schema("email")]
+                .into_iter()
+                .collect(),
         ),
         class_target("Person"),
     );
@@ -239,31 +362,58 @@ pub fn benchmark_shapes() -> Vec<ShapeDef> {
     add(
         42,
         "EventOrganizerOrLocation",
-        Shape::geq(1, prop("organizer"), Shape::True).or(Shape::geq(1, prop("location"), Shape::True)),
+        Shape::geq(1, prop("organizer"), Shape::True).or(Shape::geq(
+            1,
+            prop("location"),
+            Shape::True,
+        )),
         class_target("Event"),
     );
     add(
         43,
         "EventNotPlace",
-        Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::HasValue(Term::Iri(schema("Place")))).not(),
+        Shape::geq(
+            1,
+            PathExpr::Prop(rdf::type_()),
+            Shape::HasValue(Term::Iri(schema("Place"))),
+        )
+        .not(),
         class_target("Event"),
     );
     {
         // Exactly one lodging subtype (xone).
-        let hotel = Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::HasValue(Term::Iri(schema("Hotel"))));
-        let pension =
-            Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::HasValue(Term::Iri(schema("Pension"))));
+        let hotel = Shape::geq(
+            1,
+            PathExpr::Prop(rdf::type_()),
+            Shape::HasValue(Term::Iri(schema("Hotel"))),
+        );
+        let pension = Shape::geq(
+            1,
+            PathExpr::Prop(rdf::type_()),
+            Shape::HasValue(Term::Iri(schema("Pension"))),
+        );
         let camp = Shape::geq(
             1,
             PathExpr::Prop(rdf::type_()),
             Shape::HasValue(Term::Iri(schema("Campground"))),
         );
         let xone = Shape::disj_of(vec![
-            hotel.clone().and(pension.clone().not()).and(camp.clone().not()),
-            pension.clone().and(hotel.clone().not()).and(camp.clone().not()),
+            hotel
+                .clone()
+                .and(pension.clone().not())
+                .and(camp.clone().not()),
+            pension
+                .clone()
+                .and(hotel.clone().not())
+                .and(camp.clone().not()),
             camp.clone().and(hotel.not()).and(pension.not()),
         ]);
-        add(44, "LodgingExactlyOneKind", xone, class_target("LodgingBusiness"));
+        add(
+            44,
+            "LodgingExactlyOneKind",
+            xone,
+            class_target("LodgingBusiness"),
+        );
     }
     add(
         45,
@@ -290,13 +440,22 @@ pub fn benchmark_shapes() -> Vec<ShapeDef> {
         ),
         class_target("Review"),
     );
-    add(48, "ReviewBodyUniqueLang", Shape::UniqueLang(prop("reviewBody")), class_target("Review"));
+    add(
+        48,
+        "ReviewBodyUniqueLang",
+        Shape::UniqueLang(prop("reviewBody")),
+        class_target("Review"),
+    );
 
     // --- Nested and path shapes (49–57) ----------------------------------------
     add(
         49,
         "EventLocationNamed",
-        Shape::geq(1, prop("location"), Shape::geq(1, prop("name"), Shape::True)),
+        Shape::geq(
+            1,
+            prop("location"),
+            Shape::geq(1, prop("name"), Shape::True),
+        ),
         class_target("Event"),
     );
     add(
@@ -305,7 +464,11 @@ pub fn benchmark_shapes() -> Vec<ShapeDef> {
         Shape::geq(
             1,
             prop("itemReviewed").inverse(),
-            Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::HasValue(Term::Iri(schema("Review")))),
+            Shape::geq(
+                1,
+                PathExpr::Prop(rdf::type_()),
+                Shape::HasValue(Term::Iri(schema("Review"))),
+            ),
         ),
         class_target("LodgingBusiness"),
     );
@@ -315,22 +478,42 @@ pub fn benchmark_shapes() -> Vec<ShapeDef> {
         Shape::for_all(prop("author"), Shape::geq(1, prop("email"), Shape::True)),
         class_target("Review"),
     );
-    add(52, "EventMax3Names", Shape::leq(3, prop("name"), Shape::True), class_target("Event"));
+    add(
+        52,
+        "EventMax3Names",
+        Shape::leq(3, prop("name"), Shape::True),
+        class_target("Event"),
+    );
     add(
         53,
         "PlaceNameMinLength",
         Shape::for_all(prop("name"), Shape::Test(NodeTest::MinLength(3))),
         class_target("Place"),
     );
-    add(54, "OfferPriceDecimal", Shape::for_all(prop("price"), dtype("decimal")), class_target("Offer"));
-    add(55, "LodgingAtLeast2Offers", Shape::geq(2, prop("makesOffer"), Shape::True), class_target("LodgingBusiness"));
+    add(
+        54,
+        "OfferPriceDecimal",
+        Shape::for_all(prop("price"), dtype("decimal")),
+        class_target("Offer"),
+    );
+    add(
+        55,
+        "LodgingAtLeast2Offers",
+        Shape::geq(2, prop("makesOffer"), Shape::True),
+        class_target("LodgingBusiness"),
+    );
     add(
         56,
         "NoOrganizerSelfLoop",
         Shape::Disj(PathOrId::Id, schema("organizer")),
         class_target("Event"),
     );
-    add(57, "NamedThingsAreTyped", Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::True), subjects_of("name"));
+    add(
+        57,
+        "NamedThingsAreTyped",
+        Shape::geq(1, PathExpr::Prop(rdf::type_()), Shape::True),
+        subjects_of("name"),
+    );
 
     defs.into_iter()
         .map(|(id, label, shape, target)| ShapeDef::new(shape_name(id, label), shape, target))
@@ -375,7 +558,10 @@ mod tests {
                 without_targets += 1;
             }
         }
-        assert_eq!(without_targets, 0, "{without_targets} shapes select no targets");
+        assert_eq!(
+            without_targets, 0,
+            "{without_targets} shapes select no targets"
+        );
     }
 
     #[test]

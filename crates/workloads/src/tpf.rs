@@ -66,7 +66,9 @@ impl TpfQuery {
         for t in graph.iter() {
             let mut bound: [Option<Term>; 3] = [None, None, None];
             if self.subject.matches(&t.subject, &mut bound)
-                && self.predicate.matches(&Term::Iri(t.predicate.clone()), &mut bound)
+                && self
+                    .predicate
+                    .matches(&Term::Iri(t.predicate.clone()), &mut bound)
                 && self.object.matches(&t.object, &mut bound)
             {
                 out.insert(t);
@@ -94,13 +96,9 @@ pub fn tpf_shape(q: &TpfQuery) -> Option<Shape> {
     let distinct = q.vars().len();
     match (&q.subject, &q.predicate, &q.object) {
         // (c, p, d)
-        (Const(c), Const(Term::Iri(p)), Const(d)) => Some(
-            Shape::HasValue(c.clone()).and(Shape::geq(
-                1,
-                PathExpr::Prop(p.clone()),
-                Shape::HasValue(d.clone()),
-            )),
-        ),
+        (Const(c), Const(Term::Iri(p)), Const(d)) => Some(Shape::HasValue(c.clone()).and(
+            Shape::geq(1, PathExpr::Prop(p.clone()), Shape::HasValue(d.clone())),
+        )),
         // (c, p, ?x)
         (Const(c), Const(Term::Iri(p)), Var(_)) => Some(Shape::geq(
             1,
@@ -122,9 +120,9 @@ pub fn tpf_shape(q: &TpfQuery) -> Option<Shape> {
             Some(Shape::geq(1, PathExpr::Prop(p.clone()), Shape::True))
         }
         // (c, ?y, ?z)
-        (Const(c), Var(_), Var(_)) if distinct == 2 => Some(
-            Shape::HasValue(c.clone()).and(Shape::Closed(BTreeSet::new()).not()),
-        ),
+        (Const(c), Var(_), Var(_)) if distinct == 2 => {
+            Some(Shape::HasValue(c.clone()).and(Shape::Closed(BTreeSet::new()).not()))
+        }
         // (?x, ?y, ?z) — full download.
         (Var(a), Var(b), Var(c)) if a != b && b != c && a != c => {
             Some(Shape::Closed(BTreeSet::new()).not())
@@ -161,9 +159,7 @@ pub fn tpf_shape_extended(q: &TpfQuery) -> Option<Shape> {
         // (?x, ?y, c) — the Remark 6.3 example.
         (Var(x), Var(y), Const(c)) if x != y => Some(any_value_edge(c)),
         // (c, ?x, d).
-        (Const(c), Var(_), Const(d)) => {
-            Some(Shape::HasValue(c.clone()).and(any_value_edge(d)))
-        }
+        (Const(c), Var(_), Const(d)) => Some(Shape::HasValue(c.clone()).and(any_value_edge(d))),
         _ => None,
     }
 }
@@ -241,9 +237,9 @@ pub fn all_tpf_forms() -> Vec<(&'static str, TpfQuery, bool)> {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use shapefrag_rdf::Iri;
     use rand::{Rng, SeedableRng};
     use shapefrag_core::fragment;
+    use shapefrag_rdf::Iri;
     use shapefrag_shacl::Schema;
 
     fn random_graph(seed: u64, triples: usize) -> Graph {
@@ -324,8 +320,16 @@ mod tests {
     #[test]
     fn tpf_eval_respects_shared_variables() {
         let g = Graph::from_triples([
-            Triple::new(Term::iri("http://e/a"), Iri::new("http://e/p"), Term::iri("http://e/a")),
-            Triple::new(Term::iri("http://e/a"), Iri::new("http://e/p"), Term::iri("http://e/b")),
+            Triple::new(
+                Term::iri("http://e/a"),
+                Iri::new("http://e/p"),
+                Term::iri("http://e/a"),
+            ),
+            Triple::new(
+                Term::iri("http://e/a"),
+                Iri::new("http://e/p"),
+                Term::iri("http://e/b"),
+            ),
         ]);
         let q = TpfQuery::new(
             TpfPos::Var(0),
@@ -364,14 +368,20 @@ mod tests {
         for query in &queries {
             let g = counterexample_graph(query).unwrap();
             let shape = tpf_shape_extended(query).unwrap();
-            assert_eq!(query.eval(&g), fragment(&schema, &g, std::slice::from_ref(&shape)));
+            assert_eq!(
+                query.eval(&g),
+                fragment(&schema, &g, std::slice::from_ref(&shape))
+            );
         }
     }
 
     #[test]
     fn property_equating_forms_remain_inexpressible_even_extended() {
         for (name, query, _) in all_tpf_forms() {
-            if matches!(name, "(?x, ?y, ?x)" | "(?x, ?x, ?x)" | "(c, ?x, ?x)" | "(?x, ?y, ?y)") {
+            if matches!(
+                name,
+                "(?x, ?y, ?x)" | "(?x, ?x, ?x)" | "(c, ?x, ?x)" | "(?x, ?y, ?y)"
+            ) {
                 assert!(tpf_shape_extended(&query).is_none(), "{name}");
             }
         }

@@ -47,10 +47,22 @@ impl TyroleanConfig {
 }
 
 const EVENT_CATEGORIES: [&str; 6] = [
-    "Concert", "Market", "Hike", "Exhibition", "Festival", "SkiRace",
+    "Concert",
+    "Market",
+    "Hike",
+    "Exhibition",
+    "Festival",
+    "SkiRace",
 ];
 const PLACE_NAMES: [&str; 8] = [
-    "Innsbruck", "Bozen", "Meran", "Lienz", "Kufstein", "Brixen", "Sterzing", "Hall",
+    "Innsbruck",
+    "Bozen",
+    "Meran",
+    "Lienz",
+    "Kufstein",
+    "Brixen",
+    "Sterzing",
+    "Hall",
 ];
 const LANGS: [&str; 3] = ["de", "it", "en"];
 
@@ -90,7 +102,9 @@ pub fn generate(config: &TyroleanConfig) -> Graph {
     let n_reviews = n * 15 / 100;
     let n_people = n.saturating_sub(n_events + n_places + n_lodgings + n_offers + n_reviews);
 
-    let places: Vec<Term> = (0..n_places).map(|i| entity(&format!("place{i}"))).collect();
+    let places: Vec<Term> = (0..n_places)
+        .map(|i| entity(&format!("place{i}")))
+        .collect();
     let lodgings: Vec<Term> = (0..n_lodgings)
         .map(|i| entity(&format!("lodging{i}")))
         .collect();
@@ -100,7 +114,11 @@ pub fn generate(config: &TyroleanConfig) -> Graph {
 
     // Places.
     for (i, place) in places.iter().enumerate() {
-        g.insert(Triple::new(place.clone(), rdf::type_(), Term::Iri(schema("Place"))));
+        g.insert(Triple::new(
+            place.clone(),
+            rdf::type_(),
+            Term::Iri(schema("Place")),
+        ));
         let name = PLACE_NAMES[i % PLACE_NAMES.len()];
         g.insert(Triple::new(
             place.clone(),
@@ -132,7 +150,11 @@ pub fn generate(config: &TyroleanConfig) -> Graph {
 
     // People.
     for (i, person) in people.iter().enumerate() {
-        g.insert(Triple::new(person.clone(), rdf::type_(), Term::Iri(schema("Person"))));
+        g.insert(Triple::new(
+            person.clone(),
+            rdf::type_(),
+            Term::Iri(schema("Person")),
+        ));
         g.insert(Triple::new(
             person.clone(),
             schema("name"),
@@ -149,8 +171,18 @@ pub fn generate(config: &TyroleanConfig) -> Graph {
 
     // Lodging businesses.
     for (i, lodging) in lodgings.iter().enumerate() {
-        let class = if i % 3 == 0 { "Hotel" } else if i % 3 == 1 { "Pension" } else { "Campground" };
-        g.insert(Triple::new(lodging.clone(), rdf::type_(), Term::Iri(schema(class))));
+        let class = if i % 3 == 0 {
+            "Hotel"
+        } else if i % 3 == 1 {
+            "Pension"
+        } else {
+            "Campground"
+        };
+        g.insert(Triple::new(
+            lodging.clone(),
+            rdf::type_(),
+            Term::Iri(schema(class)),
+        ));
         // ~3% of lodgings are missing their name (violations).
         if i % 33 != 7 {
             for lang in LANGS.iter().take(1 + i % 3) {
@@ -162,12 +194,19 @@ pub fn generate(config: &TyroleanConfig) -> Graph {
             }
         }
         if let Some(place) = places.choose(&mut rng) {
-            g.insert(Triple::new(lodging.clone(), schema("location"), place.clone()));
+            g.insert(Triple::new(
+                lodging.clone(),
+                schema("location"),
+                place.clone(),
+            ));
         }
         g.insert(Triple::new(
             lodging.clone(),
             schema("telephone"),
-            Term::Literal(Literal::string(format!("+43 512 {:06}", i * 37 % 1_000_000))),
+            Term::Literal(Literal::string(format!(
+                "+43 512 {:06}",
+                i * 37 % 1_000_000
+            ))),
         ));
         g.insert(Triple::new(
             lodging.clone(),
@@ -190,7 +229,11 @@ pub fn generate(config: &TyroleanConfig) -> Graph {
             1 => "SportsEvent",
             _ => "Event",
         };
-        g.insert(Triple::new(event.clone(), rdf::type_(), Term::Iri(schema(class))));
+        g.insert(Triple::new(
+            event.clone(),
+            rdf::type_(),
+            Term::Iri(schema(class)),
+        ));
         let cat = EVENT_CATEGORIES[i % EVENT_CATEGORIES.len()];
         g.insert(Triple::new(
             event.clone(),
@@ -222,19 +265,35 @@ pub fn generate(config: &TyroleanConfig) -> Graph {
             Term::Literal(Literal::typed(end, xsd::date_time())),
         ));
         if let Some(place) = places.choose(&mut rng) {
-            g.insert(Triple::new(event.clone(), schema("location"), place.clone()));
+            g.insert(Triple::new(
+                event.clone(),
+                schema("location"),
+                place.clone(),
+            ));
         }
         if let Some(person) = people.choose(&mut rng) {
-            g.insert(Triple::new(event.clone(), schema("organizer"), person.clone()));
+            g.insert(Triple::new(
+                event.clone(),
+                schema("organizer"),
+                person.clone(),
+            ));
         }
     }
 
     // Offers.
     for i in 0..n_offers {
         let offer = entity(&format!("offer{i}"));
-        g.insert(Triple::new(offer.clone(), rdf::type_(), Term::Iri(schema("Offer"))));
+        g.insert(Triple::new(
+            offer.clone(),
+            rdf::type_(),
+            Term::Iri(schema("Offer")),
+        ));
         if let Some(lodging) = lodgings.choose(&mut rng) {
-            g.insert(Triple::new(lodging.clone(), schema("makesOffer"), offer.clone()));
+            g.insert(Triple::new(
+                lodging.clone(),
+                schema("makesOffer"),
+                offer.clone(),
+            ));
         }
         let price = 40.0 + (i % 300) as f64 + 0.5;
         g.insert(Triple::new(
@@ -245,7 +304,11 @@ pub fn generate(config: &TyroleanConfig) -> Graph {
         g.insert(Triple::new(
             offer.clone(),
             schema("priceCurrency"),
-            Term::Literal(Literal::string(if i % 20 == 3 { "US-Dollar" } else { "EUR" })),
+            Term::Literal(Literal::string(if i % 20 == 3 {
+                "US-Dollar"
+            } else {
+                "EUR"
+            })),
         ));
         g.insert(Triple::new(
             offer.clone(),
@@ -262,7 +325,11 @@ pub fn generate(config: &TyroleanConfig) -> Graph {
     // Reviews.
     for i in 0..n_reviews {
         let review = entity(&format!("review{i}"));
-        g.insert(Triple::new(review.clone(), rdf::type_(), Term::Iri(schema("Review"))));
+        g.insert(Triple::new(
+            review.clone(),
+            rdf::type_(),
+            Term::Iri(schema("Review")),
+        ));
         // ~4% of ratings are out of the 1..5 range (violations).
         let rating = if i % 25 == 11 { 9 } else { 1 + (i % 5) as i64 };
         g.insert(Triple::new(
@@ -271,10 +338,18 @@ pub fn generate(config: &TyroleanConfig) -> Graph {
             Term::Literal(Literal::integer(rating)),
         ));
         if let Some(person) = people.choose(&mut rng) {
-            g.insert(Triple::new(review.clone(), schema("author"), person.clone()));
+            g.insert(Triple::new(
+                review.clone(),
+                schema("author"),
+                person.clone(),
+            ));
         }
         if let Some(lodging) = lodgings.choose(&mut rng) {
-            g.insert(Triple::new(review.clone(), schema("itemReviewed"), lodging.clone()));
+            g.insert(Triple::new(
+                review.clone(),
+                schema("itemReviewed"),
+                lodging.clone(),
+            ));
         }
         g.insert(Triple::new(
             review.clone(),

@@ -71,7 +71,11 @@ fn main() {
     let out = ntriples::serialize(&frag);
     let path = std::env::temp_dir().join("vardi_fragment.nt");
     std::fs::write(&path, &out).expect("write fragment");
-    println!("\nfragment written to {} ({} bytes)", path.display(), out.len());
+    println!(
+        "\nfragment written to {} ({} bytes)",
+        path.display(),
+        out.len()
+    );
 
     // The fragment round-trips through the serializer.
     let reloaded = ntriples::parse(&out).expect("fragment reparses");

@@ -34,9 +34,30 @@ fn main() {
     // The client decomposes the need into one TPF request per pattern and
     // joins locally; it must over-fetch every pattern's full extension.
     let patterns = [
-        ("?p caption ?c", TpfQuery::new(TpfPos::Var(0), TpfPos::Const(Term::Iri(ec("caption"))), TpfPos::Var(1))),
-        ("?p hasReview ?r", TpfQuery::new(TpfPos::Var(0), TpfPos::Const(Term::Iri(ec("hasReview"))), TpfPos::Var(1))),
-        ("?r reviewer ?u", TpfQuery::new(TpfPos::Var(0), TpfPos::Const(Term::Iri(ec("reviewer"))), TpfPos::Var(1))),
+        (
+            "?p caption ?c",
+            TpfQuery::new(
+                TpfPos::Var(0),
+                TpfPos::Const(Term::Iri(ec("caption"))),
+                TpfPos::Var(1),
+            ),
+        ),
+        (
+            "?p hasReview ?r",
+            TpfQuery::new(
+                TpfPos::Var(0),
+                TpfPos::Const(Term::Iri(ec("hasReview"))),
+                TpfPos::Var(1),
+            ),
+        ),
+        (
+            "?r reviewer ?u",
+            TpfQuery::new(
+                TpfPos::Var(0),
+                TpfPos::Const(Term::Iri(ec("reviewer"))),
+                TpfPos::Var(1),
+            ),
+        ),
     ];
     let mut tpf_total = 0;
     for (label, query) in &patterns {

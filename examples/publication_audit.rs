@@ -68,7 +68,11 @@ fn main() {
     let data = turtle::parse(DATA).expect("data parses");
 
     let report = validate(&schema, &data);
-    println!("audit: {} findings over {} checks\n", report.violations.len(), report.checked);
+    println!(
+        "audit: {} findings over {} checks\n",
+        report.violations.len(),
+        report.checked
+    );
 
     for violation in &report.violations {
         println!("✗ {violation}");

@@ -66,7 +66,11 @@ fn main() {
 
     // 3. The shape fragment: the subgraph relevant to the schema.
     let fragment = schema_fragment(&schema, &data);
-    println!("\nschema fragment ({} of {} triples):", fragment.len(), data.len());
+    println!(
+        "\nschema fragment ({} of {} triples):",
+        fragment.len(),
+        data.len()
+    );
     for t in fragment.iter() {
         println!("  {t}");
     }

@@ -7,10 +7,10 @@
 //! cargo run --example sparql_translation
 //! ```
 
+use shape_fragments::core::fragment;
 use shape_fragments::core::to_sparql::{
     conformance_query, fragment_query, fragment_via_sparql, neighborhood_query,
 };
-use shape_fragments::core::fragment;
 use shape_fragments::rdf::{Graph, Iri, Term, Triple};
 use shape_fragments::shacl::{PathExpr, Schema, Shape};
 use shape_fragments::sparql::eval::EvalConfig;
@@ -39,10 +39,16 @@ fn main() {
     println!("request shape:\n  {shape}\n");
 
     let cq = conformance_query(&schema, &shape);
-    println!("conformance query CQ_φ ({} chars):\n{cq}\n", cq.to_string().len());
+    println!(
+        "conformance query CQ_φ ({} chars):\n{cq}\n",
+        cq.to_string().len()
+    );
 
     let nq = neighborhood_query(&schema, &shape);
-    println!("neighborhood query Q_φ: {} chars (printed below)\n", nq.to_string().len());
+    println!(
+        "neighborhood query Q_φ: {} chars (printed below)\n",
+        nq.to_string().len()
+    );
     println!("{nq}\n");
 
     let frag_q = fragment_query(&schema, std::slice::from_ref(&shape));
@@ -65,12 +71,20 @@ fn main() {
         t("f3", "likes", "chess"),
     ]);
     let native = fragment(&schema, &g, std::slice::from_ref(&shape));
-    let via_sparql =
-        fragment_via_sparql(&schema, &g, std::slice::from_ref(&shape), &EvalConfig::indexed())
-            .expect("no resource cap");
+    let via_sparql = fragment_via_sparql(
+        &schema,
+        &g,
+        std::slice::from_ref(&shape),
+        &EvalConfig::indexed(),
+    )
+    .expect("no resource cap");
     assert_eq!(native, via_sparql);
 
-    println!("fragment ({} of {} triples), identical on both routes:", native.len(), g.len());
+    println!(
+        "fragment ({} of {} triples), identical on both routes:",
+        native.len(),
+        g.len()
+    );
     for triple in native.iter() {
         println!("  {triple}");
     }

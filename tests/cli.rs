@@ -132,7 +132,10 @@ fn explain_prints_evidence() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("conforms to"), "{stdout}");
-    assert!(stdout.contains("ex") || stdout.contains("author"), "{stdout}");
+    assert!(
+        stdout.contains("ex") || stdout.contains("author"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -153,7 +156,11 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn missing_file_is_reported() {
-    let out = shapefrag(&["validate", "/nonexistent/shapes.ttl", "/nonexistent/data.ttl"]);
+    let out = shapefrag(&[
+        "validate",
+        "/nonexistent/shapes.ttl",
+        "/nonexistent/data.ttl",
+    ]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }

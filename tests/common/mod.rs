@@ -116,10 +116,8 @@ pub fn shape_strategy() -> impl Strategy<Value = Shape> {
             inner.clone().prop_map(|s| s.not()),
             prop::collection::vec(inner.clone(), 1..3).prop_map(Shape::And),
             prop::collection::vec(inner.clone(), 1..3).prop_map(Shape::Or),
-            (0u32..3, path_strategy(), inner.clone())
-                .prop_map(|(n, e, s)| Shape::geq(n, e, s)),
-            (0u32..3, path_strategy(), inner.clone())
-                .prop_map(|(n, e, s)| Shape::leq(n, e, s)),
+            (0u32..3, path_strategy(), inner.clone()).prop_map(|(n, e, s)| Shape::geq(n, e, s)),
+            (0u32..3, path_strategy(), inner.clone()).prop_map(|(n, e, s)| Shape::leq(n, e, s)),
             (path_strategy(), inner).prop_map(|(e, s)| Shape::for_all(e, s)),
         ]
     })

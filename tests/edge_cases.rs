@@ -38,8 +38,16 @@ fn empty_graph_semantics() {
     assert!(conforms(&g, "ghost", &Shape::leq(0, p("p"), Shape::True)));
     assert!(!conforms(&g, "ghost", &Shape::geq(1, p("p"), Shape::True)));
     // eq between two absent properties holds (∅ = ∅); disj holds too.
-    assert!(conforms(&g, "ghost", &Shape::Eq(PathOrId::Path(p("a")), iri("b"))));
-    assert!(conforms(&g, "ghost", &Shape::Disj(PathOrId::Path(p("a")), iri("b"))));
+    assert!(conforms(
+        &g,
+        "ghost",
+        &Shape::Eq(PathOrId::Path(p("a")), iri("b"))
+    ));
+    assert!(conforms(
+        &g,
+        "ghost",
+        &Shape::Disj(PathOrId::Path(p("a")), iri("b"))
+    ));
     // closed(∅) holds on a node without triples.
     assert!(conforms(&g, "ghost", &Shape::Closed(Default::default())));
     // Validation of any schema over the empty graph conforms (no targets).
@@ -73,9 +81,22 @@ fn count_boundaries() {
     for i in 0..5 {
         g.insert(t("v", "p", &format!("o{i}")));
     }
-    for (n, geq_ok, leq_ok) in [(0u32, true, false), (4, true, false), (5, true, true), (6, false, true)] {
-        assert_eq!(conforms(&g, "v", &Shape::geq(n, p("p"), Shape::True)), geq_ok, "≥{n}");
-        assert_eq!(conforms(&g, "v", &Shape::leq(n, p("p"), Shape::True)), leq_ok, "≤{n}");
+    for (n, geq_ok, leq_ok) in [
+        (0u32, true, false),
+        (4, true, false),
+        (5, true, true),
+        (6, false, true),
+    ] {
+        assert_eq!(
+            conforms(&g, "v", &Shape::geq(n, p("p"), Shape::True)),
+            geq_ok,
+            "≥{n}"
+        );
+        assert_eq!(
+            conforms(&g, "v", &Shape::leq(n, p("p"), Shape::True)),
+            leq_ok,
+            "≤{n}"
+        );
     }
 }
 
@@ -89,7 +110,11 @@ fn path_endpoints_are_sets_not_bags() {
         t("m2", "b", "end"),
     ]);
     let two_step = p("a").then(p("b"));
-    assert!(conforms(&g, "v", &Shape::geq(1, two_step.clone(), Shape::True)));
+    assert!(conforms(
+        &g,
+        "v",
+        &Shape::geq(1, two_step.clone(), Shape::True)
+    ));
     assert!(!conforms(&g, "v", &Shape::geq(2, two_step, Shape::True)));
 }
 
@@ -108,12 +133,8 @@ fn blank_nodes_everywhere() {
     let nbh = neighborhood_term(&mut ctx, &b1, &shape);
     assert_eq!(nbh.len(), 2);
     // Blank-node shape names work too.
-    let blank_schema = Schema::new([ShapeDef::new(
-        Term::blank("shapeName"),
-        shape,
-        Shape::False,
-    )])
-    .unwrap();
+    let blank_schema =
+        Schema::new([ShapeDef::new(Term::blank("shapeName"), shape, Shape::False)]).unwrap();
     let mut bctx = Context::new(&blank_schema, &g);
     assert!(bctx.conforms_term(&b1, &Shape::HasShape(Term::blank("shapeName"))));
 }
@@ -165,7 +186,7 @@ fn deeply_nested_shape_terminates() {
     }
     assert!(conforms(&g, "n0", &shape));
     assert!(!conforms(&g, "n5", &shape)); // chain too short from n5
-    // The neighborhood traces the whole used chain.
+                                          // The neighborhood traces the whole used chain.
     let schema = Schema::empty();
     let mut ctx = Context::new(&schema, &g);
     let nbh = neighborhood_term(&mut ctx, &term("n0"), &shape);
@@ -183,7 +204,11 @@ fn star_path_shape_over_cycle() {
     // Neighborhood of ∀p*.⊤ traces both cycle edges.
     let schema = Schema::empty();
     let mut ctx = Context::new(&schema, &g);
-    let nbh = neighborhood_term(&mut ctx, &term("a"), &Shape::for_all(p("p").star(), Shape::True));
+    let nbh = neighborhood_term(
+        &mut ctx,
+        &term("a"),
+        &Shape::for_all(p("p").star(), Shape::True),
+    );
     assert_eq!(nbh, g);
 }
 

@@ -2,8 +2,8 @@
 //! stack: Turtle parsing → Appendix A translation → validation →
 //! neighborhoods → shape fragments → SPARQL translation.
 
-use shape_fragments::core::{explain, fragment, schema_fragment, validate_with_provenance};
 use shape_fragments::core::to_sparql::fragment_via_sparql;
+use shape_fragments::core::{explain, fragment, schema_fragment, validate_with_provenance};
 use shape_fragments::rdf::{turtle, Graph, Iri, Term, Triple};
 use shape_fragments::shacl::parser::parse_shapes_turtle;
 use shape_fragments::shacl::validator::{validate, Context};
@@ -88,8 +88,7 @@ ex:venue rdf:type ex:Conference ; ex:hosts ex:p1 .
 
     // And the SPARQL route (Corollary 5.5) agrees.
     let request = schema.request_shapes();
-    let via_sparql =
-        fragment_via_sparql(&schema, &data, &request, &EvalConfig::indexed()).unwrap();
+    let via_sparql = fragment_via_sparql(&schema, &data, &request, &EvalConfig::indexed()).unwrap();
     assert_eq!(via_sparql, frag);
 }
 
@@ -138,14 +137,23 @@ fn example_3_5_schema() {
         t("Anne", "type", "prof"),
         t("Bob", "type", "student"),
     ]);
-    let tau = Shape::geq(1, PathExpr::prop(exi("type")), Shape::has_value(ex("paper")));
+    let tau = Shape::geq(
+        1,
+        PathExpr::prop(exi("type")),
+        Shape::has_value(ex("paper")),
+    );
     let phi1 = Shape::geq(1, PathExpr::prop(exi("auth")), Shape::True);
     // φ₂ written with negation, exercising the NNF path:
     // ≤1 auth.¬≥1 type.hasValue(student).
     let phi2 = Shape::leq(
         1,
         PathExpr::prop(exi("auth")),
-        Shape::geq(1, PathExpr::prop(exi("type")), Shape::has_value(ex("student"))).not(),
+        Shape::geq(
+            1,
+            PathExpr::prop(exi("type")),
+            Shape::has_value(ex("student")),
+        )
+        .not(),
     );
     let schema = Schema::empty();
     let mut ctx = Context::new(&schema, &g);
@@ -216,13 +224,21 @@ fn example_5_6_fragment_via_sparql() {
     ]);
     let shape = Shape::for_all(
         PathExpr::prop(exi("friend")),
-        Shape::geq(1, PathExpr::prop(exi("likes")), Shape::has_value(ex("pingpong"))),
+        Shape::geq(
+            1,
+            PathExpr::prop(exi("likes")),
+            Shape::has_value(ex("pingpong")),
+        ),
     );
     let schema = Schema::empty();
     let native = fragment(&schema, &g, std::slice::from_ref(&shape));
-    let via_sparql =
-        fragment_via_sparql(&schema, &g, std::slice::from_ref(&shape), &EvalConfig::indexed())
-            .unwrap();
+    let via_sparql = fragment_via_sparql(
+        &schema,
+        &g,
+        std::slice::from_ref(&shape),
+        &EvalConfig::indexed(),
+    )
+    .unwrap();
     assert_eq!(native, via_sparql);
     assert!(native.contains(&t("me", "friend", "f1")));
     assert!(native.contains(&t("f1", "likes", "pingpong")));
@@ -259,12 +275,17 @@ fn vardi_miniature() {
         t("q2", "a", "bob"),
         t("q3", "a", "zoe"),
     ]);
-    let hop = PathExpr::prop(exi("a")).inverse().then(PathExpr::prop(exi("a")));
+    let hop = PathExpr::prop(exi("a"))
+        .inverse()
+        .then(PathExpr::prop(exi("a")));
     let shape = Shape::geq(1, hop.repeat(3), Shape::has_value(ex("vardi")));
     let schema = Schema::empty();
     let mut ctx = Context::new(&schema, &g);
     for node in ["vardi", "ann", "bob"] {
-        assert!(ctx.conforms_term(&ex(node), &shape), "{node} within distance 3");
+        assert!(
+            ctx.conforms_term(&ex(node), &shape),
+            "{node} within distance 3"
+        );
     }
     assert!(!ctx.conforms_term(&ex("zoe"), &shape));
     let frag = fragment(&schema, &g, &[shape]);

@@ -19,9 +19,8 @@ fn literal_strategy() -> impl Strategy<Value = Literal> {
             .unwrap()
             .prop_map(Literal::string),
         // Language-tagged.
-        ("[a-z]{2}(-[A-Z]{2})?", "[ -~]{0,10}").prop_map(|(lang, s)| {
-            Literal::lang_string(s.replace(['\\', '"'], ""), &lang)
-        }),
+        ("[a-z]{2}(-[A-Z]{2})?", "[ -~]{0,10}")
+            .prop_map(|(lang, s)| { Literal::lang_string(s.replace(['\\', '"'], ""), &lang) }),
         any::<i64>().prop_map(Literal::integer),
         any::<bool>().prop_map(Literal::boolean),
         // Custom datatype.

@@ -9,11 +9,11 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 use common::{graph_strategy, path_strategy, shape_strategy};
+use shape_fragments::core::fragment;
 use shape_fragments::core::neighborhood::neighborhood_term;
 use shape_fragments::core::to_sparql::{
     conformance_query, fragment_via_sparql, neighborhoods_via_sparql, path_query,
 };
-use shape_fragments::core::fragment;
 use shape_fragments::rdf::Term;
 use shape_fragments::shacl::rpq::CompiledPath;
 use shape_fragments::shacl::validator::Context;

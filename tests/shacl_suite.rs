@@ -197,7 +197,8 @@ fn cases() -> Vec<Case> {
             name: "zeroOrMore-path",
             shapes: "ex:S a sh:NodeShape ; sh:targetClass ex:T ;
                      sh:property [ sh:path [ sh:zeroOrMorePath ex:next ] ; sh:maxCount 3 ] .",
-            data: "ex:a rdf:type ex:T ; ex:next ex:n1 . ex:n1 ex:next ex:n2 .
+            data:
+                "ex:a rdf:type ex:T ; ex:next ex:n1 . ex:n1 ex:next ex:n2 .
                    ex:b rdf:type ex:T ; ex:next ex:m1 . ex:m1 ex:next ex:m2 . ex:m2 ex:next ex:m3 .",
             violations: &["b"],
         },

@@ -53,8 +53,16 @@ fn suite_round_trips_through_shacl_turtle() {
     let before = validate(&schema, &graph);
     let after = validate(&reparsed, &graph);
     assert_eq!(before.conforms(), after.conforms());
-    let mut v1: Vec<_> = before.violations.iter().map(|v| (&v.shape, &v.focus)).collect();
-    let mut v2: Vec<_> = after.violations.iter().map(|v| (&v.shape, &v.focus)).collect();
+    let mut v1: Vec<_> = before
+        .violations
+        .iter()
+        .map(|v| (&v.shape, &v.focus))
+        .collect();
+    let mut v2: Vec<_> = after
+        .violations
+        .iter()
+        .map(|v| (&v.shape, &v.focus))
+        .collect();
     v1.sort();
     v2.sort();
     assert_eq!(v1, v2, "violation sets differ after round trip");
