@@ -12,6 +12,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use shapefrag_govern::{EngineError, ExecCtx};
 use shapefrag_rdf::{Graph, TermId};
 use shapefrag_shacl::validator::{ConformanceMemo, Context};
 use shapefrag_shacl::{Nnf, Schema, Shape};
@@ -52,6 +53,48 @@ pub fn fragment_ids(schema: &Schema, graph: &Graph, shapes: &[Shape]) -> IdTripl
         collect_neighborhood_many(&mut ctx, &conforming, &nnf, &mut out);
     }
     out
+}
+
+/// Resource-governed [`fragment`]: computes `Frag(G, S)` under a deadline /
+/// step / memory / depth / cancellation governor, surfacing the first trip
+/// as an [`EngineError`] instead of a silently incomplete fragment.
+pub fn fragment_governed(
+    schema: &Schema,
+    graph: &Graph,
+    shapes: &[Shape],
+    exec: ExecCtx,
+) -> Result<Graph, EngineError> {
+    let memo = Arc::new(ConformanceMemo::new());
+    let mut ctx = Context::with_memo(schema, graph, memo).with_exec(exec);
+    let nodes: Vec<TermId> = graph.node_ids().into_iter().collect();
+    let mut out = IdTriples::default();
+    for shape in shapes {
+        let nnf = Nnf::from_shape(shape);
+        let decisions = ctx.conforms_all_nnf(&nodes, &nnf);
+        if let Some(e) = ctx.take_fault() {
+            return Err(e);
+        }
+        let conforming: Vec<TermId> = nodes
+            .iter()
+            .zip(decisions)
+            .filter(|(_, ok)| *ok)
+            .map(|(&v, _)| v)
+            .collect();
+        collect_neighborhood_many(&mut ctx, &conforming, &nnf, &mut out);
+        if let Some(e) = ctx.take_fault() {
+            return Err(e);
+        }
+    }
+    Ok(materialize(graph, &out))
+}
+
+/// Resource-governed [`schema_fragment`].
+pub fn schema_fragment_governed(
+    schema: &Schema,
+    graph: &Graph,
+    exec: ExecCtx,
+) -> Result<Graph, EngineError> {
+    fragment_governed(schema, graph, &schema.request_shapes(), exec)
 }
 
 /// Per-node reference implementation of [`fragment_ids`] (one neighborhood

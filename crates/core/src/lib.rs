@@ -54,7 +54,8 @@ pub mod provenance;
 pub mod to_sparql;
 
 pub use fragment::{
-    conforming_nodes, fragment, fragment_ids, fragment_ids_per_node, fragment_par, schema_fragment,
+    conforming_nodes, fragment, fragment_governed, fragment_ids, fragment_ids_per_node,
+    fragment_par, schema_fragment, schema_fragment_governed,
 };
 pub use instrumented::{
     validate_extract_fragment, validate_extract_fragment_per_node,
@@ -62,6 +63,7 @@ pub use instrumented::{
     SchemaFragment,
 };
 pub use neighborhood::{
-    collect_neighborhood_many, conforms_and_collect, neighborhood, neighborhood_term, IdTriples,
+    collect_neighborhood_many, conforms_and_collect, neighborhood, neighborhood_governed,
+    neighborhood_term, IdTriples,
 };
 pub use provenance::{describe, explain, minimal_witness, Explanation};

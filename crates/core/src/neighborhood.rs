@@ -18,6 +18,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::hash::BuildHasherDefault;
 
+use shapefrag_govern::EngineError;
 use shapefrag_rdf::graph::IntHasher;
 use shapefrag_rdf::{Graph, Term, TermId};
 use shapefrag_shacl::path::PathExpr;
@@ -39,6 +40,22 @@ pub type IdTriples =
 pub fn neighborhood(ctx: &mut Context<'_>, v: TermId, shape: &Shape) -> Graph {
     let nnf = Nnf::from_shape(shape);
     materialize(ctx.graph, &neighborhood_nnf_ids(ctx, v, &nnf))
+}
+
+/// Resource-governed [`neighborhood`]: the context's governor (attached via
+/// `Context::with_exec`) is consulted throughout; a tripped budget,
+/// deadline, depth limit, or cancellation surfaces as an `Err` instead of a
+/// silently truncated neighborhood.
+pub fn neighborhood_governed(
+    ctx: &mut Context<'_>,
+    v: TermId,
+    shape: &Shape,
+) -> Result<Graph, EngineError> {
+    let out = neighborhood(ctx, v, shape);
+    match ctx.take_fault() {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
 }
 
 /// Computes `B(v, G, φ)` for a term-level focus node. Nodes absent from the
@@ -92,10 +109,17 @@ pub fn collect_neighborhood_many(
 }
 
 /// The recursive batch worker behind [`collect_neighborhood_many`].
+/// Recursion on shape structure is depth-guarded and fault-sticky via the
+/// context's governor.
 fn collect_many(ctx: &mut Context<'_>, nodes: &[TermId], shape: &Nnf, out: &mut IdTriples) {
-    if nodes.is_empty() {
+    if nodes.is_empty() || !ctx.guard_enter() {
         return;
     }
+    collect_many_inner(ctx, nodes, shape, out);
+    ctx.guard_leave();
+}
+
+fn collect_many_inner(ctx: &mut Context<'_>, nodes: &[TermId], shape: &Nnf, out: &mut IdTriples) {
     match shape {
         // Node-local shapes have empty neighborhoods (as in `collect`).
         Nnf::True
@@ -260,8 +284,23 @@ pub fn conforms_and_collect(
 }
 
 /// The recursive worker: appends evidence optimistically and lets callers
-/// truncate on failure.
+/// truncate on failure. Fault-sticky: once the governor trips, every call
+/// answers `false` so the instrumented traversal unwinds quickly.
 fn validate_collect(
+    ctx: &mut Context<'_>,
+    v: TermId,
+    shape: &Nnf,
+    journal: &mut Vec<(TermId, TermId, TermId)>,
+) -> bool {
+    if !ctx.guard_enter() {
+        return false;
+    }
+    let out = validate_collect_inner(ctx, v, shape, journal);
+    ctx.guard_leave();
+    out
+}
+
+fn validate_collect_inner(
     ctx: &mut Context<'_>,
     v: TermId,
     shape: &Nnf,
@@ -408,7 +447,16 @@ fn append_trace(
 }
 
 /// Table 2, assuming `ctx.graph, v ⊨ shape` (checked by the caller).
+/// Depth-guarded and fault-sticky via the context's governor.
 fn collect(ctx: &mut Context<'_>, v: TermId, shape: &Nnf, out: &mut IdTriples) {
+    if !ctx.guard_enter() {
+        return;
+    }
+    collect_inner(ctx, v, shape, out);
+    ctx.guard_leave();
+}
+
+fn collect_inner(ctx: &mut Context<'_>, v: TermId, shape: &Nnf, out: &mut IdTriples) {
     match shape {
         // Node-local shapes have empty neighborhoods: they involve no
         // triples (§3.1 "Node tests", "Closedness", "Disjointness").

@@ -1,23 +1,47 @@
-//! Parse errors for the RDF syntaxes.
+//! Parse errors and lossy-load reports for the RDF syntaxes.
 
 use std::fmt;
 
+use shapefrag_govern::{EngineError, ErrorCode};
+
+use crate::graph::Graph;
+
 /// An error while parsing N-Triples or Turtle, carrying the 1-based line and
-/// column where it was detected.
+/// column where it was detected plus a machine-readable [`ErrorCode`]
+/// shared with the SPARQL and shapes-graph parsers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     pub line: usize,
     pub column: usize,
+    pub code: ErrorCode,
     pub message: String,
 }
 
 impl ParseError {
+    /// A generic syntax error ([`ErrorCode::Syntax`]) at a position.
     pub fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError::with_code(ErrorCode::Syntax, line, column, message)
+    }
+
+    /// A classified error at a position.
+    pub fn with_code(
+        code: ErrorCode,
+        line: usize,
+        column: usize,
+        message: impl Into<String>,
+    ) -> Self {
         ParseError {
             line,
             column,
+            code,
             message: message.into(),
         }
+    }
+
+    /// Reclassifies the error (builder style).
+    pub fn code(mut self, code: ErrorCode) -> Self {
+        self.code = code;
+        self
     }
 }
 
@@ -25,10 +49,43 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "parse error at {}:{}: {}",
-            self.line, self.column, self.message
+            "parse error [{}] at {}:{}: {}",
+            self.code, self.line, self.column, self.message
         )
     }
 }
 
 impl std::error::Error for ParseError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Malformed {
+            code: e.code,
+            line: e.line,
+            column: e.column,
+            message: e.message,
+        }
+    }
+}
+
+/// The result of an error-recovering (*lossy*) load: the triples of every
+/// statement that parsed, plus one positioned diagnostic per skipped
+/// region. See DESIGN.md §9 for the recovery rules.
+#[derive(Debug, Clone, Default)]
+pub struct LossyLoad {
+    /// Everything that parsed.
+    pub graph: Graph,
+    /// One entry per failed statement, in document order.
+    pub diagnostics: Vec<ParseError>,
+    /// Statements (triples or directives) that parsed cleanly.
+    pub statements_ok: usize,
+    /// Statements skipped after a parse error.
+    pub statements_skipped: usize,
+}
+
+impl LossyLoad {
+    /// True when nothing was skipped.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}

@@ -36,7 +36,8 @@ pub mod turtle;
 pub mod value;
 pub mod vocab;
 
-pub use error::ParseError;
+pub use error::{LossyLoad, ParseError};
 pub use graph::{Graph, TermId};
+pub use shapefrag_govern::{EngineError, ErrorCode};
 pub use term::{BlankNode, Iri, Literal, Term, Triple};
 pub use value::{DateTimeValue, LiteralValue};

@@ -4,7 +4,9 @@
 //! graphs (one triple per line, absolute IRIs only), which makes loading
 //! large generated graphs fast and allocation-light compared to full Turtle.
 
-use crate::error::ParseError;
+use shapefrag_govern::ErrorCode;
+
+use crate::error::{LossyLoad, ParseError};
 use crate::graph::Graph;
 use crate::term::{BlankNode, Iri, Literal, Term, Triple};
 use crate::vocab::XSD_STRING;
@@ -23,6 +25,30 @@ pub fn parse(input: &str) -> Result<Graph, ParseError> {
     Ok(graph)
 }
 
+/// Error-recovering parse: the format is line-oriented, so recovery is
+/// simply per-line — each malformed line yields one positioned diagnostic
+/// and is skipped, every well-formed line contributes its triple.
+pub fn parse_lossy(input: &str) -> LossyLoad {
+    let mut report = LossyLoad::default();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_line(line, lineno + 1) {
+            Ok(triple) => {
+                report.graph.insert(triple);
+                report.statements_ok += 1;
+            }
+            Err(e) => {
+                report.diagnostics.push(e);
+                report.statements_skipped += 1;
+            }
+        }
+    }
+    report
+}
+
 /// Parses one N-Triples statement.
 pub fn parse_line(line: &str, lineno: usize) -> Result<Triple, ParseError> {
     let mut cursor = Cursor {
@@ -33,12 +59,18 @@ pub fn parse_line(line: &str, lineno: usize) -> Result<Triple, ParseError> {
     cursor.skip_ws();
     let subject = cursor.parse_term()?;
     if subject.is_literal() {
-        return Err(cursor.err("literal in subject position"));
+        return Err(cursor
+            .err("literal in subject position")
+            .code(ErrorCode::BadStructure));
     }
     cursor.skip_ws();
     let predicate = match cursor.parse_term()? {
         Term::Iri(iri) => iri,
-        other => return Err(cursor.err(format!("predicate must be an IRI, got {other}"))),
+        other => {
+            return Err(cursor
+                .err(format!("predicate must be an IRI, got {other}"))
+                .code(ErrorCode::BadStructure))
+        }
     };
     cursor.skip_ws();
     let object = cursor.parse_term()?;
@@ -103,10 +135,18 @@ impl Cursor {
                         Some('\\') => match self.bump() {
                             Some('u') => iri.push(self.unicode_escape(4)?),
                             Some('U') => iri.push(self.unicode_escape(8)?),
-                            _ => return Err(self.err("invalid IRI escape")),
+                            _ => {
+                                return Err(self
+                                    .err("invalid IRI escape")
+                                    .code(ErrorCode::InvalidEscape))
+                            }
                         },
                         Some(c) => iri.push(c),
-                        None => return Err(self.err("unterminated IRI")),
+                        None => {
+                            return Err(self
+                                .err("unterminated IRI")
+                                .code(ErrorCode::UnterminatedIri))
+                        }
                     }
                 }
                 Ok(Term::Iri(Iri::new(iri)))
@@ -137,7 +177,9 @@ impl Cursor {
                     match self.bump() {
                         Some('"') => break,
                         Some('\\') => {
-                            let esc = self.bump().ok_or_else(|| self.err("bad escape"))?;
+                            let esc = self.bump().ok_or_else(|| {
+                                self.err("bad escape").code(ErrorCode::InvalidEscape)
+                            })?;
                             lexical.push(match esc {
                                 't' => '\t',
                                 'n' => '\n',
@@ -149,11 +191,19 @@ impl Cursor {
                                 '\\' => '\\',
                                 'u' => self.unicode_escape(4)?,
                                 'U' => self.unicode_escape(8)?,
-                                c => return Err(self.err(format!("invalid escape '\\{c}'"))),
+                                c => {
+                                    return Err(self
+                                        .err(format!("invalid escape '\\{c}'"))
+                                        .code(ErrorCode::InvalidEscape))
+                                }
                             });
                         }
                         Some(c) => lexical.push(c),
-                        None => return Err(self.err("unterminated literal")),
+                        None => {
+                            return Err(self
+                                .err("unterminated literal")
+                                .code(ErrorCode::UnterminatedString))
+                        }
                     }
                 }
                 match self.peek() {
@@ -186,23 +236,31 @@ impl Cursor {
                     _ => Ok(Term::Literal(Literal::string(lexical))),
                 }
             }
-            Some(c) => Err(self.err(format!("unexpected character '{c}'"))),
-            None => Err(self.err("unexpected end of line")),
+            Some(c) => Err(self
+                .err(format!("unexpected character '{c}'"))
+                .code(ErrorCode::UnexpectedChar)),
+            None => Err(self
+                .err("unexpected end of line")
+                .code(ErrorCode::UnexpectedEof)),
         }
     }
 
     fn unicode_escape(&mut self, digits: usize) -> Result<char, ParseError> {
         let mut v: u32 = 0;
         for _ in 0..digits {
-            let c = self
-                .bump()
-                .ok_or_else(|| self.err("short unicode escape"))?;
+            let c = self.bump().ok_or_else(|| {
+                self.err("short unicode escape")
+                    .code(ErrorCode::InvalidEscape)
+            })?;
             let d = c
                 .to_digit(16)
-                .ok_or_else(|| self.err("invalid hex digit"))?;
+                .ok_or_else(|| self.err("invalid hex digit").code(ErrorCode::InvalidEscape))?;
             v = v * 16 + d;
         }
-        char::from_u32(v).ok_or_else(|| self.err("invalid code point"))
+        char::from_u32(v).ok_or_else(|| {
+            self.err("invalid code point")
+                .code(ErrorCode::InvalidEscape)
+        })
     }
 }
 
@@ -322,6 +380,32 @@ mod tests {
         let g = parse(input).unwrap();
         let g2 = parse(&serialize(&g)).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn lossy_skips_bad_lines() {
+        let report = parse_lossy(
+            "<http://e/a> <http://e/p> <http://e/b> .\n\
+             totally bogus line\n\
+             <http://e/c> <http://e/p> \"x\" .\n\
+             \"lit\" <http://e/p> <http://e/d> .\n\
+             <http://e/e> <http://e/p> <http://e/f> .",
+        );
+        assert_eq!(report.graph.len(), 3);
+        assert_eq!(report.statements_ok, 3);
+        assert_eq!(report.statements_skipped, 2);
+        assert_eq!(report.diagnostics.len(), 2);
+        assert_eq!(report.diagnostics[0].line, 2);
+        assert_eq!(report.diagnostics[1].line, 4);
+        assert_eq!(report.diagnostics[1].code, ErrorCode::BadStructure);
+    }
+
+    #[test]
+    fn lossy_clean_input() {
+        let report = parse_lossy("<http://e/a> <http://e/p> <http://e/b> .\n# comment\n");
+        assert!(report.is_clean());
+        assert_eq!(report.statements_ok, 1);
+        assert_eq!(report.graph.len(), 1);
     }
 
     #[test]

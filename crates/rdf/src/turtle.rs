@@ -12,16 +12,59 @@
 
 use std::collections::HashMap;
 
-use crate::error::ParseError;
+use shapefrag_govern::ErrorCode;
+
+use crate::error::{LossyLoad, ParseError};
 use crate::graph::Graph;
 use crate::term::{BlankNode, Iri, Literal, Term, Triple};
 use crate::vocab::{rdf, xsd};
+
+/// Deepest allowed nesting of blank-node property lists `[...]` and
+/// collections `(...)`. Each level costs a handful of stack frames, so the
+/// guard turns adversarially nested documents into a structured
+/// [`ErrorCode::DepthLimit`] error instead of a stack overflow.
+const MAX_NESTING: usize = 128;
 
 /// Parses a Turtle document into a [`Graph`].
 pub fn parse(input: &str) -> Result<Graph, ParseError> {
     let mut parser = Parser::new(input);
     parser.parse_document()?;
     Ok(parser.graph)
+}
+
+/// Error-recovering parse: statements that fail are skipped up to the next
+/// top-level `.` statement boundary (string literals, IRI refs, comments,
+/// and bracket nesting are respected while scanning), one positioned
+/// diagnostic is recorded per skipped region, and everything that parsed is
+/// returned. Triples of the failed statement's already-parsed prefix are
+/// kept — they are well-formed data even when a later object in the same
+/// predicate-object list is not.
+pub fn parse_lossy(input: &str) -> LossyLoad {
+    let mut parser = Parser::new(input);
+    let mut report = LossyLoad::default();
+    loop {
+        parser.skip_ws();
+        if parser.peek().is_none() {
+            break;
+        }
+        let before = parser.pos;
+        match parser.parse_statement() {
+            Ok(()) => report.statements_ok += 1,
+            Err(e) => {
+                report.diagnostics.push(e);
+                report.statements_skipped += 1;
+                parser.depth = 0;
+                parser.recover_to_statement_boundary();
+                if parser.pos == before {
+                    // Guarantee progress even when recovery stalls at the
+                    // very character that failed.
+                    parser.bump();
+                }
+            }
+        }
+    }
+    report.graph = parser.graph;
+    report
 }
 
 struct Parser<'a> {
@@ -33,6 +76,7 @@ struct Parser<'a> {
     base: String,
     graph: Graph,
     blank_counter: usize,
+    depth: usize,
     _input: &'a str,
 }
 
@@ -47,12 +91,28 @@ impl<'a> Parser<'a> {
             base: String::new(),
             graph: Graph::new(),
             blank_counter: 0,
+            depth: 0,
             _input: input,
         }
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
         ParseError::new(self.line, self.column, msg)
+    }
+
+    fn error_code(&self, code: ErrorCode, msg: impl Into<String>) -> ParseError {
+        ParseError::with_code(code, self.line, self.column, msg)
+    }
+
+    fn enter_nested(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(self.error_code(
+                ErrorCode::DepthLimit,
+                format!("nesting deeper than {MAX_NESTING} levels"),
+            ));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<char> {
@@ -97,7 +157,9 @@ impl<'a> Parser<'a> {
         match self.bump() {
             Some(got) if got == c => Ok(()),
             Some(got) => Err(self.error(format!("expected '{c}', found '{got}'"))),
-            None => Err(self.error(format!("expected '{c}', found end of input"))),
+            None => Err(self
+                .error(format!("expected '{c}', found end of input"))
+                .code(ErrorCode::UnexpectedEof)),
         }
     }
 
@@ -133,34 +195,116 @@ impl<'a> Parser<'a> {
             if self.peek().is_none() {
                 return Ok(());
             }
-            if self.peek() == Some('@') {
-                self.bump();
-                if self.eat_keyword("prefix") {
-                    self.parse_prefix_decl()?;
-                    self.skip_ws();
-                    self.expect('.')?;
-                } else if self.eat_keyword("base") {
-                    self.parse_base_decl()?;
-                    self.skip_ws();
-                    self.expect('.')?;
-                } else {
-                    return Err(self.error("expected @prefix or @base"));
-                }
-                continue;
-            }
-            // SPARQL-style PREFIX/BASE (no trailing dot). Only treat as a
-            // directive when followed by a prefixed-name/IRI declaration.
-            if matches!(self.peek(), Some('P' | 'p')) && self.eat_keyword("prefix") {
+            self.parse_statement()?;
+        }
+    }
+
+    /// Parses one statement (a directive or a triples block with its
+    /// terminating `.`); the cursor must be on its first character.
+    fn parse_statement(&mut self) -> Result<(), ParseError> {
+        if self.peek() == Some('@') {
+            self.bump();
+            if self.eat_keyword("prefix") {
                 self.parse_prefix_decl()?;
-                continue;
-            }
-            if matches!(self.peek(), Some('B' | 'b')) && self.eat_keyword("base") {
+                self.skip_ws();
+                self.expect('.')?;
+            } else if self.eat_keyword("base") {
                 self.parse_base_decl()?;
-                continue;
+                self.skip_ws();
+                self.expect('.')?;
+            } else {
+                return Err(self.error("expected @prefix or @base"));
             }
-            self.parse_triples_block()?;
-            self.skip_ws();
-            self.expect('.')?;
+            return Ok(());
+        }
+        // SPARQL-style PREFIX/BASE (no trailing dot). Only treat as a
+        // directive when followed by a prefixed-name/IRI declaration.
+        if matches!(self.peek(), Some('P' | 'p')) && self.eat_keyword("prefix") {
+            return self.parse_prefix_decl();
+        }
+        if matches!(self.peek(), Some('B' | 'b')) && self.eat_keyword("base") {
+            return self.parse_base_decl();
+        }
+        self.parse_triples_block()?;
+        self.skip_ws();
+        self.expect('.')
+    }
+
+    /// After a statement-level error: advances to just past the next `.`
+    /// that terminates a statement, skipping over comments, string
+    /// literals, IRI refs, and bracketed groups so a `.` inside those does
+    /// not end recovery early.
+    fn recover_to_statement_boundary(&mut self) {
+        let mut bracket: isize = 0;
+        while let Some(c) = self.peek() {
+            match c {
+                '#' => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                '"' | '\'' => self.skip_string_guts(c),
+                '<' => {
+                    self.bump();
+                    while let Some(c2) = self.peek() {
+                        if c2 == '>' {
+                            self.bump();
+                            break;
+                        }
+                        if c2 == '\n' {
+                            break; // unterminated IRI: resync at the newline
+                        }
+                        self.bump();
+                    }
+                }
+                '[' | '(' => {
+                    bracket += 1;
+                    self.bump();
+                }
+                ']' | ')' => {
+                    bracket -= 1;
+                    self.bump();
+                }
+                '.' if bracket <= 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Recovery helper: cursor is on an opening quote; skips the whole
+    /// short or long string form, tolerating unterminated input.
+    fn skip_string_guts(&mut self, quote: char) {
+        self.bump();
+        let long = self.peek() == Some(quote) && self.peek_at(1) == Some(quote);
+        if long {
+            self.bump();
+            self.bump();
+        } else if self.peek() == Some(quote) {
+            self.bump();
+            return;
+        }
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == quote {
+                if !long {
+                    return;
+                }
+                if self.peek() == Some(quote) && self.peek_at(1) == Some(quote) {
+                    self.bump();
+                    self.bump();
+                    return;
+                }
+            } else if !long && c == '\n' {
+                return; // short strings cannot span lines: resync here
+            }
         }
     }
 
@@ -248,8 +392,12 @@ impl<'a> Parser<'a> {
             Some('<') => Ok(Term::Iri(Iri::new(self.parse_iri_ref()?))),
             Some('_') => Ok(Term::Blank(self.parse_blank_node_label()?)),
             Some(c) if is_pname_start(c) || c == ':' => Ok(Term::Iri(self.parse_prefixed_name()?)),
-            Some(c) => Err(self.error(format!("unexpected character '{c}' in subject position"))),
-            None => Err(self.error("unexpected end of input, expected subject")),
+            Some(c) => Err(self
+                .error(format!("unexpected character '{c}' in subject position"))
+                .code(ErrorCode::UnexpectedChar)),
+            None => Err(self
+                .error("unexpected end of input, expected subject")
+                .code(ErrorCode::UnexpectedEof)),
         }
     }
 
@@ -262,8 +410,12 @@ impl<'a> Parser<'a> {
                 Ok(rdf::type_())
             }
             Some(c) if is_pname_start(c) || c == ':' => self.parse_prefixed_name(),
-            Some(c) => Err(self.error(format!("unexpected character '{c}' in predicate position"))),
-            None => Err(self.error("unexpected end of input, expected predicate")),
+            Some(c) => Err(self
+                .error(format!("unexpected character '{c}' in predicate position"))
+                .code(ErrorCode::UnexpectedChar)),
+            None => Err(self
+                .error("unexpected end of input, expected predicate")
+                .code(ErrorCode::UnexpectedEof)),
         }
     }
 
@@ -282,8 +434,12 @@ impl<'a> Parser<'a> {
                 Ok(Term::Literal(self.parse_boolean_literal()?))
             }
             Some(c) if is_pname_start(c) || c == ':' => Ok(Term::Iri(self.parse_prefixed_name()?)),
-            Some(c) => Err(self.error(format!("unexpected character '{c}' in object position"))),
-            None => Err(self.error("unexpected end of input, expected object")),
+            Some(c) => Err(self
+                .error(format!("unexpected character '{c}' in object position"))
+                .code(ErrorCode::UnexpectedChar)),
+            None => Err(self
+                .error("unexpected end of input, expected object")
+                .code(ErrorCode::UnexpectedEof)),
         }
     }
 
@@ -315,7 +471,9 @@ impl<'a> Parser<'a> {
     fn parse_numeric_literal(&mut self) -> Result<Literal, ParseError> {
         let mut s = String::new();
         if matches!(self.peek(), Some('+') | Some('-')) {
-            s.push(self.bump().unwrap());
+            if let Some(sign) = self.bump() {
+                s.push(sign);
+            }
         }
         let mut has_dot = false;
         let mut has_exp = false;
@@ -338,14 +496,18 @@ impl<'a> Parser<'a> {
                 s.push(c);
                 self.bump();
                 if matches!(self.peek(), Some('+') | Some('-')) {
-                    s.push(self.bump().unwrap());
+                    if let Some(sign) = self.bump() {
+                        s.push(sign);
+                    }
                 }
             } else {
                 break;
             }
         }
         if s.is_empty() || s == "+" || s == "-" {
-            return Err(self.error("malformed numeric literal"));
+            return Err(self
+                .error("malformed numeric literal")
+                .code(ErrorCode::InvalidNumber));
         }
         let datatype = if has_exp {
             xsd::double()
@@ -405,7 +567,9 @@ impl<'a> Parser<'a> {
         let mut out = String::new();
         loop {
             let Some(c) = self.bump() else {
-                return Err(self.error("unterminated string literal"));
+                return Err(self
+                    .error("unterminated string literal")
+                    .code(ErrorCode::UnterminatedString));
             };
             if c == quote {
                 if !long {
@@ -419,7 +583,9 @@ impl<'a> Parser<'a> {
                 out.push(c);
             } else if c == '\\' {
                 let Some(esc) = self.bump() else {
-                    return Err(self.error("unterminated escape sequence"));
+                    return Err(self
+                        .error("unterminated escape sequence")
+                        .code(ErrorCode::InvalidEscape));
                 };
                 out.push(match esc {
                     't' => '\t',
@@ -432,10 +598,16 @@ impl<'a> Parser<'a> {
                     '\\' => '\\',
                     'u' => self.parse_unicode_escape(4)?,
                     'U' => self.parse_unicode_escape(8)?,
-                    other => return Err(self.error(format!("invalid escape '\\{other}'"))),
+                    other => {
+                        return Err(self
+                            .error(format!("invalid escape '\\{other}'"))
+                            .code(ErrorCode::InvalidEscape))
+                    }
                 });
             } else if !long && c == '\n' {
-                return Err(self.error("newline in short string literal"));
+                return Err(self
+                    .error("newline in short string literal")
+                    .code(ErrorCode::UnterminatedString));
             } else {
                 out.push(c);
             }
@@ -446,14 +618,20 @@ impl<'a> Parser<'a> {
         let mut v: u32 = 0;
         for _ in 0..digits {
             let Some(c) = self.bump() else {
-                return Err(self.error("unterminated unicode escape"));
+                return Err(self
+                    .error("unterminated unicode escape")
+                    .code(ErrorCode::InvalidEscape));
             };
-            let d = c
-                .to_digit(16)
-                .ok_or_else(|| self.error("invalid hex digit in unicode escape"))?;
+            let d = c.to_digit(16).ok_or_else(|| {
+                self.error("invalid hex digit in unicode escape")
+                    .code(ErrorCode::InvalidEscape)
+            })?;
             v = v * 16 + d;
         }
-        char::from_u32(v).ok_or_else(|| self.error("invalid unicode code point"))
+        char::from_u32(v).ok_or_else(|| {
+            self.error("invalid unicode code point")
+                .code(ErrorCode::InvalidEscape)
+        })
     }
 
     fn parse_iri_ref(&mut self) -> Result<String, ParseError> {
@@ -461,14 +639,20 @@ impl<'a> Parser<'a> {
         let mut iri = String::new();
         loop {
             let Some(c) = self.bump() else {
-                return Err(self.error("unterminated IRI"));
+                return Err(self
+                    .error("unterminated IRI")
+                    .code(ErrorCode::UnterminatedIri));
             };
             match c {
                 '>' => break,
                 '\\' => match self.bump() {
                     Some('u') => iri.push(self.parse_unicode_escape(4)?),
                     Some('U') => iri.push(self.parse_unicode_escape(8)?),
-                    _ => return Err(self.error("invalid escape in IRI")),
+                    _ => {
+                        return Err(self
+                            .error("invalid escape in IRI")
+                            .code(ErrorCode::InvalidEscape))
+                    }
                 },
                 c if c.is_whitespace() => return Err(self.error("whitespace in IRI")),
                 c => iri.push(c),
@@ -545,28 +729,32 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let ns = self
-            .prefixes
-            .get(&prefix)
-            .ok_or_else(|| self.error(format!("undeclared prefix '{prefix}:'")))?;
+        let ns = self.prefixes.get(&prefix).ok_or_else(|| {
+            self.error(format!("undeclared prefix '{prefix}:'"))
+                .code(ErrorCode::UndeclaredPrefix)
+        })?;
         Ok(Iri::new(format!("{ns}{local}")))
     }
 
     fn parse_blank_node_property_list(&mut self) -> Result<Term, ParseError> {
+        self.enter_nested()?;
         self.expect('[')?;
         let node = Term::Blank(self.fresh_blank());
         self.skip_ws();
         if self.peek() == Some(']') {
             self.bump();
+            self.depth -= 1;
             return Ok(node);
         }
         self.parse_predicate_object_list(&node)?;
         self.skip_ws();
         self.expect(']')?;
+        self.depth -= 1;
         Ok(node)
     }
 
     fn parse_collection(&mut self) -> Result<Term, ParseError> {
+        self.enter_nested()?;
         self.expect('(')?;
         let mut items = Vec::new();
         loop {
@@ -577,6 +765,7 @@ impl<'a> Parser<'a> {
             }
             items.push(self.parse_object()?);
         }
+        self.depth -= 1;
         // Encode as an rdf:List.
         let mut tail = Term::Iri(rdf::nil());
         for item in items.into_iter().rev() {
@@ -674,6 +863,75 @@ mod tests {
     fn basic_triples() {
         let g = parse("<http://e/a> <http://e/p> <http://e/b> .").unwrap();
         assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn lossy_skips_bad_statement_keeps_rest() {
+        let report = parse_lossy(
+            "@prefix ex: <http://e/> .\n\
+             ex:a ex:p ex:b .\n\
+             ex:bad @@@nonsense@@@ .\n\
+             ex:c ex:p \"a . dot inside\" .\n\
+             ex:d ex:p ex:e .",
+        );
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.statements_skipped, 1);
+        assert_eq!(report.statements_ok, 4);
+        assert_eq!(report.graph.len(), 3);
+        assert_eq!(report.diagnostics[0].line, 3);
+    }
+
+    #[test]
+    fn lossy_on_clean_input_matches_strict() {
+        let doc = "@prefix ex: <http://e/> .\nex:a ex:p ex:b , ex:c ; ex:q [ ex:r ex:s ] .";
+        let strict = parse(doc).unwrap();
+        let report = parse_lossy(doc);
+        assert!(report.is_clean());
+        assert_eq!(report.graph, strict);
+    }
+
+    #[test]
+    fn lossy_recovers_after_unterminated_string() {
+        let report = parse_lossy(
+            "@prefix ex: <http://e/> .\n\
+             ex:a ex:p \"never closed\nex:b ex:p ex:c .\n\
+             ex:d ex:p ex:e .",
+        );
+        // The unterminated string swallows up to the next resync point, but
+        // later statements still load.
+        assert!(!report.diagnostics.is_empty());
+        assert!(!report.graph.is_empty());
+        assert_eq!(report.diagnostics[0].code, ErrorCode::UnterminatedString);
+    }
+
+    #[test]
+    fn deep_nesting_is_a_structured_error() {
+        let mut doc = String::from("@prefix ex: <http://e/> .\nex:a ex:p ");
+        for _ in 0..(MAX_NESTING + 10) {
+            doc.push_str("[ ex:p ");
+        }
+        doc.push_str("ex:b ");
+        for _ in 0..(MAX_NESTING + 10) {
+            doc.push_str("] ");
+        }
+        doc.push('.');
+        let err = parse(&doc).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DepthLimit);
+    }
+
+    #[test]
+    fn deep_collection_nesting_is_a_structured_error() {
+        let mut doc = String::from("@prefix ex: <http://e/> .\nex:a ex:p ");
+        for _ in 0..(MAX_NESTING + 10) {
+            doc.push_str("( ");
+        }
+        doc.push_str("ex:b ");
+        for _ in 0..(MAX_NESTING + 10) {
+            doc.push_str(") ");
+        }
+        doc.push('.');
+        let err = parse(&doc).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DepthLimit);
     }
 
     #[test]

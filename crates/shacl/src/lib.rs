@@ -43,12 +43,14 @@ pub mod writer;
 
 pub use nnf::Nnf;
 pub use node_test::{NodeKind, NodeTest};
+pub use parser::ShaclParseError;
 pub use path::PathExpr;
 pub use rpq::{CompiledPath, Nfa, PathCache};
 pub use schema::{Schema, SchemaError, ShapeDef};
 pub use shape::{PathOrId, Shape};
+pub use shapefrag_govern::{Budget, CancelToken, EngineError, ErrorCode, ExecCtx};
 pub use validator::{
-    validate, validate_batch, validate_batch_with_memo, ConformanceMemo, Context, ValidationReport,
-    Violation,
+    validate, validate_batch, validate_batch_governed, validate_batch_with_memo, validate_governed,
+    ConformanceMemo, Context, ValidationReport, Violation,
 };
 pub use writer::{schema_to_shapes_graph, schema_to_shapes_graph_strict, schema_to_turtle};

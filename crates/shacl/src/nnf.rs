@@ -14,6 +14,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::mem;
 
 use shapefrag_rdf::{Iri, Term};
 
@@ -22,7 +23,11 @@ use crate::path::PathExpr;
 use crate::shape::{PathOrId, Shape};
 
 /// A shape in negation normal form.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Like [`Shape`], `Clone`, `Drop`, and the conversions are implemented
+/// with explicit worklists so adversarially deep formulas cannot overflow
+/// the thread stack.
+#[derive(PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Nnf {
     True,
     False,
@@ -71,48 +76,79 @@ impl Nnf {
     /// recurse into `¬ψ`) and rule 2 (`¬hasShape(s)` dereferences to
     /// `¬def(s, H)` in NNF).
     pub fn negated(&self) -> Nnf {
+        transform(self, true)
+    }
+
+    /// True for variants with no child formulas.
+    fn is_leaf(&self) -> bool {
+        !matches!(
+            self,
+            Nnf::And(_) | Nnf::Or(_) | Nnf::Geq(..) | Nnf::Leq(..) | Nnf::ForAll(..)
+        )
+    }
+
+    /// Detaches every direct child (replacing it with `⊤`) onto `out`.
+    /// Shared by the iterative [`Drop`] implementation.
+    fn detach_children(&mut self, out: &mut Vec<Nnf>) {
         match self {
-            Nnf::True => Nnf::False,
-            Nnf::False => Nnf::True,
-            Nnf::HasShape(s) => Nnf::NotHasShape(s.clone()),
-            Nnf::NotHasShape(s) => Nnf::HasShape(s.clone()),
-            Nnf::Test(t) => Nnf::NotTest(t.clone()),
-            Nnf::NotTest(t) => Nnf::Test(t.clone()),
-            Nnf::HasValue(c) => Nnf::NotHasValue(c.clone()),
-            Nnf::NotHasValue(c) => Nnf::HasValue(c.clone()),
-            Nnf::Eq(e, p) => Nnf::NotEq(e.clone(), p.clone()),
-            Nnf::NotEq(e, p) => Nnf::Eq(e.clone(), p.clone()),
-            Nnf::Disj(e, p) => Nnf::NotDisj(e.clone(), p.clone()),
-            Nnf::NotDisj(e, p) => Nnf::Disj(e.clone(), p.clone()),
-            Nnf::Closed(ps) => Nnf::NotClosed(ps.clone()),
-            Nnf::NotClosed(ps) => Nnf::Closed(ps.clone()),
-            Nnf::LessThan(e, p) => Nnf::NotLessThan(e.clone(), p.clone()),
-            Nnf::NotLessThan(e, p) => Nnf::LessThan(e.clone(), p.clone()),
-            Nnf::LessThanEq(e, p) => Nnf::NotLessThanEq(e.clone(), p.clone()),
-            Nnf::NotLessThanEq(e, p) => Nnf::LessThanEq(e.clone(), p.clone()),
-            Nnf::MoreThan(e, p) => Nnf::NotMoreThan(e.clone(), p.clone()),
-            Nnf::NotMoreThan(e, p) => Nnf::MoreThan(e.clone(), p.clone()),
-            Nnf::MoreThanEq(e, p) => Nnf::NotMoreThanEq(e.clone(), p.clone()),
-            Nnf::NotMoreThanEq(e, p) => Nnf::MoreThanEq(e.clone(), p.clone()),
-            Nnf::UniqueLang(e) => Nnf::NotUniqueLang(e.clone()),
-            Nnf::NotUniqueLang(e) => Nnf::UniqueLang(e.clone()),
-            Nnf::And(items) => Nnf::Or(items.iter().map(Nnf::negated).collect()),
-            Nnf::Or(items) => Nnf::And(items.iter().map(Nnf::negated).collect()),
-            Nnf::Geq(n, e, inner) => {
-                if *n == 0 {
-                    Nnf::False
-                } else {
-                    Nnf::Leq(n - 1, e.clone(), inner.clone())
-                }
+            Nnf::Geq(_, _, inner) | Nnf::Leq(_, _, inner) | Nnf::ForAll(_, inner) => {
+                out.push(mem::replace(&mut **inner, Nnf::True))
             }
-            Nnf::Leq(n, e, inner) => Nnf::Geq(n + 1, e.clone(), inner.clone()),
-            Nnf::ForAll(e, inner) => Nnf::Geq(1, e.clone(), Box::new(inner.negated())),
+            Nnf::And(items) | Nnf::Or(items) => out.append(items),
+            _ => {}
         }
     }
 
     /// Converts back to the general shape algebra (injective on semantics:
     /// `to_shape` of an NNF conforms exactly like the NNF itself).
+    /// Iterative for the same reason as [`convert`]/[`transform`].
     pub fn to_shape(&self) -> Shape {
+        enum Job<'a> {
+            Enter(&'a Nnf),
+            Exit(&'a Nnf),
+        }
+        let mut jobs = vec![Job::Enter(self)];
+        let mut built: Vec<Shape> = Vec::new();
+        while let Some(job) = jobs.pop() {
+            match job {
+                Job::Enter(n) => match n {
+                    Nnf::And(items) | Nnf::Or(items) => {
+                        jobs.push(Job::Exit(n));
+                        for item in items.iter().rev() {
+                            jobs.push(Job::Enter(item));
+                        }
+                    }
+                    Nnf::Geq(_, _, inner) | Nnf::Leq(_, _, inner) | Nnf::ForAll(_, inner) => {
+                        jobs.push(Job::Exit(n));
+                        jobs.push(Job::Enter(inner));
+                    }
+                    leaf => built.push(leaf.leaf_to_shape()),
+                },
+                Job::Exit(n) => {
+                    let rebuilt = match n {
+                        Nnf::And(items) => Shape::And(built.split_off(built.len() - items.len())),
+                        Nnf::Or(items) => Shape::Or(built.split_off(built.len() - items.len())),
+                        Nnf::Geq(k, e, _) => {
+                            Shape::Geq(*k, e.clone(), Box::new(built.pop().unwrap()))
+                        }
+                        Nnf::Leq(k, e, _) => {
+                            Shape::Leq(*k, e.clone(), Box::new(built.pop().unwrap()))
+                        }
+                        Nnf::ForAll(e, _) => {
+                            Shape::ForAll(e.clone(), Box::new(built.pop().unwrap()))
+                        }
+                        _ => unreachable!("only composites take the Exit path"),
+                    };
+                    built.push(rebuilt);
+                }
+            }
+        }
+        debug_assert_eq!(built.len(), 1);
+        built.pop().expect("worklist produces exactly one shape")
+    }
+
+    /// Leaf conversion for the [`Nnf::to_shape`] worklist.
+    fn leaf_to_shape(&self) -> Shape {
         match self {
             Nnf::True => Shape::True,
             Nnf::False => Shape::False,
@@ -138,149 +174,311 @@ impl Nnf {
             Nnf::NotMoreThanEq(e, p) => Shape::MoreThanEq(e.clone(), p.clone()).not(),
             Nnf::UniqueLang(e) => Shape::UniqueLang(e.clone()),
             Nnf::NotUniqueLang(e) => Shape::UniqueLang(e.clone()).not(),
-            Nnf::And(items) => Shape::And(items.iter().map(Nnf::to_shape).collect()),
-            Nnf::Or(items) => Shape::Or(items.iter().map(Nnf::to_shape).collect()),
-            Nnf::Geq(n, e, inner) => Shape::Geq(*n, e.clone(), Box::new(inner.to_shape())),
-            Nnf::Leq(n, e, inner) => Shape::Leq(*n, e.clone(), Box::new(inner.to_shape())),
-            Nnf::ForAll(e, inner) => Shape::ForAll(e.clone(), Box::new(inner.to_shape())),
+            Nnf::And(_) | Nnf::Or(_) | Nnf::Geq(..) | Nnf::Leq(..) | Nnf::ForAll(..) => {
+                unreachable!("leaf_to_shape called on a composite formula")
+            }
         }
     }
 }
 
+/// Converts an atomic (leaf) shape under a polarity.
+fn convert_atom(shape: &Shape, positive: bool) -> Nnf {
+    match (shape, positive) {
+        (Shape::True, true) | (Shape::False, false) => Nnf::True,
+        (Shape::True, false) | (Shape::False, true) => Nnf::False,
+        (Shape::HasShape(s), true) => Nnf::HasShape(s.clone()),
+        (Shape::HasShape(s), false) => Nnf::NotHasShape(s.clone()),
+        (Shape::Test(t), true) => Nnf::Test(t.clone()),
+        (Shape::Test(t), false) => Nnf::NotTest(t.clone()),
+        (Shape::HasValue(c), true) => Nnf::HasValue(c.clone()),
+        (Shape::HasValue(c), false) => Nnf::NotHasValue(c.clone()),
+        (Shape::Eq(e, p), true) => Nnf::Eq(e.clone(), p.clone()),
+        (Shape::Eq(e, p), false) => Nnf::NotEq(e.clone(), p.clone()),
+        (Shape::Disj(e, p), true) => Nnf::Disj(e.clone(), p.clone()),
+        (Shape::Disj(e, p), false) => Nnf::NotDisj(e.clone(), p.clone()),
+        (Shape::Closed(ps), true) => Nnf::Closed(ps.clone()),
+        (Shape::Closed(ps), false) => Nnf::NotClosed(ps.clone()),
+        (Shape::LessThan(e, p), true) => Nnf::LessThan(e.clone(), p.clone()),
+        (Shape::LessThan(e, p), false) => Nnf::NotLessThan(e.clone(), p.clone()),
+        (Shape::LessThanEq(e, p), true) => Nnf::LessThanEq(e.clone(), p.clone()),
+        (Shape::LessThanEq(e, p), false) => Nnf::NotLessThanEq(e.clone(), p.clone()),
+        (Shape::MoreThan(e, p), true) => Nnf::MoreThan(e.clone(), p.clone()),
+        (Shape::MoreThan(e, p), false) => Nnf::NotMoreThan(e.clone(), p.clone()),
+        (Shape::MoreThanEq(e, p), true) => Nnf::MoreThanEq(e.clone(), p.clone()),
+        (Shape::MoreThanEq(e, p), false) => Nnf::NotMoreThanEq(e.clone(), p.clone()),
+        (Shape::UniqueLang(e), true) => Nnf::UniqueLang(e.clone()),
+        (Shape::UniqueLang(e), false) => Nnf::NotUniqueLang(e.clone()),
+        _ => unreachable!("convert_atom called on a composite shape"),
+    }
+}
+
 /// `convert(φ, true)` = NNF of φ; `convert(φ, false)` = NNF of ¬φ.
-fn convert(shape: &Shape, positive: bool) -> Nnf {
-    match shape {
-        Shape::True => {
-            if positive {
-                Nnf::True
-            } else {
-                Nnf::False
+///
+/// Iterative (explicit job stack carrying the polarity): the conversion of
+/// a 100 000-deep negation tower must not recurse. Quantifier rules applied
+/// at `Exit` time:
+///
+/// ```text
+/// ¬ ≥n+1 E.ψ ≡ ≤n E.ψ      ¬ ≤n E.ψ ≡ ≥n+1 E.ψ      ¬ ∀E.ψ ≡ ≥1 E.¬ψ
+/// ¬ ≥0 E.ψ ≡ ⊥
+/// ```
+fn convert(root: &Shape, positive: bool) -> Nnf {
+    enum Job<'a> {
+        Enter(&'a Shape, bool),
+        Exit(&'a Shape, bool),
+    }
+    let mut jobs = vec![Job::Enter(root, positive)];
+    let mut built: Vec<Nnf> = Vec::new();
+    while let Some(job) = jobs.pop() {
+        match job {
+            Job::Enter(s, pos) => match s {
+                Shape::Not(inner) => jobs.push(Job::Enter(inner, !pos)),
+                Shape::And(items) | Shape::Or(items) => {
+                    jobs.push(Job::Exit(s, pos));
+                    for item in items.iter().rev() {
+                        jobs.push(Job::Enter(item, pos));
+                    }
+                }
+                Shape::Geq(n, _, inner) => {
+                    if !pos && *n == 0 {
+                        // ¬ ≥0 E.ψ is simply false.
+                        built.push(Nnf::False);
+                    } else {
+                        jobs.push(Job::Exit(s, pos));
+                        jobs.push(Job::Enter(inner, true));
+                    }
+                }
+                Shape::Leq(_, _, inner) => {
+                    jobs.push(Job::Exit(s, pos));
+                    jobs.push(Job::Enter(inner, true));
+                }
+                Shape::ForAll(_, inner) => {
+                    jobs.push(Job::Exit(s, pos));
+                    // ¬∀E.ψ ≡ ≥1 E.¬ψ: the body inherits the polarity.
+                    jobs.push(Job::Enter(inner, pos));
+                }
+                atom => built.push(convert_atom(atom, pos)),
+            },
+            Job::Exit(s, pos) => {
+                let rebuilt = match s {
+                    Shape::And(items) => {
+                        let children = built.split_off(built.len() - items.len());
+                        if pos {
+                            Nnf::And(children)
+                        } else {
+                            Nnf::Or(children)
+                        }
+                    }
+                    Shape::Or(items) => {
+                        let children = built.split_off(built.len() - items.len());
+                        if pos {
+                            Nnf::Or(children)
+                        } else {
+                            Nnf::And(children)
+                        }
+                    }
+                    Shape::Geq(n, e, _) => {
+                        let inner = Box::new(built.pop().unwrap());
+                        if pos {
+                            Nnf::Geq(*n, e.clone(), inner)
+                        } else {
+                            Nnf::Leq(n - 1, e.clone(), inner)
+                        }
+                    }
+                    Shape::Leq(n, e, _) => {
+                        let inner = Box::new(built.pop().unwrap());
+                        if pos {
+                            Nnf::Leq(*n, e.clone(), inner)
+                        } else {
+                            Nnf::Geq(n + 1, e.clone(), inner)
+                        }
+                    }
+                    Shape::ForAll(e, _) => {
+                        let inner = Box::new(built.pop().unwrap());
+                        if pos {
+                            Nnf::ForAll(e.clone(), inner)
+                        } else {
+                            Nnf::Geq(1, e.clone(), inner)
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                built.push(rebuilt);
             }
         }
-        Shape::False => {
-            if positive {
-                Nnf::False
-            } else {
-                Nnf::True
+    }
+    debug_assert_eq!(built.len(), 1);
+    built.pop().unwrap()
+}
+
+/// Negates (or copies) an atomic NNF formula.
+fn transform_atom(n: &Nnf, negate: bool) -> Nnf {
+    if !negate {
+        return match n {
+            Nnf::True => Nnf::True,
+            Nnf::False => Nnf::False,
+            Nnf::HasShape(s) => Nnf::HasShape(s.clone()),
+            Nnf::NotHasShape(s) => Nnf::NotHasShape(s.clone()),
+            Nnf::Test(t) => Nnf::Test(t.clone()),
+            Nnf::NotTest(t) => Nnf::NotTest(t.clone()),
+            Nnf::HasValue(c) => Nnf::HasValue(c.clone()),
+            Nnf::NotHasValue(c) => Nnf::NotHasValue(c.clone()),
+            Nnf::Eq(e, p) => Nnf::Eq(e.clone(), p.clone()),
+            Nnf::NotEq(e, p) => Nnf::NotEq(e.clone(), p.clone()),
+            Nnf::Disj(e, p) => Nnf::Disj(e.clone(), p.clone()),
+            Nnf::NotDisj(e, p) => Nnf::NotDisj(e.clone(), p.clone()),
+            Nnf::Closed(ps) => Nnf::Closed(ps.clone()),
+            Nnf::NotClosed(ps) => Nnf::NotClosed(ps.clone()),
+            Nnf::LessThan(e, p) => Nnf::LessThan(e.clone(), p.clone()),
+            Nnf::NotLessThan(e, p) => Nnf::NotLessThan(e.clone(), p.clone()),
+            Nnf::LessThanEq(e, p) => Nnf::LessThanEq(e.clone(), p.clone()),
+            Nnf::NotLessThanEq(e, p) => Nnf::NotLessThanEq(e.clone(), p.clone()),
+            Nnf::MoreThan(e, p) => Nnf::MoreThan(e.clone(), p.clone()),
+            Nnf::NotMoreThan(e, p) => Nnf::NotMoreThan(e.clone(), p.clone()),
+            Nnf::MoreThanEq(e, p) => Nnf::MoreThanEq(e.clone(), p.clone()),
+            Nnf::NotMoreThanEq(e, p) => Nnf::NotMoreThanEq(e.clone(), p.clone()),
+            Nnf::UniqueLang(e) => Nnf::UniqueLang(e.clone()),
+            Nnf::NotUniqueLang(e) => Nnf::NotUniqueLang(e.clone()),
+            _ => unreachable!("transform_atom called on a composite formula"),
+        };
+    }
+    match n {
+        Nnf::True => Nnf::False,
+        Nnf::False => Nnf::True,
+        Nnf::HasShape(s) => Nnf::NotHasShape(s.clone()),
+        Nnf::NotHasShape(s) => Nnf::HasShape(s.clone()),
+        Nnf::Test(t) => Nnf::NotTest(t.clone()),
+        Nnf::NotTest(t) => Nnf::Test(t.clone()),
+        Nnf::HasValue(c) => Nnf::NotHasValue(c.clone()),
+        Nnf::NotHasValue(c) => Nnf::HasValue(c.clone()),
+        Nnf::Eq(e, p) => Nnf::NotEq(e.clone(), p.clone()),
+        Nnf::NotEq(e, p) => Nnf::Eq(e.clone(), p.clone()),
+        Nnf::Disj(e, p) => Nnf::NotDisj(e.clone(), p.clone()),
+        Nnf::NotDisj(e, p) => Nnf::Disj(e.clone(), p.clone()),
+        Nnf::Closed(ps) => Nnf::NotClosed(ps.clone()),
+        Nnf::NotClosed(ps) => Nnf::Closed(ps.clone()),
+        Nnf::LessThan(e, p) => Nnf::NotLessThan(e.clone(), p.clone()),
+        Nnf::NotLessThan(e, p) => Nnf::LessThan(e.clone(), p.clone()),
+        Nnf::LessThanEq(e, p) => Nnf::NotLessThanEq(e.clone(), p.clone()),
+        Nnf::NotLessThanEq(e, p) => Nnf::LessThanEq(e.clone(), p.clone()),
+        Nnf::MoreThan(e, p) => Nnf::NotMoreThan(e.clone(), p.clone()),
+        Nnf::NotMoreThan(e, p) => Nnf::MoreThan(e.clone(), p.clone()),
+        Nnf::MoreThanEq(e, p) => Nnf::NotMoreThanEq(e.clone(), p.clone()),
+        Nnf::NotMoreThanEq(e, p) => Nnf::MoreThanEq(e.clone(), p.clone()),
+        Nnf::UniqueLang(e) => Nnf::NotUniqueLang(e.clone()),
+        Nnf::NotUniqueLang(e) => Nnf::UniqueLang(e.clone()),
+        _ => unreachable!("transform_atom called on a composite formula"),
+    }
+}
+
+/// `transform(n, false)` is a deep copy of `n`; `transform(n, true)` is the
+/// NNF of `¬n`. One iterative walker serves as both the manual [`Clone`]
+/// implementation and [`Nnf::negated`] — the polarity travels with each job
+/// because negation under `≥`/`≤` copies the body unchanged while negation
+/// under `∀` flips it (`¬∀E.ψ ≡ ≥1 E.¬ψ`).
+fn transform(root: &Nnf, negate: bool) -> Nnf {
+    enum Job<'a> {
+        Enter(&'a Nnf, bool),
+        Exit(&'a Nnf, bool),
+    }
+    let mut jobs = vec![Job::Enter(root, negate)];
+    let mut built: Vec<Nnf> = Vec::new();
+    while let Some(job) = jobs.pop() {
+        match job {
+            Job::Enter(n, neg) => match n {
+                Nnf::And(items) | Nnf::Or(items) => {
+                    jobs.push(Job::Exit(n, neg));
+                    for item in items.iter().rev() {
+                        jobs.push(Job::Enter(item, neg));
+                    }
+                }
+                Nnf::Geq(k, _, inner) => {
+                    if neg && *k == 0 {
+                        built.push(Nnf::False);
+                    } else {
+                        jobs.push(Job::Exit(n, neg));
+                        // ¬ ≥k E.ψ ≡ ≤k−1 E.ψ: the body is copied as-is.
+                        jobs.push(Job::Enter(inner, false));
+                    }
+                }
+                Nnf::Leq(_, _, inner) => {
+                    jobs.push(Job::Exit(n, neg));
+                    jobs.push(Job::Enter(inner, false));
+                }
+                Nnf::ForAll(_, inner) => {
+                    jobs.push(Job::Exit(n, neg));
+                    jobs.push(Job::Enter(inner, neg));
+                }
+                atom => built.push(transform_atom(atom, neg)),
+            },
+            Job::Exit(n, neg) => {
+                let rebuilt = match n {
+                    Nnf::And(items) => {
+                        let children = built.split_off(built.len() - items.len());
+                        if neg {
+                            Nnf::Or(children)
+                        } else {
+                            Nnf::And(children)
+                        }
+                    }
+                    Nnf::Or(items) => {
+                        let children = built.split_off(built.len() - items.len());
+                        if neg {
+                            Nnf::And(children)
+                        } else {
+                            Nnf::Or(children)
+                        }
+                    }
+                    Nnf::Geq(k, e, _) => {
+                        let inner = Box::new(built.pop().unwrap());
+                        if neg {
+                            Nnf::Leq(k - 1, e.clone(), inner)
+                        } else {
+                            Nnf::Geq(*k, e.clone(), inner)
+                        }
+                    }
+                    Nnf::Leq(k, e, _) => {
+                        let inner = Box::new(built.pop().unwrap());
+                        if neg {
+                            Nnf::Geq(k + 1, e.clone(), inner)
+                        } else {
+                            Nnf::Leq(*k, e.clone(), inner)
+                        }
+                    }
+                    Nnf::ForAll(e, _) => {
+                        let inner = Box::new(built.pop().unwrap());
+                        if neg {
+                            Nnf::Geq(1, e.clone(), inner)
+                        } else {
+                            Nnf::ForAll(e.clone(), inner)
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                built.push(rebuilt);
             }
         }
-        Shape::HasShape(s) => {
-            if positive {
-                Nnf::HasShape(s.clone())
-            } else {
-                Nnf::NotHasShape(s.clone())
-            }
+    }
+    debug_assert_eq!(built.len(), 1);
+    built.pop().unwrap()
+}
+
+impl Clone for Nnf {
+    fn clone(&self) -> Self {
+        transform(self, false)
+    }
+}
+
+impl Drop for Nnf {
+    /// Iterative drop, mirroring [`Shape`]'s.
+    fn drop(&mut self) {
+        if self.is_leaf() {
+            return;
         }
-        Shape::Test(t) => {
-            if positive {
-                Nnf::Test(t.clone())
-            } else {
-                Nnf::NotTest(t.clone())
-            }
-        }
-        Shape::HasValue(c) => {
-            if positive {
-                Nnf::HasValue(c.clone())
-            } else {
-                Nnf::NotHasValue(c.clone())
-            }
-        }
-        Shape::Eq(e, p) => {
-            if positive {
-                Nnf::Eq(e.clone(), p.clone())
-            } else {
-                Nnf::NotEq(e.clone(), p.clone())
-            }
-        }
-        Shape::Disj(e, p) => {
-            if positive {
-                Nnf::Disj(e.clone(), p.clone())
-            } else {
-                Nnf::NotDisj(e.clone(), p.clone())
-            }
-        }
-        Shape::Closed(ps) => {
-            if positive {
-                Nnf::Closed(ps.clone())
-            } else {
-                Nnf::NotClosed(ps.clone())
-            }
-        }
-        Shape::LessThan(e, p) => {
-            if positive {
-                Nnf::LessThan(e.clone(), p.clone())
-            } else {
-                Nnf::NotLessThan(e.clone(), p.clone())
-            }
-        }
-        Shape::LessThanEq(e, p) => {
-            if positive {
-                Nnf::LessThanEq(e.clone(), p.clone())
-            } else {
-                Nnf::NotLessThanEq(e.clone(), p.clone())
-            }
-        }
-        Shape::MoreThan(e, p) => {
-            if positive {
-                Nnf::MoreThan(e.clone(), p.clone())
-            } else {
-                Nnf::NotMoreThan(e.clone(), p.clone())
-            }
-        }
-        Shape::MoreThanEq(e, p) => {
-            if positive {
-                Nnf::MoreThanEq(e.clone(), p.clone())
-            } else {
-                Nnf::NotMoreThanEq(e.clone(), p.clone())
-            }
-        }
-        Shape::UniqueLang(e) => {
-            if positive {
-                Nnf::UniqueLang(e.clone())
-            } else {
-                Nnf::NotUniqueLang(e.clone())
-            }
-        }
-        Shape::Not(inner) => convert(inner, !positive),
-        Shape::And(items) => {
-            let converted: Vec<Nnf> = items.iter().map(|s| convert(s, positive)).collect();
-            if positive {
-                Nnf::And(converted)
-            } else {
-                Nnf::Or(converted)
-            }
-        }
-        Shape::Or(items) => {
-            let converted: Vec<Nnf> = items.iter().map(|s| convert(s, positive)).collect();
-            if positive {
-                Nnf::Or(converted)
-            } else {
-                Nnf::And(converted)
-            }
-        }
-        Shape::Geq(n, e, inner) => {
-            if positive {
-                Nnf::Geq(*n, e.clone(), Box::new(convert(inner, true)))
-            } else if *n == 0 {
-                // ¬ ≥0 E.ψ is simply false.
-                Nnf::False
-            } else {
-                Nnf::Leq(n - 1, e.clone(), Box::new(convert(inner, true)))
-            }
-        }
-        Shape::Leq(n, e, inner) => {
-            if positive {
-                Nnf::Leq(*n, e.clone(), Box::new(convert(inner, true)))
-            } else {
-                Nnf::Geq(n + 1, e.clone(), Box::new(convert(inner, true)))
-            }
-        }
-        Shape::ForAll(e, inner) => {
-            if positive {
-                Nnf::ForAll(e.clone(), Box::new(convert(inner, true)))
-            } else {
-                Nnf::Geq(1, e.clone(), Box::new(convert(inner, false)))
-            }
+        let mut stack: Vec<Nnf> = Vec::new();
+        self.detach_children(&mut stack);
+        while let Some(mut n) = stack.pop() {
+            n.detach_children(&mut stack);
         }
     }
 }
@@ -364,9 +562,9 @@ mod tests {
                 .not(),
         );
         let nnf = Nnf::from_shape(&s);
-        match nnf {
+        match &nnf {
             Nnf::Geq(1, _, body) => {
-                assert!(matches!(*body, Nnf::Or(_)));
+                assert!(matches!(**body, Nnf::Or(_)));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -12,6 +12,7 @@
 use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
+use shapefrag_govern::{EngineError, ErrorCode};
 use shapefrag_rdf::turtle::{self, read_list};
 use shapefrag_rdf::vocab::{rdf, rdfs, sh};
 use shapefrag_rdf::{Graph, Iri, Literal, Term};
@@ -24,11 +25,30 @@ use crate::writer::SHX_NS;
 
 /// An error translating a shapes graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ShaclParseError(pub String);
+pub struct ShaclParseError {
+    /// Machine-readable classification shared with the other parsers.
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl ShaclParseError {
+    /// A structural shapes-graph error ([`ErrorCode::BadStructure`]).
+    pub fn new(message: impl Into<String>) -> Self {
+        ShaclParseError::with_code(ErrorCode::BadStructure, message)
+    }
+
+    /// A classified error.
+    pub fn with_code(code: ErrorCode, message: impl Into<String>) -> Self {
+        ShaclParseError {
+            code,
+            message: message.into(),
+        }
+    }
+}
 
 impl fmt::Display for ShaclParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid shapes graph: {}", self.0)
+        write!(f, "invalid shapes graph [{}]: {}", self.code, self.message)
     }
 }
 
@@ -36,13 +56,25 @@ impl std::error::Error for ShaclParseError {}
 
 impl From<SchemaError> for ShaclParseError {
     fn from(e: SchemaError) -> Self {
-        ShaclParseError(e.to_string())
+        ShaclParseError::new(e.to_string())
+    }
+}
+
+impl From<ShaclParseError> for EngineError {
+    fn from(e: ShaclParseError) -> Self {
+        EngineError::Malformed {
+            code: e.code,
+            line: 0,
+            column: 0,
+            message: e.message,
+        }
     }
 }
 
 /// Parses Turtle text into a schema (shapes graph → formal schema).
 pub fn parse_shapes_turtle(text: &str) -> Result<Schema, ShaclParseError> {
-    let graph = turtle::parse(text).map_err(|e| ShaclParseError(e.to_string()))?;
+    let graph =
+        turtle::parse(text).map_err(|e| ShaclParseError::with_code(e.code, e.to_string()))?;
     schema_from_shapes_graph(&graph)
 }
 
@@ -56,7 +88,9 @@ pub fn schema_from_shapes_graph(shapes: &Graph) -> Result<Schema, ShaclParseErro
             // A malformed document can reference a literal where a shape is
             // expected (e.g. as an `sh:node` object); shape names must be
             // IRIs or blank nodes.
-            return Err(ShaclParseError(format!("literal used as a shape: {node}")));
+            return Err(ShaclParseError::new(format!(
+                "literal used as a shape: {node}"
+            )));
         }
         let expr = tr.translate_shape(&node)?;
         let target = tr.translate_target(&node)?;
@@ -80,7 +114,7 @@ impl<'g> Translator<'g> {
         let mut out = Vec::new();
         for head in self.objects(x, p) {
             let items = read_list(self.g, &head).ok_or_else(|| {
-                ShaclParseError(format!("malformed SHACL list at {head} for {p}"))
+                ShaclParseError::new(format!("malformed SHACL list at {head} for {p}"))
             })?;
             out.extend(items);
         }
@@ -163,7 +197,7 @@ impl<'g> Translator<'g> {
         // languageIn applied to the focus node itself.
         for head in self.objects(x, &sh::language_in()) {
             let langs = read_list(self.g, &head)
-                .ok_or_else(|| ShaclParseError("malformed sh:languageIn list".into()))?;
+                .ok_or_else(|| ShaclParseError::new("malformed sh:languageIn list"))?;
             conj.push(Shape::disj_of(langs.iter().filter_map(lang_term).collect()));
         }
         Ok(Shape::conj(conj))
@@ -173,7 +207,7 @@ impl<'g> Translator<'g> {
     fn translate_property_shape(&self, x: &Term) -> Result<Shape, ShaclParseError> {
         let paths = self.objects(x, &sh::path());
         if paths.len() != 1 {
-            return Err(ShaclParseError(format!(
+            return Err(ShaclParseError::new(format!(
                 "property shape {x} must have exactly one sh:path"
             )));
         }
@@ -204,14 +238,14 @@ impl<'g> Translator<'g> {
         let mut out = Vec::new();
         for head in self.objects(x, &sh::and()) {
             let items = read_list(self.g, &head)
-                .ok_or_else(|| ShaclParseError("malformed sh:and list".into()))?;
+                .ok_or_else(|| ShaclParseError::new("malformed sh:and list"))?;
             out.push(Shape::conj(
                 items.into_iter().map(Shape::HasShape).collect(),
             ));
         }
         for head in self.objects(x, &sh::or()) {
             let items = read_list(self.g, &head)
-                .ok_or_else(|| ShaclParseError("malformed sh:or list".into()))?;
+                .ok_or_else(|| ShaclParseError::new("malformed sh:or list"))?;
             out.push(Shape::disj_of(
                 items.into_iter().map(Shape::HasShape).collect(),
             ));
@@ -221,7 +255,7 @@ impl<'g> Translator<'g> {
         }
         for head in self.objects(x, &sh::xone()) {
             let items = read_list(self.g, &head)
-                .ok_or_else(|| ShaclParseError("malformed sh:xone list".into()))?;
+                .ok_or_else(|| ShaclParseError::new("malformed sh:xone list"))?;
             let mut branches = Vec::new();
             for (i, y) in items.iter().enumerate() {
                 let mut branch = vec![Shape::HasShape(y.clone())];
@@ -251,13 +285,13 @@ impl<'g> Translator<'g> {
         }
         for y in self.objects(x, &sh::datatype()) {
             let Term::Iri(dt) = y else {
-                return Err(ShaclParseError("sh:datatype requires an IRI".into()));
+                return Err(ShaclParseError::new("sh:datatype requires an IRI"));
             };
             out.push(Shape::Test(NodeTest::Datatype(dt)));
         }
         for y in self.objects(x, &sh::node_kind()) {
             let Term::Iri(kind_iri) = &y else {
-                return Err(ShaclParseError("sh:nodeKind requires an IRI".into()));
+                return Err(ShaclParseError::new("sh:nodeKind requires an IRI"));
             };
             let kind = match kind_iri.as_str() {
                 s if s == sh::iri().as_str() => NodeKind::Iri,
@@ -266,7 +300,7 @@ impl<'g> Translator<'g> {
                 s if s == sh::blank_node_or_iri().as_str() => NodeKind::BlankNodeOrIri,
                 s if s == sh::blank_node_or_literal().as_str() => NodeKind::BlankNodeOrLiteral,
                 s if s == sh::iri_or_literal().as_str() => NodeKind::IriOrLiteral,
-                other => return Err(ShaclParseError(format!("unknown sh:nodeKind {other}"))),
+                other => return Err(ShaclParseError::new(format!("unknown sh:nodeKind {other}"))),
             };
             out.push(Shape::Test(NodeTest::Kind(kind)));
         }
@@ -281,7 +315,7 @@ impl<'g> Translator<'g> {
         ] {
             for y in self.objects(x, &prop) {
                 let Term::Literal(bound) = y else {
-                    return Err(ShaclParseError(format!("{prop} requires a literal")));
+                    return Err(ShaclParseError::new(format!("{prop} requires a literal")));
                 };
                 out.push(Shape::Test(make(bound)));
             }
@@ -292,7 +326,7 @@ impl<'g> Translator<'g> {
         ] {
             for y in self.objects(x, &prop) {
                 let n = int_value(&y)
-                    .ok_or_else(|| ShaclParseError(format!("{prop} requires an integer")))?;
+                    .ok_or_else(|| ShaclParseError::new(format!("{prop} requires an integer")))?;
                 out.push(Shape::Test(make(n)));
             }
         }
@@ -303,10 +337,10 @@ impl<'g> Translator<'g> {
             .unwrap_or_default();
         for y in self.objects(x, &sh::pattern()) {
             let Term::Literal(lit) = y else {
-                return Err(ShaclParseError("sh:pattern requires a literal".into()));
+                return Err(ShaclParseError::new("sh:pattern requires a literal"));
             };
             let test = NodeTest::pattern(lit.lexical(), &flags)
-                .map_err(|e| ShaclParseError(e.to_string()))?;
+                .map_err(|e| ShaclParseError::new(e.to_string()))?;
             out.push(Shape::Test(test));
         }
         Ok(out)
@@ -325,7 +359,7 @@ impl<'g> Translator<'g> {
         let mut out = Vec::new();
         for head in self.objects(x, &sh::in_()) {
             let items = read_list(self.g, &head)
-                .ok_or_else(|| ShaclParseError("malformed sh:in list".into()))?;
+                .ok_or_else(|| ShaclParseError::new("malformed sh:in list"))?;
             out.push(Shape::disj_of(
                 items.into_iter().map(Shape::HasValue).collect(),
             ));
@@ -500,7 +534,7 @@ impl<'g> Translator<'g> {
         inner.extend(self.t_closed(x)?);
         for head in self.objects(x, &sh::language_in()) {
             let langs = read_list(self.g, &head)
-                .ok_or_else(|| ShaclParseError("malformed sh:languageIn list".into()))?;
+                .ok_or_else(|| ShaclParseError::new("malformed sh:languageIn list"))?;
             inner.push(Shape::disj_of(langs.iter().filter_map(lang_term).collect()));
         }
         let mut out = Vec::new();
@@ -530,6 +564,21 @@ impl<'g> Translator<'g> {
 
     /// A.2 `t_path`: SHACL property paths → path expressions.
     fn translate_path(&self, pp: &Term) -> Result<PathExpr, ShaclParseError> {
+        self.translate_path_at(pp, 0)
+    }
+
+    /// Depth-guarded body of [`Translator::translate_path`]. A hostile
+    /// document can make `sh:inversePath` (or any other structured-path
+    /// property) point around a blank-node cycle; without the guard the
+    /// translation recurses forever.
+    fn translate_path_at(&self, pp: &Term, depth: usize) -> Result<PathExpr, ShaclParseError> {
+        const MAX_PATH_DEPTH: usize = 128;
+        if depth > MAX_PATH_DEPTH {
+            return Err(ShaclParseError::with_code(
+                ErrorCode::DepthLimit,
+                format!("property path nesting deeper than {MAX_PATH_DEPTH} levels (cyclic path structure?)"),
+            ));
+        }
         if let Term::Iri(p) = pp {
             return Ok(PathExpr::Prop(p.clone()));
         }
@@ -540,13 +589,13 @@ impl<'g> Translator<'g> {
         {
             // Extension (Remark 6.3): a negated property set.
             let items = read_list(self.g, y)
-                .ok_or_else(|| ShaclParseError("malformed shx:negatedPropertySet list".into()))?;
+                .ok_or_else(|| ShaclParseError::new("malformed shx:negatedPropertySet list"))?;
             let mut props = Vec::new();
             for item in items {
                 match item {
                     Term::Iri(p) => props.push(p),
                     other => {
-                        return Err(ShaclParseError(format!(
+                        return Err(ShaclParseError::new(format!(
                             "negated property sets may only contain IRIs, got {other}"
                         )))
                     }
@@ -555,35 +604,37 @@ impl<'g> Translator<'g> {
             return Ok(PathExpr::neg_props(props));
         }
         if let Some(y) = self.objects(pp, &sh::inverse_path()).first() {
-            return Ok(self.translate_path(y)?.inverse());
+            return Ok(self.translate_path_at(y, depth + 1)?.inverse());
         }
         if let Some(y) = self.objects(pp, &sh::zero_or_more_path()).first() {
-            return Ok(self.translate_path(y)?.star());
+            return Ok(self.translate_path_at(y, depth + 1)?.star());
         }
         if let Some(y) = self.objects(pp, &sh::one_or_more_path()).first() {
-            return Ok(self.translate_path(y)?.plus());
+            return Ok(self.translate_path_at(y, depth + 1)?.plus());
         }
         if let Some(y) = self.objects(pp, &sh::zero_or_one_path()).first() {
-            return Ok(self.translate_path(y)?.opt());
+            return Ok(self.translate_path_at(y, depth + 1)?.opt());
         }
         if let Some(y) = self.objects(pp, &sh::alternative_path()).first() {
             let items = read_list(self.g, y)
-                .ok_or_else(|| ShaclParseError("malformed sh:alternativePath list".into()))?;
-            let mut parts = items.iter().map(|t| self.translate_path(t));
+                .ok_or_else(|| ShaclParseError::new("malformed sh:alternativePath list"))?;
+            let mut parts = items.iter().map(|t| self.translate_path_at(t, depth + 1));
             let first = parts
                 .next()
-                .ok_or_else(|| ShaclParseError("empty sh:alternativePath".into()))??;
+                .ok_or_else(|| ShaclParseError::new("empty sh:alternativePath"))??;
             return parts.try_fold(first, |acc, next| Ok(acc.or(next?)));
         }
         // A SHACL list: a sequence path.
         if let Some(items) = read_list(self.g, pp) {
-            let mut parts = items.iter().map(|t| self.translate_path(t));
+            let mut parts = items.iter().map(|t| self.translate_path_at(t, depth + 1));
             let first = parts
                 .next()
-                .ok_or_else(|| ShaclParseError("empty sequence path".into()))??;
+                .ok_or_else(|| ShaclParseError::new("empty sequence path"))??;
             return parts.try_fold(first, |acc, next| Ok(acc.then(next?)));
         }
-        Err(ShaclParseError(format!("unrecognized property path {pp}")))
+        Err(ShaclParseError::new(format!(
+            "unrecognized property path {pp}"
+        )))
     }
 
     /// A.4 `t_target`: target declarations → target shapes.
@@ -647,6 +698,22 @@ mod tests {
 
     fn ex(n: &str) -> Term {
         Term::iri(format!("http://e/{n}"))
+    }
+
+    #[test]
+    fn cyclic_inverse_path_is_a_structured_error() {
+        // _:p sh:inversePath _:q . _:q sh:inversePath _:p — without the
+        // depth guard the translation recurses forever.
+        let err = parse_shapes_turtle(&format!(
+            "{PREFIXES}
+ex:S a sh:NodeShape ;
+  sh:property [ sh:path _:p ; sh:minCount 1 ] .
+_:p sh:inversePath _:q .
+_:q sh:inversePath _:p .
+"
+        ))
+        .unwrap_err();
+        assert_eq!(err.code, ErrorCode::DepthLimit);
     }
 
     #[test]
@@ -1040,6 +1107,6 @@ ex:SelfLoop a sh:NodeShape ;
 ex:S a sh:NodeShape ; sh:in ex:notalist ."
         ))
         .unwrap_err();
-        assert!(err.0.contains("malformed"));
+        assert!(err.message.contains("malformed"));
     }
 }

@@ -20,8 +20,13 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::hash::BuildHasherDefault;
 
+use shapefrag_govern::{EngineError, ExecCtx, MemGuard};
 use shapefrag_rdf::graph::IntHasher;
 use shapefrag_rdf::{Graph, Iri, TermId};
+
+/// Estimated bytes of intermediate state per discovered product pair
+/// (visited-set entry plus its queue slot). Used for the memory budget.
+const PAIR_COST: u64 = 48;
 
 type IntSet = std::collections::HashSet<TermId, BuildHasherDefault<IntHasher>>;
 
@@ -122,6 +127,10 @@ fn for_each_bit(bits: &[u64], mut f: impl FnMut(usize)) {
 }
 
 use crate::path::PathExpr;
+
+/// The result of a traced path evaluation: the set of `(subject,
+/// predicate, object)` id-triples that witness the reachable endpoints.
+pub type TraceSet = BTreeSet<(TermId, TermId, TermId)>;
 
 /// A transition label: one property, or any property outside a negated set
 /// (the Remark 6.3 extension).
@@ -332,13 +341,28 @@ impl CompiledPath {
     /// Evaluates `⟦E⟧^G(from)`: all nodes reachable from `from` along
     /// `E`-paths (plus `from` itself when `E` is nullable).
     pub fn eval_from(&self, graph: &Graph, from: TermId) -> BTreeSet<TermId> {
+        self.try_eval_from(graph, from, &ExecCtx::unbounded())
+            .expect("unbounded context cannot fail")
+    }
+
+    /// Governed [`CompiledPath::eval_from`]: ticks once per product-graph
+    /// queue pop plus once per expanded edge, and charges the memory budget
+    /// for every discovered product pair.
+    pub fn try_eval_from(
+        &self,
+        graph: &Graph,
+        from: TermId,
+        ctx: &ExecCtx,
+    ) -> Result<BTreeSet<TermId>, EngineError> {
         if let Some((pid, inv)) = self.simple {
-            return if inv {
+            ctx.tick(1)?;
+            return Ok(if inv {
                 graph.subjects_ids(from, pid).collect()
             } else {
                 graph.objects_ids(from, pid).collect()
-            };
+            });
         }
+        let mut mem = MemGuard::new(ctx);
         let mut result = BTreeSet::new();
         let mut visited = ProductSet::new(self.nfa.state_count());
         let mut queue: VecDeque<(TermId, u32)> = VecDeque::new();
@@ -348,32 +372,52 @@ impl CompiledPath {
             if q == self.nfa.accept {
                 result.insert(node);
             }
+            let mut discovered = 0u64;
+            let mut edges = 0u64;
             for &next in &self.nfa.eps[q as usize] {
                 if visited.insert(node, next) {
+                    discovered += 1;
                     queue.push_back((node, next));
                 }
             }
             for (label, inv, next) in &self.resolved[q as usize] {
                 successors(graph, node, label, *inv, |_pred, n2| {
+                    edges += 1;
                     if visited.insert(n2, *next) {
+                        discovered += 1;
                         queue.push_back((n2, *next));
                     }
                 });
             }
+            ctx.tick(1 + edges)?;
+            mem.charge(discovered * PAIR_COST)?;
         }
-        result
+        Ok(result)
     }
 
     /// Decides `(from, to) ∈ ⟦E⟧^G` without materializing the full result.
     pub fn connects(&self, graph: &Graph, from: TermId, to: TermId) -> bool {
+        self.try_connects(graph, from, to, &ExecCtx::unbounded())
+            .expect("unbounded context cannot fail")
+    }
+
+    /// Governed [`CompiledPath::connects`].
+    pub fn try_connects(
+        &self,
+        graph: &Graph,
+        from: TermId,
+        to: TermId,
+        ctx: &ExecCtx,
+    ) -> Result<bool, EngineError> {
         if let Some((pid, inv)) = self.simple {
-            return if inv {
+            ctx.tick(1)?;
+            return Ok(if inv {
                 graph.contains_ids(to, pid, from)
             } else {
                 graph.contains_ids(from, pid, to)
-            };
+            });
         }
-        self.eval_from(graph, from).contains(&to)
+        Ok(self.try_eval_from(graph, from, ctx)?.contains(&to))
     }
 
     /// Computes `⋃_{x ∈ targets} graph(paths(E, G, from, x))` as a set of
@@ -382,16 +426,25 @@ impl CompiledPath {
     /// `targets` is the set of admissible endpoints; pass the result of
     /// [`CompiledPath::eval_from`] (possibly filtered by a shape) — nodes in
     /// `targets` not actually reachable are ignored.
-    pub fn trace(
+    pub fn trace(&self, graph: &Graph, from: TermId, targets: &BTreeSet<TermId>) -> TraceSet {
+        self.try_trace(graph, from, targets, &ExecCtx::unbounded())
+            .expect("unbounded context cannot fail")
+    }
+
+    /// Governed [`CompiledPath::trace`]: every BFS pop and edge expansion in
+    /// the forward, backward, and collection phases ticks the context.
+    pub fn try_trace(
         &self,
         graph: &Graph,
         from: TermId,
         targets: &BTreeSet<TermId>,
-    ) -> BTreeSet<(TermId, TermId, TermId)> {
+        ctx: &ExecCtx,
+    ) -> Result<TraceSet, EngineError> {
         let mut out = BTreeSet::new();
         if let Some((pid, inv)) = self.simple {
             // paths(p, G, a, x) is the single length-one path; its graph is
             // the forward triple.
+            ctx.tick(targets.len() as u64)?;
             for &x in targets {
                 if inv {
                     if graph.contains_ids(x, pid, from) {
@@ -401,28 +454,36 @@ impl CompiledPath {
                     out.insert((from, pid, x));
                 }
             }
-            return out;
+            return Ok(out);
         }
 
         // Forward reachability over the product graph.
         let states = self.nfa.state_count();
+        let mut mem = MemGuard::new(ctx);
         let mut forward = ProductSet::new(states);
         let mut queue: VecDeque<(TermId, u32)> = VecDeque::new();
         forward.insert(from, self.nfa.start);
         queue.push_back((from, self.nfa.start));
         while let Some((node, q)) = queue.pop_front() {
+            let mut discovered = 0u64;
+            let mut edges = 0u64;
             for &next in &self.nfa.eps[q as usize] {
                 if forward.insert(node, next) {
+                    discovered += 1;
                     queue.push_back((node, next));
                 }
             }
             for (label, inv, next) in &self.resolved[q as usize] {
                 successors(graph, node, label, *inv, |_pred, n2| {
+                    edges += 1;
                     if forward.insert(n2, *next) {
+                        discovered += 1;
                         queue.push_back((n2, *next));
                     }
                 });
             }
+            ctx.tick(1 + edges)?;
+            mem.charge(discovered * PAIR_COST)?;
         }
 
         // Backward reachability from accepting target pairs, restricted to
@@ -435,8 +496,11 @@ impl CompiledPath {
             }
         }
         while let Some((node, q)) = queue.pop_front() {
+            let mut discovered = 0u64;
+            let mut edges = 0u64;
             for &prev in &self.eps_rev[q as usize] {
                 if forward.contains(node, prev) && backward.insert(node, prev) {
+                    discovered += 1;
                     queue.push_back((node, prev));
                 }
             }
@@ -446,18 +510,24 @@ impl CompiledPath {
                 //   forward: (m, p, node) ∈ G
                 //   inverse: (node, p, m) ∈ G
                 predecessors(graph, node, label, *inv, |_pred, m| {
+                    edges += 1;
                     if forward.contains(m, *prev) && backward.insert(m, *prev) {
+                        discovered += 1;
                         queue.push_back((m, *prev));
                     }
                 });
             }
+            ctx.tick(1 + edges)?;
+            mem.charge(discovered * PAIR_COST)?;
         }
 
         // Collect edges whose source is reachable and target co-reachable.
         for (q, nodes) in backward.per_state.iter().enumerate() {
             for &node in nodes {
+                let mut edges = 0u64;
                 for (label, inv, next) in &self.resolved[q] {
                     successors(graph, node, label, *inv, |pred, n2| {
+                        edges += 1;
                         if backward.contains(n2, *next) {
                             if *inv {
                                 out.insert((n2, pred, node));
@@ -467,9 +537,10 @@ impl CompiledPath {
                         }
                     });
                 }
+                ctx.tick(1 + edges)?;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Set-at-a-time evaluation: `⟦E⟧^G(sources[i])` for every source in one
@@ -482,10 +553,23 @@ impl CompiledPath {
     /// walked once per chunk rather than once per source. Results are
     /// per-source and identical to [`CompiledPath::eval_from`].
     pub fn eval_from_many(&self, graph: &Graph, sources: &[TermId]) -> Vec<BTreeSet<TermId>> {
+        self.try_eval_from_many(graph, sources, &ExecCtx::unbounded())
+            .expect("unbounded context cannot fail")
+    }
+
+    /// Governed [`CompiledPath::eval_from_many`]. The context is consulted
+    /// at every chunk boundary and throughout the shared product traversal.
+    pub fn try_eval_from_many(
+        &self,
+        graph: &Graph,
+        sources: &[TermId],
+        ctx: &ExecCtx,
+    ) -> Result<Vec<BTreeSet<TermId>>, EngineError> {
         if let Some((pid, inv)) = self.simple {
             // Single-property paths are direct index lookups per source;
             // nothing is shared between sources.
-            return sources
+            ctx.tick(sources.len() as u64)?;
+            return Ok(sources
                 .iter()
                 .map(|&from| {
                     if inv {
@@ -494,12 +578,14 @@ impl CompiledPath {
                         graph.objects_ids(from, pid).collect()
                     }
                 })
-                .collect();
+                .collect());
         }
         let mut results: Vec<BTreeSet<TermId>> = vec![BTreeSet::new(); sources.len()];
         for (chunk_idx, chunk) in sources.chunks(SOURCE_CHUNK).enumerate() {
+            ctx.check_now()?;
             let base = chunk_idx * SOURCE_CHUNK;
-            let forward = self.forward_bits(graph, chunk);
+            let mut mem = MemGuard::new(ctx);
+            let forward = self.forward_bits(graph, chunk, ctx, &mut mem)?;
             // Read results off the accept state: bit i set at (node, accept)
             // means source i reaches node.
             for (&node, bits) in &forward.per_state[self.nfa.accept as usize] {
@@ -508,7 +594,7 @@ impl CompiledPath {
                 });
             }
         }
-        results
+        Ok(results)
     }
 
     /// Batched tracing: for each request `(from, targets)`, computes
@@ -525,11 +611,23 @@ impl CompiledPath {
         &self,
         graph: &Graph,
         requests: &[(TermId, BTreeSet<TermId>)],
-    ) -> Vec<BTreeSet<(TermId, TermId, TermId)>> {
+    ) -> Vec<TraceSet> {
+        self.try_trace_many(graph, requests, &ExecCtx::unbounded())
+            .expect("unbounded context cannot fail")
+    }
+
+    /// Governed [`CompiledPath::trace_many`].
+    pub fn try_trace_many(
+        &self,
+        graph: &Graph,
+        requests: &[(TermId, BTreeSet<TermId>)],
+        ctx: &ExecCtx,
+    ) -> Result<Vec<TraceSet>, EngineError> {
         if let Some((pid, inv)) = self.simple {
             return requests
                 .iter()
                 .map(|(from, targets)| {
+                    ctx.tick(1 + targets.len() as u64)?;
                     let mut out = BTreeSet::new();
                     for &x in targets {
                         if inv {
@@ -540,18 +638,19 @@ impl CompiledPath {
                             out.insert((*from, pid, x));
                         }
                     }
-                    out
+                    Ok(out)
                 })
                 .collect();
         }
         let states = self.nfa.state_count();
-        let mut results: Vec<BTreeSet<(TermId, TermId, TermId)>> =
-            vec![BTreeSet::new(); requests.len()];
+        let mut results: Vec<TraceSet> = vec![BTreeSet::new(); requests.len()];
         for (chunk_idx, chunk) in requests.chunks(SOURCE_CHUNK).enumerate() {
+            ctx.check_now()?;
             let base = chunk_idx * SOURCE_CHUNK;
             let words = chunk.len().div_ceil(64);
             let sources: Vec<TermId> = chunk.iter().map(|(from, _)| *from).collect();
-            let forward = self.forward_bits(graph, &sources);
+            let mut mem = MemGuard::new(ctx);
+            let forward = self.forward_bits(graph, &sources, ctx, &mut mem)?;
 
             // Backward propagation restricted to forward-reachable pairs:
             // bits flowing into (m, prev) are the mover's bits intersected
@@ -577,6 +676,8 @@ impl CompiledPath {
                 if !backward.copy_into(node, q, &mut scratch) {
                     continue;
                 }
+                let mut pushed = 0u64;
+                let mut edges = 0u64;
                 for &prev in &self.eps_rev[q as usize] {
                     let fwd = match forward.get(node, prev) {
                         Some(bits) => bits,
@@ -585,12 +686,14 @@ impl CompiledPath {
                     if bits_intersect(&scratch, fwd, &mut gated)
                         && backward.union(node, prev, &gated)
                     {
+                        pushed += 1;
                         queue.push_back((node, prev));
                     }
                 }
                 for (label, inv, prev) in &self.resolved_rev[q as usize] {
                     let mut grown: Vec<TermId> = Vec::new();
                     predecessors(graph, node, label, *inv, |_pred, m| {
+                        edges += 1;
                         if forward.get(m, *prev).is_some() {
                             grown.push(m);
                         }
@@ -600,10 +703,13 @@ impl CompiledPath {
                         if bits_intersect(&scratch, fwd, &mut gated)
                             && backward.union(m, *prev, &gated)
                         {
+                            pushed += 1;
                             queue.push_back((m, *prev));
                         }
                     }
                 }
+                ctx.tick(1 + edges)?;
+                mem.charge(pushed * (PAIR_COST + 8 * words as u64))?;
             }
 
             // Edge collection: attribute each surviving product edge to the
@@ -620,6 +726,7 @@ impl CompiledPath {
                         successors(graph, node, label, *inv, |pred, n2| {
                             hits.push((pred, n2));
                         });
+                        ctx.tick(1 + hits.len() as u64)?;
                         for (pred, n2) in hits {
                             let bwd = match backward.get(n2, *next) {
                                 Some(bits) => bits,
@@ -640,14 +747,21 @@ impl CompiledPath {
                 }
             }
         }
-        results
+        Ok(results)
     }
 
     /// Multi-source forward reachability over the product graph: one worklist
     /// pass labeling each reached `(node, state)` pair with the set of chunk
     /// source indices that reach it.
-    fn forward_bits(&self, graph: &Graph, chunk: &[TermId]) -> BitMatrix {
+    fn forward_bits(
+        &self,
+        graph: &Graph,
+        chunk: &[TermId],
+        ctx: &ExecCtx,
+        mem: &mut MemGuard<'_>,
+    ) -> Result<BitMatrix, EngineError> {
         let words = chunk.len().div_ceil(64);
+        let entry_cost = PAIR_COST + 8 * words as u64;
         let mut forward = BitMatrix::new(self.nfa.state_count(), words);
         let mut queue: VecDeque<(TermId, u32)> = VecDeque::new();
         let mut seed = vec![0u64; words];
@@ -658,6 +772,7 @@ impl CompiledPath {
                 queue.push_back((from, self.nfa.start));
             }
         }
+        mem.charge(queue.len() as u64 * entry_cost)?;
         let mut scratch = vec![0u64; words];
         while let Some((node, q)) = queue.pop_front() {
             // Re-read current bits: the pair may have grown again since it
@@ -665,24 +780,31 @@ impl CompiledPath {
             if !forward.copy_into(node, q, &mut scratch) {
                 continue;
             }
+            let mut pushed = 0u64;
+            let mut edges = 0u64;
             for &next in &self.nfa.eps[q as usize] {
                 if forward.union(node, next, &scratch) {
+                    pushed += 1;
                     queue.push_back((node, next));
                 }
             }
             for (label, inv, next) in &self.resolved[q as usize] {
                 let mut grown: Vec<TermId> = Vec::new();
                 successors(graph, node, label, *inv, |_pred, n2| {
+                    edges += 1;
                     grown.push(n2);
                 });
                 for n2 in grown {
                     if forward.union(n2, *next, &scratch) {
+                        pushed += 1;
                         queue.push_back((n2, *next));
                     }
                 }
             }
+            ctx.tick(1 + edges)?;
+            mem.charge(pushed * entry_cost)?;
         }
-        forward
+        Ok(forward)
     }
 }
 
@@ -801,7 +923,7 @@ impl PathCache {
         graph: &Graph,
         from: TermId,
         targets: &BTreeSet<TermId>,
-    ) -> BTreeSet<(TermId, TermId, TermId)> {
+    ) -> TraceSet {
         self.get(path, graph).trace(graph, from, targets)
     }
 
@@ -821,8 +943,54 @@ impl PathCache {
         path: &PathExpr,
         graph: &Graph,
         requests: &[(TermId, BTreeSet<TermId>)],
-    ) -> Vec<BTreeSet<(TermId, TermId, TermId)>> {
+    ) -> Vec<TraceSet> {
         self.get(path, graph).trace_many(graph, requests)
+    }
+
+    /// Governed [`PathCache::eval`].
+    pub fn try_eval(
+        &mut self,
+        path: &PathExpr,
+        graph: &Graph,
+        from: TermId,
+        ctx: &ExecCtx,
+    ) -> Result<BTreeSet<TermId>, EngineError> {
+        self.get(path, graph).try_eval_from(graph, from, ctx)
+    }
+
+    /// Governed [`PathCache::trace`].
+    pub fn try_trace(
+        &mut self,
+        path: &PathExpr,
+        graph: &Graph,
+        from: TermId,
+        targets: &BTreeSet<TermId>,
+        ctx: &ExecCtx,
+    ) -> Result<TraceSet, EngineError> {
+        self.get(path, graph).try_trace(graph, from, targets, ctx)
+    }
+
+    /// Governed [`PathCache::eval_many`].
+    pub fn try_eval_many(
+        &mut self,
+        path: &PathExpr,
+        graph: &Graph,
+        sources: &[TermId],
+        ctx: &ExecCtx,
+    ) -> Result<Vec<BTreeSet<TermId>>, EngineError> {
+        self.get(path, graph)
+            .try_eval_from_many(graph, sources, ctx)
+    }
+
+    /// Governed [`PathCache::trace_many`].
+    pub fn try_trace_many(
+        &mut self,
+        path: &PathExpr,
+        graph: &Graph,
+        requests: &[(TermId, BTreeSet<TermId>)],
+        ctx: &ExecCtx,
+    ) -> Result<Vec<TraceSet>, EngineError> {
+        self.get(path, graph).try_trace_many(graph, requests, ctx)
     }
 }
 

@@ -157,37 +157,41 @@ impl Schema {
             Visiting,
             Done,
         }
-        let mut states: HashMap<&Term, State> = HashMap::new();
-
-        fn visit<'a>(
-            schema: &'a Schema,
-            name: &'a Term,
-            states: &mut HashMap<&'a Term, State>,
-        ) -> bool {
-            match states.get(name) {
-                Some(State::Done) => return false,
-                Some(State::Visiting) => return true,
-                None => {}
-            }
-            let Some(def) = schema.defs.get(name) else {
-                return false; // Undefined names dangle to ⊤; no cycle.
-            };
-            states.insert(name, State::Visiting);
-            let mut refs: Vec<&Term> = def.shape.referenced_shapes();
-            refs.extend(def.target.referenced_shapes());
-            for r in refs {
-                if visit(schema, r, states) {
-                    return true;
-                }
-            }
-            states.insert(name, State::Done);
-            false
+        // Iterative three-color DFS (Enter/Exit job stack): reference chains
+        // can be as deep as the schema is large, so no call-stack recursion.
+        enum Job<'a> {
+            Enter(&'a Term),
+            Exit(&'a Term),
         }
-
-        let names: Vec<&Term> = self.defs.keys().collect();
-        for name in names {
-            if visit(self, name, &mut states) {
-                return Some(name.clone());
+        let mut states: HashMap<&Term, State> = HashMap::new();
+        for start in self.defs.keys() {
+            if states.contains_key(start) {
+                continue;
+            }
+            let mut jobs = vec![Job::Enter(start)];
+            while let Some(job) = jobs.pop() {
+                match job {
+                    Job::Enter(name) => {
+                        match states.get(name) {
+                            Some(State::Done) => continue,
+                            Some(State::Visiting) => return Some(start.clone()),
+                            None => {}
+                        }
+                        let Some(def) = self.defs.get(name) else {
+                            continue; // Undefined names dangle to ⊤; no cycle.
+                        };
+                        states.insert(name, State::Visiting);
+                        jobs.push(Job::Exit(name));
+                        let mut refs: Vec<&Term> = def.shape.referenced_shapes();
+                        refs.extend(def.target.referenced_shapes());
+                        for r in refs {
+                            jobs.push(Job::Enter(r));
+                        }
+                    }
+                    Job::Exit(name) => {
+                        states.insert(name, State::Done);
+                    }
+                }
             }
         }
         None

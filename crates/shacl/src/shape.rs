@@ -14,6 +14,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::mem;
 
 use shapefrag_rdf::{Iri, Term};
 
@@ -41,7 +42,11 @@ impl fmt::Display for PathOrId {
 }
 
 /// A shape φ.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// `Clone` and `Drop` are implemented iteratively (worklist, not
+/// recursion) so that pathologically deep shapes — e.g. a 100 000-level
+/// `Geq` chain from a hostile schema — never overflow the thread stack.
+#[derive(PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Shape {
     /// ⊤ — satisfied by every node.
     True,
@@ -118,41 +123,52 @@ impl Shape {
         Shape::Not(Box::new(self))
     }
 
+    /// Takes the item list out of an `And` (resp. `Or`), leaving an empty
+    /// list behind. `Shape` implements `Drop`, so the builders below cannot
+    /// destructure `self` by value; this is the move-out idiom instead.
+    fn take_nary_items(&mut self, conjunction: bool) -> Option<Vec<Shape>> {
+        match self {
+            Shape::And(items) if conjunction => Some(mem::take(items)),
+            Shape::Or(items) if !conjunction => Some(mem::take(items)),
+            _ => None,
+        }
+    }
+
     /// φ ∧ ψ (flattening nested conjunctions).
-    pub fn and(self, other: Shape) -> Self {
-        match (self, other) {
-            (Shape::And(mut a), Shape::And(b)) => {
+    pub fn and(mut self, mut other: Shape) -> Self {
+        match (self.take_nary_items(true), other.take_nary_items(true)) {
+            (Some(mut a), Some(b)) => {
                 a.extend(b);
                 Shape::And(a)
             }
-            (Shape::And(mut a), b) => {
-                a.push(b);
+            (Some(mut a), None) => {
+                a.push(other);
                 Shape::And(a)
             }
-            (a, Shape::And(mut b)) => {
-                b.insert(0, a);
+            (None, Some(mut b)) => {
+                b.insert(0, self);
                 Shape::And(b)
             }
-            (a, b) => Shape::And(vec![a, b]),
+            (None, None) => Shape::And(vec![self, other]),
         }
     }
 
     /// φ ∨ ψ (flattening nested disjunctions).
-    pub fn or(self, other: Shape) -> Self {
-        match (self, other) {
-            (Shape::Or(mut a), Shape::Or(b)) => {
+    pub fn or(mut self, mut other: Shape) -> Self {
+        match (self.take_nary_items(false), other.take_nary_items(false)) {
+            (Some(mut a), Some(b)) => {
                 a.extend(b);
                 Shape::Or(a)
             }
-            (Shape::Or(mut a), b) => {
-                a.push(b);
+            (Some(mut a), None) => {
+                a.push(other);
                 Shape::Or(a)
             }
-            (a, Shape::Or(mut b)) => {
-                b.insert(0, a);
+            (None, Some(mut b)) => {
+                b.insert(0, self);
                 Shape::Or(b)
             }
-            (a, b) => Shape::Or(vec![a, b]),
+            (None, None) => Shape::Or(vec![self, other]),
         }
     }
 
@@ -184,18 +200,18 @@ impl Shape {
     }
 
     fn collect_refs<'a>(&'a self, out: &mut Vec<&'a Term>) {
-        match self {
-            Shape::HasShape(name) => out.push(name),
-            Shape::Not(inner) => inner.collect_refs(out),
-            Shape::And(items) | Shape::Or(items) => {
-                for s in items {
-                    s.collect_refs(out);
+        // Explicit worklist: shapes can be arbitrarily (adversarially) deep.
+        let mut stack = vec![self];
+        while let Some(s) = stack.pop() {
+            match s {
+                Shape::HasShape(name) => out.push(name),
+                Shape::Not(inner) => stack.push(inner),
+                Shape::And(items) | Shape::Or(items) => stack.extend(items.iter().rev()),
+                Shape::Geq(_, _, inner) | Shape::Leq(_, _, inner) | Shape::ForAll(_, inner) => {
+                    stack.push(inner)
                 }
+                _ => {}
             }
-            Shape::Geq(_, _, inner) | Shape::Leq(_, _, inner) | Shape::ForAll(_, inner) => {
-                inner.collect_refs(out)
-            }
-            _ => {}
         }
     }
 
@@ -205,28 +221,156 @@ impl Shape {
     /// `test`, `≥n E.φ` with monotone φ, and conjunctions/disjunctions of
     /// monotone shapes.
     pub fn is_monotone_syntactically(&self) -> bool {
-        match self {
-            Shape::True | Shape::False | Shape::HasValue(_) | Shape::Test(_) => true,
-            Shape::Geq(_, _, inner) => inner.is_monotone_syntactically(),
-            Shape::And(items) | Shape::Or(items) => {
-                items.iter().all(Shape::is_monotone_syntactically)
+        let mut stack = vec![self];
+        while let Some(s) = stack.pop() {
+            match s {
+                Shape::True | Shape::False | Shape::HasValue(_) | Shape::Test(_) => {}
+                Shape::Geq(_, _, inner) => stack.push(inner),
+                Shape::And(items) | Shape::Or(items) => stack.extend(items.iter()),
+                _ => return false,
             }
-            _ => false,
         }
+        true
     }
 
     /// Size of the shape (number of AST nodes), used to bound generated
     /// test inputs and report translation sizes.
     pub fn size(&self) -> usize {
+        let mut n = 0usize;
+        let mut stack = vec![self];
+        while let Some(s) = stack.pop() {
+            n += 1;
+            match s {
+                Shape::Not(inner)
+                | Shape::Geq(_, _, inner)
+                | Shape::Leq(_, _, inner)
+                | Shape::ForAll(_, inner) => stack.push(inner),
+                Shape::And(items) | Shape::Or(items) => stack.extend(items.iter()),
+                _ => {}
+            }
+        }
+        n
+    }
+
+    /// Detaches every direct child of `self` (replacing it with the
+    /// zero-child `⊤`) and pushes it onto `out`. Shared by the iterative
+    /// [`Drop`] implementation.
+    fn detach_children(&mut self, out: &mut Vec<Shape>) {
         match self {
-            Shape::Not(inner) => 1 + inner.size(),
-            Shape::And(items) | Shape::Or(items) => {
-                1 + items.iter().map(Shape::size).sum::<usize>()
+            Shape::Not(inner)
+            | Shape::Geq(_, _, inner)
+            | Shape::Leq(_, _, inner)
+            | Shape::ForAll(_, inner) => out.push(mem::replace(&mut **inner, Shape::True)),
+            Shape::And(items) | Shape::Or(items) => out.append(items),
+            _ => {}
+        }
+    }
+
+    /// True for variants with no child shapes (dropping/cloning them cannot
+    /// recurse).
+    fn is_leaf(&self) -> bool {
+        !matches!(
+            self,
+            Shape::Not(_)
+                | Shape::And(_)
+                | Shape::Or(_)
+                | Shape::Geq(..)
+                | Shape::Leq(..)
+                | Shape::ForAll(..)
+        )
+    }
+
+    /// Clones a leaf variant. Callers guarantee [`Shape::is_leaf`].
+    fn clone_leaf(&self) -> Shape {
+        match self {
+            Shape::True => Shape::True,
+            Shape::False => Shape::False,
+            Shape::HasShape(t) => Shape::HasShape(t.clone()),
+            Shape::Test(t) => Shape::Test(t.clone()),
+            Shape::HasValue(t) => Shape::HasValue(t.clone()),
+            Shape::Eq(e, p) => Shape::Eq(e.clone(), p.clone()),
+            Shape::Disj(e, p) => Shape::Disj(e.clone(), p.clone()),
+            Shape::Closed(ps) => Shape::Closed(ps.clone()),
+            Shape::LessThan(e, p) => Shape::LessThan(e.clone(), p.clone()),
+            Shape::LessThanEq(e, p) => Shape::LessThanEq(e.clone(), p.clone()),
+            Shape::MoreThan(e, p) => Shape::MoreThan(e.clone(), p.clone()),
+            Shape::MoreThanEq(e, p) => Shape::MoreThanEq(e.clone(), p.clone()),
+            Shape::UniqueLang(e) => Shape::UniqueLang(e.clone()),
+            _ => unreachable!("clone_leaf called on a composite shape"),
+        }
+    }
+}
+
+impl Clone for Shape {
+    /// Iterative deep clone: a post-order job stack builds the copy bottom-up
+    /// on an explicit value stack, so depth is bounded by heap, not the
+    /// thread stack.
+    fn clone(&self) -> Self {
+        enum Job<'a> {
+            Enter(&'a Shape),
+            Exit(&'a Shape),
+        }
+        let mut jobs = vec![Job::Enter(self)];
+        let mut built: Vec<Shape> = Vec::new();
+        while let Some(job) = jobs.pop() {
+            match job {
+                Job::Enter(s) => {
+                    if s.is_leaf() {
+                        built.push(s.clone_leaf());
+                    } else {
+                        jobs.push(Job::Exit(s));
+                        match s {
+                            Shape::Not(inner)
+                            | Shape::Geq(_, _, inner)
+                            | Shape::Leq(_, _, inner)
+                            | Shape::ForAll(_, inner) => jobs.push(Job::Enter(inner)),
+                            Shape::And(items) | Shape::Or(items) => {
+                                for item in items.iter().rev() {
+                                    jobs.push(Job::Enter(item));
+                                }
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+                Job::Exit(s) => {
+                    let rebuilt = match s {
+                        Shape::Not(_) => Shape::Not(Box::new(built.pop().unwrap())),
+                        Shape::Geq(n, e, _) => {
+                            Shape::Geq(*n, e.clone(), Box::new(built.pop().unwrap()))
+                        }
+                        Shape::Leq(n, e, _) => {
+                            Shape::Leq(*n, e.clone(), Box::new(built.pop().unwrap()))
+                        }
+                        Shape::ForAll(e, _) => {
+                            Shape::ForAll(e.clone(), Box::new(built.pop().unwrap()))
+                        }
+                        Shape::And(items) => Shape::And(built.split_off(built.len() - items.len())),
+                        Shape::Or(items) => Shape::Or(built.split_off(built.len() - items.len())),
+                        _ => unreachable!(),
+                    };
+                    built.push(rebuilt);
+                }
             }
-            Shape::Geq(_, _, inner) | Shape::Leq(_, _, inner) | Shape::ForAll(_, inner) => {
-                1 + inner.size()
-            }
-            _ => 1,
+        }
+        debug_assert_eq!(built.len(), 1);
+        built.pop().unwrap()
+    }
+}
+
+impl Drop for Shape {
+    /// Iterative drop: detach children onto a worklist before each node is
+    /// freed, so the compiler-generated recursive glue never sees a deep
+    /// tree.
+    fn drop(&mut self) {
+        if self.is_leaf() {
+            return;
+        }
+        let mut stack: Vec<Shape> = Vec::new();
+        self.detach_children(&mut stack);
+        while let Some(mut s) = stack.pop() {
+            s.detach_children(&mut stack);
+            // `s` is now childless and drops without recursion.
         }
     }
 }

@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use shapefrag_govern::{EngineError, ExecCtx};
 use shapefrag_rdf::graph::IntMap;
 use shapefrag_rdf::{Graph, Term, TermId};
 
@@ -59,12 +60,24 @@ impl ConformanceMemo {
 }
 
 /// Evaluation context: a schema, a graph, and the path-compilation cache.
+///
+/// A context optionally carries an [`ExecCtx`] (deadline, step/memory
+/// budgets, depth limit, cancellation). The boolean conformance API cannot
+/// return `Result`, so resource faults are *sticky*: the first
+/// [`EngineError`] is recorded, every subsequent primitive short-circuits
+/// (returning `false`/empty to unwind quickly), and governed entry points
+/// ([`validate_governed`], [`validate_batch_governed`]) surface the fault as
+/// an `Err` instead of a report.
 pub struct Context<'a> {
     pub schema: &'a Schema,
     pub graph: &'a Graph,
     paths: PathCache,
     /// Shared `hasShape` decisions; `None` disables memoization.
     memo: Option<Arc<ConformanceMemo>>,
+    /// Resource governor; unbounded by default.
+    exec: ExecCtx,
+    /// First resource fault observed (sticky until [`Context::take_fault`]).
+    fault: Option<EngineError>,
 }
 
 impl<'a> Context<'a> {
@@ -75,6 +88,8 @@ impl<'a> Context<'a> {
             graph,
             paths: PathCache::new(),
             memo: None,
+            exec: ExecCtx::unbounded(),
+            fault: None,
         }
     }
 
@@ -87,12 +102,72 @@ impl<'a> Context<'a> {
             graph,
             paths: PathCache::new(),
             memo: Some(memo),
+            exec: ExecCtx::unbounded(),
+            fault: None,
         }
+    }
+
+    /// Attaches an execution governor (builder style):
+    /// `Context::new(..).with_exec(ExecCtx::with_budget(..))`.
+    pub fn with_exec(mut self, exec: ExecCtx) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The execution governor (for reading `steps_used` etc.).
+    pub fn exec(&self) -> &ExecCtx {
+        &self.exec
+    }
+
+    /// Takes the sticky resource fault, if any. After a `Some` return the
+    /// context is usable again (but partial memo entries from the faulted
+    /// run remain valid: they were decided before the fault).
+    pub fn take_fault(&mut self) -> Option<EngineError> {
+        self.fault.take()
+    }
+
+    /// True iff a resource fault has been recorded and not yet taken.
+    pub fn faulted(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    fn record_fault(&mut self, e: EngineError) {
+        if self.fault.is_none() {
+            self.fault = Some(e);
+        }
+    }
+
+    /// Enters one governed recursion level on behalf of an external
+    /// recursive worker (the provenance collectors in `shapefrag-core`
+    /// recurse on shape structure without passing through
+    /// [`Context::conforms`]). Returns `false` — recording the fault — when
+    /// the depth limit, budget, deadline, or cancellation trips; pair every
+    /// `true` return with [`Context::guard_leave`].
+    pub fn guard_enter(&mut self) -> bool {
+        if self.fault.is_some() {
+            return false;
+        }
+        if let Err(e) = self.exec.enter() {
+            self.record_fault(e);
+            return false;
+        }
+        true
+    }
+
+    /// Leaves a recursion level entered via [`Context::guard_enter`].
+    pub fn guard_leave(&mut self) {
+        self.exec.leave();
     }
 
     /// `⟦E⟧^G(a)`.
     pub fn eval_path(&mut self, path: &PathExpr, from: TermId) -> BTreeSet<TermId> {
-        self.paths.eval(path, self.graph, from)
+        match self.paths.try_eval(path, self.graph, from, &self.exec) {
+            Ok(out) => out,
+            Err(e) => {
+                self.record_fault(e);
+                BTreeSet::new()
+            }
+        }
     }
 
     /// `graph(paths(E, G, from, targets))` as id triples.
@@ -102,7 +177,16 @@ impl<'a> Context<'a> {
         from: TermId,
         targets: &BTreeSet<TermId>,
     ) -> BTreeSet<(TermId, TermId, TermId)> {
-        self.paths.trace(path, self.graph, from, targets)
+        match self
+            .paths
+            .try_trace(path, self.graph, from, targets, &self.exec)
+        {
+            Ok(out) => out,
+            Err(e) => {
+                self.record_fault(e);
+                BTreeSet::new()
+            }
+        }
     }
 
     /// `⟦F⟧^G(a)` where `F` is a path expression or `id`.
@@ -114,7 +198,24 @@ impl<'a> Context<'a> {
     }
 
     /// Decides `H, G, a ⊨ φ` (Table 1).
+    ///
+    /// Under a governor, each call costs one step and one recursion level;
+    /// on a resource fault the answer is `false` and the fault is recorded
+    /// (see [`Context::take_fault`]).
     pub fn conforms(&mut self, node: TermId, shape: &Shape) -> bool {
+        if self.fault.is_some() {
+            return false;
+        }
+        if let Err(e) = self.exec.enter() {
+            self.record_fault(e);
+            return false;
+        }
+        let out = self.conforms_inner(node, shape);
+        self.exec.leave();
+        out
+    }
+
+    fn conforms_inner(&mut self, node: TermId, shape: &Shape) -> bool {
         match shape {
             Shape::True => true,
             Shape::False => false,
@@ -195,6 +296,19 @@ impl<'a> Context<'a> {
     /// Decides conformance for an NNF shape (used by the provenance engine,
     /// which works on NNF throughout).
     pub fn conforms_nnf(&mut self, node: TermId, shape: &Nnf) -> bool {
+        if self.fault.is_some() {
+            return false;
+        }
+        if let Err(e) = self.exec.enter() {
+            self.record_fault(e);
+            return false;
+        }
+        let out = self.conforms_nnf_inner(node, shape);
+        self.exec.leave();
+        out
+    }
+
+    fn conforms_nnf_inner(&mut self, node: TermId, shape: &Nnf) -> bool {
         match shape {
             Nnf::True => true,
             Nnf::False => false,
@@ -267,7 +381,11 @@ impl<'a> Context<'a> {
                 }
                 let def = self.schema.def(name);
                 let value = self.conforms(node, &def);
-                memo.insert(sid, node, value);
+                // A faulted run's answers are unwinding placeholders, not
+                // decisions; keep them out of the shared memo.
+                if self.fault.is_none() {
+                    memo.insert(sid, node, value);
+                }
                 return value;
             }
         }
@@ -277,7 +395,16 @@ impl<'a> Context<'a> {
 
     /// Set-at-a-time `⟦E⟧^G(sources[i])` through the multi-source kernel.
     pub fn eval_path_many(&mut self, path: &PathExpr, sources: &[TermId]) -> Vec<BTreeSet<TermId>> {
-        self.paths.eval_many(path, self.graph, sources)
+        match self
+            .paths
+            .try_eval_many(path, self.graph, sources, &self.exec)
+        {
+            Ok(out) => out,
+            Err(e) => {
+                self.record_fault(e);
+                vec![BTreeSet::new(); sources.len()]
+            }
+        }
     }
 
     /// Batched path tracing through the multi-source kernel.
@@ -286,7 +413,16 @@ impl<'a> Context<'a> {
         path: &PathExpr,
         requests: &[(TermId, BTreeSet<TermId>)],
     ) -> Vec<BTreeSet<(TermId, TermId, TermId)>> {
-        self.paths.trace_many(path, self.graph, requests)
+        match self
+            .paths
+            .try_trace_many(path, self.graph, requests, &self.exec)
+        {
+            Ok(out) => out,
+            Err(e) => {
+                self.record_fault(e);
+                vec![BTreeSet::new(); requests.len()]
+            }
+        }
     }
 
     /// Batch driver: decides `H, G, a ⊨ φ` for every node at once,
@@ -297,6 +433,19 @@ impl<'a> Context<'a> {
     /// over all focus nodes, and candidate conformance is decided once per
     /// *distinct* candidate instead of once per (focus, candidate) pair.
     pub fn conforms_all(&mut self, nodes: &[TermId], shape: &Shape) -> Vec<bool> {
+        if self.fault.is_some() {
+            return vec![false; nodes.len()];
+        }
+        if let Err(e) = self.exec.enter() {
+            self.record_fault(e);
+            return vec![false; nodes.len()];
+        }
+        let out = self.conforms_all_inner(nodes, shape);
+        self.exec.leave();
+        out
+    }
+
+    fn conforms_all_inner(&mut self, nodes: &[TermId], shape: &Shape) -> Vec<bool> {
         match shape {
             Shape::True => vec![true; nodes.len()],
             Shape::False => vec![false; nodes.len()],
@@ -385,6 +534,19 @@ impl<'a> Context<'a> {
     /// NNF twin of [`Context::conforms_all`], agreeing pointwise with
     /// [`Context::conforms_nnf`].
     pub fn conforms_all_nnf(&mut self, nodes: &[TermId], shape: &Nnf) -> Vec<bool> {
+        if self.fault.is_some() {
+            return vec![false; nodes.len()];
+        }
+        if let Err(e) = self.exec.enter() {
+            self.record_fault(e);
+            return vec![false; nodes.len()];
+        }
+        let out = self.conforms_all_nnf_inner(nodes, shape);
+        self.exec.leave();
+        out
+    }
+
+    fn conforms_all_nnf_inner(&mut self, nodes: &[TermId], shape: &Nnf) -> Vec<bool> {
         match shape {
             Nnf::True => vec![true; nodes.len()],
             Nnf::False => vec![false; nodes.len()],
@@ -547,7 +709,9 @@ impl<'a> Context<'a> {
                 .copied()
                 .zip(decided.iter().copied())
                 .collect();
-            {
+            // Keep unwinding placeholders from a faulted run out of the
+            // shared memo.
+            if self.fault.is_none() {
                 let mut table = memo.decided.write();
                 for (&node, &v) in map.iter() {
                     table.insert((sid, node), v);
@@ -874,6 +1038,72 @@ pub fn validate_batch_with_memo(
         }
     }
     report
+}
+
+/// Resource-governed [`validate`]: same report on success, or the first
+/// [`EngineError`] (deadline, budget, cancellation, depth) instead of a
+/// partial — and therefore misleading — report.
+pub fn validate_governed(
+    schema: &Schema,
+    graph: &Graph,
+    exec: ExecCtx,
+) -> Result<ValidationReport, EngineError> {
+    let mut ctx = Context::new(schema, graph).with_exec(exec);
+    let mut report = ValidationReport::default();
+    for def in schema.iter() {
+        ctx.exec.check_now()?;
+        let targets = ctx.target_nodes(&def.target);
+        if let Some(e) = ctx.take_fault() {
+            return Err(e);
+        }
+        for node in targets {
+            report.checked += 1;
+            let ok = ctx.conforms(node, &def.shape);
+            if let Some(e) = ctx.take_fault() {
+                return Err(e);
+            }
+            if !ok {
+                report.violations.push(Violation {
+                    shape: def.name.clone(),
+                    focus: graph.term(node).clone(),
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Resource-governed [`validate_batch`]: the set-at-a-time driver under a
+/// deadline/budget/cancellation governor.
+pub fn validate_batch_governed(
+    schema: &Schema,
+    graph: &Graph,
+    exec: ExecCtx,
+) -> Result<ValidationReport, EngineError> {
+    let mut ctx =
+        Context::with_memo(schema, graph, Arc::new(ConformanceMemo::new())).with_exec(exec);
+    let mut report = ValidationReport::default();
+    for def in schema.iter() {
+        ctx.exec.check_now()?;
+        let targets: Vec<TermId> = ctx.target_nodes(&def.target).into_iter().collect();
+        if let Some(e) = ctx.take_fault() {
+            return Err(e);
+        }
+        let conforming = ctx.conforms_all(&targets, &def.shape);
+        if let Some(e) = ctx.take_fault() {
+            return Err(e);
+        }
+        report.checked += targets.len();
+        for (node, ok) in targets.iter().zip(conforming) {
+            if !ok {
+                report.violations.push(Violation {
+                    shape: def.name.clone(),
+                    focus: graph.term(*node).clone(),
+                });
+            }
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -1338,6 +1568,115 @@ mod tests {
         let batch = validate_batch(&schema, &g);
         assert_eq!(per_node, batch);
         assert_eq!(batch.checked, per_node.checked);
+    }
+
+    #[test]
+    fn governed_validation_matches_ungoverned_when_unbounded() {
+        let schema = Schema::new([ShapeDef::new(
+            term("S"),
+            Shape::geq(
+                1,
+                p("author"),
+                Shape::geq(1, p("type"), Shape::has_value(term("Student"))),
+            ),
+            Shape::geq(1, p("author"), Shape::True),
+        )])
+        .unwrap();
+        let g = Graph::from_triples([
+            t("p1", "author", "alice"),
+            t("alice", "type", "Student"),
+            t("p2", "author", "bob"),
+        ]);
+        let plain = validate(&schema, &g);
+        let gov = validate_governed(&schema, &g, ExecCtx::unbounded()).unwrap();
+        assert_eq!(plain, gov);
+        let gov_batch = validate_batch_governed(&schema, &g, ExecCtx::unbounded()).unwrap();
+        assert_eq!(plain, gov_batch);
+    }
+
+    #[test]
+    fn exhausted_step_budget_is_an_error_not_a_report() {
+        use shapefrag_govern::{Budget, BudgetKind};
+        let schema = Schema::new([ShapeDef::new(
+            term("S"),
+            Shape::for_all(p("p").star(), Shape::geq(1, p("p"), Shape::True)),
+            Shape::geq(1, p("p"), Shape::True),
+        )])
+        .unwrap();
+        // A cycle so p* has plenty of product-graph work to charge for.
+        let g = Graph::from_triples([t("a", "p", "b"), t("b", "p", "c"), t("c", "p", "a")]);
+        let err = validate_governed(
+            &schema,
+            &g,
+            ExecCtx::with_budget(Budget::unlimited().steps(2)),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::BudgetExceeded {
+                kind: BudgetKind::Steps,
+                ..
+            }
+        ));
+        let err = validate_batch_governed(
+            &schema,
+            &g,
+            ExecCtx::with_budget(Budget::unlimited().steps(2)),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::BudgetExceeded {
+                kind: BudgetKind::Steps,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_validation() {
+        use shapefrag_govern::{Budget, CancelToken};
+        let schema = Schema::new([ShapeDef::new(
+            term("S"),
+            Shape::True,
+            Shape::geq(1, p("p"), Shape::True),
+        )])
+        .unwrap();
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        let token = CancelToken::new();
+        token.cancel();
+        let exec = ExecCtx::with_budget(Budget::unlimited()).with_cancel(&token);
+        let err = validate_governed(&schema, &g, exec).unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled));
+    }
+
+    #[test]
+    fn depth_limit_surfaces_on_deep_shape_trees() {
+        use shapefrag_govern::Budget;
+        // A right-nested ForAll chain deeper than the depth limit; the data
+        // chain keeps candidates non-empty so recursion actually descends.
+        let mut shape = Shape::geq(1, p("p"), Shape::True);
+        for _ in 0..64 {
+            shape = Shape::for_all(p("p"), shape);
+        }
+        let mut triples = Vec::new();
+        for i in 0..70 {
+            triples.push(t(&format!("n{i}"), "p", &format!("n{}", i + 1)));
+        }
+        let g = Graph::from_triples(triples);
+        let schema = Schema::new([ShapeDef::new(
+            term("S"),
+            shape,
+            Shape::geq(1, p("p"), Shape::True),
+        )])
+        .unwrap();
+        let err = validate_governed(
+            &schema,
+            &g,
+            ExecCtx::with_budget(Budget::unlimited().max_depth(16)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::DepthLimit { limit: 16 }));
     }
 
     #[test]

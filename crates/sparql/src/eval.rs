@@ -8,7 +8,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
-use shapefrag_rdf::{Graph, Iri, Literal, Term};
+use shapefrag_govern::{BudgetKind, EngineError, ExecCtx};
+use shapefrag_rdf::{Graph, Iri, Literal, Term, TermId};
 use shapefrag_shacl::rpq::CompiledPath;
 use shapefrag_shacl::PathExpr;
 
@@ -106,8 +107,54 @@ pub fn eval_select(
         config: *config,
         paths: HashMap::new(),
         started: Instant::now(),
+        exec: None,
+        fault: None,
     };
     ev.select(query)
+}
+
+/// Evaluates a `SELECT` query under an execution-governance context: the
+/// step budget, memory estimate, wall-clock deadline, and cancellation
+/// token of `exec` are all honored, on top of whatever `config` caps are
+/// set. Governance faults surface as structured [`EngineError`]s; a
+/// `config`-level cap that trips first is reported as the matching
+/// `EngineError` variant (intermediate cap → memory budget, wall-clock cap
+/// → deadline).
+pub fn eval_select_governed(
+    graph: &Graph,
+    query: &Select,
+    config: &EvalConfig,
+    exec: &ExecCtx,
+) -> Result<Vec<Binding>, EngineError> {
+    let mut ev = Evaluator {
+        graph,
+        config: *config,
+        paths: HashMap::new(),
+        started: Instant::now(),
+        exec: Some(exec),
+        fault: None,
+    };
+    match ev.select(query) {
+        Ok(rows) => match ev.fault.take() {
+            Some(e) => Err(e),
+            None => Ok(rows),
+        },
+        Err(r) => Err(ev.fault.take().unwrap_or_else(|| {
+            if r.timed_out {
+                EngineError::DeadlineExceeded {
+                    budget_ms: config
+                        .max_duration
+                        .map(|d| d.as_millis() as u64)
+                        .unwrap_or(0),
+                }
+            } else {
+                EngineError::BudgetExceeded {
+                    kind: BudgetKind::Memory,
+                    limit: config.max_intermediate.unwrap_or(0) as u64,
+                }
+            }
+        })),
+    }
 }
 
 /// Convenience: evaluates with the default (indexed) configuration,
@@ -144,10 +191,43 @@ struct Evaluator<'g> {
     config: EvalConfig,
     paths: HashMap<PathExpr, CompiledPath>,
     started: Instant,
+    /// Governance context (`None` for the classic, ungoverned entry points).
+    exec: Option<&'g ExecCtx>,
+    /// First governance fault. The internal operators unwind through
+    /// [`ResourceExhausted`]; the governed entry point re-raises this.
+    fault: Option<EngineError>,
 }
 
 impl<'g> Evaluator<'g> {
-    fn check_cap(&self, n: usize) -> Result<(), ResourceExhausted> {
+    /// Records the first governance fault and produces the
+    /// [`ResourceExhausted`] used to unwind the operator recursion.
+    fn engine_fault(&mut self, e: EngineError, n: usize) -> ResourceExhausted {
+        let timed_out = matches!(e, EngineError::DeadlineExceeded { .. });
+        if self.fault.is_none() {
+            self.fault = Some(e);
+        }
+        ResourceExhausted {
+            intermediate: n,
+            timed_out,
+        }
+    }
+
+    /// Charges `rows` materialized bindings against the step budget.
+    fn charge_rows(&mut self, rows: usize) -> Result<(), ResourceExhausted> {
+        if let Some(exec) = self.exec {
+            if let Err(e) = exec.tick(rows as u64) {
+                return Err(self.engine_fault(e, rows));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_cap(&mut self, n: usize) -> Result<(), ResourceExhausted> {
+        if let Some(exec) = self.exec {
+            if let Err(e) = exec.tick(1).and_then(|()| exec.check_now()) {
+                return Err(self.engine_fault(e, n));
+            }
+        }
         if let Some(cap) = self.config.max_intermediate {
             if n > cap {
                 return Err(ResourceExhausted {
@@ -222,6 +302,7 @@ impl<'g> Evaluator<'g> {
                 let right = self.pattern(b)?;
                 left.extend(right);
                 self.check_cap(left.len())?;
+                self.charge_rows(left.len())?;
                 Ok(left)
             }
             Pattern::Minus(a, b) => {
@@ -262,6 +343,7 @@ impl<'g> Evaluator<'g> {
                     }
                 }
                 self.check_cap(out.len())?;
+                self.charge_rows(out.len())?;
                 Ok(out)
             }
             Pattern::Filter(inner, expr) => {
@@ -303,6 +385,7 @@ impl<'g> Evaluator<'g> {
                 self.match_triple_pattern(tp, b, &mut next);
             }
             self.check_cap(next.len())?;
+            self.charge_rows(next.len())?;
             bound.extend(tp.vars().iter().map(|s| s.to_string()));
             solutions = next;
         }
@@ -368,6 +451,41 @@ impl<'g> Evaluator<'g> {
         &self.paths[path]
     }
 
+    /// Governed `connects`: routes through the budget-aware RPQ kernel when
+    /// an execution context is attached.
+    fn path_connects(
+        &mut self,
+        path: &PathExpr,
+        sid: TermId,
+        oid: TermId,
+    ) -> Result<bool, ResourceExhausted> {
+        let graph = self.graph;
+        match self.exec {
+            Some(exec) => {
+                let r = self.compiled(path).try_connects(graph, sid, oid, exec);
+                r.map_err(|e| self.engine_fault(e, 0))
+            }
+            None => Ok(self.compiled(path).connects(graph, sid, oid)),
+        }
+    }
+
+    /// Governed `eval_from`: routes through the budget-aware RPQ kernel when
+    /// an execution context is attached.
+    fn path_eval_from(
+        &mut self,
+        path: &PathExpr,
+        sid: TermId,
+    ) -> Result<BTreeSet<TermId>, ResourceExhausted> {
+        let graph = self.graph;
+        match self.exec {
+            Some(exec) => {
+                let r = self.compiled(path).try_eval_from(graph, sid, exec);
+                r.map_err(|e| self.engine_fault(e, 0))
+            }
+            None => Ok(self.compiled(path).eval_from(graph, sid)),
+        }
+    }
+
     fn path_pattern(
         &mut self,
         subject: &VarOrTerm,
@@ -393,7 +511,7 @@ impl<'g> Evaluator<'g> {
                 let (Some(sid), Some(oid)) = (graph.id_of(st), graph.id_of(ot)) else {
                     return Ok(out);
                 };
-                if self.compiled(path).connects(graph, sid, oid) {
+                if self.path_connects(path, sid, oid)? {
                     out.push(seed.clone());
                 }
             }
@@ -401,7 +519,7 @@ impl<'g> Evaluator<'g> {
                 let Some(sid) = graph.id_of(st) else {
                     return Ok(out);
                 };
-                for oid in self.compiled(path).eval_from(graph, sid) {
+                for oid in self.path_eval_from(path, sid)? {
                     let mut b = seed.clone();
                     b.insert(ov.clone(), graph.term(oid).clone());
                     out.push(b);
@@ -412,7 +530,7 @@ impl<'g> Evaluator<'g> {
                     return Ok(out);
                 };
                 let inverse = path.clone().inverse();
-                for sid in self.compiled(&inverse).eval_from(graph, oid) {
+                for sid in self.path_eval_from(&inverse, oid)? {
                     let mut b = seed.clone();
                     b.insert(sv.clone(), graph.term(sid).clone());
                     out.push(b);
@@ -422,7 +540,7 @@ impl<'g> Evaluator<'g> {
                 // Restricted to N(G) per Lemma 5.1.
                 let nodes = graph.node_ids();
                 for sid in nodes {
-                    for oid in self.compiled(path).eval_from(graph, sid) {
+                    for oid in self.path_eval_from(path, sid)? {
                         if sv == ov && sid != oid {
                             continue;
                         }
@@ -436,6 +554,7 @@ impl<'g> Evaluator<'g> {
             }
         }
         self.check_cap(out.len())?;
+        self.charge_rows(out.len())?;
         Ok(out)
     }
 
@@ -504,6 +623,7 @@ impl<'g> Evaluator<'g> {
                 self.check_cap(out.len())?;
             }
         }
+        self.charge_rows(out.len())?;
         Ok(out)
     }
 }
@@ -1143,6 +1263,86 @@ mod tests {
             )),
         );
         assert_eq!(eval(&g, &q).len(), 1);
+    }
+
+    #[test]
+    fn governed_eval_matches_ungoverned_when_unbounded() {
+        let g = test_graph();
+        let queries = vec![
+            Select::star(Pattern::Bgp(vec![
+                tp(v("s"), iri_term(iri("p")), v("m")),
+                tp(v("m"), iri_term(iri("q")), v("o")),
+            ])),
+            Select::star(Pattern::Path {
+                subject: v("s"),
+                path: PathExpr::prop(iri("p")).then(PathExpr::prop(iri("q"))),
+                object: v("o"),
+            }),
+        ];
+        let exec = ExecCtx::unbounded();
+        for q in queries {
+            let mut governed = eval_select_governed(&g, &q, &EvalConfig::indexed(), &exec)
+                .expect("unbounded governed eval cannot fail");
+            let mut plain = eval_select(&g, &q, &EvalConfig::indexed()).unwrap();
+            governed.sort();
+            plain.sort();
+            assert_eq!(governed, plain);
+        }
+    }
+
+    #[test]
+    fn governed_eval_step_budget_aborts_cross_join() {
+        use shapefrag_govern::Budget;
+        let mut g = Graph::new();
+        for i in 0..50 {
+            g.insert(t(&format!("s{i}"), "p", &format!("o{i}")));
+        }
+        let q = Select::star(Pattern::Join(
+            Box::new(Pattern::Bgp(vec![tp(v("a"), iri_term(iri("p")), v("b"))])),
+            Box::new(Pattern::Bgp(vec![tp(v("c"), iri_term(iri("p")), v("d"))])),
+        ));
+        let exec = ExecCtx::with_budget(Budget::unlimited().steps(100));
+        let res = eval_select_governed(&g, &q, &EvalConfig::indexed(), &exec);
+        assert!(matches!(
+            res,
+            Err(EngineError::BudgetExceeded {
+                kind: BudgetKind::Steps,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn governed_eval_observes_cancellation() {
+        use shapefrag_govern::{Budget, CancelToken};
+        let g = test_graph();
+        let q = Select::star(Pattern::Bgp(vec![tp(v("s"), v("p"), v("o"))]));
+        let token = CancelToken::new();
+        token.cancel();
+        let exec = ExecCtx::with_budget(Budget::unlimited()).with_cancel(&token);
+        let res = eval_select_governed(&g, &q, &EvalConfig::indexed(), &exec);
+        assert!(matches!(res, Err(EngineError::Cancelled)));
+    }
+
+    #[test]
+    fn config_caps_map_to_engine_errors_in_governed_mode() {
+        let mut g = Graph::new();
+        for i in 0..50 {
+            g.insert(t(&format!("s{i}"), "p", &format!("o{i}")));
+        }
+        let q = Select::star(Pattern::Join(
+            Box::new(Pattern::Bgp(vec![tp(v("a"), iri_term(iri("p")), v("b"))])),
+            Box::new(Pattern::Bgp(vec![tp(v("c"), iri_term(iri("p")), v("d"))])),
+        ));
+        let exec = ExecCtx::unbounded();
+        let res = eval_select_governed(&g, &q, &EvalConfig::indexed().with_cap(100), &exec);
+        assert!(matches!(
+            res,
+            Err(EngineError::BudgetExceeded {
+                kind: BudgetKind::Memory,
+                limit: 100,
+            })
+        ));
     }
 
     #[test]

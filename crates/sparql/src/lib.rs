@@ -28,5 +28,9 @@ pub mod eval;
 pub mod parser;
 
 pub use algebra::{Expr, Pattern, Projection, Select, TriplePattern, VarOrTerm};
-pub use eval::{bindings_to_graph, eval, eval_select, Binding, EvalConfig, ResourceExhausted};
-pub use parser::parse_select;
+pub use eval::{
+    bindings_to_graph, eval, eval_select, eval_select_governed, Binding, EvalConfig,
+    ResourceExhausted,
+};
+pub use parser::{parse_select, SparqlParseError};
+pub use shapefrag_govern::{Budget, CancelToken, EngineError, ErrorCode, ExecCtx};

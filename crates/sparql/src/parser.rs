@@ -12,16 +12,26 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use shapefrag_govern::{EngineError, ErrorCode};
 use shapefrag_rdf::vocab::rdf;
 use shapefrag_rdf::{Iri, Literal, Term};
 use shapefrag_shacl::PathExpr;
 
 use crate::algebra::{Expr, Pattern, Projection, Select, TriplePattern, VarOrTerm};
 
-/// A SPARQL parse error with a byte offset.
+/// Nesting cap for groups, parenthesized paths/expressions, and unary
+/// operator chains: adversarial inputs like `((((…))))` must produce a
+/// structured error, not a call-stack overflow.
+const MAX_DEPTH: usize = 128;
+
+/// A SPARQL parse error with a position (1-based line/column plus the raw
+/// character offset) and a machine-readable [`ErrorCode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SparqlParseError {
     pub offset: usize,
+    pub line: usize,
+    pub column: usize,
+    pub code: ErrorCode,
     pub message: String,
 }
 
@@ -29,19 +39,31 @@ impl fmt::Display for SparqlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "SPARQL parse error at offset {}: {}",
-            self.offset, self.message
+            "SPARQL parse error at {}:{} [{}]: {}",
+            self.line, self.column, self.code, self.message
         )
     }
 }
 
 impl std::error::Error for SparqlParseError {}
 
+impl From<SparqlParseError> for EngineError {
+    fn from(e: SparqlParseError) -> Self {
+        EngineError::Malformed {
+            code: e.code,
+            line: e.line,
+            column: e.column,
+            message: e.message,
+        }
+    }
+}
+
 /// Parses a `SELECT` query (with optional `PREFIX` prologue).
 pub fn parse_select(input: &str) -> Result<Select, SparqlParseError> {
     let mut p = Parser {
         chars: input.chars().collect(),
         pos: 0,
+        depth: 0,
         prefixes: HashMap::new(),
     };
     p.skip_ws();
@@ -59,15 +81,45 @@ pub fn parse_select(input: &str) -> Result<Select, SparqlParseError> {
 struct Parser {
     chars: Vec<char>,
     pos: usize,
+    depth: usize,
     prefixes: HashMap<String, String>,
 }
 
 impl Parser {
     fn err(&self, msg: impl Into<String>) -> SparqlParseError {
+        self.err_code(ErrorCode::Syntax, msg)
+    }
+
+    fn err_code(&self, code: ErrorCode, msg: impl Into<String>) -> SparqlParseError {
+        let (mut line, mut column) = (1usize, 1usize);
+        for &c in self.chars.iter().take(self.pos) {
+            if c == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
         SparqlParseError {
             offset: self.pos,
+            line,
+            column,
+            code,
             message: msg.into(),
         }
+    }
+
+    /// Enters one grammar-recursion level; pair with a `depth -= 1` on the
+    /// way out (see the `parse_*` wrappers).
+    fn descend(&mut self) -> Result<(), SparqlParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err_code(
+                ErrorCode::DepthLimit,
+                format!("query nesting deeper than {MAX_DEPTH} levels"),
+            ));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<char> {
@@ -140,8 +192,14 @@ impl Parser {
                 self.skip_ws();
                 Ok(())
             }
-            Some(got) => Err(self.err(format!("expected '{c}', found '{got}'"))),
-            None => Err(self.err(format!("expected '{c}', found end of input"))),
+            Some(got) => Err(self.err_code(
+                ErrorCode::UnexpectedChar,
+                format!("expected '{c}', found '{got}'"),
+            )),
+            None => Err(self.err_code(
+                ErrorCode::UnexpectedEof,
+                format!("expected '{c}', found end of input"),
+            )),
         }
     }
 
@@ -235,6 +293,13 @@ impl Parser {
 
     /// Parses `{ … }`.
     fn parse_group(&mut self) -> Result<Pattern, SparqlParseError> {
+        self.descend()?;
+        let out = self.parse_group_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_group_inner(&mut self) -> Result<Pattern, SparqlParseError> {
         self.expect('{')?;
         // Sub-select?
         if self.peek_keyword("SELECT") {
@@ -252,7 +317,11 @@ impl Parser {
                     self.skip_ws();
                     break;
                 }
-                None => return Err(self.err("unterminated group pattern")),
+                None => {
+                    return Err(
+                        self.err_code(ErrorCode::UnexpectedEof, "unterminated group pattern")
+                    )
+                }
                 Some('{') => {
                     let sub = self.parse_group_or_union_or_minus()?;
                     pattern = pattern.join(sub);
@@ -433,9 +502,11 @@ impl Parser {
         loop {
             match self.bump() {
                 Some('>') => return Ok(iri),
-                Some(c) if c.is_whitespace() => return Err(self.err("whitespace in IRI")),
+                Some(c) if c.is_whitespace() => {
+                    return Err(self.err_code(ErrorCode::UnterminatedIri, "whitespace in IRI"))
+                }
                 Some(c) => iri.push(c),
-                None => return Err(self.err("unterminated IRI")),
+                None => return Err(self.err_code(ErrorCode::UnterminatedIri, "unterminated IRI")),
             }
         }
     }
@@ -470,10 +541,12 @@ impl Parser {
                 break;
             }
         }
-        let ns = self
-            .prefixes
-            .get(&prefix)
-            .ok_or_else(|| self.err(format!("undeclared prefix '{prefix}:'")))?;
+        let ns = self.prefixes.get(&prefix).ok_or_else(|| {
+            self.err_code(
+                ErrorCode::UndeclaredPrefix,
+                format!("undeclared prefix '{prefix}:'"),
+            )
+        })?;
         Ok(Iri::new(format!("{ns}{local}")))
     }
 
@@ -484,7 +557,9 @@ impl Parser {
             match self.bump() {
                 Some(c) if c == quote => break,
                 Some('\\') => {
-                    let esc = self.bump().ok_or_else(|| self.err("bad escape"))?;
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| self.err_code(ErrorCode::InvalidEscape, "bad escape"))?;
                     lex.push(match esc {
                         'n' => '\n',
                         't' => '\t',
@@ -496,7 +571,9 @@ impl Parser {
                     });
                 }
                 Some(c) => lex.push(c),
-                None => return Err(self.err("unterminated literal")),
+                None => {
+                    return Err(self.err_code(ErrorCode::UnterminatedString, "unterminated literal"))
+                }
             }
         }
         match self.peek() {
@@ -527,8 +604,9 @@ impl Parser {
 
     fn parse_numeric(&mut self) -> Result<Literal, SparqlParseError> {
         let mut s = String::new();
-        if matches!(self.peek(), Some('+') | Some('-')) {
-            s.push(self.bump().unwrap());
+        if let Some(sign @ ('+' | '-')) = self.peek() {
+            s.push(sign);
+            self.pos += 1;
         }
         let mut has_dot = false;
         while let Some(c) = self.peek() {
@@ -547,7 +625,7 @@ impl Parser {
             }
         }
         if s.is_empty() || s == "+" || s == "-" {
-            return Err(self.err("malformed number"));
+            return Err(self.err_code(ErrorCode::InvalidNumber, "malformed number"));
         }
         Ok(if has_dot {
             Literal::typed(s, shapefrag_rdf::vocab::xsd::decimal())
@@ -626,6 +704,13 @@ impl Parser {
     }
 
     fn parse_path_primary(&mut self) -> Result<PathExpr, SparqlParseError> {
+        self.descend()?;
+        let out = self.parse_path_primary_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_path_primary_inner(&mut self) -> Result<PathExpr, SparqlParseError> {
         self.skip_ws();
         match self.peek() {
             // Negated property set: !<p> or !(p1|p2|…) (possibly empty).
@@ -826,6 +911,13 @@ impl Parser {
     }
 
     fn parse_expr_unary(&mut self) -> Result<Expr, SparqlParseError> {
+        self.descend()?;
+        let out = self.parse_expr_unary_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_expr_unary_inner(&mut self) -> Result<Expr, SparqlParseError> {
         self.skip_ws();
         if self.peek() == Some('!') && self.peek_at(1) != Some('=') {
             self.pos += 1;
@@ -1148,5 +1240,64 @@ mod tests {
         assert!(parse_select("SELECT WHERE { ?s ?p ?o }").is_err());
         assert!(parse_select("SELECT ?s WHERE { ?s ex:p ?o }").is_err()); // undeclared prefix
         assert!(parse_select("SELECT ?s WHERE { ?s <http://e/p> ?o ").is_err());
+    }
+
+    #[test]
+    fn errors_carry_position_and_code() {
+        let err = parse_select("SELECT ?s WHERE { ?s ex:p ?o }").unwrap_err();
+        assert_eq!(err.code, ErrorCode::UndeclaredPrefix);
+        assert_eq!(err.line, 1);
+        assert!(err.column > 1);
+
+        let err = parse_select("SELECT ?s\nWHERE {\n  ?s <http://e/p ?o }").unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnterminatedIri);
+        assert_eq!(err.line, 3);
+
+        let err = parse_select("SELECT ?s WHERE { ?s <http://e/p> \"oops }").unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnterminatedString);
+
+        let err = parse_select("SELECT ?s WHERE { ?s <http://e/p> ?o ").unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnexpectedEof);
+    }
+
+    #[test]
+    fn deep_nesting_is_a_structured_error_not_a_stack_overflow() {
+        // Groups: {{{…}}}.
+        let deep_groups = format!(
+            "SELECT ?s WHERE {}{}{}",
+            "{ ".repeat(MAX_DEPTH + 10),
+            "?s ?p ?o",
+            " }".repeat(MAX_DEPTH + 10)
+        );
+        let err = parse_select(&deep_groups).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DepthLimit);
+
+        // Parenthesized paths: ((((p)))).
+        let deep_path = format!(
+            "SELECT ?s WHERE {{ ?s {}<http://e/p>{} ?o }}",
+            "(".repeat(MAX_DEPTH + 10),
+            ")".repeat(MAX_DEPTH + 10)
+        );
+        let err = parse_select(&deep_path).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DepthLimit);
+
+        // Unary chains: FILTER (!!!!…bound(?s)).
+        let deep_not = format!(
+            "SELECT ?s WHERE {{ ?s ?p ?o . FILTER ({}bound(?s)) }}",
+            "!".repeat(MAX_DEPTH + 10)
+        );
+        let err = parse_select(&deep_not).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DepthLimit);
+    }
+
+    #[test]
+    fn depth_guard_admits_reasonable_nesting() {
+        let nested = format!(
+            "SELECT ?s WHERE {}{}{}",
+            "{ ".repeat(20),
+            "?s ?p ?o",
+            " }".repeat(20)
+        );
+        assert!(parse_select(&nested).is_ok());
     }
 }

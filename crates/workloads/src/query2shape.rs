@@ -272,12 +272,18 @@ pub fn query_to_shape(query: &Select) -> Result<TranslatedQuery, Blocker> {
 }
 
 /// Rewrites the top-level `≥1` conjuncts of an optional subtree to `≥0`.
-fn relax_to_optional(shape: Shape) -> Shape {
-    match shape {
-        Shape::Geq(1, e, inner) => Shape::Geq(0, e, inner),
-        Shape::And(items) => Shape::And(items.into_iter().map(relax_to_optional).collect()),
-        other => other,
+/// (`Shape` implements `Drop`, so the rewrite mutates in place instead of
+/// destructuring by value.)
+fn relax_to_optional(mut shape: Shape) -> Shape {
+    let mut stack: Vec<&mut Shape> = vec![&mut shape];
+    while let Some(s) = stack.pop() {
+        match s {
+            Shape::Geq(n @ 1, _, _) => *n = 0,
+            Shape::And(items) => stack.extend(items.iter_mut()),
+            _ => {}
+        }
     }
+    shape
 }
 
 struct TreeBuilder<'a> {

@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the full shape-fragments stack.
 pub use shapefrag_core as core;
+pub use shapefrag_govern as govern;
 pub use shapefrag_rdf as rdf;
 pub use shapefrag_shacl as shacl;
 pub use shapefrag_sparql as sparql;

@@ -6,10 +6,12 @@ mod common;
 
 use proptest::prelude::*;
 
+use shape_fragments::govern::{Budget, ExecCtx};
 use shape_fragments::rdf::{ntriples, turtle};
 use shape_fragments::shacl::parser::parse_shapes_turtle;
 use shape_fragments::shacl::regex::Pattern;
 use shape_fragments::sparql::parser::parse_select;
+use shape_fragments::sparql::{eval_select_governed, EvalConfig};
 
 const VALID_TURTLE: &str = r#"
 @prefix sh: <http://www.w3.org/ns/shacl#> .
@@ -22,6 +24,10 @@ ex:S a sh:NodeShape ; sh:targetClass ex:T ;
 const VALID_SPARQL: &str = "PREFIX ex: <http://e/>\nSELECT DISTINCT ?s WHERE { \
     { ?s ex:p/ex:q* ?o . FILTER (?o != ex:x && strlen(str(?o)) > 2) } \
     UNION { ?s !(ex:p|ex:q) ?o } OPTIONAL { ?o ex:r ?z } }";
+
+const VALID_NTRIPLES: &str = "<http://e/a> <http://e/p> <http://e/b> .\n\
+<http://e/b> <http://e/p> \"lit\"@en .\n\
+<http://e/c> <http://e/q> \"3\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
 
 /// Deletes, duplicates, or replaces one character.
 fn mangle(text: &str, pos: usize, mode: u8, replacement: char) -> String {
@@ -39,6 +45,26 @@ fn mangle(text: &str, pos: usize, mode: u8, replacement: char) -> String {
         _ => out[pos] = replacement,
     }
     out.into_iter().collect()
+}
+
+/// Byte-level mangling: deletes, inserts, or overwrites a raw byte, then
+/// re-interprets the buffer lossily as UTF-8. This reaches byte sequences
+/// the char-based [`mangle`] never produces (split multibyte sequences,
+/// interior NULs, stray continuation bytes).
+fn mangle_bytes(text: &str, pos: usize, mode: u8, byte: u8) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    let pos = pos % bytes.len();
+    match mode % 3 {
+        0 => {
+            bytes.remove(pos);
+        }
+        1 => bytes.insert(pos, byte),
+        _ => bytes[pos] = byte,
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
 }
 
 proptest! {
@@ -78,13 +104,65 @@ proptest! {
 
     /// Mutations of a valid query never panic the SPARQL parser, and when
     /// they still parse, evaluation on a small graph never panics either.
+    /// Evaluation runs under a per-case step cap so that a mutation which
+    /// happens to produce an expensive query terminates with a structured
+    /// error instead of hanging the fuzz run.
     #[test]
     fn mangled_sparql_total(pos in 0usize..200, mode in 0u8..3, c in any::<char>()) {
         let mangled = mangle(VALID_SPARQL, pos, mode, c);
         if let Ok(query) = parse_select(&mangled) {
             let g = turtle::parse("@prefix ex: <http://e/> . ex:a ex:p ex:b . ex:b ex:q ex:c .")
                 .unwrap();
-            let _ = shape_fragments::sparql::eval(&g, &query);
+            let exec = ExecCtx::with_budget(Budget::unlimited().steps(50_000));
+            let _ = eval_select_governed(&g, &query, &EvalConfig::indexed(), &exec);
         }
+    }
+
+    /// Byte-level mutations of a valid Turtle document never panic the
+    /// strict parser, and the lossy loader stays total on the same inputs.
+    #[test]
+    fn byte_mangled_turtle_total(pos in 0usize..400, mode in 0u8..3, b in any::<u8>()) {
+        let mangled = mangle_bytes(VALID_TURTLE, pos, mode, b);
+        let _ = turtle::parse(&mangled);
+        let _ = turtle::parse_lossy(&mangled);
+        let _ = parse_shapes_turtle(&mangled);
+    }
+
+    /// Byte-level mutations of valid N-Triples never panic, and for every
+    /// mutation the lossy loader recovers at least the untouched lines
+    /// (three lines, at most one damaged → at least two triples).
+    #[test]
+    fn byte_mangled_ntriples_total(pos in 0usize..200, mode in 0u8..3, b in any::<u8>()) {
+        let mangled = mangle_bytes(VALID_NTRIPLES, pos, mode, b);
+        let _ = ntriples::parse(&mangled);
+        let load = ntriples::parse_lossy(&mangled);
+        prop_assert_eq!(load.diagnostics.len(), load.statements_skipped);
+        // One mutated byte damages at most two adjacent lines (a deleted
+        // newline merges two statements), so of the three triples at least
+        // one always survives.
+        prop_assert!(!load.graph.is_empty());
+    }
+
+    /// Byte-level mutations of a valid query: parse is total, and surviving
+    /// queries evaluate under a step cap without panicking.
+    #[test]
+    fn byte_mangled_sparql_total(pos in 0usize..200, mode in 0u8..3, b in any::<u8>()) {
+        let mangled = mangle_bytes(VALID_SPARQL, pos, mode, b);
+        if let Ok(query) = parse_select(&mangled) {
+            let g = turtle::parse("@prefix ex: <http://e/> . ex:a ex:p ex:b . ex:b ex:q ex:c .")
+                .unwrap();
+            let exec = ExecCtx::with_budget(Budget::unlimited().steps(50_000));
+            let _ = eval_select_governed(&g, &query, &EvalConfig::indexed(), &exec);
+        }
+    }
+
+    /// The lossy loaders are total on arbitrary input and never report a
+    /// diagnostic without a skipped statement (and vice versa).
+    #[test]
+    fn lossy_loaders_total(input in "[ -~\\n]{0,120}") {
+        let t = turtle::parse_lossy(&input);
+        prop_assert_eq!(t.diagnostics.len(), t.statements_skipped);
+        let n = ntriples::parse_lossy(&input);
+        prop_assert_eq!(n.diagnostics.len(), n.statements_skipped);
     }
 }
