@@ -7,7 +7,9 @@
 //!   (multi-source RPQ kernel + shared conformance memo), and
 //! - validation with fragment extraction:
 //!   `validate_extract_fragment_per_node` vs. the batch
-//!   `validate_extract_fragment`.
+//!   `validate_extract_fragment`, and
+//! - the frozen backend: the same batch kernels over a [`FrozenGraph`]
+//!   CSR snapshot (freeze time reported separately).
 //!
 //! Results (and the batch/per-node speedup per size) are written to
 //! `BENCH_validation.json` in the working directory. Run with `--scale` to
@@ -25,12 +27,17 @@ use shapefrag_workloads::tyrolean::{generate, sample_induced, TyroleanConfig};
 struct SizeRow {
     individuals: usize,
     triples: usize,
+    freeze_ms: f64,
     validate_per_node_ms: f64,
     validate_batch_ms: f64,
     validate_speedup: f64,
+    validate_frozen_ms: f64,
+    validate_frozen_speedup: f64,
     extract_per_node_ms: f64,
     extract_batch_ms: f64,
     extract_speedup: f64,
+    extract_frozen_ms: f64,
+    extract_frozen_speedup: f64,
 }
 
 struct BatchResults {
@@ -43,12 +50,17 @@ struct BatchResults {
 shapefrag_bench::impl_to_json!(SizeRow {
     individuals,
     triples,
+    freeze_ms,
     validate_per_node_ms,
     validate_batch_ms,
     validate_speedup,
+    validate_frozen_ms,
+    validate_frozen_speedup,
     extract_per_node_ms,
     extract_batch_ms,
     extract_speedup,
+    extract_frozen_ms,
+    extract_frozen_speedup,
 });
 shapefrag_bench::impl_to_json!(BatchResults {
     suite,
@@ -90,39 +102,59 @@ fn main() {
             runs
         );
 
-        // Sanity: batch and per-node must agree before we time them.
+        let (frozen, t_freeze) = time(|| graph.freeze());
+
+        // Sanity: batch, per-node, and frozen-backend must agree before we
+        // time them.
+        let reference = validate(&schema, &graph);
         assert_eq!(
-            validate(&schema, &graph),
+            reference,
             validate_batch(&schema, &graph),
             "batch validation diverged from per-node at {individuals} individuals"
+        );
+        assert_eq!(
+            reference,
+            validate_batch(&schema, &frozen),
+            "frozen validation diverged from mutable at {individuals} individuals"
         );
 
         // Interleave the four measurements so slow machine drift (thermal
         // throttling, allocator state) affects both sides equally.
         let mut s_val_per_node = Vec::with_capacity(runs);
         let mut s_val_batch = Vec::with_capacity(runs);
+        let mut s_val_frozen = Vec::with_capacity(runs);
         let mut s_ext_per_node = Vec::with_capacity(runs);
         let mut s_ext_batch = Vec::with_capacity(runs);
+        let mut s_ext_frozen = Vec::with_capacity(runs);
         for _ in 0..runs {
             s_val_per_node.push(time(|| validate(&schema, &graph)).1);
             s_val_batch.push(time(|| validate_batch(&schema, &graph)).1);
+            s_val_frozen.push(time(|| validate_batch(&schema, &frozen)).1);
             s_ext_per_node.push(time(|| validate_extract_fragment_per_node(&schema, &graph)).1);
             s_ext_batch.push(time(|| validate_extract_fragment(&schema, &graph)).1);
+            s_ext_frozen.push(time(|| validate_extract_fragment(&schema, &frozen)).1);
         }
         let t_val_per_node = median(s_val_per_node);
         let t_val_batch = median(s_val_batch);
+        let t_val_frozen = median(s_val_frozen);
         let t_ext_per_node = median(s_ext_per_node);
         let t_ext_batch = median(s_ext_batch);
+        let t_ext_frozen = median(s_ext_frozen);
 
         rows.push(SizeRow {
             individuals,
             triples: graph.len(),
+            freeze_ms: ms(t_freeze),
             validate_per_node_ms: ms(t_val_per_node),
             validate_batch_ms: ms(t_val_batch),
             validate_speedup: ms(t_val_per_node) / ms(t_val_batch).max(1e-9),
+            validate_frozen_ms: ms(t_val_frozen),
+            validate_frozen_speedup: ms(t_val_batch) / ms(t_val_frozen).max(1e-9),
             extract_per_node_ms: ms(t_ext_per_node),
             extract_batch_ms: ms(t_ext_batch),
             extract_speedup: ms(t_ext_per_node) / ms(t_ext_batch).max(1e-9),
+            extract_frozen_ms: ms(t_ext_frozen),
+            extract_frozen_speedup: ms(t_ext_batch) / ms(t_ext_frozen).max(1e-9),
         });
     }
 
@@ -133,12 +165,17 @@ fn main() {
             vec![
                 format!("{}", r.individuals),
                 format!("{}", r.triples),
+                format!("{:.2}ms", r.freeze_ms),
                 format!("{:.1}ms", r.validate_per_node_ms),
                 format!("{:.1}ms", r.validate_batch_ms),
                 format!("{:.2}x", r.validate_speedup),
+                format!("{:.1}ms", r.validate_frozen_ms),
+                format!("{:.2}x", r.validate_frozen_speedup),
                 format!("{:.1}ms", r.extract_per_node_ms),
                 format!("{:.1}ms", r.extract_batch_ms),
                 format!("{:.2}x", r.extract_speedup),
+                format!("{:.1}ms", r.extract_frozen_ms),
+                format!("{:.2}x", r.extract_frozen_speedup),
             ]
         })
         .collect();
@@ -146,12 +183,17 @@ fn main() {
         &[
             "individuals",
             "triples",
+            "freeze",
             "validate/node",
             "validate/batch",
             "speedup",
+            "validate/frozen",
+            "vs batch",
             "extract/node",
             "extract/batch",
             "speedup",
+            "extract/frozen",
+            "vs batch",
         ],
         &table,
     );
@@ -162,6 +204,7 @@ fn main() {
         runs,
         rows,
     };
-    write_json_to("BENCH_validation.json", &results);
-    println!("\nwrote BENCH_validation.json");
+    let out = opts.out.as_deref().unwrap_or("BENCH_validation.json");
+    write_json_to(out, &results);
+    println!("\nwrote {out}");
 }

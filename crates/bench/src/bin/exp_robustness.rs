@@ -101,10 +101,13 @@ fn main() {
             runs
         );
 
+        // Both sides run over the CSR snapshot (the production read path).
+        let frozen = graph.freeze();
+
         // Sanity: governance must not change the verdicts.
         assert_eq!(
-            validate_batch(&schema, &graph),
-            validate_batch_governed(&schema, &graph, ExecCtx::unbounded())
+            validate_batch(&schema, &frozen),
+            validate_batch_governed(&schema, &frozen, ExecCtx::unbounded())
                 .expect("unbounded context cannot fault"),
             "governed validation diverged at {individuals} individuals"
         );
@@ -113,9 +116,9 @@ fn main() {
         let mut s_plain = Vec::with_capacity(runs);
         let mut s_governed = Vec::with_capacity(runs);
         for _ in 0..runs {
-            s_plain.push(time(|| validate_batch(&schema, &graph)).1);
+            s_plain.push(time(|| validate_batch(&schema, &frozen)).1);
             s_governed.push(
-                time(|| validate_batch_governed(&schema, &graph, ExecCtx::unbounded()).unwrap()).1,
+                time(|| validate_batch_governed(&schema, &frozen, ExecCtx::unbounded()).unwrap()).1,
             );
         }
         let t_plain = median(s_plain);
@@ -132,9 +135,10 @@ fn main() {
     // Deadline abort latency: the gap between the configured deadline and
     // the moment the fault actually surfaces.
     let mut aborts = Vec::new();
+    let full_frozen = full.freeze();
     for deadline in [Duration::from_millis(1), Duration::from_millis(5)] {
         let exec = ExecCtx::with_budget(Budget::unlimited().deadline(deadline));
-        let (res, observed) = time(|| validate_batch_governed(&schema, &full, exec));
+        let (res, observed) = time(|| validate_batch_governed(&schema, &full_frozen, exec));
         match res {
             Err(EngineError::DeadlineExceeded { .. }) => {}
             other => {
@@ -207,6 +211,7 @@ fn main() {
         within_budget,
         aborts,
     };
-    write_json_to("BENCH_robustness.json", &results);
-    println!("\nwrote BENCH_robustness.json");
+    let out = opts.out.as_deref().unwrap_or("BENCH_robustness.json");
+    write_json_to(out, &results);
+    println!("\nwrote {out}");
 }

@@ -13,7 +13,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use shapefrag_govern::{EngineError, ExecCtx};
-use shapefrag_rdf::{Graph, TermId};
+use shapefrag_rdf::{Graph, GraphAccess, TermId};
 use shapefrag_shacl::validator::{ConformanceMemo, Context};
 use shapefrag_shacl::{Nnf, Schema, Shape};
 
@@ -22,13 +22,13 @@ use crate::neighborhood::{
 };
 
 /// Computes the shape fragment `Frag(G, S)` for request shapes `S`.
-pub fn fragment(schema: &Schema, graph: &Graph, shapes: &[Shape]) -> Graph {
+pub fn fragment<G: GraphAccess>(schema: &Schema, graph: &G, shapes: &[Shape]) -> Graph {
     materialize(graph, &fragment_ids(schema, graph, shapes))
 }
 
 /// Computes `Frag(G, H)`: the fragment for a schema's request shapes
 /// `{ φ ∧ τ | (s, φ, τ) ∈ H }`.
-pub fn schema_fragment(schema: &Schema, graph: &Graph) -> Graph {
+pub fn schema_fragment<G: GraphAccess>(schema: &Schema, graph: &G) -> Graph {
     fragment(schema, graph, &schema.request_shapes())
 }
 
@@ -36,7 +36,7 @@ pub fn schema_fragment(schema: &Schema, graph: &Graph) -> Graph {
 /// all graph nodes are decided in one batch (with a shared memo for
 /// `hasShape` sub-shapes) and the conforming nodes' neighborhoods are
 /// collected by the batched Table 2 collector.
-pub fn fragment_ids(schema: &Schema, graph: &Graph, shapes: &[Shape]) -> IdTriples {
+pub fn fragment_ids<G: GraphAccess>(schema: &Schema, graph: &G, shapes: &[Shape]) -> IdTriples {
     let memo = Arc::new(ConformanceMemo::new());
     let mut ctx = Context::with_memo(schema, graph, memo);
     let nodes: Vec<TermId> = graph.node_ids().into_iter().collect();
@@ -58,9 +58,9 @@ pub fn fragment_ids(schema: &Schema, graph: &Graph, shapes: &[Shape]) -> IdTripl
 /// Resource-governed [`fragment`]: computes `Frag(G, S)` under a deadline /
 /// step / memory / depth / cancellation governor, surfacing the first trip
 /// as an [`EngineError`] instead of a silently incomplete fragment.
-pub fn fragment_governed(
+pub fn fragment_governed<G: GraphAccess>(
     schema: &Schema,
-    graph: &Graph,
+    graph: &G,
     shapes: &[Shape],
     exec: ExecCtx,
 ) -> Result<Graph, EngineError> {
@@ -89,9 +89,9 @@ pub fn fragment_governed(
 }
 
 /// Resource-governed [`schema_fragment`].
-pub fn schema_fragment_governed(
+pub fn schema_fragment_governed<G: GraphAccess>(
     schema: &Schema,
-    graph: &Graph,
+    graph: &G,
     exec: ExecCtx,
 ) -> Result<Graph, EngineError> {
     fragment_governed(schema, graph, &schema.request_shapes(), exec)
@@ -100,7 +100,11 @@ pub fn schema_fragment_governed(
 /// Per-node reference implementation of [`fragment_ids`] (one neighborhood
 /// computation per (node, shape) pair); baseline for benchmarks and
 /// agreement tests.
-pub fn fragment_ids_per_node(schema: &Schema, graph: &Graph, shapes: &[Shape]) -> IdTriples {
+pub fn fragment_ids_per_node<G: GraphAccess>(
+    schema: &Schema,
+    graph: &G,
+    shapes: &[Shape],
+) -> IdTriples {
     let mut ctx = Context::new(schema, graph);
     let nodes = graph.node_ids();
     let mut out = IdTriples::default();
@@ -118,7 +122,12 @@ pub fn fragment_ids_per_node(schema: &Schema, graph: &Graph, shapes: &[Shape]) -
 /// one [`ConformanceMemo`] shared across threads, and unions the per-worker
 /// results. Produces exactly the same fragment as [`fragment`] —
 /// neighborhoods are independent per (node, shape) pair.
-pub fn fragment_par(schema: &Schema, graph: &Graph, shapes: &[Shape], workers: usize) -> Graph {
+pub fn fragment_par<G: GraphAccess>(
+    schema: &Schema,
+    graph: &G,
+    shapes: &[Shape],
+    workers: usize,
+) -> Graph {
     let workers = workers.max(1);
     let nodes: Vec<TermId> = graph.node_ids().into_iter().collect();
     if workers == 1 || nodes.len() < 2 * workers {
@@ -163,7 +172,11 @@ pub fn fragment_par(schema: &Schema, graph: &Graph, shapes: &[Shape], workers: u
 
 /// The set of nodes conforming to a shape — a shape viewed as a unary query
 /// (used when comparing with SPARQL and TPF).
-pub fn conforming_nodes(schema: &Schema, graph: &Graph, shape: &Shape) -> BTreeSet<TermId> {
+pub fn conforming_nodes<G: GraphAccess>(
+    schema: &Schema,
+    graph: &G,
+    shape: &Shape,
+) -> BTreeSet<TermId> {
     let mut ctx = Context::new(schema, graph);
     graph
         .node_ids()

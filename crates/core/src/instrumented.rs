@@ -22,8 +22,9 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-use shapefrag_rdf::{Graph, Term, TermId};
+use shapefrag_rdf::{Graph, GraphAccess, Term, TermId};
 use shapefrag_shacl::path::PathExpr;
+use shapefrag_shacl::shape::PathOrId;
 use shapefrag_shacl::validator::{ConformanceMemo, Context, ValidationReport, Violation};
 use shapefrag_shacl::{Nnf, Schema, Shape};
 
@@ -52,7 +53,7 @@ impl SchemaFragment {
 
     /// Materializes the fragment as a standalone [`Graph`] (`graph` must be
     /// the graph the fragment was extracted from).
-    pub fn to_graph(&self, graph: &Graph) -> Graph {
+    pub fn to_graph<G: GraphAccess>(&self, graph: &G) -> Graph {
         materialize(graph, &self.triples)
     }
 }
@@ -92,7 +93,7 @@ enum TargetEvidence {
 }
 
 impl TargetEvidence {
-    fn analyze(ctx: &mut Context<'_>, target: &Shape) -> TargetEvidence {
+    fn analyze<G: GraphAccess>(ctx: &mut Context<'_, G>, target: &Shape) -> TargetEvidence {
         match target {
             Shape::HasValue(_) => TargetEvidence::Empty,
             Shape::Geq(1, path, inner) => match (path, inner.as_ref()) {
@@ -159,7 +160,7 @@ impl TargetEvidence {
     }
 
     /// Appends `B(v, τ)` to `out`.
-    fn collect(&self, ctx: &mut Context<'_>, v: TermId, out: &mut IdTriples) {
+    fn collect<G: GraphAccess>(&self, ctx: &mut Context<'_, G>, v: TermId, out: &mut IdTriples) {
         match self {
             TargetEvidence::Empty => {}
             TargetEvidence::SubjectsOf(pid) => {
@@ -195,7 +196,11 @@ impl TargetEvidence {
 /// [`ConformanceMemo`] shared across threads, so a `hasShape` sub-shape
 /// referenced from definitions on different workers is still decided only
 /// once per node.
-pub fn validate_par(schema: &Schema, graph: &Graph, workers: usize) -> ValidationReport {
+pub fn validate_par<G: GraphAccess>(
+    schema: &Schema,
+    graph: &G,
+    workers: usize,
+) -> ValidationReport {
     let workers = workers.max(1);
     let defs: Vec<_> = schema.iter().cloned().collect();
     if workers == 1 || defs.len() < 2 {
@@ -257,29 +262,85 @@ pub fn validate_par(schema: &Schema, graph: &Graph, workers: usize) -> Validatio
 /// conforming nodes' neighborhoods are collected by the batched Table 2
 /// collector. Produces exactly the report and fragment of
 /// [`validate_extract_fragment_per_node`].
-pub fn validate_extract_fragment(
+pub fn validate_extract_fragment<G: GraphAccess>(
     schema: &Schema,
-    graph: &Graph,
+    graph: &G,
 ) -> (ValidationReport, SchemaFragment) {
     validate_extract_fragment_with_memo(schema, graph, Arc::new(ConformanceMemo::new()))
 }
 
-/// [`validate_extract_fragment`] against a caller-provided memo (which must
-/// belong to this `(graph, schema)` pair).
-pub fn validate_extract_fragment_with_memo(
+/// Below this many target nodes per definition, the single-pass per-node
+/// collector ([`conforms_and_collect`]) beats the two-pass batch driver
+/// (decide-all, then re-evaluate the paths to collect): the multi-source
+/// kernel's sharing cannot amortize evaluating every path twice.
+const BATCH_MIN_TARGETS: usize = 16;
+
+/// True iff a path is a single forward or inverse property step — the case
+/// the multi-source kernels evaluate per source with no sharing.
+fn path_is_simple(e: &PathExpr) -> bool {
+    match e {
+        PathExpr::Prop(_) => true,
+        PathExpr::Inverse(inner) => matches!(inner.as_ref(), PathExpr::Prop(_)),
+        _ => false,
+    }
+}
+
+/// True iff set-at-a-time collection can share work across focus nodes for
+/// this shape: a quantifier over a composite path (one shared product
+/// traversal instead of a BFS per focus), a quantifier with a non-trivial
+/// inner shape (endpoint conformance decided and sub-neighborhoods
+/// collected once per *distinct* endpoint), or a path-equality constraint
+/// (bit-kernel union path). Shapes built purely from single-property
+/// quantifiers and node-local atoms gain nothing from batching — the
+/// multi-source kernels degenerate to the same per-focus index lookups, so
+/// the two-pass batch driver would only re-evaluate every path twice.
+fn shape_shares_work(schema: &Schema, shape: &Nnf) -> bool {
+    match shape {
+        Nnf::Geq(_, e, inner) | Nnf::Leq(_, e, inner) | Nnf::ForAll(e, inner) => {
+            !path_is_simple(e) || !matches!(inner.as_ref(), Nnf::True)
+        }
+        Nnf::Eq(PathOrId::Path(_), _) => true,
+        Nnf::And(items) | Nnf::Or(items) => items.iter().any(|i| shape_shares_work(schema, i)),
+        Nnf::HasShape(name) | Nnf::NotHasShape(name) => {
+            shape_shares_work(schema, &Nnf::from_shape(&schema.def(name)))
+        }
+        _ => false,
+    }
+}
+
+pub fn validate_extract_fragment_with_memo<G: GraphAccess>(
     schema: &Schema,
-    graph: &Graph,
+    graph: &G,
     memo: Arc<ConformanceMemo>,
 ) -> (ValidationReport, SchemaFragment) {
     let mut ctx = Context::with_memo(schema, graph, memo);
     let mut report = ValidationReport::default();
     let mut all = IdTriples::default();
+    let mut journal: Vec<(TermId, TermId, TermId)> = Vec::new();
     for def in schema.iter() {
         let shape_nnf = Nnf::from_shape(&def.shape);
         let targets: Vec<TermId> = ctx.target_nodes(&def.target).into_iter().collect();
         let evidence = TargetEvidence::analyze(&mut ctx, &def.target);
-        let decisions = ctx.conforms_all_nnf(&targets, &shape_nnf);
         report.checked += targets.len();
+        if targets.len() < BATCH_MIN_TARGETS || !shape_shares_work(schema, &shape_nnf) {
+            // Small target set, or a shape the batch kernels cannot share
+            // any work on: one instrumented traversal per node, producing
+            // the identical verdicts and union.
+            for &node in &targets {
+                journal.clear();
+                if conforms_and_collect(&mut ctx, node, &shape_nnf, &mut journal) {
+                    all.extend(journal.iter().copied());
+                    evidence.collect(&mut ctx, node, &mut all);
+                } else {
+                    report.violations.push(Violation {
+                        shape: def.name.clone(),
+                        focus: graph.term(node).clone(),
+                    });
+                }
+            }
+            continue;
+        }
+        let decisions = ctx.conforms_all_nnf(&targets, &shape_nnf);
         let mut conforming: Vec<TermId> = Vec::with_capacity(targets.len());
         for (node, ok) in targets.iter().zip(decisions) {
             if ok {
@@ -301,9 +362,9 @@ pub fn validate_extract_fragment_with_memo(
 /// one instrumented [`conforms_and_collect`] traversal per (definition,
 /// target) pair. Kept as the baseline for the batch-vs-per-node benchmark
 /// and the agreement property tests.
-pub fn validate_extract_fragment_per_node(
+pub fn validate_extract_fragment_per_node<G: GraphAccess>(
     schema: &Schema,
-    graph: &Graph,
+    graph: &G,
 ) -> (ValidationReport, SchemaFragment) {
     let mut ctx = Context::new(schema, graph);
     let mut report = ValidationReport::default();
@@ -333,7 +394,7 @@ pub fn validate_extract_fragment_per_node(
 /// Validates and simultaneously extracts per-node provenance (the
 /// neighborhood of `φ ∧ τ` for every conforming target node) plus the
 /// union fragment.
-pub fn validate_with_provenance(schema: &Schema, graph: &Graph) -> ProvenancedReport {
+pub fn validate_with_provenance<G: GraphAccess>(schema: &Schema, graph: &G) -> ProvenancedReport {
     let mut ctx = Context::new(schema, graph);
     let mut report = ValidationReport::default();
     let mut neighborhoods = BTreeMap::new();

@@ -20,7 +20,7 @@ use std::hash::BuildHasherDefault;
 
 use shapefrag_govern::EngineError;
 use shapefrag_rdf::graph::IntHasher;
-use shapefrag_rdf::{Graph, Term, TermId};
+use shapefrag_rdf::{Graph, GraphAccess, Term, TermId};
 use shapefrag_shacl::path::PathExpr;
 use shapefrag_shacl::shape::PathOrId;
 use shapefrag_shacl::validator::{CmpOp, Context};
@@ -37,7 +37,7 @@ pub type IdTriples =
 ///
 /// The shape is converted to negation normal form first; `v` not conforming
 /// to φ yields the empty graph (Definition 3.2).
-pub fn neighborhood(ctx: &mut Context<'_>, v: TermId, shape: &Shape) -> Graph {
+pub fn neighborhood<G: GraphAccess>(ctx: &mut Context<'_, G>, v: TermId, shape: &Shape) -> Graph {
     let nnf = Nnf::from_shape(shape);
     materialize(ctx.graph, &neighborhood_nnf_ids(ctx, v, &nnf))
 }
@@ -46,8 +46,8 @@ pub fn neighborhood(ctx: &mut Context<'_>, v: TermId, shape: &Shape) -> Graph {
 /// `Context::with_exec`) is consulted throughout; a tripped budget,
 /// deadline, depth limit, or cancellation surfaces as an `Err` instead of a
 /// silently truncated neighborhood.
-pub fn neighborhood_governed(
-    ctx: &mut Context<'_>,
+pub fn neighborhood_governed<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
     v: TermId,
     shape: &Shape,
 ) -> Result<Graph, EngineError> {
@@ -60,7 +60,11 @@ pub fn neighborhood_governed(
 
 /// Computes `B(v, G, φ)` for a term-level focus node. Nodes absent from the
 /// graph have empty (or graph-independent) neighborhoods.
-pub fn neighborhood_term(ctx: &mut Context<'_>, v: &Term, shape: &Shape) -> Graph {
+pub fn neighborhood_term<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
+    v: &Term,
+    shape: &Shape,
+) -> Graph {
     match ctx.graph.id_of(v) {
         Some(id) => neighborhood(ctx, id, shape),
         None => Graph::new(),
@@ -68,7 +72,11 @@ pub fn neighborhood_term(ctx: &mut Context<'_>, v: &Term, shape: &Shape) -> Grap
 }
 
 /// Computes the neighborhood as id triples for an NNF shape.
-pub fn neighborhood_nnf_ids(ctx: &mut Context<'_>, v: TermId, shape: &Nnf) -> IdTriples {
+pub fn neighborhood_nnf_ids<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
+    v: TermId,
+    shape: &Nnf,
+) -> IdTriples {
     let mut out = IdTriples::default();
     if ctx.conforms_nnf(v, shape) {
         collect(ctx, v, shape, &mut out);
@@ -81,8 +89,8 @@ pub fn neighborhood_nnf_ids(ctx: &mut Context<'_>, v: TermId, shape: &Nnf) -> Id
 /// (the conformance guard of [`neighborhood_nnf_ids`] is skipped). Prefer
 /// [`conforms_and_collect`] when the verdict is not yet known — it decides
 /// and collects in a single traversal.
-pub fn collect_neighborhood_into(
-    ctx: &mut Context<'_>,
+pub fn collect_neighborhood_into<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
     v: TermId,
     shape: &Nnf,
     out: &mut IdTriples,
@@ -99,8 +107,8 @@ pub fn collect_neighborhood_into(
 /// endpoints are collected once per *distinct* endpoint instead of once per
 /// referencing focus (the collection is focus-independent, so the unions
 /// coincide).
-pub fn collect_neighborhood_many(
-    ctx: &mut Context<'_>,
+pub fn collect_neighborhood_many<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
     nodes: &[TermId],
     shape: &Nnf,
     out: &mut IdTriples,
@@ -108,18 +116,42 @@ pub fn collect_neighborhood_many(
     collect_many(ctx, nodes, shape, out);
 }
 
+/// Below this many focus nodes the multi-source kernel's fixed costs
+/// (bitset rows, request batching) outweigh the sharing it buys; per-node
+/// Table 2 collection is faster and produces the identical union.
+const BATCH_MIN_FOCI: usize = 4;
+
 /// The recursive batch worker behind [`collect_neighborhood_many`].
 /// Recursion on shape structure is depth-guarded and fault-sticky via the
 /// context's governor.
-fn collect_many(ctx: &mut Context<'_>, nodes: &[TermId], shape: &Nnf, out: &mut IdTriples) {
-    if nodes.is_empty() || !ctx.guard_enter() {
+fn collect_many<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
+    nodes: &[TermId],
+    shape: &Nnf,
+    out: &mut IdTriples,
+) {
+    if nodes.is_empty() {
+        return;
+    }
+    if nodes.len() < BATCH_MIN_FOCI {
+        for &v in nodes {
+            collect(ctx, v, shape, out);
+        }
+        return;
+    }
+    if !ctx.guard_enter() {
         return;
     }
     collect_many_inner(ctx, nodes, shape, out);
     ctx.guard_leave();
 }
 
-fn collect_many_inner(ctx: &mut Context<'_>, nodes: &[TermId], shape: &Nnf, out: &mut IdTriples) {
+fn collect_many_inner<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
+    nodes: &[TermId],
+    shape: &Nnf,
+    out: &mut IdTriples,
+) {
     match shape {
         // Node-local shapes have empty neighborhoods (as in `collect`).
         Nnf::True
@@ -141,9 +173,7 @@ fn collect_many_inner(ctx: &mut Context<'_>, nodes: &[TermId], shape: &Nnf, out:
             let endpoint_sets = ctx.eval_path_many(&union, nodes);
             let requests: Vec<(TermId, BTreeSet<TermId>)> =
                 nodes.iter().copied().zip(endpoint_sets).collect();
-            for traced in ctx.trace_path_many(&union, &requests) {
-                out.extend(traced);
-            }
+            append_trace_many(ctx, &union, &requests, out);
         }
         Nnf::Eq(PathOrId::Id, p) => {
             if let Some(pid) = ctx.graph.id_of_iri(p) {
@@ -160,7 +190,16 @@ fn collect_many_inner(ctx: &mut Context<'_>, nodes: &[TermId], shape: &Nnf, out:
             collect_many(ctx, nodes, &def, out);
         }
 
-        Nnf::And(items) | Nnf::Or(items) => {
+        // Rule 3: every focus conforms to the whole conjunction, hence to
+        // each conjunct — no re-validation pass is needed.
+        Nnf::And(items) => {
+            for item in items {
+                collect_many(ctx, nodes, item, out);
+            }
+        }
+        // Rule 4: non-conforming disjuncts contribute the empty set, so
+        // each disjunct collects only over its conforming foci.
+        Nnf::Or(items) => {
             for item in items {
                 let oks = ctx.conforms_all_nnf(nodes, item);
                 let conforming: Vec<TermId> = nodes
@@ -188,9 +227,7 @@ fn collect_many_inner(ctx: &mut Context<'_>, nodes: &[TermId], shape: &Nnf, out:
             }
             let requests: Vec<(TermId, BTreeSet<TermId>)> =
                 nodes.iter().copied().zip(endpoint_sets).collect();
-            for traced in ctx.trace_path_many(e, &requests) {
-                out.extend(traced);
-            }
+            append_trace_many(ctx, e, &requests, out);
             if !matches!(inner.as_ref(), Nnf::True) {
                 let distinct: Vec<TermId> = distinct.into_iter().collect();
                 collect_many(ctx, &distinct, inner, out);
@@ -212,8 +249,8 @@ fn collect_many_inner(ctx: &mut Context<'_>, nodes: &[TermId], shape: &Nnf, out:
 /// `inner` (already the negated shape for `≤`); all per-focus traces run in
 /// one batch and each distinct qualifying endpoint's `inner`-neighborhood
 /// is collected once.
-fn batch_quantifier(
-    ctx: &mut Context<'_>,
+fn batch_quantifier<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
     nodes: &[TermId],
     e: &PathExpr,
     inner: &Nnf,
@@ -223,9 +260,7 @@ fn batch_quantifier(
     if matches!(inner, Nnf::True) {
         let requests: Vec<(TermId, BTreeSet<TermId>)> =
             nodes.iter().copied().zip(cand_sets).collect();
-        for traced in ctx.trace_path_many(e, &requests) {
-            out.extend(traced);
-        }
+        append_trace_many(ctx, e, &requests, out);
         return;
     }
     let mut union: BTreeSet<TermId> = BTreeSet::new();
@@ -244,15 +279,13 @@ fn batch_quantifier(
         .zip(cand_sets)
         .map(|(&v, cands)| (v, cands.into_iter().filter(|x| ok[x]).collect()))
         .collect();
-    for traced in ctx.trace_path_many(e, &requests) {
-        out.extend(traced);
-    }
+    append_trace_many(ctx, e, &requests, out);
     let qualifying: Vec<TermId> = union_vec.into_iter().filter(|x| ok[x]).collect();
     collect_many(ctx, &qualifying, inner, out);
 }
 
 /// Materializes id triples into a [`Graph`].
-pub fn materialize(graph: &Graph, triples: &IdTriples) -> Graph {
+pub fn materialize<G: GraphAccess>(graph: &G, triples: &IdTriples) -> Graph {
     let mut g = Graph::new();
     for &(s, p, o) in triples {
         g.insert(graph.triple_of(s, p, o));
@@ -269,8 +302,8 @@ pub fn materialize(graph: &Graph, triples: &IdTriples) -> Graph {
 ///
 /// The journal is only valid when the function returns `true`; callers
 /// should `clear()` it between focus nodes (reusing the allocation).
-pub fn conforms_and_collect(
-    ctx: &mut Context<'_>,
+pub fn conforms_and_collect<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
     v: TermId,
     shape: &Nnf,
     journal: &mut Vec<(TermId, TermId, TermId)>,
@@ -286,8 +319,8 @@ pub fn conforms_and_collect(
 /// The recursive worker: appends evidence optimistically and lets callers
 /// truncate on failure. Fault-sticky: once the governor trips, every call
 /// answers `false` so the instrumented traversal unwinds quickly.
-fn validate_collect(
-    ctx: &mut Context<'_>,
+fn validate_collect<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
     v: TermId,
     shape: &Nnf,
     journal: &mut Vec<(TermId, TermId, TermId)>,
@@ -300,8 +333,8 @@ fn validate_collect(
     out
 }
 
-fn validate_collect_inner(
-    ctx: &mut Context<'_>,
+fn validate_collect_inner<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
     v: TermId,
     shape: &Nnf,
     journal: &mut Vec<(TermId, TermId, TermId)>,
@@ -415,8 +448,8 @@ fn validate_collect_inner(
 
 /// Appends `graph(paths(E, G, v, targets))`, with a direct fast path for
 /// plain properties (the overwhelmingly common case).
-fn append_trace(
-    ctx: &mut Context<'_>,
+fn append_trace<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
     e: &PathExpr,
     v: TermId,
     targets: &BTreeSet<TermId>,
@@ -446,9 +479,46 @@ fn append_trace(
     }
 }
 
+/// Batched [`append_trace`]: appends `graph(paths(E, G, from, targets))`
+/// for every request. Requests must satisfy `targets ⊆ ⟦E⟧(from)` (they are
+/// always built from a preceding [`Context::eval_path_many`] here), so for
+/// single-property paths every target is a direct neighbor of its focus and
+/// the triples can be emitted without consulting the trace kernel.
+fn append_trace_many<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
+    e: &PathExpr,
+    requests: &[(TermId, BTreeSet<TermId>)],
+    out: &mut IdTriples,
+) {
+    match e {
+        PathExpr::Prop(p) => {
+            if let Some(pid) = ctx.graph.id_of_iri(p) {
+                for (v, targets) in requests {
+                    out.extend(targets.iter().map(|&x| (*v, pid, x)));
+                }
+            }
+        }
+        PathExpr::Inverse(inner) if matches!(inner.as_ref(), PathExpr::Prop(_)) => {
+            let PathExpr::Prop(p) = inner.as_ref() else {
+                unreachable!()
+            };
+            if let Some(pid) = ctx.graph.id_of_iri(p) {
+                for (v, targets) in requests {
+                    out.extend(targets.iter().map(|&x| (x, pid, *v)));
+                }
+            }
+        }
+        _ => {
+            for traced in ctx.trace_path_many(e, requests) {
+                out.extend(traced);
+            }
+        }
+    }
+}
+
 /// Table 2, assuming `ctx.graph, v ⊨ shape` (checked by the caller).
 /// Depth-guarded and fault-sticky via the context's governor.
-fn collect(ctx: &mut Context<'_>, v: TermId, shape: &Nnf, out: &mut IdTriples) {
+fn collect<G: GraphAccess>(ctx: &mut Context<'_, G>, v: TermId, shape: &Nnf, out: &mut IdTriples) {
     if !ctx.guard_enter() {
         return;
     }
@@ -456,7 +526,12 @@ fn collect(ctx: &mut Context<'_>, v: TermId, shape: &Nnf, out: &mut IdTriples) {
     ctx.guard_leave();
 }
 
-fn collect_inner(ctx: &mut Context<'_>, v: TermId, shape: &Nnf, out: &mut IdTriples) {
+fn collect_inner<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
+    v: TermId,
+    shape: &Nnf,
+    out: &mut IdTriples,
+) {
     match shape {
         // Node-local shapes have empty neighborhoods: they involve no
         // triples (§3.1 "Node tests", "Closedness", "Disjointness").
@@ -660,8 +735,8 @@ fn collect_inner(ctx: &mut Context<'_>, v: TermId, shape: &Nnf, out: &mut IdTrip
     }
 }
 
-fn collect_not_cmp(
-    ctx: &mut Context<'_>,
+fn collect_not_cmp<G: GraphAccess>(
+    ctx: &mut Context<'_, G>,
     v: TermId,
     e: &PathExpr,
     p: &shapefrag_rdf::Iri,
@@ -687,14 +762,14 @@ fn collect_not_cmp(
 
 /// `x OP y` as literals; `false` when either is not a literal or the
 /// values are incomparable.
-fn literal_cmp(graph: &Graph, x: TermId, y: TermId, op: CmpOp) -> bool {
+fn literal_cmp<G: GraphAccess>(graph: &G, x: TermId, y: TermId, op: CmpOp) -> bool {
     let (Term::Literal(lx), Term::Literal(ly)) = (graph.term(x), graph.term(y)) else {
         return false;
     };
     op.holds(lx.value().partial_cmp_value(&ly.value()))
 }
 
-fn prop_objects(graph: &Graph, v: TermId, p: &shapefrag_rdf::Iri) -> BTreeSet<TermId> {
+fn prop_objects<G: GraphAccess>(graph: &G, v: TermId, p: &shapefrag_rdf::Iri) -> BTreeSet<TermId> {
     match graph.id_of_iri(p) {
         Some(pid) => graph.objects_ids(v, pid).collect(),
         None => BTreeSet::new(),

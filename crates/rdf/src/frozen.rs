@@ -1,0 +1,440 @@
+//! Immutable compressed-sparse-row snapshot of a [`Graph`].
+//!
+//! [`FrozenGraph`] is built once via [`Graph::freeze`] and stores every
+//! index as sorted contiguous arrays of dense `u32` ids:
+//!
+//! - forward `(s, p) → [o]` and backward `(o, p) → [s]` adjacency as
+//!   two-level CSR (per-node predicate list + per-pair object/subject run),
+//! - per-predicate `(s, o)` edge lists for predicate scans, and
+//! - the per-subject sorted predicate list doubling as the `closed`-check
+//!   index.
+//!
+//! An edge step is then a binary search over a short predicate slice plus a
+//! contiguous slice iteration — no hash lookups, no tree pointer chases.
+//!
+//! Freeze invariants (checked by `tests/prop_frozen_agreement.rs`):
+//!
+//! - **Id stability**: the interner is shared with the source `Graph`
+//!   (cloning bumps `Arc` refcounts, not allocations), so a `TermId` means
+//!   the same term in both backends and compiled paths / memo keys can be
+//!   reused across them.
+//! - **Sortedness**: every adjacency run is ascending by id, and
+//!   [`GraphAccess::iter_ids`] yields triples in exactly the order the
+//!   mutable backend does (subject, then predicate, then object).
+//! - **Same triple set**: `freeze` is a pure snapshot; later mutations of
+//!   the source `Graph` are not reflected.
+
+use std::collections::BTreeSet;
+
+use crate::access::GraphAccess;
+use crate::graph::{Graph, Interner, TermId};
+use crate::term::{Iri, Term, Triple};
+
+/// One level of a two-level CSR index: per node, a sorted run of
+/// predicates; per (node, predicate) pair, a sorted run of neighbor ids.
+#[derive(Debug, Default, Clone)]
+struct CsrIndex {
+    /// `node_offsets[n]..node_offsets[n + 1]` indexes the predicate run of
+    /// node `n` in `preds` (length: id-space size + 1, monotone).
+    node_offsets: Vec<u32>,
+    /// Predicate ids, sorted within each node's run.
+    preds: Vec<TermId>,
+    /// `neighbor_starts[k]..neighbor_starts[k + 1]` indexes the neighbor
+    /// run of pair `k` (global index into `preds`) in `neighbors`
+    /// (length: `preds.len() + 1`, monotone).
+    neighbor_starts: Vec<u32>,
+    /// Neighbor ids, sorted within each pair's run.
+    neighbors: Vec<TermId>,
+}
+
+impl CsrIndex {
+    /// Builds one direction from the mutable backend's node → predicate →
+    /// neighbor index. BTree iteration is already ascending, so every run
+    /// lands pre-sorted.
+    fn build(
+        n_terms: usize,
+        index: &crate::graph::IntMap<
+            TermId,
+            std::collections::BTreeMap<TermId, std::collections::BTreeSet<TermId>>,
+        >,
+    ) -> Self {
+        let mut csr = CsrIndex {
+            node_offsets: Vec::with_capacity(n_terms + 1),
+            preds: Vec::new(),
+            neighbor_starts: Vec::new(),
+            neighbors: Vec::new(),
+        };
+        for n in 0..n_terms as u32 {
+            csr.node_offsets.push(csr.preds.len() as u32);
+            if let Some(by_pred) = index.get(&TermId(n)) {
+                for (&p, neighbors) in by_pred {
+                    csr.preds.push(p);
+                    csr.neighbor_starts.push(csr.neighbors.len() as u32);
+                    csr.neighbors.extend(neighbors.iter().copied());
+                }
+            }
+        }
+        csr.node_offsets.push(csr.preds.len() as u32);
+        csr.neighbor_starts.push(csr.neighbors.len() as u32);
+        csr
+    }
+
+    /// The sorted predicate run of `node` (empty for out-of-range ids,
+    /// which can arise from terms interned without triples).
+    fn pred_run(&self, node: TermId) -> &[TermId] {
+        let n = node.0 as usize;
+        if n + 1 >= self.node_offsets.len() {
+            return &[];
+        }
+        &self.preds[self.node_offsets[n] as usize..self.node_offsets[n + 1] as usize]
+    }
+
+    /// The sorted neighbor run of `(node, pred)`, empty when absent.
+    fn neighbor_run(&self, node: TermId, pred: TermId) -> &[TermId] {
+        let n = node.0 as usize;
+        if n + 1 >= self.node_offsets.len() {
+            return &[];
+        }
+        let lo = self.node_offsets[n] as usize;
+        let run = &self.preds[lo..self.node_offsets[n + 1] as usize];
+        match run.binary_search(&pred) {
+            Ok(pos) => {
+                let k = lo + pos;
+                &self.neighbors
+                    [self.neighbor_starts[k] as usize..self.neighbor_starts[k + 1] as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// All `(pred, neighbor)` pairs of `node`, ascending.
+    fn edges(&self, node: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        let n = node.0 as usize;
+        let (lo, hi) = if n + 1 >= self.node_offsets.len() {
+            (0, 0)
+        } else {
+            (
+                self.node_offsets[n] as usize,
+                self.node_offsets[n + 1] as usize,
+            )
+        };
+        (lo..hi).flat_map(move |k| {
+            let p = self.preds[k];
+            self.neighbors[self.neighbor_starts[k] as usize..self.neighbor_starts[k + 1] as usize]
+                .iter()
+                .map(move |&x| (p, x))
+        })
+    }
+}
+
+/// An immutable CSR snapshot of a [`Graph`]; see the module docs for the
+/// layout and invariants. Build with [`Graph::freeze`].
+#[derive(Debug, Default, Clone)]
+pub struct FrozenGraph {
+    terms: Interner,
+    /// Forward adjacency: `(s, p) → [o]`.
+    fwd: CsrIndex,
+    /// Backward adjacency: `(o, p) → [s]`.
+    bwd: CsrIndex,
+    /// Distinct predicate ids, ascending.
+    pred_ids: Vec<TermId>,
+    /// `pred_edge_starts[k]..pred_edge_starts[k + 1]` indexes the edge run
+    /// of `pred_ids[k]` in `pred_edges` (length: `pred_ids.len() + 1`).
+    pred_edge_starts: Vec<u32>,
+    /// `(s, o)` pairs per predicate, ascending.
+    pred_edges: Vec<(TermId, TermId)>,
+    /// Distinct nodes (subjects and objects), ascending.
+    nodes: Vec<TermId>,
+    len: usize,
+}
+
+impl Graph {
+    /// Builds the immutable CSR snapshot of this graph.
+    ///
+    /// Ids are stable: a [`TermId`] issued by this graph denotes the same
+    /// term in the snapshot (the interner is shared structurally), so
+    /// anything keyed by id — compiled paths, conformance memos, collected
+    /// id-triples — transfers between the backends.
+    pub fn freeze(&self) -> FrozenGraph {
+        let n_terms = self.terms.len();
+        let fwd = CsrIndex::build(n_terms, &self.spo);
+        let bwd = CsrIndex::build(n_terms, &self.ops);
+
+        let mut pred_ids: Vec<TermId> = self.pso.keys().copied().collect();
+        pred_ids.sort_unstable();
+        let mut pred_edge_starts = Vec::with_capacity(pred_ids.len() + 1);
+        let mut pred_edges = Vec::with_capacity(self.len);
+        for p in &pred_ids {
+            pred_edge_starts.push(pred_edges.len() as u32);
+            pred_edges.extend(self.pso[p].iter().copied());
+        }
+        pred_edge_starts.push(pred_edges.len() as u32);
+
+        FrozenGraph {
+            terms: self.terms.clone(),
+            fwd,
+            bwd,
+            pred_ids,
+            pred_edge_starts,
+            pred_edges,
+            nodes: self.node_ids().into_iter().collect(),
+            len: self.len,
+        }
+    }
+}
+
+impl FrozenGraph {
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the snapshot has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True iff the id-level triple is in the graph.
+    pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.fwd.neighbor_run(s, p).binary_search(&o).is_ok()
+    }
+
+    /// Objects of `(s, p, ?)` as ids, ascending.
+    pub fn objects_ids(&self, s: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
+        self.fwd.neighbor_run(s, p).iter().copied()
+    }
+
+    /// Subjects of `(?, p, o)` as ids, ascending.
+    pub fn subjects_ids(&self, o: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
+        self.bwd.neighbor_run(o, p).iter().copied()
+    }
+
+    /// Outgoing `(predicate, object)` id pairs of a subject, ascending.
+    pub fn out_edges_ids(&self, s: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        self.fwd.edges(s)
+    }
+
+    /// Incoming `(predicate, subject)` id pairs of an object, ascending.
+    pub fn in_edges_ids(&self, o: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        self.bwd.edges(o)
+    }
+
+    /// All `(s, o)` id pairs with predicate `p`, ascending.
+    pub fn edges_with_predicate_ids(
+        &self,
+        p: TermId,
+    ) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        let run = match self.pred_ids.binary_search(&p) {
+            Ok(k) => {
+                &self.pred_edges
+                    [self.pred_edge_starts[k] as usize..self.pred_edge_starts[k + 1] as usize]
+            }
+            Err(_) => &[],
+        };
+        run.iter().copied()
+    }
+
+    /// Distinct outgoing predicates of a subject, ascending — the `closed`
+    /// constraint's scan, served from one contiguous slice.
+    pub fn predicates_out_ids(&self, s: TermId) -> impl Iterator<Item = TermId> + '_ {
+        self.fwd.pred_run(s).iter().copied()
+    }
+
+    /// All triples as id tuples, ascending by (s, p, o).
+    pub fn iter_ids(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
+        (0..self.terms.len() as u32).flat_map(move |s| {
+            self.fwd
+                .edges(TermId(s))
+                .map(move |(p, o)| (TermId(s), p, o))
+        })
+    }
+
+    /// All nodes as a sorted slice (no allocation; prefer over
+    /// [`GraphAccess::node_ids`] on the frozen backend).
+    pub fn node_ids_slice(&self) -> &[TermId] {
+        &self.nodes
+    }
+
+    /// Resolves an id back to its term.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.terms.resolve(id)
+    }
+
+    /// The id of a term, if interned in the source graph at freeze time.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.terms.get(term)
+    }
+
+    /// The id of an IRI used as a predicate or node.
+    pub fn id_of_iri(&self, iri: &Iri) -> Option<TermId> {
+        self.terms.get(&Term::Iri(iri.clone()))
+    }
+
+    /// Materializes an id triple into a [`Triple`].
+    pub fn triple_of(&self, s: TermId, p: TermId, o: TermId) -> Triple {
+        let Term::Iri(pred) = self.term(p).clone() else {
+            unreachable!("predicate ids always resolve to IRIs");
+        };
+        Triple {
+            subject: self.term(s).clone(),
+            predicate: pred,
+            object: self.term(o).clone(),
+        }
+    }
+
+    /// Iterates all triples (same order as the source graph).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.iter_ids()
+            .map(move |(s, p, o)| self.triple_of(s, p, o))
+    }
+}
+
+impl GraphAccess for FrozenGraph {
+    fn len(&self) -> usize {
+        FrozenGraph::len(self)
+    }
+
+    fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        FrozenGraph::contains_ids(self, s, p, o)
+    }
+
+    fn objects_ids(&self, s: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
+        FrozenGraph::objects_ids(self, s, p)
+    }
+
+    fn subjects_ids(&self, o: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
+        FrozenGraph::subjects_ids(self, o, p)
+    }
+
+    fn out_edges_ids(&self, s: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        FrozenGraph::out_edges_ids(self, s)
+    }
+
+    fn in_edges_ids(&self, o: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        FrozenGraph::in_edges_ids(self, o)
+    }
+
+    fn edges_with_predicate_ids(&self, p: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        FrozenGraph::edges_with_predicate_ids(self, p)
+    }
+
+    fn predicates_out_ids(&self, s: TermId) -> impl Iterator<Item = TermId> + '_ {
+        FrozenGraph::predicates_out_ids(self, s)
+    }
+
+    fn iter_ids(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
+        FrozenGraph::iter_ids(self)
+    }
+
+    fn node_ids(&self) -> BTreeSet<TermId> {
+        self.nodes.iter().copied().collect()
+    }
+
+    fn term(&self, id: TermId) -> &Term {
+        FrozenGraph::term(self, id)
+    }
+
+    fn id_of(&self, term: &Term) -> Option<TermId> {
+        FrozenGraph::id_of(self, term)
+    }
+
+    fn id_of_iri(&self, iri: &Iri) -> Option<TermId> {
+        FrozenGraph::id_of_iri(self, iri)
+    }
+
+    fn triple_of(&self, s: TermId, p: TermId, o: TermId) -> Triple {
+        FrozenGraph::triple_of(self, s, p, o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Iri::new(p), Term::iri(o))
+    }
+
+    #[test]
+    fn freeze_preserves_triples_ids_and_order() {
+        let g = Graph::from_triples([
+            t("a", "p", "b"),
+            t("a", "p", "c"),
+            t("a", "q", "b"),
+            t("d", "p", "b"),
+        ]);
+        let f = g.freeze();
+        assert_eq!(f.len(), g.len());
+        let g_ids: Vec<_> = g.iter_ids().collect();
+        let f_ids: Vec<_> = f.iter_ids().collect();
+        assert_eq!(g_ids, f_ids);
+        for term in ["a", "b", "c", "d"] {
+            assert_eq!(g.id_of(&Term::iri(term)), f.id_of(&Term::iri(term)));
+        }
+    }
+
+    #[test]
+    fn frozen_accessors_match_mutable() {
+        let g = Graph::from_triples([
+            t("a", "p", "b"),
+            t("b", "p", "c"),
+            t("c", "q", "a"),
+            t("a", "q", "a"),
+        ]);
+        let f = g.freeze();
+        let a = g.id_of(&Term::iri("a")).unwrap();
+        let b = g.id_of(&Term::iri("b")).unwrap();
+        let p = g.id_of_iri(&Iri::new("p")).unwrap();
+        let q = g.id_of_iri(&Iri::new("q")).unwrap();
+        assert_eq!(
+            g.objects_ids(a, p).collect::<Vec<_>>(),
+            f.objects_ids(a, p).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            g.subjects_ids(b, p).collect::<Vec<_>>(),
+            f.subjects_ids(b, p).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            g.out_edges_ids(a).collect::<Vec<_>>(),
+            f.out_edges_ids(a).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            g.in_edges_ids(a).collect::<Vec<_>>(),
+            f.in_edges_ids(a).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            g.edges_with_predicate_ids(q).collect::<Vec<_>>(),
+            f.edges_with_predicate_ids(q).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            g.predicates_out_ids(a).collect::<Vec<_>>(),
+            f.predicates_out_ids(a).collect::<Vec<_>>()
+        );
+        assert!(f.contains_ids(a, p, b));
+        assert!(!f.contains_ids(b, q, a));
+        assert_eq!(g.node_ids(), GraphAccess::node_ids(&f));
+    }
+
+    #[test]
+    fn freeze_is_a_snapshot_not_a_view() {
+        let mut g = Graph::from_triples([t("a", "p", "b")]);
+        let f = g.freeze();
+        g.insert(t("a", "p", "c"));
+        assert_eq!(f.len(), 1);
+        let c = g.id_of(&Term::iri("c")).unwrap();
+        let a = g.id_of(&Term::iri("a")).unwrap();
+        let p = g.id_of_iri(&Iri::new("p")).unwrap();
+        assert!(!f.contains_ids(a, p, c));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_empty_not_panics() {
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        let f = g.freeze();
+        let bogus = TermId(999);
+        assert_eq!(f.objects_ids(bogus, bogus).count(), 0);
+        assert_eq!(f.out_edges_ids(bogus).count(), 0);
+        assert_eq!(f.predicates_out_ids(bogus).count(), 0);
+        assert!(!f.contains_ids(bogus, bogus, bogus));
+    }
+}

@@ -57,13 +57,13 @@ pub struct TermId(pub u32);
 /// allocation per distinct term (`Arc<Term>`; `Arc<Term>: Borrow<Term>`
 /// keeps map lookups allocation-free), instead of storing every term twice.
 #[derive(Debug, Default, Clone)]
-struct Interner {
-    lookup: HashMap<Arc<Term>, TermId>,
-    terms: Vec<Arc<Term>>,
+pub(crate) struct Interner {
+    pub(crate) lookup: HashMap<Arc<Term>, TermId>,
+    pub(crate) terms: Vec<Arc<Term>>,
 }
 
 impl Interner {
-    fn intern(&mut self, term: &Term) -> TermId {
+    pub(crate) fn intern(&mut self, term: &Term) -> TermId {
         if let Some(&id) = self.lookup.get(term) {
             return id;
         }
@@ -74,26 +74,31 @@ impl Interner {
         id
     }
 
-    fn get(&self, term: &Term) -> Option<TermId> {
+    pub(crate) fn get(&self, term: &Term) -> Option<TermId> {
         self.lookup.get(term).copied()
     }
 
-    fn resolve(&self, id: TermId) -> &Term {
+    pub(crate) fn resolve(&self, id: TermId) -> &Term {
         &self.terms[id.0 as usize]
+    }
+
+    /// Number of interned terms (the id space is `0..len`).
+    pub(crate) fn len(&self) -> usize {
+        self.terms.len()
     }
 }
 
 /// An in-memory RDF graph (a finite set of triples) with set semantics.
 #[derive(Default, Clone)]
 pub struct Graph {
-    terms: Interner,
+    pub(crate) terms: Interner,
     /// s → p → {o}
-    spo: IntMap<TermId, BTreeMap<TermId, BTreeSet<TermId>>>,
+    pub(crate) spo: IntMap<TermId, BTreeMap<TermId, BTreeSet<TermId>>>,
     /// o → p → {s}
-    ops: IntMap<TermId, BTreeMap<TermId, BTreeSet<TermId>>>,
+    pub(crate) ops: IntMap<TermId, BTreeMap<TermId, BTreeSet<TermId>>>,
     /// p → {(s, o)}
-    pso: IntMap<TermId, BTreeSet<(TermId, TermId)>>,
-    len: usize,
+    pub(crate) pso: IntMap<TermId, BTreeSet<(TermId, TermId)>>,
+    pub(crate) len: usize,
 }
 
 impl Graph {
@@ -102,13 +107,29 @@ impl Graph {
         Graph::default()
     }
 
-    /// Builds a graph from an iterator of triples.
+    /// Builds a graph from an iterator of triples, pre-sizing the interner
+    /// and indexes from the iterator's size hint.
     pub fn from_triples(triples: impl IntoIterator<Item = Triple>) -> Self {
+        let iter = triples.into_iter();
         let mut g = Graph::new();
-        for t in triples {
+        g.reserve(iter.size_hint().0);
+        for t in iter {
             g.insert(t);
         }
         g
+    }
+
+    /// Pre-reserves capacity for roughly `triples` additional triples.
+    ///
+    /// Sizing heuristic: a graph of `n` triples interns at most `2n + p`
+    /// terms but real corpora share most subjects/objects; `n` term slots
+    /// and `n / 2` subject/object index slots avoid the worst rehash
+    /// cascades without overshooting small graphs.
+    pub fn reserve(&mut self, triples: usize) {
+        self.terms.lookup.reserve(triples);
+        self.terms.terms.reserve(triples);
+        self.spo.reserve(triples / 2);
+        self.ops.reserve(triples / 2);
     }
 
     /// Number of triples.
@@ -222,10 +243,30 @@ impl Graph {
     }
 
     /// Extends the graph with all triples of `other`.
+    ///
+    /// Each distinct term of `other` is resolved against this graph's
+    /// interner exactly once (via an id→id translation table) instead of
+    /// re-interning a cloned [`Term`] per triple occurrence.
     pub fn extend(&mut self, other: &Graph) {
-        for t in other.iter() {
-            self.insert(t);
+        self.reserve(other.len);
+        let mut map: Vec<Option<TermId>> = vec![None; other.terms.len()];
+        for (s, p, o) in other.iter_ids() {
+            let s = self.translate_id(other, &mut map, s);
+            let p = self.translate_id(other, &mut map, p);
+            let o = self.translate_id(other, &mut map, o);
+            self.insert_ids(s, p, o);
         }
+    }
+
+    /// Resolves `other`'s id into this graph's id space, caching the answer
+    /// in `map` so each distinct term is interned at most once.
+    fn translate_id(&mut self, other: &Graph, map: &mut [Option<TermId>], id: TermId) -> TermId {
+        if let Some(mapped) = map[id.0 as usize] {
+            return mapped;
+        }
+        let mapped = self.terms.intern(other.term(id));
+        map[id.0 as usize] = Some(mapped);
+        mapped
     }
 
     /// The id of a term, if it has been interned (i.e. appears in some

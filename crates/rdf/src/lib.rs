@@ -28,7 +28,9 @@
 //! assert_eq!(reloaded, graph);
 //! ```
 
+pub mod access;
 pub mod error;
+pub mod frozen;
 pub mod graph;
 pub mod ntriples;
 pub mod term;
@@ -36,7 +38,9 @@ pub mod turtle;
 pub mod value;
 pub mod vocab;
 
+pub use access::GraphAccess;
 pub use error::{LossyLoad, ParseError};
+pub use frozen::FrozenGraph;
 pub use graph::{Graph, TermId};
 pub use shapefrag_govern::{EngineError, ErrorCode};
 pub use term::{BlankNode, Iri, Literal, Term, Triple};

@@ -11,9 +11,20 @@ use crate::graph::Graph;
 use crate::term::{BlankNode, Iri, Literal, Term, Triple};
 use crate::vocab::XSD_STRING;
 
+/// Statement-count estimate for pre-sizing the graph: the format is
+/// line-oriented, so the newline count bounds the triple count.
+fn estimated_statements(input: &str) -> usize {
+    bytecount_newlines(input) + 1
+}
+
+fn bytecount_newlines(input: &str) -> usize {
+    input.as_bytes().iter().filter(|&&b| b == b'\n').count()
+}
+
 /// Parses an N-Triples document into a [`Graph`].
 pub fn parse(input: &str) -> Result<Graph, ParseError> {
     let mut graph = Graph::new();
+    graph.reserve(estimated_statements(input));
     for (lineno, line) in input.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -30,6 +41,7 @@ pub fn parse(input: &str) -> Result<Graph, ParseError> {
 /// and is skipped, every well-formed line contributes its triple.
 pub fn parse_lossy(input: &str) -> LossyLoad {
     let mut report = LossyLoad::default();
+    report.graph.reserve(estimated_statements(input));
     for (lineno, line) in input.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {

@@ -82,6 +82,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
+        // Pre-size the graph from the document length: Turtle statements
+        // average well under 100 bytes in the corpora we load, and
+        // `reserve` tolerates overshoot on small documents.
+        let mut graph = Graph::new();
+        graph.reserve(input.len() / 100);
         Parser {
             chars: input.chars().collect(),
             pos: 0,
@@ -89,7 +94,7 @@ impl<'a> Parser<'a> {
             column: 1,
             prefixes: HashMap::new(),
             base: String::new(),
-            graph: Graph::new(),
+            graph,
             blank_counter: 0,
             depth: 0,
             _input: input,

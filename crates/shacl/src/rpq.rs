@@ -1,7 +1,8 @@
 //! Regular path query evaluation and path tracing.
 //!
-//! Two operations from the paper are implemented here, both over a
-//! [`Graph`]:
+//! Two operations from the paper are implemented here, both generic over
+//! any [`GraphAccess`] backend (mutable `Graph` or immutable
+//! `FrozenGraph`):
 //!
 //! 1. **Evaluation** `⟦E⟧^G(a)` — the set of nodes reachable from `a` along
 //!    paths matching `E` (Table 1 semantics, including the identity pairs
@@ -22,7 +23,7 @@ use std::hash::BuildHasherDefault;
 
 use shapefrag_govern::{EngineError, ExecCtx, MemGuard};
 use shapefrag_rdf::graph::IntHasher;
-use shapefrag_rdf::{Graph, Iri, TermId};
+use shapefrag_rdf::{GraphAccess, Iri, TermId};
 
 /// Estimated bytes of intermediate state per discovered product pair
 /// (visited-set entry plus its queue slot). Used for the memory budget.
@@ -275,7 +276,7 @@ pub struct CompiledPath {
 
 impl CompiledPath {
     /// Compiles and resolves a path expression against a graph.
-    pub fn new(path: &PathExpr, graph: &Graph) -> CompiledPath {
+    pub fn new<G: GraphAccess>(path: &PathExpr, graph: &G) -> CompiledPath {
         let simple = match path {
             PathExpr::Prop(p) => graph.id_of_iri(p).map(|id| (id, false)),
             PathExpr::Inverse(inner) => match inner.as_ref() {
@@ -340,7 +341,7 @@ impl CompiledPath {
 
     /// Evaluates `⟦E⟧^G(from)`: all nodes reachable from `from` along
     /// `E`-paths (plus `from` itself when `E` is nullable).
-    pub fn eval_from(&self, graph: &Graph, from: TermId) -> BTreeSet<TermId> {
+    pub fn eval_from<G: GraphAccess>(&self, graph: &G, from: TermId) -> BTreeSet<TermId> {
         self.try_eval_from(graph, from, &ExecCtx::unbounded())
             .expect("unbounded context cannot fail")
     }
@@ -348,9 +349,9 @@ impl CompiledPath {
     /// Governed [`CompiledPath::eval_from`]: ticks once per product-graph
     /// queue pop plus once per expanded edge, and charges the memory budget
     /// for every discovered product pair.
-    pub fn try_eval_from(
+    pub fn try_eval_from<G: GraphAccess>(
         &self,
-        graph: &Graph,
+        graph: &G,
         from: TermId,
         ctx: &ExecCtx,
     ) -> Result<BTreeSet<TermId>, EngineError> {
@@ -396,15 +397,15 @@ impl CompiledPath {
     }
 
     /// Decides `(from, to) ∈ ⟦E⟧^G` without materializing the full result.
-    pub fn connects(&self, graph: &Graph, from: TermId, to: TermId) -> bool {
+    pub fn connects<G: GraphAccess>(&self, graph: &G, from: TermId, to: TermId) -> bool {
         self.try_connects(graph, from, to, &ExecCtx::unbounded())
             .expect("unbounded context cannot fail")
     }
 
     /// Governed [`CompiledPath::connects`].
-    pub fn try_connects(
+    pub fn try_connects<G: GraphAccess>(
         &self,
-        graph: &Graph,
+        graph: &G,
         from: TermId,
         to: TermId,
         ctx: &ExecCtx,
@@ -426,16 +427,21 @@ impl CompiledPath {
     /// `targets` is the set of admissible endpoints; pass the result of
     /// [`CompiledPath::eval_from`] (possibly filtered by a shape) — nodes in
     /// `targets` not actually reachable are ignored.
-    pub fn trace(&self, graph: &Graph, from: TermId, targets: &BTreeSet<TermId>) -> TraceSet {
+    pub fn trace<G: GraphAccess>(
+        &self,
+        graph: &G,
+        from: TermId,
+        targets: &BTreeSet<TermId>,
+    ) -> TraceSet {
         self.try_trace(graph, from, targets, &ExecCtx::unbounded())
             .expect("unbounded context cannot fail")
     }
 
     /// Governed [`CompiledPath::trace`]: every BFS pop and edge expansion in
     /// the forward, backward, and collection phases ticks the context.
-    pub fn try_trace(
+    pub fn try_trace<G: GraphAccess>(
         &self,
-        graph: &Graph,
+        graph: &G,
         from: TermId,
         targets: &BTreeSet<TermId>,
         ctx: &ExecCtx,
@@ -552,16 +558,20 @@ impl CompiledPath {
     /// grows, so regions of the product graph shared between sources are
     /// walked once per chunk rather than once per source. Results are
     /// per-source and identical to [`CompiledPath::eval_from`].
-    pub fn eval_from_many(&self, graph: &Graph, sources: &[TermId]) -> Vec<BTreeSet<TermId>> {
+    pub fn eval_from_many<G: GraphAccess>(
+        &self,
+        graph: &G,
+        sources: &[TermId],
+    ) -> Vec<BTreeSet<TermId>> {
         self.try_eval_from_many(graph, sources, &ExecCtx::unbounded())
             .expect("unbounded context cannot fail")
     }
 
     /// Governed [`CompiledPath::eval_from_many`]. The context is consulted
     /// at every chunk boundary and throughout the shared product traversal.
-    pub fn try_eval_from_many(
+    pub fn try_eval_from_many<G: GraphAccess>(
         &self,
-        graph: &Graph,
+        graph: &G,
         sources: &[TermId],
         ctx: &ExecCtx,
     ) -> Result<Vec<BTreeSet<TermId>>, EngineError> {
@@ -607,9 +617,9 @@ impl CompiledPath {
     /// each request's admissible targets at the accept state and propagated
     /// through forward-reachable pairs only. Results are per-request and
     /// identical to [`CompiledPath::trace`].
-    pub fn trace_many(
+    pub fn trace_many<G: GraphAccess>(
         &self,
-        graph: &Graph,
+        graph: &G,
         requests: &[(TermId, BTreeSet<TermId>)],
     ) -> Vec<TraceSet> {
         self.try_trace_many(graph, requests, &ExecCtx::unbounded())
@@ -617,9 +627,9 @@ impl CompiledPath {
     }
 
     /// Governed [`CompiledPath::trace_many`].
-    pub fn try_trace_many(
+    pub fn try_trace_many<G: GraphAccess>(
         &self,
-        graph: &Graph,
+        graph: &G,
         requests: &[(TermId, BTreeSet<TermId>)],
         ctx: &ExecCtx,
     ) -> Result<Vec<TraceSet>, EngineError> {
@@ -753,9 +763,9 @@ impl CompiledPath {
     /// Multi-source forward reachability over the product graph: one worklist
     /// pass labeling each reached `(node, state)` pair with the set of chunk
     /// source indices that reach it.
-    fn forward_bits(
+    fn forward_bits<G: GraphAccess>(
         &self,
-        graph: &Graph,
+        graph: &G,
         chunk: &[TermId],
         ctx: &ExecCtx,
         mem: &mut MemGuard<'_>,
@@ -810,8 +820,8 @@ impl CompiledPath {
 
 /// Enumerates the `(predicate id, neighbor)` pairs reachable from `node`
 /// by one transition with the given label/direction.
-fn successors(
-    graph: &Graph,
+fn successors<G: GraphAccess>(
+    graph: &G,
     node: TermId,
     label: &ResolvedLabel,
     inverse: bool,
@@ -850,8 +860,8 @@ fn successors(
 /// Enumerates the `(predicate id, predecessor)` pairs that reach `node` by
 /// one transition with the given label/direction (the reverse of
 /// [`successors`]).
-fn predecessors(
-    graph: &Graph,
+fn predecessors<G: GraphAccess>(
+    graph: &G,
     node: TermId,
     label: &ResolvedLabel,
     inverse: bool,
@@ -905,22 +915,27 @@ impl PathCache {
     }
 
     /// Gets or compiles the path for this graph.
-    pub fn get(&mut self, path: &PathExpr, graph: &Graph) -> &CompiledPath {
+    pub fn get<G: GraphAccess>(&mut self, path: &PathExpr, graph: &G) -> &CompiledPath {
         self.cache
             .entry(path.clone())
             .or_insert_with(|| CompiledPath::new(path, graph))
     }
 
     /// Convenience: `⟦E⟧^G(from)`.
-    pub fn eval(&mut self, path: &PathExpr, graph: &Graph, from: TermId) -> BTreeSet<TermId> {
+    pub fn eval<G: GraphAccess>(
+        &mut self,
+        path: &PathExpr,
+        graph: &G,
+        from: TermId,
+    ) -> BTreeSet<TermId> {
         self.get(path, graph).eval_from(graph, from)
     }
 
     /// Convenience: trace `graph(paths(E, G, from, targets))`.
-    pub fn trace(
+    pub fn trace<G: GraphAccess>(
         &mut self,
         path: &PathExpr,
-        graph: &Graph,
+        graph: &G,
         from: TermId,
         targets: &BTreeSet<TermId>,
     ) -> TraceSet {
@@ -928,30 +943,30 @@ impl PathCache {
     }
 
     /// Convenience: set-at-a-time `⟦E⟧^G(sources[i])` for all sources.
-    pub fn eval_many(
+    pub fn eval_many<G: GraphAccess>(
         &mut self,
         path: &PathExpr,
-        graph: &Graph,
+        graph: &G,
         sources: &[TermId],
     ) -> Vec<BTreeSet<TermId>> {
         self.get(path, graph).eval_from_many(graph, sources)
     }
 
     /// Convenience: batched tracing for all `(from, targets)` requests.
-    pub fn trace_many(
+    pub fn trace_many<G: GraphAccess>(
         &mut self,
         path: &PathExpr,
-        graph: &Graph,
+        graph: &G,
         requests: &[(TermId, BTreeSet<TermId>)],
     ) -> Vec<TraceSet> {
         self.get(path, graph).trace_many(graph, requests)
     }
 
     /// Governed [`PathCache::eval`].
-    pub fn try_eval(
+    pub fn try_eval<G: GraphAccess>(
         &mut self,
         path: &PathExpr,
-        graph: &Graph,
+        graph: &G,
         from: TermId,
         ctx: &ExecCtx,
     ) -> Result<BTreeSet<TermId>, EngineError> {
@@ -959,10 +974,10 @@ impl PathCache {
     }
 
     /// Governed [`PathCache::trace`].
-    pub fn try_trace(
+    pub fn try_trace<G: GraphAccess>(
         &mut self,
         path: &PathExpr,
-        graph: &Graph,
+        graph: &G,
         from: TermId,
         targets: &BTreeSet<TermId>,
         ctx: &ExecCtx,
@@ -971,10 +986,10 @@ impl PathCache {
     }
 
     /// Governed [`PathCache::eval_many`].
-    pub fn try_eval_many(
+    pub fn try_eval_many<G: GraphAccess>(
         &mut self,
         path: &PathExpr,
-        graph: &Graph,
+        graph: &G,
         sources: &[TermId],
         ctx: &ExecCtx,
     ) -> Result<Vec<BTreeSet<TermId>>, EngineError> {
@@ -983,10 +998,10 @@ impl PathCache {
     }
 
     /// Governed [`PathCache::trace_many`].
-    pub fn try_trace_many(
+    pub fn try_trace_many<G: GraphAccess>(
         &mut self,
         path: &PathExpr,
-        graph: &Graph,
+        graph: &G,
         requests: &[(TermId, BTreeSet<TermId>)],
         ctx: &ExecCtx,
     ) -> Result<Vec<TraceSet>, EngineError> {
@@ -997,7 +1012,7 @@ impl PathCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shapefrag_rdf::{Term, Triple};
+    use shapefrag_rdf::{Graph, Term, Triple};
 
     fn iri(n: &str) -> Iri {
         Iri::new(format!("http://e/{n}"))

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use shapefrag_govern::{EngineError, ExecCtx};
 use shapefrag_rdf::graph::IntMap;
-use shapefrag_rdf::{Graph, Term, TermId};
+use shapefrag_rdf::{Graph, GraphAccess, Term, TermId};
 
 use crate::nnf::Nnf;
 use crate::path::PathExpr;
@@ -68,9 +68,9 @@ impl ConformanceMemo {
 /// (returning `false`/empty to unwind quickly), and governed entry points
 /// ([`validate_governed`], [`validate_batch_governed`]) surface the fault as
 /// an `Err` instead of a report.
-pub struct Context<'a> {
+pub struct Context<'a, G: GraphAccess = Graph> {
     pub schema: &'a Schema,
-    pub graph: &'a Graph,
+    pub graph: &'a G,
     paths: PathCache,
     /// Shared `hasShape` decisions; `None` disables memoization.
     memo: Option<Arc<ConformanceMemo>>,
@@ -80,9 +80,9 @@ pub struct Context<'a> {
     fault: Option<EngineError>,
 }
 
-impl<'a> Context<'a> {
+impl<'a, G: GraphAccess> Context<'a, G> {
     /// Creates a context for a schema and graph.
-    pub fn new(schema: &'a Schema, graph: &'a Graph) -> Self {
+    pub fn new(schema: &'a Schema, graph: &'a G) -> Self {
         Context {
             schema,
             graph,
@@ -96,7 +96,7 @@ impl<'a> Context<'a> {
     /// Creates a context sharing a conformance memo with other contexts
     /// (possibly on other threads). The memo must have been created for
     /// this same `(graph, schema)` pair.
-    pub fn with_memo(schema: &'a Schema, graph: &'a Graph, memo: Arc<ConformanceMemo>) -> Self {
+    pub fn with_memo(schema: &'a Schema, graph: &'a G, memo: Arc<ConformanceMemo>) -> Self {
         Context {
             schema,
             graph,
@@ -724,26 +724,6 @@ impl<'a> Context<'a> {
         out
     }
 
-    /// Term-level convenience for [`Context::conforms`]; nodes not occurring
-    /// in the graph still have well-defined conformance (e.g. to `⊤` or
-    /// `hasValue`), realized by interning on a clone-free lookup path.
-    pub fn conforms_term(&mut self, node: &Term, shape: &Shape) -> bool {
-        match self.graph.id_of(node) {
-            Some(id) => self.conforms(id, shape),
-            None => {
-                // Node absent from the graph: evaluate against the empty
-                // neighborhood semantics — paths evaluate to ∅ (or {node}
-                // for nullable paths, which cannot be represented without an
-                // id; we fall back to a local graph clone with the node
-                // interned).
-                let mut g = self.graph.clone();
-                let id = g.intern(node);
-                let mut ctx = Context::new(self.schema, &g);
-                ctx.conforms(id, shape)
-            }
-        }
-    }
-
     /// `⟦p⟧^G(a)` for a plain property.
     fn prop_values(&mut self, node: TermId, p: &shapefrag_rdf::Iri) -> BTreeSet<TermId> {
         match self.graph.id_of_iri(p) {
@@ -859,6 +839,29 @@ impl<'a> Context<'a> {
                 _ => None,
             },
             _ => None,
+        }
+    }
+}
+
+impl<'a> Context<'a, Graph> {
+    /// Term-level convenience for [`Context::conforms`]; nodes not occurring
+    /// in the graph still have well-defined conformance (e.g. to `⊤` or
+    /// `hasValue`). Only available on the mutable backend, because an
+    /// unknown focus node must be interned into a local graph clone.
+    pub fn conforms_term(&mut self, node: &Term, shape: &Shape) -> bool {
+        match self.graph.id_of(node) {
+            Some(id) => self.conforms(id, shape),
+            None => {
+                // Node absent from the graph: evaluate against the empty
+                // neighborhood semantics — paths evaluate to ∅ (or {node}
+                // for nullable paths, which cannot be represented without an
+                // id; we fall back to a local graph clone with the node
+                // interned).
+                let mut g = self.graph.clone();
+                let id = g.intern(node);
+                let mut ctx = Context::new(self.schema, &g);
+                ctx.conforms(id, shape)
+            }
         }
     }
 }
@@ -988,7 +991,7 @@ impl fmt::Display for ValidationReport {
 
 /// Validates `graph` against `schema`: for every definition `(s, φ, τ)` and
 /// every node `a` with `H, G, a ⊨ τ`, checks `H, G, a ⊨ φ`.
-pub fn validate(schema: &Schema, graph: &Graph) -> ValidationReport {
+pub fn validate<G: GraphAccess>(schema: &Schema, graph: &G) -> ValidationReport {
     let mut ctx = Context::new(schema, graph);
     let mut report = ValidationReport::default();
     for def in schema.iter() {
@@ -1010,16 +1013,16 @@ pub fn validate(schema: &Schema, graph: &Graph) -> ValidationReport {
 /// are decided in one [`Context::conforms_all`] batch with a fresh shared
 /// memo, so `hasShape` sub-shapes are checked once per node across all
 /// referencing targets and path work is shared via the multi-source kernel.
-pub fn validate_batch(schema: &Schema, graph: &Graph) -> ValidationReport {
+pub fn validate_batch<G: GraphAccess>(schema: &Schema, graph: &G) -> ValidationReport {
     validate_batch_with_memo(schema, graph, Arc::new(ConformanceMemo::new()))
 }
 
 /// [`validate_batch`] against a caller-provided memo (which must belong to
 /// this `(graph, schema)` pair); lets parallel drivers share decisions
 /// across worker threads.
-pub fn validate_batch_with_memo(
+pub fn validate_batch_with_memo<G: GraphAccess>(
     schema: &Schema,
-    graph: &Graph,
+    graph: &G,
     memo: Arc<ConformanceMemo>,
 ) -> ValidationReport {
     let mut ctx = Context::with_memo(schema, graph, memo);
@@ -1043,9 +1046,9 @@ pub fn validate_batch_with_memo(
 /// Resource-governed [`validate`]: same report on success, or the first
 /// [`EngineError`] (deadline, budget, cancellation, depth) instead of a
 /// partial — and therefore misleading — report.
-pub fn validate_governed(
+pub fn validate_governed<G: GraphAccess>(
     schema: &Schema,
-    graph: &Graph,
+    graph: &G,
     exec: ExecCtx,
 ) -> Result<ValidationReport, EngineError> {
     let mut ctx = Context::new(schema, graph).with_exec(exec);
@@ -1075,9 +1078,9 @@ pub fn validate_governed(
 
 /// Resource-governed [`validate_batch`]: the set-at-a-time driver under a
 /// deadline/budget/cancellation governor.
-pub fn validate_batch_governed(
+pub fn validate_batch_governed<G: GraphAccess>(
     schema: &Schema,
-    graph: &Graph,
+    graph: &G,
     exec: ExecCtx,
 ) -> Result<ValidationReport, EngineError> {
     let mut ctx =

@@ -9,7 +9,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 use shapefrag_govern::{BudgetKind, EngineError, ExecCtx};
-use shapefrag_rdf::{Graph, Iri, Literal, Term, TermId};
+use shapefrag_rdf::{Graph, GraphAccess, Iri, Literal, Term, TermId};
 use shapefrag_shacl::rpq::CompiledPath;
 use shapefrag_shacl::PathExpr;
 
@@ -97,8 +97,8 @@ impl std::fmt::Display for ResourceExhausted {
 impl std::error::Error for ResourceExhausted {}
 
 /// Evaluates a `SELECT` query, returning its solution mappings.
-pub fn eval_select(
-    graph: &Graph,
+pub fn eval_select<G: GraphAccess>(
+    graph: &G,
     query: &Select,
     config: &EvalConfig,
 ) -> Result<Vec<Binding>, ResourceExhausted> {
@@ -120,8 +120,8 @@ pub fn eval_select(
 /// `config`-level cap that trips first is reported as the matching
 /// `EngineError` variant (intermediate cap → memory budget, wall-clock cap
 /// → deadline).
-pub fn eval_select_governed(
-    graph: &Graph,
+pub fn eval_select_governed<G: GraphAccess>(
+    graph: &G,
     query: &Select,
     config: &EvalConfig,
     exec: &ExecCtx,
@@ -159,7 +159,7 @@ pub fn eval_select_governed(
 
 /// Convenience: evaluates with the default (indexed) configuration,
 /// panicking is impossible since no cap is set.
-pub fn eval(graph: &Graph, query: &Select) -> Vec<Binding> {
+pub fn eval<G: GraphAccess>(graph: &G, query: &Select) -> Vec<Binding> {
     eval_select(graph, query, &EvalConfig::indexed()).expect("no cap set")
 }
 
@@ -186,8 +186,8 @@ pub fn bindings_to_graph(bindings: &[Binding], s: &str, p: &str, o: &str) -> Gra
     g
 }
 
-struct Evaluator<'g> {
-    graph: &'g Graph,
+struct Evaluator<'g, G: GraphAccess> {
+    graph: &'g G,
     config: EvalConfig,
     paths: HashMap<PathExpr, CompiledPath>,
     started: Instant,
@@ -198,7 +198,7 @@ struct Evaluator<'g> {
     fault: Option<EngineError>,
 }
 
-impl<'g> Evaluator<'g> {
+impl<'g, G: GraphAccess> Evaluator<'g, G> {
     /// Records the first governance fault and produces the
     /// [`ResourceExhausted`] used to unwind the operator recursion.
     fn engine_fault(&mut self, e: EngineError, n: usize) -> ResourceExhausted {

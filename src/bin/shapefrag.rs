@@ -79,7 +79,8 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
     let as_ttl = rest.iter().any(|a| a == "--report-ttl");
     let schema = load_schema(shapes_path)?;
     let data = load_data(data_path)?;
-    let report = validate(&schema, &data);
+    // Validation is read-only: run it over the CSR snapshot.
+    let report = validate(&schema, &data.freeze());
     if as_ttl {
         let graph = report.to_graph();
         print!(
@@ -102,7 +103,8 @@ fn cmd_fragment(args: &[String]) -> Result<ExitCode, String> {
     };
     let schema = load_schema(shapes_path)?;
     let data = load_data(data_path)?;
-    let fragment = schema_fragment(&schema, &data);
+    // Extraction reads the graph many times over: freeze once up front.
+    let fragment = schema_fragment(&schema, &data.freeze());
     eprintln!(
         "fragment: {} of {} triples ({} shape definitions)",
         fragment.len(),

@@ -358,6 +358,121 @@ fn cancellation_is_observed_within_50ms() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Governance over the frozen (CSR) backend
+// ---------------------------------------------------------------------------
+
+/// The governed kernels keep honoring step budgets when running over a
+/// [`FrozenGraph`] snapshot: every public entry point surfaces the same
+/// structured fault it does on the mutable backend.
+#[test]
+fn frozen_backend_honors_step_budgets() {
+    let frozen = cyclic_graph().freeze();
+    let shapes = vec![star_walk_shape()];
+    let schema = Schema::empty();
+    let tiny = || ExecCtx::with_budget(Budget::unlimited().steps(3));
+
+    match fragment_governed(&schema, &frozen, &shapes, tiny()) {
+        Err(EngineError::BudgetExceeded {
+            kind: BudgetKind::Steps,
+            limit,
+        }) => assert_eq!(limit, 3),
+        other => panic!("fragment_governed/frozen: expected step fault, got {other:?}"),
+    }
+
+    let named = Schema::new(vec![ShapeDef::new(
+        e("Walk"),
+        star_walk_shape(),
+        Shape::geq(1, PathExpr::prop(p("p")), Shape::True),
+    )])
+    .unwrap();
+    assert!(matches!(
+        validate_governed(&named, &frozen, tiny()),
+        Err(EngineError::BudgetExceeded { .. })
+    ));
+    assert!(matches!(
+        validate_batch_governed(&named, &frozen, tiny()),
+        Err(EngineError::BudgetExceeded { .. })
+    ));
+    assert!(matches!(
+        schema_fragment_governed(&named, &frozen, tiny()),
+        Err(EngineError::BudgetExceeded { .. })
+    ));
+
+    let mut ctx = Context::new(&schema, &frozen).with_exec(tiny());
+    let v = frozen.id_of(&e("n0")).unwrap();
+    assert!(matches!(
+        neighborhood_governed(&mut ctx, v, &star_walk_shape()),
+        Err(EngineError::BudgetExceeded { .. })
+    ));
+}
+
+/// Deadlines still trip over the frozen backend.
+#[test]
+fn frozen_backend_honors_deadlines() {
+    let frozen = generate(&TyroleanConfig::new(200, 0xDEAD)).freeze();
+    let schema = Schema::new(benchmark_shapes()).unwrap();
+    let exec = ExecCtx::with_budget(Budget::unlimited().deadline(Duration::ZERO));
+    match validate_batch_governed(&schema, &frozen, exec) {
+        Err(EngineError::DeadlineExceeded { .. }) => {}
+        other => panic!("expected DeadlineExceeded over frozen, got {other:?}"),
+    }
+}
+
+/// Cross-thread cancellation is observed promptly inside the frozen-backend
+/// kernels too.
+#[test]
+fn frozen_backend_observes_cancellation() {
+    let frozen = generate(&TyroleanConfig::new(600, 0xCB)).freeze();
+    let schema = Schema::new(benchmark_shapes()).unwrap();
+    let token = CancelToken::new();
+    let worker_token = token.clone();
+    let (tx, rx) = mpsc::channel();
+
+    let worker = thread::spawn(move || loop {
+        let exec = ExecCtx::with_budget(Budget::unlimited()).with_cancel(&worker_token);
+        match validate_batch_governed(&schema, &frozen, exec) {
+            Ok(_) => {
+                let _ = tx.send(());
+            }
+            Err(EngineError::Cancelled) => return Instant::now(),
+            Err(other) => panic!("unexpected fault under cancellation: {other:?}"),
+        }
+    });
+
+    rx.recv().expect("worker never finished a warmup pass");
+    let cancelled_at = Instant::now();
+    token.cancel();
+    let observed_at = worker.join().expect("worker panicked");
+    let latency = observed_at.duration_since(cancelled_at);
+    assert!(
+        latency < Duration::from_millis(50),
+        "cancellation over frozen took {latency:?} to be observed"
+    );
+}
+
+/// An unbounded governed run over the frozen backend reproduces the
+/// ungoverned mutable-backend results exactly.
+#[test]
+fn frozen_governed_agrees_with_mutable_ungoverned() {
+    use shape_fragments::core::schema_fragment;
+    use shape_fragments::shacl::validator::validate_batch;
+
+    let graph = generate(&TyroleanConfig::new(150, 0xA7));
+    let frozen = graph.freeze();
+    let schema = Schema::new(benchmark_shapes()).unwrap();
+
+    let plain = validate_batch(&schema, &graph);
+    let governed = validate_batch_governed(&schema, &frozen, ExecCtx::unbounded())
+        .expect("unbounded context cannot fault");
+    assert_eq!(plain, governed);
+
+    let plain_frag = schema_fragment(&schema, &graph);
+    let governed_frag = schema_fragment_governed(&schema, &frozen, ExecCtx::unbounded())
+        .expect("unbounded context cannot fault");
+    assert_eq!(plain_frag, governed_frag);
+}
+
 /// An unbounded context reproduces the ungoverned results exactly, across
 /// validation and fragment extraction.
 #[test]
