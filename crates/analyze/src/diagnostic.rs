@@ -1,0 +1,185 @@
+//! Structured analyzer diagnostics with stable codes.
+//!
+//! Codes are permanent API: tools may filter on them, so a code is never
+//! reused for a different defect. `SF-Exxx` codes are deny-level (the
+//! schema contains a genuine contradiction and should be rejected before
+//! validation), `SF-Wxxx` are warnings (legal but almost certainly not
+//! what the author meant, or wasted validator work).
+
+use std::fmt;
+
+use shapefrag_rdf::{Span, Term};
+
+/// Stable diagnostic codes. See DESIGN.md §11 for the full taxonomy.
+pub mod codes {
+    /// A targeted definition is statically unsatisfiable: every target
+    /// match is guaranteed to be a violation.
+    pub const UNSATISFIABLE_DEF: &str = "SF-E001";
+    /// `≥n E.ψ ∧ ≤m E.ψ'` on the same path with `n > m`.
+    pub const CARDINALITY_CONFLICT: &str = "SF-E002";
+    /// Two `sh:hasValue` constraints demanding different constants.
+    pub const HAS_VALUE_CONFLICT: &str = "SF-E003";
+    /// Conjoined node tests (or a test and a `sh:hasValue` constant) that
+    /// no term can satisfy together.
+    pub const TEST_CONFLICT: &str = "SF-E004";
+    /// `sh:closed` forbids the first property step of a required path.
+    pub const CLOSED_CONFLICT: &str = "SF-E005";
+    /// `≤0` over a nullable path (the identity pair always counts).
+    pub const LEQ_ZERO_NULLABLE: &str = "SF-E006";
+    /// The `hasShape` reference graph has a cycle (rejected by the engine).
+    pub const RECURSIVE_SCHEMA: &str = "SF-E020";
+    /// A reference cycle passing through negation (unstratifiable even in
+    /// engines that admit recursion).
+    pub const NEGATION_CYCLE: &str = "SF-E021";
+
+    /// A constraint that is statically always satisfied (e.g. `≥0 E.ψ`).
+    pub const TRIVIAL_CONSTRAINT: &str = "SF-W001";
+    /// A targeted definition whose shape simplifies to ⊤ — validation of
+    /// its targets can never fail.
+    pub const ALWAYS_TRUE_DEF: &str = "SF-W006";
+    /// A redundant path operator (e.g. `E??`, `(E*)*`).
+    pub const REDUNDANT_PATH_OP: &str = "SF-W010";
+    /// A `sh:pattern` that provably matches no string.
+    pub const DEAD_PATTERN: &str = "SF-W012";
+    /// A definition with no targets that no targeted definition references.
+    pub const UNREACHABLE_DEF: &str = "SF-W022";
+    /// A reference to a shape with no definition (defaults to ⊤).
+    pub const UNDEFINED_REF: &str = "SF-W023";
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but legal; validation proceeds.
+    Warn,
+    /// A contradiction: the schema should be rejected at load time.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "warn"),
+            Severity::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`SF-Wxxx` / `SF-Exxx`, see [`codes`]).
+    pub code: &'static str,
+    pub severity: Severity,
+    /// The shape definition the finding is about, when attributable.
+    pub shape: Option<Term>,
+    /// Source position (threaded up from the shapes-graph parser), when
+    /// the schema came from text.
+    pub span: Option<Span>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        shape: Option<Term>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            shape,
+            span: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a source position (builder style).
+    pub fn at(mut self, span: Option<Span>) -> Diagnostic {
+        self.span = span;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(span) = self.span {
+            write!(f, " {span}")?;
+        }
+        if let Some(shape) = &self.shape {
+            write!(f, " {shape}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// True iff any finding is deny-level.
+pub fn has_deny(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Deny)
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders findings as a JSON document:
+/// `{"diagnostics": [...], "warnings": n, "denials": m}`.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"code\": \"");
+        out.push_str(d.code);
+        out.push_str("\", \"severity\": \"");
+        out.push_str(&d.severity.to_string());
+        out.push('"');
+        if let Some(span) = d.span {
+            out.push_str(&format!(
+                ", \"line\": {}, \"column\": {}",
+                span.line, span.column
+            ));
+        }
+        if let Some(shape) = &d.shape {
+            out.push_str(", \"shape\": \"");
+            json_escape(&mut out, &shape.to_string());
+            out.push('"');
+        }
+        out.push_str(", \"message\": \"");
+        json_escape(&mut out, &d.message);
+        out.push_str("\"}");
+    }
+    if diags.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    let denials = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    out.push_str(&format!(
+        ",\n  \"warnings\": {warnings},\n  \"denials\": {denials}\n}}\n"
+    ));
+    out
+}

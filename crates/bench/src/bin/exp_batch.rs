@@ -17,6 +17,7 @@
 
 use std::time::Duration;
 
+use shapefrag_analyze::{analyze_schema, simplify, SimplifyLevel};
 use shapefrag_bench::{ms, print_table, time, write_json_to, ExpOptions};
 use shapefrag_core::{validate_extract_fragment, validate_extract_fragment_per_node};
 use shapefrag_shacl::validator::{validate, validate_batch};
@@ -44,6 +45,10 @@ struct BatchResults {
     suite: String,
     shape_count: usize,
     runs: usize,
+    /// Static analysis of the 57-shape schema (graph-size independent).
+    analyze_ms: f64,
+    /// Fragment-level semantics-preserving simplification of the schema.
+    simplify_ms: f64,
     rows: Vec<SizeRow>,
 }
 
@@ -66,6 +71,8 @@ shapefrag_bench::impl_to_json!(BatchResults {
     suite,
     shape_count,
     runs,
+    analyze_ms,
+    simplify_ms,
     rows,
 });
 
@@ -88,6 +95,18 @@ fn main() {
     let shapes = benchmark_shapes();
     let shape_count = shapes.len();
     let schema = Schema::new(shapes).expect("57-shape suite is nonrecursive");
+
+    // Static analysis and simplification are schema-level (independent of
+    // the data graph); report their wall time alongside the kernels.
+    let mut s_analyze = Vec::with_capacity(runs);
+    let mut s_simplify = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        s_analyze.push(time(|| analyze_schema(&schema, None)).1);
+        s_simplify.push(time(|| simplify(&schema, SimplifyLevel::Fragment)).1);
+    }
+    let analyze_ms = ms(median(s_analyze));
+    let simplify_ms = ms(median(s_simplify));
+    eprintln!("schema analysis: analyze {analyze_ms:.2}ms, simplify {simplify_ms:.2}ms");
 
     let mut rows = Vec::new();
     for (i, &individuals) in sizes.iter().enumerate() {
@@ -158,7 +177,8 @@ fn main() {
         });
     }
 
-    println!("\nSet-at-a-time kernel vs. per-node evaluation (57-shape suite, median of {runs})\n");
+    println!("\nSet-at-a-time kernel vs. per-node evaluation (57-shape suite, median of {runs})");
+    println!("schema static analysis: analyze {analyze_ms:.2}ms, simplify {simplify_ms:.2}ms\n");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -202,6 +222,8 @@ fn main() {
         suite: "tyrolean-57".to_string(),
         shape_count,
         runs,
+        analyze_ms,
+        simplify_ms,
         rows,
     };
     let out = opts.out.as_deref().unwrap_or("BENCH_validation.json");

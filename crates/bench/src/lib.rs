@@ -14,6 +14,7 @@
 //! Every binary accepts an optional `--scale <f64>` multiplier on the
 //! default workload size, `--runs <n>`, and `--out <path>` to choose the
 //! JSON result file.
+#![forbid(unsafe_code)]
 
 pub mod json;
 

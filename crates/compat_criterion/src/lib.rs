@@ -7,6 +7,7 @@
 //! cost, it takes `sample_size` timed batches within `measurement_time`
 //! and reports the median per-iteration time. No HTML reports, no
 //! statistical regression analysis.
+#![forbid(unsafe_code)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

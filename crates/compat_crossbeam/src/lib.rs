@@ -1,6 +1,7 @@
 //! Minimal offline stand-in for [`crossbeam`], built on `std::thread::scope`
 //! (stable since Rust 1.63). Only the `thread::scope` / `Scope::spawn` /
 //! `ScopedJoinHandle::join` subset used by this workspace is provided.
+#![forbid(unsafe_code)]
 
 pub mod thread {
     use std::any::Any;

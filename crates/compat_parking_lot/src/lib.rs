@@ -4,6 +4,7 @@
 //! [`Mutex`] with panic-free (non-poisoning) `lock`/`read`/`write`. Lock
 //! poisoning is translated into propagating the inner data anyway, which
 //! matches `parking_lot` semantics (it has no poisoning at all).
+#![forbid(unsafe_code)]
 
 use std::sync::{
     Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,

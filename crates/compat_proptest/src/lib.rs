@@ -15,6 +15,7 @@
 //! - Regex strategies support the fragment of regex syntax the suite uses
 //!   (classes, ranges, escapes, groups, `{m,n}` / `?` / `*` / `+`,
 //!   alternation).
+#![forbid(unsafe_code)]
 
 pub mod arbitrary;
 pub mod collection;

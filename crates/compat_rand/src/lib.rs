@@ -7,6 +7,7 @@
 //! workspace only rely on determinism for a fixed seed, which this
 //! implementation guarantees (the exact stream differs from upstream
 //! `rand`, so regenerated datasets differ in content but not in shape).
+#![forbid(unsafe_code)]
 
 use std::ops::Range;
 

@@ -22,9 +22,9 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
+use shapefrag_analyze::{shape_shares_work, Diagnostic, SimplifyLevel};
 use shapefrag_rdf::{Graph, GraphAccess, Term, TermId};
 use shapefrag_shacl::path::PathExpr;
-use shapefrag_shacl::shape::PathOrId;
 use shapefrag_shacl::validator::{ConformanceMemo, Context, ValidationReport, Violation};
 use shapefrag_shacl::{Nnf, Schema, Shape};
 
@@ -275,37 +275,21 @@ pub fn validate_extract_fragment<G: GraphAccess>(
 /// kernel's sharing cannot amortize evaluating every path twice.
 const BATCH_MIN_TARGETS: usize = 16;
 
-/// True iff a path is a single forward or inverse property step — the case
-/// the multi-source kernels evaluate per source with no sharing.
-fn path_is_simple(e: &PathExpr) -> bool {
-    match e {
-        PathExpr::Prop(_) => true,
-        PathExpr::Inverse(inner) => matches!(inner.as_ref(), PathExpr::Prop(_)),
-        _ => false,
-    }
-}
-
-/// True iff set-at-a-time collection can share work across focus nodes for
-/// this shape: a quantifier over a composite path (one shared product
-/// traversal instead of a BFS per focus), a quantifier with a non-trivial
-/// inner shape (endpoint conformance decided and sub-neighborhoods
-/// collected once per *distinct* endpoint), or a path-equality constraint
-/// (bit-kernel union path). Shapes built purely from single-property
-/// quantifiers and node-local atoms gain nothing from batching — the
-/// multi-source kernels degenerate to the same per-focus index lookups, so
-/// the two-pass batch driver would only re-evaluate every path twice.
-fn shape_shares_work(schema: &Schema, shape: &Nnf) -> bool {
-    match shape {
-        Nnf::Geq(_, e, inner) | Nnf::Leq(_, e, inner) | Nnf::ForAll(e, inner) => {
-            !path_is_simple(e) || !matches!(inner.as_ref(), Nnf::True)
-        }
-        Nnf::Eq(PathOrId::Path(_), _) => true,
-        Nnf::And(items) | Nnf::Or(items) => items.iter().any(|i| shape_shares_work(schema, i)),
-        Nnf::HasShape(name) | Nnf::NotHasShape(name) => {
-            shape_shares_work(schema, &Nnf::from_shape(&schema.def(name)))
-        }
-        _ => false,
-    }
+/// Like [`validate_extract_fragment`], but first runs the static
+/// analyzer's fragment-level simplification over the schema
+/// ([`shapefrag_analyze::simplify`]) and validates the simplified schema.
+/// The rewrites are semantics-preserving for both the report and the
+/// extracted fragment (the fragment-level polarity gates only apply
+/// rewrites that cannot change any collected neighborhood), so the result
+/// agrees with [`validate_extract_fragment`] on the original schema. The
+/// diagnostics gathered during simplification are returned alongside.
+pub fn validate_extract_fragment_simplified<G: GraphAccess>(
+    schema: &Schema,
+    graph: &G,
+) -> (ValidationReport, SchemaFragment, Vec<Diagnostic>) {
+    let (simplified, diags) = shapefrag_analyze::simplify(schema, SimplifyLevel::Fragment);
+    let (report, fragment) = validate_extract_fragment(&simplified, graph);
+    (report, fragment, diags)
 }
 
 pub fn validate_extract_fragment_with_memo<G: GraphAccess>(

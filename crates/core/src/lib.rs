@@ -46,6 +46,7 @@
 //! let frag = fragment(&schema, &data, std::slice::from_ref(&shape));
 //! assert_eq!(frag, e.subgraph().clone());
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod fragment;
 pub mod instrumented;
@@ -59,8 +60,8 @@ pub use fragment::{
 };
 pub use instrumented::{
     validate_extract_fragment, validate_extract_fragment_per_node,
-    validate_extract_fragment_with_memo, validate_par, validate_with_provenance, ProvenancedReport,
-    SchemaFragment,
+    validate_extract_fragment_simplified, validate_extract_fragment_with_memo, validate_par,
+    validate_with_provenance, ProvenancedReport, SchemaFragment,
 };
 pub use neighborhood::{
     collect_neighborhood_many, conforms_and_collect, neighborhood, neighborhood_governed,

@@ -26,6 +26,7 @@
 //! }
 //! assert!(matches!(result, Err(EngineError::BudgetExceeded { .. })));
 //! ```
+#![forbid(unsafe_code)]
 
 use std::cell::Cell;
 use std::fmt;

@@ -27,12 +27,14 @@
 //! let reloaded = ntriples::parse(&ntriples::serialize(&graph)).unwrap();
 //! assert_eq!(reloaded, graph);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod access;
 pub mod error;
 pub mod frozen;
 pub mod graph;
 pub mod ntriples;
+pub mod span;
 pub mod term;
 pub mod turtle;
 pub mod value;
@@ -43,5 +45,6 @@ pub use error::{LossyLoad, ParseError};
 pub use frozen::FrozenGraph;
 pub use graph::{Graph, TermId};
 pub use shapefrag_govern::{EngineError, ErrorCode};
+pub use span::{Span, TripleSpans};
 pub use term::{BlankNode, Iri, Literal, Term, Triple};
 pub use value::{DateTimeValue, LiteralValue};

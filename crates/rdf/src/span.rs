@@ -1,0 +1,69 @@
+//! Source positions recorded during parsing, so later analyses can point
+//! diagnostics back at the document instead of at in-memory terms.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::term::{Iri, Term};
+
+/// A 1-based line/column position in a source document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    pub line: usize,
+    pub column: usize,
+}
+
+impl Span {
+    pub fn new(line: usize, column: usize) -> Span {
+        Span { line, column }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Where each subject, and each `(subject, predicate)` pair, of a parsed
+/// document appeared. The first occurrence wins: a subject split over
+/// several statements keeps the position of its first mention, which is
+/// where a reader would look for the definition.
+#[derive(Debug, Clone, Default)]
+pub struct TripleSpans {
+    subjects: HashMap<Term, Span>,
+    predicates: HashMap<(Term, Iri), Span>,
+}
+
+impl TripleSpans {
+    /// Position of the first statement with this subject.
+    pub fn subject(&self, subject: &Term) -> Option<Span> {
+        self.subjects.get(subject).copied()
+    }
+
+    /// Position of the first `predicate` in a statement about `subject`.
+    pub fn predicate(&self, subject: &Term, predicate: &Iri) -> Option<Span> {
+        self.predicates
+            .get(&(subject.clone(), predicate.clone()))
+            .copied()
+    }
+
+    /// Number of recorded subject positions.
+    pub fn len(&self) -> usize {
+        self.subjects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.subjects.is_empty()
+    }
+
+    pub(crate) fn record_subject(&mut self, subject: &Term, at: Span) {
+        self.subjects.entry(subject.clone()).or_insert(at);
+    }
+
+    pub(crate) fn record_predicate(&mut self, subject: &Term, predicate: &Iri, at: Span) {
+        self.predicates
+            .entry((subject.clone(), predicate.clone()))
+            .or_insert(at);
+    }
+}

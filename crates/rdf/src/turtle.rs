@@ -16,6 +16,7 @@ use shapefrag_govern::ErrorCode;
 
 use crate::error::{LossyLoad, ParseError};
 use crate::graph::Graph;
+use crate::span::{Span, TripleSpans};
 use crate::term::{BlankNode, Iri, Literal, Term, Triple};
 use crate::vocab::{rdf, xsd};
 
@@ -30,6 +31,16 @@ pub fn parse(input: &str) -> Result<Graph, ParseError> {
     let mut parser = Parser::new(input);
     parser.parse_document()?;
     Ok(parser.graph)
+}
+
+/// [`parse`], additionally recording where each subject and each
+/// `(subject, predicate)` pair first appeared. The shapes-graph parser
+/// threads these positions into analyzer diagnostics.
+pub fn parse_with_spans(input: &str) -> Result<(Graph, TripleSpans), ParseError> {
+    let mut parser = Parser::new(input);
+    parser.spans = Some(TripleSpans::default());
+    parser.parse_document()?;
+    Ok((parser.graph, parser.spans.unwrap_or_default()))
 }
 
 /// Error-recovering parse: statements that fail are skipped up to the next
@@ -77,6 +88,9 @@ struct Parser<'a> {
     graph: Graph,
     blank_counter: usize,
     depth: usize,
+    /// When set, subject / predicate source positions are recorded as
+    /// statements parse (see [`parse_with_spans`]).
+    spans: Option<TripleSpans>,
     _input: &'a str,
 }
 
@@ -97,7 +111,24 @@ impl<'a> Parser<'a> {
             graph,
             blank_counter: 0,
             depth: 0,
+            spans: None,
             _input: input,
+        }
+    }
+
+    fn here(&self) -> Span {
+        Span::new(self.line, self.column)
+    }
+
+    fn note_subject(&mut self, subject: &Term, at: Span) {
+        if let Some(spans) = &mut self.spans {
+            spans.record_subject(subject, at);
+        }
+    }
+
+    fn note_predicate(&mut self, subject: &Term, predicate: &Iri, at: Span) {
+        if let Some(spans) = &mut self.spans {
+            spans.record_predicate(subject, predicate, at);
         }
     }
 
@@ -341,6 +372,7 @@ impl<'a> Parser<'a> {
 
     fn parse_triples_block(&mut self) -> Result<(), ParseError> {
         self.skip_ws();
+        let at = self.here();
         let subject = if self.peek() == Some('[') {
             // Blank node property list as subject.
             let node = self.parse_blank_node_property_list()?;
@@ -355,13 +387,16 @@ impl<'a> Parser<'a> {
         } else {
             self.parse_subject()?
         };
+        self.note_subject(&subject, at);
         self.parse_predicate_object_list(&subject)
     }
 
     fn parse_predicate_object_list(&mut self, subject: &Term) -> Result<(), ParseError> {
         loop {
             self.skip_ws();
+            let at = self.here();
             let predicate = self.parse_predicate()?;
+            self.note_predicate(subject, &predicate, at);
             loop {
                 self.skip_ws();
                 let object = self.parse_object()?;
@@ -743,8 +778,10 @@ impl<'a> Parser<'a> {
 
     fn parse_blank_node_property_list(&mut self) -> Result<Term, ParseError> {
         self.enter_nested()?;
+        let at = self.here();
         self.expect('[')?;
         let node = Term::Blank(self.fresh_blank());
+        self.note_subject(&node, at);
         self.skip_ws();
         if self.peek() == Some(']') {
             self.bump();

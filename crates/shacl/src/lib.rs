@@ -29,6 +29,7 @@
 //! assert!(!report.conforms());
 //! assert_eq!(report.violations.len(), 1);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod nnf;
 pub mod node_test;
@@ -43,7 +44,7 @@ pub mod writer;
 
 pub use nnf::Nnf;
 pub use node_test::{NodeKind, NodeTest};
-pub use parser::ShaclParseError;
+pub use parser::{SchemaSpans, ShaclParseError};
 pub use path::PathExpr;
 pub use rpq::{CompiledPath, Nfa, PathCache};
 pub use schema::{Schema, SchemaError, ShapeDef};

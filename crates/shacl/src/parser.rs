@@ -15,7 +15,7 @@ use std::fmt;
 use shapefrag_govern::{EngineError, ErrorCode};
 use shapefrag_rdf::turtle::{self, read_list};
 use shapefrag_rdf::vocab::{rdf, rdfs, sh};
-use shapefrag_rdf::{Graph, Iri, Literal, Term};
+use shapefrag_rdf::{Graph, Iri, Literal, Span, Term, TripleSpans};
 
 use crate::node_test::{NodeKind, NodeTest};
 use crate::path::PathExpr;
@@ -71,6 +71,27 @@ impl From<ShaclParseError> for EngineError {
     }
 }
 
+/// Source positions for a parsed shapes graph: where each shape definition
+/// and each of its constraint properties appeared in the Turtle text.
+/// Queried by shape name (an IRI, or the generated blank-node label of an
+/// inline `[...]` shape).
+#[derive(Debug, Clone, Default)]
+pub struct SchemaSpans {
+    spans: TripleSpans,
+}
+
+impl SchemaSpans {
+    /// Position of a shape definition (the first statement about it).
+    pub fn def(&self, name: &Term) -> Option<Span> {
+        self.spans.subject(name)
+    }
+
+    /// Position of one constraint property on a shape (e.g. `sh:minCount`).
+    pub fn constraint(&self, name: &Term, property: &Iri) -> Option<Span> {
+        self.spans.predicate(name, property)
+    }
+}
+
 /// Parses Turtle text into a schema (shapes graph → formal schema).
 pub fn parse_shapes_turtle(text: &str) -> Result<Schema, ShaclParseError> {
     let graph =
@@ -78,8 +99,38 @@ pub fn parse_shapes_turtle(text: &str) -> Result<Schema, ShaclParseError> {
     schema_from_shapes_graph(&graph)
 }
 
+/// [`parse_shapes_turtle`], additionally returning source positions for
+/// every definition and constraint so diagnostics can point at the text.
+pub fn parse_shapes_turtle_with_spans(
+    text: &str,
+) -> Result<(Schema, SchemaSpans), ShaclParseError> {
+    let (graph, spans) = turtle::parse_with_spans(text)
+        .map_err(|e| ShaclParseError::with_code(e.code, e.to_string()))?;
+    let schema = schema_from_shapes_graph(&graph)?;
+    Ok((schema, SchemaSpans { spans }))
+}
+
+/// [`parse_shapes_turtle_with_spans`] stopping before [`Schema::new`]'s
+/// well-formedness gate: returns the raw definitions even when they are
+/// recursive or duplicated, so the static analyzer can *report* those
+/// defects instead of merely failing on them.
+pub fn parse_shape_defs_turtle(
+    text: &str,
+) -> Result<(Vec<ShapeDef>, SchemaSpans), ShaclParseError> {
+    let (graph, spans) = turtle::parse_with_spans(text)
+        .map_err(|e| ShaclParseError::with_code(e.code, e.to_string()))?;
+    let defs = defs_from_shapes_graph(&graph)?;
+    Ok((defs, SchemaSpans { spans }))
+}
+
 /// Translates a SHACL shapes graph `S` into a schema `t(S)` (Appendix A).
 pub fn schema_from_shapes_graph(shapes: &Graph) -> Result<Schema, ShaclParseError> {
+    Ok(Schema::new(defs_from_shapes_graph(shapes)?)?)
+}
+
+/// The translation underlying [`schema_from_shapes_graph`], without the
+/// schema well-formedness checks (duplicate names, recursion).
+pub fn defs_from_shapes_graph(shapes: &Graph) -> Result<Vec<ShapeDef>, ShaclParseError> {
     let tr = Translator { g: shapes };
     let shape_nodes = tr.collect_shape_nodes()?;
     let mut defs = Vec::new();
@@ -96,7 +147,7 @@ pub fn schema_from_shapes_graph(shapes: &Graph) -> Result<Schema, ShaclParseErro
         let target = tr.translate_target(&node)?;
         defs.push(ShapeDef::new(node, expr, target));
     }
-    Ok(Schema::new(defs)?)
+    Ok(defs)
 }
 
 struct Translator<'g> {

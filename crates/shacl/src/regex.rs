@@ -146,6 +146,17 @@ impl Pattern {
         }
     }
 
+    /// True iff the pattern provably matches no string at all, making any
+    /// `sh:pattern` constraint that uses it unsatisfiable. The parser
+    /// already rejects most empty languages (`{3,1}`, inverted ranges) at
+    /// compile time; what remains constructible is anchor contradictions —
+    /// a `^` that must fire after input was consumed (`ab^c`) or input
+    /// that must be consumed after a `$` (`a$b`). The analysis is
+    /// conservative: `false` means "not provably dead", not "satisfiable".
+    pub fn never_matches(&self) -> bool {
+        node_info(&self.ast).never
+    }
+
     /// True iff the pattern matches anywhere in `input`.
     pub fn is_match(&self, input: &str) -> bool {
         let chars: Vec<char> = if self.case_insensitive {
@@ -174,6 +185,120 @@ impl Pattern {
             }
         }
         false
+    }
+}
+
+/// Static summary of one AST node for [`Pattern::never_matches`].
+/// The anchor flags describe *mandatory* anchors: every successful match
+/// of the node passes one.
+struct NodeInfo {
+    never: bool,
+    /// Minimum characters any successful match consumes.
+    min: u32,
+    /// Every match requires position 0 (a mandatory `^`).
+    anchors_start: bool,
+    /// Every match requires end-of-input (a mandatory `$`).
+    anchors_end: bool,
+}
+
+impl NodeInfo {
+    const NEVER: NodeInfo = NodeInfo {
+        never: true,
+        min: 0,
+        anchors_start: false,
+        anchors_end: false,
+    };
+}
+
+fn node_info(node: &Node) -> NodeInfo {
+    match node {
+        Node::Literal(_) | Node::AnyChar | Node::Class { .. } => NodeInfo {
+            never: false,
+            min: 1,
+            anchors_start: false,
+            anchors_end: false,
+        },
+        Node::StartAnchor => NodeInfo {
+            never: false,
+            min: 0,
+            anchors_start: true,
+            anchors_end: false,
+        },
+        Node::EndAnchor => NodeInfo {
+            never: false,
+            min: 0,
+            anchors_start: false,
+            anchors_end: true,
+        },
+        Node::Seq(items) => {
+            // `^` matches only at position 0 and `$` only at end-of-input,
+            // so a sequence dies when a mandatory `^` follows mandatory
+            // consumption, or mandatory consumption follows a `$`.
+            let mut consumed_before: u32 = 0;
+            let mut past_end_anchor = false;
+            let mut anchors_start = false;
+            let mut anchors_end = false;
+            for item in items {
+                let info = node_info(item);
+                if info.never
+                    || (info.anchors_start && consumed_before > 0)
+                    || (past_end_anchor && info.min > 0)
+                {
+                    return NodeInfo::NEVER;
+                }
+                consumed_before = consumed_before.saturating_add(info.min);
+                past_end_anchor |= info.anchors_end;
+                anchors_start |= info.anchors_start;
+                anchors_end |= info.anchors_end;
+            }
+            NodeInfo {
+                never: false,
+                min: consumed_before,
+                anchors_start,
+                anchors_end,
+            }
+        }
+        Node::Alt(branches) => {
+            let live: Vec<NodeInfo> = branches
+                .iter()
+                .map(node_info)
+                .filter(|i| !i.never)
+                .collect();
+            if live.is_empty() {
+                return NodeInfo::NEVER;
+            }
+            NodeInfo {
+                never: false,
+                min: live.iter().map(|i| i.min).min().unwrap_or(0),
+                anchors_start: live.iter().all(|i| i.anchors_start),
+                anchors_end: live.iter().all(|i| i.anchors_end),
+            }
+        }
+        Node::Repeat(inner, min, _) => {
+            if *min == 0 {
+                // Zero repetitions always succeed consuming nothing.
+                return NodeInfo {
+                    never: false,
+                    min: 0,
+                    anchors_start: false,
+                    anchors_end: false,
+                };
+            }
+            let info = node_info(inner);
+            if info.never
+                // A second mandatory repetition restarts after consuming
+                // input, which an inner `^` (or a preceding `$`) forbids.
+                || (*min >= 2 && info.min > 0 && (info.anchors_start || info.anchors_end))
+            {
+                return NodeInfo::NEVER;
+            }
+            NodeInfo {
+                never: false,
+                min: info.min.saturating_mul(*min),
+                anchors_start: info.anchors_start,
+                anchors_end: info.anchors_end,
+            }
+        }
     }
 }
 

@@ -184,6 +184,47 @@ impl Nfa {
     pub fn state_count(&self) -> usize {
         self.eps.len()
     }
+
+    /// True iff the automaton accepts the empty word, i.e. the path
+    /// matches the identity pair `(v, v)` on every node. Agrees with
+    /// [`PathExpr::is_nullable`] for compiled expressions.
+    pub fn is_nullable(&self) -> bool {
+        self.eps_closure(self.start).contains(&self.accept)
+    }
+
+    /// The labeled transitions a match can take *first*: every
+    /// `(label, inverse)` edge leaving the ε-closure of the start state.
+    /// A forward (`inverse == false`) first step from node `v` consumes an
+    /// outgoing triple of `v` — which is what a `closed` declaration
+    /// constrains — so this is the interface the static analyzer uses to
+    /// detect `closed(P)` vs. required-property conflicts.
+    pub fn first_steps(&self) -> Vec<(Label, bool)> {
+        let mut out = Vec::new();
+        for q in self.eps_closure(self.start) {
+            for (label, inv, _) in &self.steps[q as usize] {
+                let step = (label.clone(), *inv);
+                if !out.contains(&step) {
+                    out.push(step);
+                }
+            }
+        }
+        out
+    }
+
+    /// ε-closure of one state (iterative DFS).
+    fn eps_closure(&self, from: u32) -> Vec<u32> {
+        let mut seen = vec![false; self.state_count()];
+        let mut stack = vec![from];
+        let mut out = Vec::new();
+        while let Some(q) = stack.pop() {
+            if std::mem::replace(&mut seen[q as usize], true) {
+                continue;
+            }
+            out.push(q);
+            stack.extend(self.eps[q as usize].iter().copied());
+        }
+        out
+    }
 }
 
 struct Builder {

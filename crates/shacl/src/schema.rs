@@ -174,7 +174,9 @@ impl Schema {
                     Job::Enter(name) => {
                         match states.get(name) {
                             Some(State::Done) => continue,
-                            Some(State::Visiting) => return Some(start.clone()),
+                            // A back edge into a gray node: that node is on
+                            // the cycle (the DFS start need not be).
+                            Some(State::Visiting) => return Some(name.clone()),
                             None => {}
                         }
                         let Some(def) = self.defs.get(name) else {

@@ -22,6 +22,7 @@
 //! ).unwrap();
 //! assert_eq!(eval(&graph, &query).len(), 2); // b and c
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod algebra;
 pub mod eval;

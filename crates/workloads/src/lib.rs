@@ -11,6 +11,7 @@
 //!   queries, with [`query2shape`] performing the §4.1 expressibility
 //!   analysis and translation.
 //! - [`tpf`] — triple pattern fragments and Proposition 6.2.
+#![forbid(unsafe_code)]
 
 pub mod dblp;
 pub mod ecommerce;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl]
+//! shapefrag analyze   <shapes.ttl> [--json]
 //! shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt]
 //! shapefrag explain   <shapes.ttl> <data.(ttl|nt)> <focus-node-iri> [<shape-name-iri>]
 //! shapefrag translate <shapes.ttl> [<shape-name-iri>]
@@ -9,16 +10,25 @@
 //!
 //! - `validate` prints a validation report (optionally as a standard
 //!   `sh:ValidationReport` Turtle document).
+//! - `analyze` runs the static schema analyzer and prints its findings
+//!   (text lines or JSON with `--json`), without needing a data graph.
 //! - `fragment` computes the schema's shape fragment `Frag(G, H)` and
 //!   writes it as N-Triples (stdout or `-o`).
 //! - `explain` prints why/why-not provenance for one focus node.
 //! - `translate` prints the generated SPARQL fragment query (§5.1).
+//!
+//! Exit codes: `0` success (for `validate`/`explain`: the data conforms;
+//! for `analyze`: no deny-level finding), `1` validation violations, `2`
+//! usage or engine error (unreadable file, parse error, unknown shape),
+//! `3` the shapes graph was rejected by static analysis (deny-level
+//! diagnostics; every command that loads a schema applies this gate).
 
 use std::process::ExitCode;
 
+use shape_fragments::analyze::{analyze_defs, analyze_schema, has_deny, to_json, Diagnostic};
 use shape_fragments::core::{explain, schema_fragment, to_sparql};
 use shape_fragments::rdf::{ntriples, turtle, Graph, Term};
-use shape_fragments::shacl::parser::parse_shapes_turtle;
+use shape_fragments::shacl::parser::{parse_shape_defs_turtle, parse_shapes_turtle_with_spans};
 use shape_fragments::shacl::validator::validate;
 use shape_fragments::shacl::{Schema, Shape};
 
@@ -26,27 +36,54 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
-        Err(message) => {
+        Err(CliError::Message(message)) => {
             eprintln!("error: {message}");
             ExitCode::from(2)
         }
+        Err(CliError::Deny(diags)) => {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            eprintln!("error: shapes graph rejected by static analysis (run `shapefrag analyze` for details)");
+            ExitCode::from(3)
+        }
+    }
+}
+
+/// Failures the driver maps to distinct exit codes: usage/engine errors
+/// exit 2, deny-level analyzer findings exit 3.
+enum CliError {
+    Message(String),
+    Deny(Vec<Diagnostic>),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Message(message)
     }
 }
 
 fn usage() -> String {
     "usage:\n  shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl]\n  \
+     shapefrag analyze   <shapes.ttl> [--json]\n  \
      shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt]\n  \
      shapefrag explain   <shapes.ttl> <data.(ttl|nt)> <focus-node-iri> [<shape-name-iri>]\n  \
-     shapefrag translate <shapes.ttl> [<shape-name-iri>]"
+     shapefrag translate <shapes.ttl> [<shape-name-iri>]\n\
+     exit codes:\n  \
+     0  success (validate/explain: conforms; analyze: no deny findings)\n  \
+     1  validation violations\n  \
+     2  usage or engine error\n  \
+     3  shapes graph rejected by static analysis (deny diagnostics)"
         .to_string()
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
     let Some(command) = args.first() else {
-        return Err(usage());
+        return Err(usage().into());
     };
     match command.as_str() {
         "validate" => cmd_validate(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
         "fragment" => cmd_fragment(&args[1..]),
         "explain" => cmd_explain(&args[1..]),
         "translate" => cmd_translate(&args[1..]),
@@ -54,13 +91,25 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
+        other => Err(format!("unknown command '{other}'\n{}", usage()).into()),
     }
 }
 
-fn load_schema(path: &str) -> Result<Schema, String> {
+/// Parses a shapes graph and gates it through the static analyzer: deny
+/// findings abort with exit 3, warnings go to stderr and validation
+/// proceeds.
+fn load_schema(path: &str) -> Result<Schema, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_shapes_turtle(&text).map_err(|e| format!("{path}: {e}"))
+    let (schema, spans) =
+        parse_shapes_turtle_with_spans(&text).map_err(|e| format!("{path}: {e}"))?;
+    let diags = analyze_schema(&schema, Some(&spans));
+    if has_deny(&diags) {
+        return Err(CliError::Deny(diags));
+    }
+    for d in &diags {
+        eprintln!("{path}: {d}");
+    }
+    Ok(schema)
 }
 
 fn load_data(path: &str) -> Result<Graph, String> {
@@ -72,9 +121,43 @@ fn load_data(path: &str) -> Result<Graph, String> {
     }
 }
 
-fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, CliError> {
+    let [shapes_path, rest @ ..] = args else {
+        return Err(usage().into());
+    };
+    if !rest.iter().all(|a| a == "--json") {
+        return Err(usage().into());
+    }
+    let as_json = !rest.is_empty();
+    let text = std::fs::read_to_string(shapes_path)
+        .map_err(|e| format!("cannot read {shapes_path}: {e}"))?;
+    // The defs entry point tolerates reference cycles, which the analyzer
+    // itself reports (SF-E020/E021) instead of failing to load.
+    let (defs, spans) =
+        parse_shape_defs_turtle(&text).map_err(|e| format!("{shapes_path}: {e}"))?;
+    let diags = analyze_defs(&defs, Some(&spans));
+    if as_json {
+        print!("{}", to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "{} shape definition(s) analyzed: {} finding(s)",
+            defs.len(),
+            diags.len()
+        );
+    }
+    Ok(if has_deny(&diags) {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_validate(args: &[String]) -> Result<ExitCode, CliError> {
     let [shapes_path, data_path, rest @ ..] = args else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let as_ttl = rest.iter().any(|a| a == "--report-ttl");
     let schema = load_schema(shapes_path)?;
@@ -97,9 +180,9 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_fragment(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_fragment(args: &[String]) -> Result<ExitCode, CliError> {
     let [shapes_path, data_path, rest @ ..] = args else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let schema = load_schema(shapes_path)?;
     let data = load_data(data_path)?;
@@ -120,14 +203,14 @@ fn cmd_fragment(args: &[String]) -> Result<ExitCode, String> {
             std::fs::write(out_path, &text).map_err(|e| format!("cannot write {out_path}: {e}"))?;
             eprintln!("written to {out_path}");
         }
-        _ => return Err(usage()),
+        _ => return Err(usage().into()),
     }
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_explain(args: &[String]) -> Result<ExitCode, CliError> {
     let [shapes_path, data_path, node_iri, rest @ ..] = args else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let schema = load_schema(shapes_path)?;
     let data = load_data(data_path)?;
@@ -141,7 +224,7 @@ fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
                 .ok_or_else(|| format!("no shape named {name} in the schema"))?;
             vec![def]
         }
-        _ => return Err(usage()),
+        _ => return Err(usage().into()),
     };
     let mut all_conform = true;
     for def in defs {
@@ -168,9 +251,9 @@ fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_translate(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_translate(args: &[String]) -> Result<ExitCode, CliError> {
     let [shapes_path, rest @ ..] = args else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let schema = load_schema(shapes_path)?;
     let shapes: Vec<Shape> = match rest {
@@ -182,7 +265,7 @@ fn cmd_translate(args: &[String]) -> Result<ExitCode, String> {
                 .ok_or_else(|| format!("no shape named {name} in the schema"))?;
             vec![def.shape.clone().and(def.target.clone())]
         }
-        _ => return Err(usage()),
+        _ => return Err(usage().into()),
     };
     let query = to_sparql::fragment_query(&schema, &shapes);
     println!("{query}");

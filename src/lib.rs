@@ -1,4 +1,6 @@
 //! Facade crate re-exporting the full shape-fragments stack.
+#![forbid(unsafe_code)]
+pub use shapefrag_analyze as analyze;
 pub use shapefrag_core as core;
 pub use shapefrag_govern as govern;
 pub use shapefrag_rdf as rdf;

@@ -1,0 +1,239 @@
+//! Seeded-defect corpus for the static schema analyzer: one fixture per
+//! diagnostic code, each asserting that `analyze_defs` reports exactly the
+//! expected code (and, where the defect comes from Turtle text, that the
+//! span points at the offending constraint's line).
+
+use shape_fragments::analyze::{analyze_defs, codes, has_deny, Diagnostic, Severity};
+use shape_fragments::rdf::Term;
+use shape_fragments::shacl::node_test::NodeTest;
+use shape_fragments::shacl::parser::parse_shape_defs_turtle;
+use shape_fragments::shacl::{PathExpr, Shape, ShapeDef};
+
+const PRELUDE: &str = "@prefix sh: <http://www.w3.org/ns/shacl#> .\n\
+                       @prefix ex: <http://example.org/> .\n";
+
+fn analyze_ttl(body: &str) -> Vec<Diagnostic> {
+    let text = format!("{PRELUDE}{body}");
+    let (defs, spans) = parse_shape_defs_turtle(&text).expect("fixture parses");
+    analyze_defs(&defs, Some(&spans))
+}
+
+fn find<'d>(diags: &'d [Diagnostic], code: &str) -> &'d Diagnostic {
+    diags
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("expected {code}, got: {diags:?}"))
+}
+
+/// `minCount 2 ∧ maxCount 1` on one path: the cardinality conflict
+/// (E002, deny) plus the unsatisfiable-definition consequence (E001).
+/// The PRELUDE is two lines, so `sh:maxCount` sits on source line 6.
+#[test]
+fn cardinality_conflict_is_e002_and_e001() {
+    let diags = analyze_ttl(
+        "ex:S a sh:NodeShape ;\n\
+         \x20 sh:targetClass ex:T ;\n\
+         \x20 sh:property [ sh:path ex:p ; sh:minCount 2 ;\n\
+         \x20   sh:maxCount 1 ] .\n",
+    );
+    assert!(has_deny(&diags));
+    let e2 = find(&diags, codes::CARDINALITY_CONFLICT);
+    assert_eq!(e2.severity, Severity::Deny);
+    assert_eq!(e2.span.expect("span").line, 6, "{e2}");
+    find(&diags, codes::UNSATISFIABLE_DEF);
+}
+
+/// Two different `sh:hasValue` constants on one focus node (E003).
+#[test]
+fn has_value_conflict_is_e003() {
+    let diags = analyze_ttl(
+        "ex:S a sh:NodeShape ;\n\
+         \x20 sh:targetClass ex:T ;\n\
+         \x20 sh:hasValue ex:a , ex:b .\n",
+    );
+    let d = find(&diags, codes::HAS_VALUE_CONFLICT);
+    assert_eq!(d.severity, Severity::Deny);
+    assert_eq!(d.span.expect("span").line, 5, "{d}");
+    find(&diags, codes::UNSATISFIABLE_DEF);
+}
+
+/// `minLength 5 ∧ maxLength 2`: no string satisfies both (E004).
+#[test]
+fn test_conflict_is_e004() {
+    let diags = analyze_ttl(
+        "ex:S a sh:NodeShape ;\n\
+         \x20 sh:targetClass ex:T ;\n\
+         \x20 sh:minLength 5 ;\n\
+         \x20 sh:maxLength 2 .\n",
+    );
+    let d = find(&diags, codes::TEST_CONFLICT);
+    assert_eq!(d.severity, Severity::Deny);
+    assert_eq!(d.span.expect("span").line, 5, "{d}");
+}
+
+/// `sh:closed` forbidding the first step of a required path (E005). The
+/// Turtle translation folds declared property paths into the allowed set,
+/// so this defect is seeded through the shape API instead.
+#[test]
+fn closed_conflict_is_e005() {
+    let name = Term::iri("http://example.org/S");
+    let shape = Shape::Closed(std::iter::empty().collect()).and(Shape::geq(
+        1,
+        PathExpr::prop(shape_fragments::rdf::Iri::new("http://example.org/q")),
+        Shape::True,
+    ));
+    let target = Shape::HasValue(Term::iri("http://example.org/t"));
+    let defs = vec![ShapeDef::new(name, shape, target)];
+    let diags = analyze_defs(&defs, None);
+    let d = find(&diags, codes::CLOSED_CONFLICT);
+    assert_eq!(d.severity, Severity::Deny);
+    find(&diags, codes::UNSATISFIABLE_DEF);
+}
+
+/// `maxCount 0` over a nullable path: the identity pair always counts, so
+/// the constraint can never hold (E006).
+#[test]
+fn leq_zero_nullable_is_e006() {
+    let diags = analyze_ttl(
+        "ex:S a sh:NodeShape ;\n\
+         \x20 sh:targetClass ex:T ;\n\
+         \x20 sh:property [ sh:path [ sh:zeroOrOnePath ex:p ] ;\n\
+         \x20   sh:maxCount 0 ] .\n",
+    );
+    let d = find(&diags, codes::LEQ_ZERO_NULLABLE);
+    assert_eq!(d.severity, Severity::Deny);
+    assert_eq!(d.span.expect("span").line, 6, "{d}");
+    find(&diags, codes::UNSATISFIABLE_DEF);
+}
+
+/// A `hasShape` cycle without negation (E020): rejected by the validation
+/// engine, but the analyzer names the cycle instead of refusing to load.
+#[test]
+fn positive_reference_cycle_is_e020() {
+    let diags = analyze_ttl(
+        "ex:A a sh:NodeShape ; sh:targetClass ex:T ; sh:node ex:B .\n\
+         ex:B a sh:NodeShape ; sh:node ex:A .\n",
+    );
+    let d = find(&diags, codes::RECURSIVE_SCHEMA);
+    assert_eq!(d.severity, Severity::Deny);
+    assert!(
+        d.message.contains("ex") || d.message.contains("cycle"),
+        "{d}"
+    );
+}
+
+/// A reference cycle through `sh:not` (E021): unstratifiable even for
+/// engines that admit recursion, reported instead of E020.
+#[test]
+fn negation_cycle_is_e021() {
+    let diags = analyze_ttl(
+        "ex:A a sh:NodeShape ; sh:targetClass ex:T ; sh:not ex:B .\n\
+         ex:B a sh:NodeShape ; sh:node ex:A .\n",
+    );
+    let d = find(&diags, codes::NEGATION_CYCLE);
+    assert_eq!(d.severity, Severity::Deny);
+    assert!(!diags.iter().any(|d| d.code == codes::RECURSIVE_SCHEMA));
+}
+
+/// `minCount 0` is always satisfied (W001, warn-level).
+#[test]
+fn trivial_min_count_is_w001() {
+    let diags = analyze_ttl(
+        "ex:S a sh:NodeShape ;\n\
+         \x20 sh:targetClass ex:T ;\n\
+         \x20 sh:property [ sh:path ex:p ;\n\
+         \x20   sh:minCount 0 ] .\n",
+    );
+    assert!(!has_deny(&diags));
+    let d = find(&diags, codes::TRIVIAL_CONSTRAINT);
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.span.expect("span").line, 6, "{d}");
+}
+
+/// A targeted definition whose whole shape simplifies to ⊤ (W006): its
+/// targets can never fail validation.
+#[test]
+fn always_true_targeted_def_is_w006() {
+    let diags = analyze_ttl(
+        "ex:S a sh:NodeShape ;\n\
+         \x20 sh:targetClass ex:T ;\n\
+         \x20 sh:property [ sh:path ex:p ; sh:minCount 0 ] .\n",
+    );
+    assert!(!has_deny(&diags));
+    find(&diags, codes::ALWAYS_TRUE_DEF);
+}
+
+/// A redundant path operator `(E?)?` (W010).
+#[test]
+fn redundant_path_operator_is_w010() {
+    let diags = analyze_ttl(
+        "ex:S a sh:NodeShape ;\n\
+         \x20 sh:targetClass ex:T ;\n\
+         \x20 sh:property [\n\
+         \x20   sh:path [ sh:zeroOrOnePath [ sh:zeroOrOnePath ex:p ] ] ;\n\
+         \x20   sh:minCount 1 ] .\n",
+    );
+    assert!(!has_deny(&diags));
+    let d = find(&diags, codes::REDUNDANT_PATH_OP);
+    assert_eq!(d.severity, Severity::Warn);
+}
+
+/// A `sh:pattern` that provably matches no string (W012).
+#[test]
+fn dead_pattern_is_w012() {
+    let diags = analyze_ttl(
+        "ex:S a sh:NodeShape ;\n\
+         \x20 sh:targetClass ex:T ;\n\
+         \x20 sh:pattern \"a$b\" .\n",
+    );
+    let d = find(&diags, codes::DEAD_PATTERN);
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.span.expect("span").line, 5, "{d}");
+}
+
+/// An untargeted definition nothing references (W022): the validator will
+/// never check it.
+#[test]
+fn unreachable_definition_is_w022() {
+    let diags = analyze_ttl(
+        "ex:S a sh:NodeShape ; sh:targetClass ex:T ; sh:minLength 1 .\n\
+         ex:Helper a sh:NodeShape ; sh:minLength 2 .\n",
+    );
+    assert!(!has_deny(&diags));
+    let d = find(&diags, codes::UNREACHABLE_DEF);
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(
+        d.shape.as_ref().map(|t| t.to_string()),
+        Some("<http://example.org/Helper>".to_string()),
+        "{d}"
+    );
+}
+
+/// A reference to a shape that has no definition (W023): the engine
+/// defaults it to ⊤, which is rarely what the author meant. The Turtle
+/// parser materializes a definition for every reachable shape node, so
+/// this defect is seeded through the shape API.
+#[test]
+fn undefined_reference_is_w023() {
+    let name = Term::iri("http://example.org/S");
+    let shape = Shape::HasShape(Term::iri("http://example.org/Ghost"))
+        .and(Shape::Test(NodeTest::MinLength(1)));
+    let target = Shape::HasValue(Term::iri("http://example.org/t"));
+    let defs = vec![ShapeDef::new(name, shape, target)];
+    let diags = analyze_defs(&defs, None);
+    assert!(!has_deny(&diags));
+    let d = find(&diags, codes::UNDEFINED_REF);
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("Ghost"), "{d}");
+}
+
+/// A clean schema produces no findings at all.
+#[test]
+fn clean_schema_has_no_findings() {
+    let diags = analyze_ttl(
+        "ex:S a sh:NodeShape ;\n\
+         \x20 sh:targetClass ex:T ;\n\
+         \x20 sh:property [ sh:path ex:p ; sh:minCount 1 ; sh:maxCount 3 ] .\n",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}

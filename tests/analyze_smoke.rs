@@ -1,0 +1,68 @@
+//! Analyze-smoke: the static analyzer must pass the repository's own
+//! workload schemas with no deny-level finding (run by CI as a lint over
+//! the shapes the benchmark suite validates), and the `shapefrag analyze`
+//! subcommand must expose the same verdict through its exit code.
+
+use std::process::Command;
+
+use shape_fragments::analyze::{analyze_defs, has_deny};
+use shape_fragments::workloads::shapes57::benchmark_shapes;
+
+#[test]
+fn benchmark_shapes_have_no_deny_findings() {
+    let defs = benchmark_shapes();
+    let diags = analyze_defs(&defs, None);
+    assert!(
+        !has_deny(&diags),
+        "deny-level findings in the benchmark schema: {diags:?}"
+    );
+}
+
+#[test]
+fn analyze_subcommand_smoke() {
+    let dir = std::env::temp_dir().join(format!("shapefrag-analyze-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let clean = dir.join("clean.ttl");
+    std::fs::write(
+        &clean,
+        "@prefix sh: <http://www.w3.org/ns/shacl#> .\n\
+         @prefix ex: <http://example.org/> .\n\
+         ex:S a sh:NodeShape ; sh:targetClass ex:T ;\n\
+         \x20 sh:property [ sh:path ex:p ; sh:minCount 1 ] .\n",
+    )
+    .expect("write fixture");
+    let bad = dir.join("bad.ttl");
+    std::fs::write(
+        &bad,
+        "@prefix sh: <http://www.w3.org/ns/shacl#> .\n\
+         @prefix ex: <http://example.org/> .\n\
+         ex:S a sh:NodeShape ; sh:targetClass ex:T ;\n\
+         \x20 sh:property [ sh:path ex:p ; sh:minCount 2 ; sh:maxCount 1 ] .\n",
+    )
+    .expect("write fixture");
+
+    let ok = Command::new(env!("CARGO_BIN_EXE_shapefrag"))
+        .args(["analyze", clean.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(ok.status.code(), Some(0), "clean schema → exit 0");
+
+    let deny = Command::new(env!("CARGO_BIN_EXE_shapefrag"))
+        .args(["analyze", bad.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(deny.status.code(), Some(3), "deny findings → exit 3");
+    let stdout = String::from_utf8_lossy(&deny.stdout);
+    assert!(stdout.contains("SF-E002"), "{stdout}");
+
+    let json = Command::new(env!("CARGO_BIN_EXE_shapefrag"))
+        .args(["analyze", bad.to_str().unwrap(), "--json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(json.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(stdout.contains("\"diagnostics\""), "{stdout}");
+    assert!(stdout.contains("\"denials\""), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -148,6 +148,70 @@ fn translate_emits_parseable_sparql() {
 }
 
 #[test]
+fn analyze_reports_findings_with_exit_codes() {
+    let (dir, shapes, _data) = fixtures();
+    // A clean schema: exit 0.
+    let out = shapefrag(&["analyze", shapes.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "clean schema → exit 0");
+    // A contradictory schema: the findings print and the exit code is 3,
+    // distinct from the engine-error code 2.
+    let bad = write_file(
+        dir.path(),
+        "bad.ttl",
+        r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://example.org/> .
+ex:PaperShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [ sh:path ex:author ; sh:minCount 2 ; sh:maxCount 1 ] .
+"#,
+    );
+    let out = shapefrag(&["analyze", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "deny findings → exit 3");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SF-E002"), "{stdout}");
+    assert!(stdout.contains("deny"), "{stdout}");
+    // JSON output carries the same findings.
+    let out = shapefrag(&["analyze", bad.to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"SF-E002\""));
+}
+
+#[test]
+fn deny_findings_gate_validation() {
+    let (dir, _shapes, data) = fixtures();
+    let bad = write_file(
+        dir.path(),
+        "bad.ttl",
+        r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://example.org/> .
+ex:PaperShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [ sh:path ex:author ; sh:minCount 2 ; sh:maxCount 1 ] .
+"#,
+    );
+    let out = shapefrag(&["validate", bad.to_str().unwrap(), data.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "contradictory shapes graph is rejected before validation"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("SF-E002"), "{stderr}");
+}
+
+#[test]
+fn help_documents_exit_codes() {
+    let out = shapefrag(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("analyze"), "{stdout}");
+    assert!(stdout.contains("exit codes"), "{stdout}");
+    assert!(stdout.contains('3'), "{stdout}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = shapefrag(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(2));
