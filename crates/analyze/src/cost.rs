@@ -80,18 +80,22 @@ pub struct ShapeCost {
     pub shares_work: bool,
 }
 
+/// Cost annotation of one (already NNF-converted) shape: the scheduling
+/// priority input for the parallel engine, which routes arbitrary request
+/// shapes — not only named definitions — by cost.
+pub fn shape_cost(schema: &Schema, shape: &Nnf) -> ShapeCost {
+    ShapeCost {
+        fan_out: max_path_class(schema, shape),
+        shares_work: shape_shares_work(schema, shape),
+    }
+}
+
 /// Annotates every definition of a schema with its cost class.
 pub fn annotate(schema: &Schema) -> BTreeMap<Term, ShapeCost> {
     let mut out = BTreeMap::new();
     for def in schema.iter() {
         let nnf = Nnf::from_shape(&def.shape.clone().and(def.target.clone()));
-        out.insert(
-            def.name.clone(),
-            ShapeCost {
-                fan_out: max_path_class(schema, &nnf),
-                shares_work: shape_shares_work(schema, &nnf),
-            },
-        );
+        out.insert(def.name.clone(), shape_cost(schema, &nnf));
     }
     out
 }

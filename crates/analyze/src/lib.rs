@@ -42,7 +42,9 @@ pub mod diagnostic;
 pub mod fold;
 pub mod refgraph;
 
-pub use cost::{annotate, path_class, path_is_simple, shape_shares_work, PathClass, ShapeCost};
+pub use cost::{
+    annotate, path_class, path_is_simple, shape_cost, shape_shares_work, PathClass, ShapeCost,
+};
 pub use diagnostic::{codes, has_deny, to_json, Diagnostic, Severity};
 pub use fold::{fold_nnf, path_warnings, tests_conflict, SimplifyLevel, Status};
 pub use refgraph::{analyze_refs, Polarity, RefGraph};

@@ -117,57 +117,21 @@ pub fn fragment_ids_per_node<G: GraphAccess>(
     out
 }
 
-/// Parallel fragment computation: partitions the node set over worker
-/// threads, each with its own evaluation context (compiled-path cache) but
-/// one [`ConformanceMemo`] shared across threads, and unions the per-worker
-/// results. Produces exactly the same fragment as [`fragment`] —
-/// neighborhoods are independent per (node, shape) pair.
+/// Parallel fragment computation: a thin wrapper over the cost-routed
+/// work-stealing engine ([`crate::parallel::fragment_ids_par`]), kept for
+/// source compatibility. Produces exactly the same fragment as
+/// [`fragment`] — neighborhoods are independent per (node, shape) pair and
+/// the id-triple union is order-free.
 pub fn fragment_par<G: GraphAccess>(
     schema: &Schema,
     graph: &G,
     shapes: &[Shape],
     workers: usize,
 ) -> Graph {
-    let workers = workers.max(1);
-    let nodes: Vec<TermId> = graph.node_ids().into_iter().collect();
-    if workers == 1 || nodes.len() < 2 * workers {
-        return fragment(schema, graph, shapes);
-    }
-    let nnfs: Vec<Nnf> = shapes.iter().map(Nnf::from_shape).collect();
-    let memo = Arc::new(ConformanceMemo::new());
-    let chunk = nodes.len().div_ceil(workers);
-    let mut results: Vec<IdTriples> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in nodes.chunks(chunk) {
-            let nnfs = &nnfs;
-            let memo = Arc::clone(&memo);
-            handles.push(scope.spawn(move |_| {
-                let mut ctx = Context::with_memo(schema, graph, memo);
-                let mut out = IdTriples::default();
-                for nnf in nnfs {
-                    let decisions = ctx.conforms_all_nnf(part, nnf);
-                    let conforming: Vec<TermId> = part
-                        .iter()
-                        .zip(decisions)
-                        .filter(|(_, ok)| *ok)
-                        .map(|(&v, _)| v)
-                        .collect();
-                    collect_neighborhood_many(&mut ctx, &conforming, nnf, &mut out);
-                }
-                out
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("fragment worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    let mut all = IdTriples::default();
-    for r in results {
-        all.extend(r);
-    }
-    materialize(graph, &all)
+    materialize(
+        graph,
+        &crate::parallel::fragment_ids_par(schema, graph, shapes, workers),
+    )
 }
 
 /// The set of nodes conforming to a shape — a shape viewed as a unary query

@@ -56,6 +56,12 @@ impl SchemaFragment {
     pub fn to_graph<G: GraphAccess>(&self, graph: &G) -> Graph {
         materialize(graph, &self.triples)
     }
+
+    /// Wraps an already-collected id-triple set (the parallel engine's
+    /// merge step).
+    pub(crate) fn from_ids(triples: IdTriples) -> SchemaFragment {
+        SchemaFragment { triples }
+    }
 }
 
 /// The outcome of instrumented validation: the ordinary report, plus
@@ -74,7 +80,7 @@ pub struct ProvenancedReport {
 }
 
 /// Precomputed `B(v, τ)` evidence for the standard SHACL target forms.
-enum TargetEvidence {
+pub(crate) enum TargetEvidence {
     /// Node targets (`hasValue`): no triples.
     Empty,
     /// Subjects-of targets `≥1 p.⊤`: all outgoing `p`-triples of `v`.
@@ -93,7 +99,10 @@ enum TargetEvidence {
 }
 
 impl TargetEvidence {
-    fn analyze<G: GraphAccess>(ctx: &mut Context<'_, G>, target: &Shape) -> TargetEvidence {
+    pub(crate) fn analyze<G: GraphAccess>(
+        ctx: &mut Context<'_, G>,
+        target: &Shape,
+    ) -> TargetEvidence {
         match target {
             Shape::HasValue(_) => TargetEvidence::Empty,
             Shape::Geq(1, path, inner) => match (path, inner.as_ref()) {
@@ -160,7 +169,12 @@ impl TargetEvidence {
     }
 
     /// Appends `B(v, τ)` to `out`.
-    fn collect<G: GraphAccess>(&self, ctx: &mut Context<'_, G>, v: TermId, out: &mut IdTriples) {
+    pub(crate) fn collect<G: GraphAccess>(
+        &self,
+        ctx: &mut Context<'_, G>,
+        v: TermId,
+        out: &mut IdTriples,
+    ) {
         match self {
             TargetEvidence::Empty => {}
             TargetEvidence::SubjectsOf(pid) => {
@@ -187,69 +201,21 @@ impl TargetEvidence {
     }
 }
 
-/// Parallel validation: partitions the shape definitions over worker
-/// threads (each with its own compiled-path cache) and merges the reports.
-/// Produces exactly the report of [`shapefrag_shacl::validator::validate`],
-/// with violations in a canonical order.
-///
-/// Every worker runs the set-at-a-time batch driver against one
-/// [`ConformanceMemo`] shared across threads, so a `hasShape` sub-shape
-/// referenced from definitions on different workers is still decided only
-/// once per node.
+/// Parallel validation: a thin wrapper over the cost-routed work-stealing
+/// engine ([`crate::parallel::validate_batch_par`]), kept for source
+/// compatibility. Produces exactly the report of
+/// [`shapefrag_shacl::validator::validate`], with violations in a
+/// canonical `(shape, focus)` order.
 pub fn validate_par<G: GraphAccess>(
     schema: &Schema,
     graph: &G,
     workers: usize,
 ) -> ValidationReport {
-    let workers = workers.max(1);
-    let defs: Vec<_> = schema.iter().cloned().collect();
-    if workers == 1 || defs.len() < 2 {
-        let mut report = shapefrag_shacl::validate_batch(schema, graph);
-        report
-            .violations
-            .sort_by(|a, b| (&a.shape, &a.focus).cmp(&(&b.shape, &b.focus)));
-        return report;
-    }
-    let memo = Arc::new(ConformanceMemo::new());
-    let chunk = defs.len().div_ceil(workers);
-    let mut reports: Vec<ValidationReport> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in defs.chunks(chunk) {
-            let memo = Arc::clone(&memo);
-            handles.push(scope.spawn(move |_| {
-                let mut ctx = Context::with_memo(schema, graph, memo);
-                let mut report = ValidationReport::default();
-                for def in part {
-                    let targets: Vec<TermId> = ctx.target_nodes(&def.target).into_iter().collect();
-                    let conforming = ctx.conforms_all(&targets, &def.shape);
-                    report.checked += targets.len();
-                    for (node, ok) in targets.iter().zip(conforming) {
-                        if !ok {
-                            report.violations.push(Violation {
-                                shape: def.name.clone(),
-                                focus: graph.term(*node).clone(),
-                            });
-                        }
-                    }
-                }
-                report
-            }));
-        }
-        for h in handles {
-            reports.push(h.join().expect("validation worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    let mut merged = ValidationReport::default();
-    for r in reports {
-        merged.checked += r.checked;
-        merged.violations.extend(r.violations);
-    }
-    merged
+    let mut report = crate::parallel::validate_batch_par(schema, graph, workers);
+    report
         .violations
         .sort_by(|a, b| (&a.shape, &a.focus).cmp(&(&b.shape, &b.focus)));
-    merged
+    report
 }
 
 /// Validates and, in the same pass, extracts the schema's shape fragment
@@ -273,7 +239,7 @@ pub fn validate_extract_fragment<G: GraphAccess>(
 /// collector ([`conforms_and_collect`]) beats the two-pass batch driver
 /// (decide-all, then re-evaluate the paths to collect): the multi-source
 /// kernel's sharing cannot amortize evaluating every path twice.
-const BATCH_MIN_TARGETS: usize = 16;
+pub(crate) const BATCH_MIN_TARGETS: usize = 16;
 
 /// Like [`validate_extract_fragment`], but first runs the static
 /// analyzer's fragment-level simplification over the schema

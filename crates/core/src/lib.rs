@@ -51,6 +51,7 @@
 pub mod fragment;
 pub mod instrumented;
 pub mod neighborhood;
+pub mod parallel;
 pub mod provenance;
 pub mod to_sparql;
 
@@ -66,5 +67,9 @@ pub use instrumented::{
 pub use neighborhood::{
     collect_neighborhood_many, conforms_and_collect, neighborhood, neighborhood_governed,
     neighborhood_term, IdTriples,
+};
+pub use parallel::{
+    fragment_ids_par, fragment_ids_par_stats, validate_batch_par, validate_batch_par_governed,
+    validate_batch_par_stats, validate_extract_fragment_par, validate_extract_fragment_par_stats,
 };
 pub use provenance::{describe, explain, minimal_witness, Explanation};

@@ -255,6 +255,21 @@ impl Budget {
         self.max_depth = Some(depth);
         self
     }
+
+    /// Splits the budget across `n` parallel workers: step and memory
+    /// limits are divided (floored at 1 so a worker can always fault with
+    /// a meaningful limit), while the deadline and depth limit — which are
+    /// per-worker properties of wall-clock and recursion, not shared
+    /// resources — carry over unchanged.
+    pub fn split(&self, n: usize) -> Budget {
+        let n = n.max(1) as u64;
+        Budget {
+            steps: self.steps.map(|s| (s / n).max(1)),
+            memory_bytes: self.memory_bytes.map(|m| (m / n).max(1)),
+            deadline: self.deadline,
+            max_depth: self.max_depth,
+        }
+    }
 }
 
 /// Per-request execution context: a [`Budget`], an optional
@@ -456,6 +471,27 @@ mod tests {
         ctx.charge(u64::MAX / 2).unwrap();
         ctx.enter().unwrap();
         ctx.leave();
+    }
+
+    #[test]
+    fn split_divides_shared_limits_and_keeps_per_worker_ones() {
+        let b = Budget::unlimited()
+            .steps(100)
+            .memory_bytes(64)
+            .deadline(Duration::from_secs(5))
+            .max_depth(9);
+        let s = b.split(4);
+        assert_eq!(s.steps, Some(25));
+        assert_eq!(s.memory_bytes, Some(16));
+        assert_eq!(s.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(s.max_depth, Some(9));
+        // Tiny budgets floor at 1 instead of 0 (which would mean "unlimited
+        // minus everything" ambiguity); unlimited fields stay unlimited.
+        let tiny = Budget::unlimited().steps(2).split(8);
+        assert_eq!(tiny.steps, Some(1));
+        assert_eq!(tiny.memory_bytes, None);
+        // n = 0 is treated as 1.
+        assert_eq!(b.split(0).steps, Some(100));
     }
 
     #[test]

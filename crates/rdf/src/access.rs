@@ -29,6 +29,11 @@ pub trait GraphAccess: Sync {
         self.len() == 0
     }
 
+    /// Number of interned terms: every valid [`TermId`] is `< term_count`,
+    /// so dense per-term scratch (bitset frontiers, visited sets) can be
+    /// pre-sized once per backend.
+    fn term_count(&self) -> usize;
+
     /// True iff the id-level triple is in the graph.
     fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool;
 
@@ -136,6 +141,10 @@ pub trait GraphAccess: Sync {
 impl GraphAccess for Graph {
     fn len(&self) -> usize {
         Graph::len(self)
+    }
+
+    fn term_count(&self) -> usize {
+        self.terms.len()
     }
 
     fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {

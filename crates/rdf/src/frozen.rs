@@ -294,6 +294,10 @@ impl GraphAccess for FrozenGraph {
         FrozenGraph::len(self)
     }
 
+    fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
     fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
         FrozenGraph::contains_ids(self, s, p, o)
     }

@@ -58,28 +58,77 @@ const SOURCE_CHUNK: usize = 256;
 
 /// Per-source reachability bits over the product graph: for each
 /// `(node, state)` pair, the set of source indices (within one chunk) that
-/// reach it. The map per state keeps memory proportional to the pairs
-/// actually discovered.
-struct BitMatrix {
-    per_state: Vec<HashMap<TermId, Box<[u64]>, BuildHasherDefault<IntHasher>>>,
+/// reach it.
+///
+/// Structure-of-arrays layout, reusable across chunks: a dense `(state,
+/// node)` → row index table pre-sized to the backend's term count
+/// ([`GraphAccess::term_count`]) plus a contiguous bump arena of bitset
+/// rows allocated on first touch. Lookups are one array index (no
+/// hashing), rows discovered together sit together in memory, and
+/// [`FrontierMatrix::reset`] is O(live rows), so a worker thread streaming
+/// many chunks through one matrix performs no per-chunk allocation once
+/// warm.
+struct FrontierMatrix {
+    /// Bitset words per row in the current chunk.
     words: usize,
+    /// Dense per-state stride: every valid `TermId` is `< node_cap`.
+    node_cap: usize,
+    /// `state * node_cap + node` → row index into `bits`, `u32::MAX` when
+    /// the pair was never reached.
+    row_of: Vec<u32>,
+    /// Row arena; row `r` occupies `bits[r * words .. (r + 1) * words]`.
+    bits: Vec<u64>,
+    /// Keys (indices into `row_of`) of live rows, in discovery order.
+    touched: Vec<usize>,
 }
 
-impl BitMatrix {
-    fn new(states: usize, words: usize) -> Self {
-        BitMatrix {
-            per_state: (0..states).map(|_| HashMap::default()).collect(),
-            words,
+impl FrontierMatrix {
+    fn new() -> Self {
+        FrontierMatrix {
+            words: 0,
+            node_cap: 0,
+            row_of: Vec::new(),
+            bits: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
+    /// Prepares the matrix for a fresh chunk: clears live rows (keeping
+    /// every buffer's capacity) and re-sizes the index for `states` NFA
+    /// states over `node_cap` terms with `words`-word rows.
+    fn reset(&mut self, states: usize, node_cap: usize, words: usize) {
+        for &key in &self.touched {
+            self.row_of[key] = u32::MAX;
+        }
+        self.touched.clear();
+        self.bits.clear();
+        self.words = words;
+        self.node_cap = node_cap;
+        let need = states * node_cap;
+        if self.row_of.len() < need {
+            self.row_of.resize(need, u32::MAX);
+        }
+    }
+
+    fn key(&self, node: TermId, state: u32) -> usize {
+        state as usize * self.node_cap + node.0 as usize
+    }
+
     /// Unions `bits` into the pair's set; true iff any new bit appeared.
+    /// First touch allocates the row from the arena tail.
     fn union(&mut self, node: TermId, state: u32, bits: &[u64]) -> bool {
-        let entry = self.per_state[state as usize]
-            .entry(node)
-            .or_insert_with(|| vec![0u64; self.words].into_boxed_slice());
+        let key = self.key(node, state);
+        let row = self.row_of[key];
+        if row == u32::MAX {
+            let r = self.bits.len() / self.words;
+            self.row_of[key] = r as u32;
+            self.touched.push(key);
+            self.bits.extend_from_slice(bits);
+            return bits.iter().any(|&w| w != 0);
+        }
+        let start = row as usize * self.words;
         let mut grew = false;
-        for (word, add) in entry.iter_mut().zip(bits) {
+        for (word, add) in self.bits[start..start + self.words].iter_mut().zip(bits) {
             let merged = *word | add;
             grew |= merged != *word;
             *word = merged;
@@ -88,7 +137,13 @@ impl BitMatrix {
     }
 
     fn get(&self, node: TermId, state: u32) -> Option<&[u64]> {
-        self.per_state[state as usize].get(&node).map(|b| &**b)
+        let row = self.row_of[self.key(node, state)];
+        if row == u32::MAX {
+            None
+        } else {
+            let start = row as usize * self.words;
+            Some(&self.bits[start..start + self.words])
+        }
     }
 
     /// Copies the pair's bits into `buf` (zeroing it first); false when the
@@ -104,6 +159,48 @@ impl BitMatrix {
                 false
             }
         }
+    }
+
+    /// Decodes a touched key back into its `(node, state)` pair.
+    fn decode(&self, key: usize) -> (TermId, u32) {
+        (
+            TermId((key % self.node_cap) as u32),
+            (key / self.node_cap) as u32,
+        )
+    }
+}
+
+/// Per-worker scratch space for the multi-source kernels: the forward and
+/// backward [`FrontierMatrix`] pair plus the worklist and bitset buffers
+/// the BFS passes need. Owned by a [`PathCache`] (one per context, one
+/// context per worker thread), so chunk after chunk reuses the same
+/// allocations and the frontiers stay pre-sized to the CSR.
+pub struct FrontierScratch {
+    fwd: FrontierMatrix,
+    bwd: FrontierMatrix,
+    queue: VecDeque<(TermId, u32)>,
+    seed_buf: Vec<u64>,
+    copy_buf: Vec<u64>,
+    gate_buf: Vec<u64>,
+}
+
+impl FrontierScratch {
+    /// Creates an empty scratch; buffers grow to the graph on first use.
+    pub fn new() -> Self {
+        FrontierScratch {
+            fwd: FrontierMatrix::new(),
+            bwd: FrontierMatrix::new(),
+            queue: VecDeque::new(),
+            seed_buf: Vec::new(),
+            copy_buf: Vec::new(),
+            gate_buf: Vec::new(),
+        }
+    }
+}
+
+impl Default for FrontierScratch {
+    fn default() -> Self {
+        FrontierScratch::new()
     }
 }
 
@@ -610,11 +707,25 @@ impl CompiledPath {
 
     /// Governed [`CompiledPath::eval_from_many`]. The context is consulted
     /// at every chunk boundary and throughout the shared product traversal.
+    /// Allocates a fresh [`FrontierScratch`]; hot callers (the validator's
+    /// [`PathCache`]) reuse a per-worker scratch instead.
     pub fn try_eval_from_many<G: GraphAccess>(
         &self,
         graph: &G,
         sources: &[TermId],
         ctx: &ExecCtx,
+    ) -> Result<Vec<BTreeSet<TermId>>, EngineError> {
+        self.try_eval_from_many_with(graph, sources, ctx, &mut FrontierScratch::new())
+    }
+
+    /// [`CompiledPath::try_eval_from_many`] over caller-owned scratch
+    /// buffers, allocation-free across chunks once the scratch is warm.
+    pub fn try_eval_from_many_with<G: GraphAccess>(
+        &self,
+        graph: &G,
+        sources: &[TermId],
+        ctx: &ExecCtx,
+        scratch: &mut FrontierScratch,
     ) -> Result<Vec<BTreeSet<TermId>>, EngineError> {
         if let Some((pid, inv)) = self.simple {
             // Single-property paths are direct index lookups per source;
@@ -636,13 +747,20 @@ impl CompiledPath {
             ctx.check_now()?;
             let base = chunk_idx * SOURCE_CHUNK;
             let mut mem = MemGuard::new(ctx);
-            let forward = self.forward_bits(graph, chunk, ctx, &mut mem)?;
+            self.forward_bits(graph, chunk, ctx, &mut mem, scratch)?;
             // Read results off the accept state: bit i set at (node, accept)
             // means source i reaches node.
-            for (&node, bits) in &forward.per_state[self.nfa.accept as usize] {
-                for_each_bit(bits, |i| {
-                    results[base + i].insert(node);
-                });
+            let forward = &scratch.fwd;
+            for &key in &forward.touched {
+                let (node, state) = forward.decode(key);
+                if state != self.nfa.accept {
+                    continue;
+                }
+                if let Some(bits) = forward.get(node, state) {
+                    for_each_bit(bits, |i| {
+                        results[base + i].insert(node);
+                    });
+                }
             }
         }
         Ok(results)
@@ -667,12 +785,25 @@ impl CompiledPath {
             .expect("unbounded context cannot fail")
     }
 
-    /// Governed [`CompiledPath::trace_many`].
+    /// Governed [`CompiledPath::trace_many`]. Allocates a fresh
+    /// [`FrontierScratch`]; hot callers reuse a per-worker scratch.
     pub fn try_trace_many<G: GraphAccess>(
         &self,
         graph: &G,
         requests: &[(TermId, BTreeSet<TermId>)],
         ctx: &ExecCtx,
+    ) -> Result<Vec<TraceSet>, EngineError> {
+        self.try_trace_many_with(graph, requests, ctx, &mut FrontierScratch::new())
+    }
+
+    /// [`CompiledPath::try_trace_many`] over caller-owned scratch buffers,
+    /// allocation-free across chunks once the scratch is warm.
+    pub fn try_trace_many_with<G: GraphAccess>(
+        &self,
+        graph: &G,
+        requests: &[(TermId, BTreeSet<TermId>)],
+        ctx: &ExecCtx,
+        scratch: &mut FrontierScratch,
     ) -> Result<Vec<TraceSet>, EngineError> {
         if let Some((pid, inv)) = self.simple {
             return requests
@@ -694,6 +825,7 @@ impl CompiledPath {
                 .collect();
         }
         let states = self.nfa.state_count();
+        let node_cap = graph.term_count();
         let mut results: Vec<TraceSet> = vec![BTreeSet::new(); requests.len()];
         for (chunk_idx, chunk) in requests.chunks(SOURCE_CHUNK).enumerate() {
             ctx.check_now()?;
@@ -701,16 +833,28 @@ impl CompiledPath {
             let words = chunk.len().div_ceil(64);
             let sources: Vec<TermId> = chunk.iter().map(|(from, _)| *from).collect();
             let mut mem = MemGuard::new(ctx);
-            let forward = self.forward_bits(graph, &sources, ctx, &mut mem)?;
+            self.forward_bits(graph, &sources, ctx, &mut mem, scratch)?;
 
             // Backward propagation restricted to forward-reachable pairs:
             // bits flowing into (m, prev) are the mover's bits intersected
             // with forward(m, prev).
-            let mut backward = BitMatrix::new(states, words);
-            let mut queue: VecDeque<(TermId, u32)> = VecDeque::new();
-            let mut seed = vec![0u64; words];
-            let mut scratch = vec![0u64; words];
-            let mut gated = vec![0u64; words];
+            let FrontierScratch {
+                fwd,
+                bwd: backward,
+                queue,
+                seed_buf: seed,
+                copy_buf,
+                gate_buf: gated,
+            } = scratch;
+            let forward: &FrontierMatrix = fwd;
+            backward.reset(states, node_cap, words);
+            queue.clear();
+            seed.clear();
+            seed.resize(words, 0);
+            copy_buf.clear();
+            copy_buf.resize(words, 0);
+            gated.clear();
+            gated.resize(words, 0);
             for (i, (_, targets)) in chunk.iter().enumerate() {
                 seed.fill(0);
                 seed[i / 64] = 1u64 << (i % 64);
@@ -718,24 +862,24 @@ impl CompiledPath {
                     let reached = forward
                         .get(x, self.nfa.accept)
                         .is_some_and(|bits| bits[i / 64] & seed[i / 64] != 0);
-                    if reached && backward.union(x, self.nfa.accept, &seed) {
+                    if reached && backward.union(x, self.nfa.accept, seed) {
                         queue.push_back((x, self.nfa.accept));
                     }
                 }
             }
             while let Some((node, q)) = queue.pop_front() {
-                if !backward.copy_into(node, q, &mut scratch) {
+                if !backward.copy_into(node, q, copy_buf) {
                     continue;
                 }
                 let mut pushed = 0u64;
                 let mut edges = 0u64;
                 for &prev in &self.eps_rev[q as usize] {
-                    let fwd = match forward.get(node, prev) {
+                    let fwd_bits = match forward.get(node, prev) {
                         Some(bits) => bits,
                         None => continue,
                     };
-                    if bits_intersect(&scratch, fwd, &mut gated)
-                        && backward.union(node, prev, &gated)
+                    if bits_intersect(copy_buf, fwd_bits, gated)
+                        && backward.union(node, prev, gated)
                     {
                         pushed += 1;
                         queue.push_back((node, prev));
@@ -750,9 +894,9 @@ impl CompiledPath {
                         }
                     });
                     for m in grown {
-                        let fwd = forward.get(m, *prev).expect("filtered above");
-                        if bits_intersect(&scratch, fwd, &mut gated)
-                            && backward.union(m, *prev, &gated)
+                        let fwd_bits = forward.get(m, *prev).expect("filtered above");
+                        if bits_intersect(copy_buf, fwd_bits, gated)
+                            && backward.union(m, *prev, gated)
                         {
                             pushed += 1;
                             queue.push_back((m, *prev));
@@ -765,34 +909,32 @@ impl CompiledPath {
 
             // Edge collection: attribute each surviving product edge to the
             // requests in forward(src pair) ∩ backward(dst pair).
-            for q in 0..states {
-                let nodes: Vec<TermId> = backward.per_state[q].keys().copied().collect();
-                for node in nodes {
-                    let fwd = match forward.get(node, q as u32) {
-                        Some(bits) => bits.to_vec(),
-                        None => continue,
-                    };
-                    for (label, inv, next) in &self.resolved[q] {
-                        let mut hits: Vec<(TermId, TermId)> = Vec::new();
-                        successors(graph, node, label, *inv, |pred, n2| {
-                            hits.push((pred, n2));
-                        });
-                        ctx.tick(1 + hits.len() as u64)?;
-                        for (pred, n2) in hits {
-                            let bwd = match backward.get(n2, *next) {
-                                Some(bits) => bits,
-                                None => continue,
+            for idx in 0..backward.touched.len() {
+                let (node, q) = backward.decode(backward.touched[idx]);
+                let fwd_bits = match forward.get(node, q) {
+                    Some(bits) => bits,
+                    None => continue,
+                };
+                for (label, inv, next) in &self.resolved[q as usize] {
+                    let mut hits: Vec<(TermId, TermId)> = Vec::new();
+                    successors(graph, node, label, *inv, |pred, n2| {
+                        hits.push((pred, n2));
+                    });
+                    ctx.tick(1 + hits.len() as u64)?;
+                    for (pred, n2) in hits {
+                        let bwd_bits = match backward.get(n2, *next) {
+                            Some(bits) => bits,
+                            None => continue,
+                        };
+                        if bits_intersect(fwd_bits, bwd_bits, gated) {
+                            let triple = if *inv {
+                                (n2, pred, node)
+                            } else {
+                                (node, pred, n2)
                             };
-                            if bits_intersect(&fwd, bwd, &mut gated) {
-                                let triple = if *inv {
-                                    (n2, pred, node)
-                                } else {
-                                    (node, pred, n2)
-                                };
-                                for_each_bit(&gated, |i| {
-                                    results[base + i].insert(triple);
-                                });
-                            }
+                            for_each_bit(gated, |i| {
+                                results[base + i].insert(triple);
+                            });
                         }
                     }
                 }
@@ -803,38 +945,48 @@ impl CompiledPath {
 
     /// Multi-source forward reachability over the product graph: one worklist
     /// pass labeling each reached `(node, state)` pair with the set of chunk
-    /// source indices that reach it.
+    /// source indices that reach it. The result is left in `scratch.fwd`.
     fn forward_bits<G: GraphAccess>(
         &self,
         graph: &G,
         chunk: &[TermId],
         ctx: &ExecCtx,
         mem: &mut MemGuard<'_>,
-    ) -> Result<BitMatrix, EngineError> {
+        scratch: &mut FrontierScratch,
+    ) -> Result<(), EngineError> {
         let words = chunk.len().div_ceil(64);
         let entry_cost = PAIR_COST + 8 * words as u64;
-        let mut forward = BitMatrix::new(self.nfa.state_count(), words);
-        let mut queue: VecDeque<(TermId, u32)> = VecDeque::new();
-        let mut seed = vec![0u64; words];
+        let FrontierScratch {
+            fwd: forward,
+            queue,
+            seed_buf: seed,
+            copy_buf,
+            ..
+        } = scratch;
+        forward.reset(self.nfa.state_count(), graph.term_count(), words);
+        queue.clear();
+        seed.clear();
+        seed.resize(words, 0);
         for (i, &from) in chunk.iter().enumerate() {
             seed.fill(0);
             seed[i / 64] = 1u64 << (i % 64);
-            if forward.union(from, self.nfa.start, &seed) {
+            if forward.union(from, self.nfa.start, seed) {
                 queue.push_back((from, self.nfa.start));
             }
         }
         mem.charge(queue.len() as u64 * entry_cost)?;
-        let mut scratch = vec![0u64; words];
+        copy_buf.clear();
+        copy_buf.resize(words, 0);
         while let Some((node, q)) = queue.pop_front() {
             // Re-read current bits: the pair may have grown again since it
             // was queued (stale entries just propagate the newest bits).
-            if !forward.copy_into(node, q, &mut scratch) {
+            if !forward.copy_into(node, q, copy_buf) {
                 continue;
             }
             let mut pushed = 0u64;
             let mut edges = 0u64;
             for &next in &self.nfa.eps[q as usize] {
-                if forward.union(node, next, &scratch) {
+                if forward.union(node, next, copy_buf) {
                     pushed += 1;
                     queue.push_back((node, next));
                 }
@@ -846,7 +998,7 @@ impl CompiledPath {
                     grown.push(n2);
                 });
                 for n2 in grown {
-                    if forward.union(n2, *next, &scratch) {
+                    if forward.union(n2, *next, copy_buf) {
                         pushed += 1;
                         queue.push_back((n2, *next));
                     }
@@ -855,7 +1007,7 @@ impl CompiledPath {
             ctx.tick(1 + edges)?;
             mem.charge(pushed * entry_cost)?;
         }
-        Ok(forward)
+        Ok(())
     }
 }
 
@@ -942,10 +1094,14 @@ fn predecessors<G: GraphAccess>(
 
 /// A per-graph cache of compiled paths. Validators and provenance engines
 /// evaluate the same expressions for many focus nodes; compiling once
-/// amortizes NFA construction and predicate resolution.
+/// amortizes NFA construction and predicate resolution. The cache also
+/// owns a [`FrontierScratch`], so the multi-source kernels of every path
+/// evaluated through one cache (= one worker thread) share pre-sized,
+/// reusable frontier buffers.
 #[derive(Default)]
 pub struct PathCache {
     cache: HashMap<PathExpr, CompiledPath>,
+    scratch: FrontierScratch,
 }
 
 impl PathCache {
@@ -957,7 +1113,17 @@ impl PathCache {
 
     /// Gets or compiles the path for this graph.
     pub fn get<G: GraphAccess>(&mut self, path: &PathExpr, graph: &G) -> &CompiledPath {
-        self.cache
+        Self::compiled(&mut self.cache, path, graph)
+    }
+
+    /// Entry helper on the bare map so callers can split-borrow the
+    /// compiled path and the frontier scratch at once.
+    fn compiled<'c, G: GraphAccess>(
+        cache: &'c mut HashMap<PathExpr, CompiledPath>,
+        path: &PathExpr,
+        graph: &G,
+    ) -> &'c CompiledPath {
+        cache
             .entry(path.clone())
             .or_insert_with(|| CompiledPath::new(path, graph))
     }
@@ -990,7 +1156,10 @@ impl PathCache {
         graph: &G,
         sources: &[TermId],
     ) -> Vec<BTreeSet<TermId>> {
-        self.get(path, graph).eval_from_many(graph, sources)
+        let compiled = Self::compiled(&mut self.cache, path, graph);
+        compiled
+            .try_eval_from_many_with(graph, sources, &ExecCtx::unbounded(), &mut self.scratch)
+            .expect("unbounded context cannot fail")
     }
 
     /// Convenience: batched tracing for all `(from, targets)` requests.
@@ -1000,7 +1169,10 @@ impl PathCache {
         graph: &G,
         requests: &[(TermId, BTreeSet<TermId>)],
     ) -> Vec<TraceSet> {
-        self.get(path, graph).trace_many(graph, requests)
+        let compiled = Self::compiled(&mut self.cache, path, graph);
+        compiled
+            .try_trace_many_with(graph, requests, &ExecCtx::unbounded(), &mut self.scratch)
+            .expect("unbounded context cannot fail")
     }
 
     /// Governed [`PathCache::eval`].
@@ -1034,8 +1206,8 @@ impl PathCache {
         sources: &[TermId],
         ctx: &ExecCtx,
     ) -> Result<Vec<BTreeSet<TermId>>, EngineError> {
-        self.get(path, graph)
-            .try_eval_from_many(graph, sources, ctx)
+        let compiled = Self::compiled(&mut self.cache, path, graph);
+        compiled.try_eval_from_many_with(graph, sources, ctx, &mut self.scratch)
     }
 
     /// Governed [`PathCache::trace_many`].
@@ -1046,7 +1218,8 @@ impl PathCache {
         requests: &[(TermId, BTreeSet<TermId>)],
         ctx: &ExecCtx,
     ) -> Result<Vec<TraceSet>, EngineError> {
-        self.get(path, graph).try_trace_many(graph, requests, ctx)
+        let compiled = Self::compiled(&mut self.cache, path, graph);
+        compiled.try_trace_many_with(graph, requests, ctx, &mut self.scratch)
     }
 }
 

@@ -21,42 +21,117 @@ use crate::rpq::PathCache;
 use crate::schema::Schema;
 use crate::shape::{PathOrId, Shape};
 
+/// Number of lock stripes in a [`ConformanceMemo`]. Power of two so the
+/// shard index is a cheap high-bit extract of the mixed key hash; 64
+/// stripes keep the collision probability of two of ≤16 workers wanting
+/// the same stripe low without bloating the struct.
+const MEMO_SHARDS: usize = 64;
+
+/// One lock stripe: decided conformance facts keyed by
+/// `(shape index, node)`.
+type MemoShard = RwLock<HashMap<(u32, TermId), bool>>;
+
 /// A shared table of decided `(shape name, node)` conformance facts.
 ///
 /// Conformance of a node to a *named* shape is a pure function of the graph
 /// and schema, so once decided it can be reused by every referencing target
-/// — and, behind the lock, by every worker thread. A memo is valid for
-/// exactly one `(graph, schema)` pair; see DESIGN.md for the contract.
-#[derive(Default)]
+/// — and by every worker thread. The table is split into [`MEMO_SHARDS`]
+/// lock stripes keyed by a hash of `(shape, node)`, so concurrent workers
+/// contend only when they touch the same stripe at the same instant. A memo
+/// is valid for exactly one `(graph, schema)` pair; under
+/// `debug_assertions` the first [`Context::with_memo`] binds the memo to a
+/// fingerprint of that pair and any later mismatch panics (see DESIGN.md).
 pub struct ConformanceMemo {
-    decided: RwLock<HashMap<(u32, TermId), bool>>,
+    shards: Box<[MemoShard]>,
+    /// Fingerprint of the `(schema, graph)` pair this memo was first
+    /// attached to (debug builds only).
+    #[cfg(debug_assertions)]
+    binding: std::sync::OnceLock<(u64, u64)>,
+}
+
+impl Default for ConformanceMemo {
+    fn default() -> Self {
+        ConformanceMemo::new()
+    }
 }
 
 impl ConformanceMemo {
     /// Creates an empty memo (for one graph + schema pair).
     pub fn new() -> Self {
-        ConformanceMemo::default()
+        ConformanceMemo {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            #[cfg(debug_assertions)]
+            binding: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Stripe index for a `(shape, node)` key: multiplicative (Fibonacci)
+    /// hashing of the packed key, taking the top bits.
+    fn shard_index(shape: u32, node: TermId) -> usize {
+        let key = ((shape as u64) << 32) | node.0 as u64;
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (mixed >> (64 - MEMO_SHARDS.trailing_zeros())) as usize
+    }
+
+    fn shard(&self, shape: u32, node: TermId) -> &RwLock<HashMap<(u32, TermId), bool>> {
+        &self.shards[Self::shard_index(shape, node)]
     }
 
     /// Looks up a decided fact.
     pub fn lookup(&self, shape: u32, node: TermId) -> Option<bool> {
-        self.decided.read().get(&(shape, node)).copied()
+        self.shard(shape, node).read().get(&(shape, node)).copied()
     }
 
     /// Records a decided fact.
     pub fn insert(&self, shape: u32, node: TermId, value: bool) {
-        self.decided.write().insert((shape, node), value);
+        self.shard(shape, node).write().insert((shape, node), value);
     }
 
     /// Number of decided facts.
     pub fn len(&self) -> usize {
-        self.decided.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True iff nothing has been decided yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shards.iter().all(|s| s.read().is_empty())
     }
+
+    /// Binds the memo to a `(schema, graph)` fingerprint on first use and
+    /// panics if a later context attaches it to a different pair. Debug
+    /// builds only — release builds trust the documented contract.
+    #[cfg(debug_assertions)]
+    fn bind_or_check(&self, fingerprint: (u64, u64)) {
+        let bound = *self.binding.get_or_init(|| fingerprint);
+        assert_eq!(
+            bound, fingerprint,
+            "ConformanceMemo reused across a different (schema, graph) pair; \
+             create one memo per pair (see Context::with_memo)"
+        );
+    }
+}
+
+/// Order-sensitive fingerprint of a `(schema, graph)` pair for the memo
+/// binding check. Freezing is id-stable, so a graph and its
+/// [`FrozenGraph`](shapefrag_rdf::FrozenGraph) snapshot fingerprint alike —
+/// sharing a memo across the two backends is sound and stays allowed.
+#[cfg(debug_assertions)]
+fn memo_fingerprint<G: GraphAccess>(schema: &Schema, graph: &G) -> (u64, u64) {
+    use std::hash::{Hash, Hasher};
+    let mut hs = std::collections::hash_map::DefaultHasher::new();
+    schema.len().hash(&mut hs);
+    for def in schema.iter() {
+        def.name.hash(&mut hs);
+    }
+    let mut hg = std::collections::hash_map::DefaultHasher::new();
+    graph.len().hash(&mut hg);
+    graph.term_count().hash(&mut hg);
+    for triple in graph.iter_ids().take(32) {
+        triple.hash(&mut hg);
+    }
+    (hs.finish(), hg.finish())
 }
 
 /// Evaluation context: a schema, a graph, and the path-compilation cache.
@@ -95,8 +170,11 @@ impl<'a, G: GraphAccess> Context<'a, G> {
 
     /// Creates a context sharing a conformance memo with other contexts
     /// (possibly on other threads). The memo must have been created for
-    /// this same `(graph, schema)` pair.
+    /// this same `(graph, schema)` pair; debug builds enforce this with a
+    /// fingerprint check (the first attachment binds the memo).
     pub fn with_memo(schema: &'a Schema, graph: &'a G, memo: Arc<ConformanceMemo>) -> Self {
+        #[cfg(debug_assertions)]
+        memo.bind_or_check(memo_fingerprint(schema, graph));
         Context {
             schema,
             graph,
@@ -690,9 +768,11 @@ impl<'a, G: GraphAccess> Context<'a, G> {
         let mut out = vec![false; nodes.len()];
         let mut missing: Vec<usize> = Vec::new();
         {
-            let table = memo.decided.read();
+            // Pin every stripe for read once, then the scan is lock-free
+            // per node (readers share stripes; only writers exclude).
+            let tables: Vec<_> = memo.shards.iter().map(|s| s.read()).collect();
             for (i, &node) in nodes.iter().enumerate() {
-                match table.get(&(sid, node)) {
+                match tables[ConformanceMemo::shard_index(sid, node)].get(&(sid, node)) {
                     Some(&v) => out[i] = v,
                     None => missing.push(i),
                 }
@@ -710,11 +790,11 @@ impl<'a, G: GraphAccess> Context<'a, G> {
                 .zip(decided.iter().copied())
                 .collect();
             // Keep unwinding placeholders from a faulted run out of the
-            // shared memo.
+            // shared memo. Inserts go stripe by stripe (uncontended CAS in
+            // the common case), not under one global lock.
             if self.fault.is_none() {
-                let mut table = memo.decided.write();
                 for (&node, &v) in map.iter() {
-                    table.insert((sid, node), v);
+                    memo.insert(sid, node, v);
                 }
             }
             for &i in &missing {
@@ -1539,6 +1619,65 @@ mod tests {
         assert_eq!(memo.lookup(sid, g.id_of(&term("x")).unwrap()), Some(true));
         assert_eq!(memo.lookup(sid, g.id_of(&term("y")).unwrap()), Some(false));
         assert_eq!(report, validate(&schema, &g));
+    }
+
+    #[test]
+    fn memo_sharing_across_backends_of_the_same_graph_is_allowed() {
+        // Freezing is id-stable, so a memo warmed on the mutable graph may
+        // be reused over its CSR snapshot (same fingerprint in debug).
+        let schema = Schema::new([ShapeDef::new(
+            term("S"),
+            Shape::geq(1, p("p"), Shape::True),
+            Shape::True,
+        )])
+        .unwrap();
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        let f = g.freeze();
+        let memo = Arc::new(ConformanceMemo::new());
+        let r_mut = validate_batch_with_memo(&schema, &g, Arc::clone(&memo));
+        let r_frozen = validate_batch_with_memo(&schema, &f, Arc::clone(&memo));
+        assert_eq!(r_mut, r_frozen);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "different (schema, graph) pair")]
+    fn memo_reuse_across_graphs_panics_in_debug() {
+        let schema = Schema::new([ShapeDef::new(
+            term("S"),
+            Shape::geq(1, p("p"), Shape::True),
+            Shape::True,
+        )])
+        .unwrap();
+        let g1 = Graph::from_triples([t("a", "p", "b")]);
+        let g2 = Graph::from_triples([t("c", "p", "d"), t("c", "p", "e")]);
+        let memo = Arc::new(ConformanceMemo::new());
+        let _first = Context::with_memo(&schema, &g1, Arc::clone(&memo));
+        // Same schema, different graph: the ids in the memo would be
+        // meaningless here — the binding check must refuse.
+        let _second = Context::with_memo(&schema, &g2, Arc::clone(&memo));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "different (schema, graph) pair")]
+    fn memo_reuse_across_schemas_panics_in_debug() {
+        let s1 = Schema::new([ShapeDef::new(
+            term("S"),
+            Shape::geq(1, p("p"), Shape::True),
+            Shape::True,
+        )])
+        .unwrap();
+        let s2 = Schema::new([ShapeDef::new(
+            term("Other"),
+            Shape::geq(1, p("p"), Shape::True),
+            Shape::True,
+        )])
+        .unwrap();
+        let g = Graph::from_triples([t("a", "p", "b")]);
+        let memo = Arc::new(ConformanceMemo::new());
+        let _first = Context::with_memo(&s1, &g, Arc::clone(&memo));
+        let _second = Context::with_memo(&s2, &g, Arc::clone(&memo));
     }
 
     #[test]

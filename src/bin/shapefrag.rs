@@ -26,7 +26,9 @@
 use std::process::ExitCode;
 
 use shape_fragments::analyze::{analyze_defs, analyze_schema, has_deny, to_json, Diagnostic};
-use shape_fragments::core::{explain, schema_fragment, to_sparql};
+use shape_fragments::core::{
+    explain, fragment_par, schema_fragment, to_sparql, validate_batch_par,
+};
 use shape_fragments::rdf::{ntriples, turtle, Graph, Term};
 use shape_fragments::shacl::parser::{parse_shape_defs_turtle, parse_shapes_turtle_with_spans};
 use shape_fragments::shacl::validator::validate;
@@ -64,9 +66,9 @@ impl From<String> for CliError {
 }
 
 fn usage() -> String {
-    "usage:\n  shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl]\n  \
+    "usage:\n  shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl] [--threads N]\n  \
      shapefrag analyze   <shapes.ttl> [--json]\n  \
-     shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt]\n  \
+     shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt] [--threads N]\n  \
      shapefrag explain   <shapes.ttl> <data.(ttl|nt)> <focus-node-iri> [<shape-name-iri>]\n  \
      shapefrag translate <shapes.ttl> [<shape-name-iri>]\n\
      exit codes:\n  \
@@ -110,6 +112,28 @@ fn load_schema(path: &str) -> Result<Schema, CliError> {
         eprintln!("{path}: {d}");
     }
     Ok(schema)
+}
+
+/// Extracts a `--threads N` option from an argument list, returning the
+/// worker count (default 1) and the remaining arguments.
+fn take_threads(args: &[String]) -> Result<(usize, Vec<String>), String> {
+    let mut threads = 1usize;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            let value = it.next().ok_or("--threads requires a count")?;
+            threads = value
+                .parse()
+                .map_err(|_| format!("invalid --threads value '{value}'"))?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".to_string());
+            }
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((threads, rest))
 }
 
 fn load_data(path: &str) -> Result<Graph, String> {
@@ -156,14 +180,22 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, CliError> {
 }
 
 fn cmd_validate(args: &[String]) -> Result<ExitCode, CliError> {
-    let [shapes_path, data_path, rest @ ..] = args else {
+    let (threads, args) = take_threads(args)?;
+    let [shapes_path, data_path, rest @ ..] = args.as_slice() else {
         return Err(usage().into());
     };
     let as_ttl = rest.iter().any(|a| a == "--report-ttl");
     let schema = load_schema(shapes_path)?;
     let data = load_data(data_path)?;
-    // Validation is read-only: run it over the CSR snapshot.
-    let report = validate(&schema, &data.freeze());
+    // Validation is read-only: run it over the CSR snapshot. With more
+    // than one worker, the cost-routed work-stealing engine produces the
+    // identical report.
+    let frozen = data.freeze();
+    let report = if threads > 1 {
+        validate_batch_par(&schema, &frozen, threads)
+    } else {
+        validate(&schema, &frozen)
+    };
     if as_ttl {
         let graph = report.to_graph();
         print!(
@@ -181,13 +213,19 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, CliError> {
 }
 
 fn cmd_fragment(args: &[String]) -> Result<ExitCode, CliError> {
-    let [shapes_path, data_path, rest @ ..] = args else {
+    let (threads, args) = take_threads(args)?;
+    let [shapes_path, data_path, rest @ ..] = args.as_slice() else {
         return Err(usage().into());
     };
     let schema = load_schema(shapes_path)?;
     let data = load_data(data_path)?;
     // Extraction reads the graph many times over: freeze once up front.
-    let fragment = schema_fragment(&schema, &data.freeze());
+    let frozen = data.freeze();
+    let fragment = if threads > 1 {
+        fragment_par(&schema, &frozen, &schema.request_shapes(), threads)
+    } else {
+        schema_fragment(&schema, &frozen)
+    };
     eprintln!(
         "fragment: {} of {} triples ({} shape definitions)",
         fragment.len(),

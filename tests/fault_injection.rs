@@ -473,6 +473,94 @@ fn frozen_governed_agrees_with_mutable_ungoverned() {
     assert_eq!(plain_frag, governed_frag);
 }
 
+// ---------------------------------------------------------------------------
+// Governance through the work-stealing parallel engine (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// Exhausted step budgets inside parallel workers surface as one
+/// structured `BudgetExceeded` — first fault in planning order wins, no
+/// partial report leaks out.
+#[test]
+fn parallel_engine_surfaces_budget_exhaustion() {
+    use shape_fragments::core::validate_batch_par_governed;
+
+    let frozen = generate(&TyroleanConfig::new(400, 0xBE)).freeze();
+    let schema = Schema::new(benchmark_shapes()).unwrap();
+    for threads in [1, 2, 4, 8] {
+        match validate_batch_par_governed(
+            &schema,
+            &frozen,
+            threads,
+            Budget::unlimited().steps(16),
+            None,
+        ) {
+            Err(EngineError::BudgetExceeded {
+                kind: BudgetKind::Steps,
+                ..
+            }) => {}
+            other => panic!("threads={threads}: expected step fault, got {other:?}"),
+        }
+    }
+}
+
+/// A cancellation issued from another thread while the parallel engine is
+/// mid-validation is observed promptly by every worker and surfaced as
+/// one `Cancelled` error.
+#[test]
+fn parallel_engine_observes_cross_thread_cancellation() {
+    use shape_fragments::core::validate_batch_par_governed;
+
+    let frozen = generate(&TyroleanConfig::new(600, 0xCC)).freeze();
+    let schema = Schema::new(benchmark_shapes()).unwrap();
+    let token = CancelToken::new();
+    let worker_token = token.clone();
+    let (tx, rx) = mpsc::channel();
+
+    let worker = thread::spawn(move || loop {
+        match validate_batch_par_governed(
+            &schema,
+            &frozen,
+            4,
+            Budget::unlimited(),
+            Some(&worker_token),
+        ) {
+            Ok(_) => {
+                let _ = tx.send(());
+            }
+            Err(EngineError::Cancelled) => return Instant::now(),
+            Err(other) => panic!("unexpected fault under cancellation: {other:?}"),
+        }
+    });
+
+    rx.recv().expect("worker never finished a warmup pass");
+    let cancelled_at = Instant::now();
+    token.cancel();
+    let observed_at = worker.join().expect("worker panicked");
+    let latency = observed_at.duration_since(cancelled_at);
+    assert!(
+        latency < Duration::from_millis(250),
+        "parallel cancellation took {latency:?} to be observed"
+    );
+}
+
+/// Unconstrained governed parallel runs reproduce the sequential batch
+/// report at every thread count.
+#[test]
+fn parallel_engine_unbounded_agrees_with_sequential() {
+    use shape_fragments::core::validate_batch_par_governed;
+    use shape_fragments::shacl::validator::validate_batch;
+
+    let frozen = generate(&TyroleanConfig::new(150, 0xA8)).freeze();
+    let schema = Schema::new(benchmark_shapes()).unwrap();
+    let sequential = validate_batch(&schema, &frozen);
+    for threads in [1, 2, 4, 8] {
+        let report =
+            validate_batch_par_governed(&schema, &frozen, threads, Budget::unlimited(), None)
+                .expect("unlimited budget cannot fault");
+        assert_eq!(sequential, report, "threads = {threads}");
+    }
+}
+
 /// An unbounded context reproduces the ungoverned results exactly, across
 /// validation and fragment extraction.
 #[test]
