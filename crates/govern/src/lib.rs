@@ -495,6 +495,54 @@ mod tests {
     }
 
     #[test]
+    fn split_edge_cases() {
+        // split(1) is the identity on every field.
+        let b = Budget::unlimited()
+            .steps(10)
+            .memory_bytes(1024)
+            .deadline(Duration::from_millis(250))
+            .max_depth(4);
+        let s = b.split(1);
+        assert_eq!(s.steps, b.steps);
+        assert_eq!(s.memory_bytes, b.memory_bytes);
+        assert_eq!(s.deadline, b.deadline);
+        assert_eq!(s.max_depth, b.max_depth);
+
+        // Remainders are dropped, never redistributed: 10 steps over 3
+        // workers is 3 each (9 total — conservative, the pool can only
+        // spend less than the parent budget, never more).
+        assert_eq!(Budget::unlimited().steps(10).split(3).steps, Some(3));
+
+        // More workers than steps floors at 1 per worker rather than 0,
+        // which `steps(0)` would make indistinguishable from a context
+        // that faults before doing anything at all.
+        assert_eq!(Budget::unlimited().steps(2).split(1000).steps, Some(1));
+        assert_eq!(
+            Budget::unlimited().memory_bytes(3).split(64).memory_bytes,
+            Some(1)
+        );
+
+        // A fully unlimited budget splits to a fully unlimited budget.
+        let open = Budget::unlimited().split(16);
+        assert_eq!(open.steps, None);
+        assert_eq!(open.memory_bytes, None);
+        assert_eq!(open.deadline, None);
+        assert_eq!(open.max_depth, None);
+
+        // The split budget is live: a context built from it faults at the
+        // per-worker limit, reporting the *split* limit, not the parent's.
+        let ctx = ExecCtx::with_budget(Budget::unlimited().steps(10).split(3));
+        ctx.tick(3).unwrap();
+        assert_eq!(
+            ctx.tick(1),
+            Err(EngineError::BudgetExceeded {
+                kind: BudgetKind::Steps,
+                limit: 3
+            })
+        );
+    }
+
+    #[test]
     fn step_budget_trips() {
         let ctx = ExecCtx::with_budget(Budget::unlimited().steps(10));
         let mut last = Ok(());

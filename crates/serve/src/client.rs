@@ -1,0 +1,172 @@
+//! A minimal blocking HTTP/1.1 client for the load generator, the chaos
+//! harness, and CI smoke checks. One request per call over a fresh
+//! connection ([`request`]) or a reusable keep-alive connection
+//! ([`Conn`]). Deliberately tiny: exactly the subset the server speaks.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of a header, case-insensitive.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Errors a client call can hit.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    BadResponse(String),
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::BadResponse(m) => write!(f, "bad response: {m}"),
+        }
+    }
+}
+
+/// A keep-alive connection to the server.
+pub struct Conn {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl Conn {
+    /// Connects with the given socket timeout (applied to reads and
+    /// writes).
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<Conn, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            carry: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads the response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: shapefrag\r\n");
+        for (n, v) in headers {
+            head.push_str(&format!("{n}: {v}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Writes raw bytes without framing (for chaos tests).
+    pub fn write_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads one response off the wire (for chaos tests that hand-craft
+    /// the request bytes).
+    pub fn read_response(&mut self) -> Result<ClientResponse, ClientError> {
+        let mut buf = std::mem::take(&mut self.carry);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::BadResponse(
+                    "connection closed before response head".into(),
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| ClientError::BadResponse(format!("bad status line '{status_line}'")))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if let Some((n, v)) = line.split_once(':') {
+                headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string()));
+            }
+        }
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+        while body.len() < content_length {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::BadResponse(
+                    "connection closed mid-body".into(),
+                ));
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+        self.carry = body.split_off(content_length);
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// The underlying stream (for chaos tests that need shutdown/linger
+    /// tricks).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}
+
+/// One-shot request over a fresh connection.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<ClientResponse, ClientError> {
+    let mut conn = Conn::connect(addr, Duration::from_secs(30))?;
+    conn.request(method, path, headers, body)
+}

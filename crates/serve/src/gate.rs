@@ -1,0 +1,219 @@
+//! Admission control: a counting semaphore with a *bounded* wait queue.
+//!
+//! The server admits at most `cap` requests into the engine at once.
+//! Arrivals beyond the cap wait — but only `queue` of them, and only for
+//! `max_wait` — so offered load beyond `cap + queue` is shed immediately
+//! and deterministically (HTTP 503 with a retry hint) instead of building
+//! an unbounded backlog whose latency grows without limit. This is the
+//! classic admission-control state machine: `inflight < cap` → run,
+//! `waiting < queue` → park on the condvar, otherwise → shed.
+//!
+//! The permit is a guard: it releases its slot on drop, on success, error,
+//! and panic paths alike, so a crashing handler can never leak capacity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct GateState {
+    inflight: usize,
+    waiting: usize,
+}
+
+/// Outcome of asking for admission.
+pub enum Admission<'a> {
+    /// Admitted; hold the permit for the duration of the work.
+    Admitted(Permit<'a>),
+    /// The wait queue is full — shed immediately.
+    QueueFull,
+    /// Queued, but no slot freed within `max_wait` — shed.
+    WaitTimeout,
+}
+
+/// The admission gate. See the module docs.
+#[derive(Debug)]
+pub struct Gate {
+    cap: usize,
+    queue: usize,
+    max_wait: Duration,
+    state: Mutex<GateState>,
+    cv: Condvar,
+    /// Total requests ever shed (both shed variants).
+    shed: AtomicU64,
+}
+
+impl Gate {
+    /// A gate admitting `cap` concurrent requests with a wait queue of
+    /// `queue` slots, each waiting at most `max_wait`.
+    pub fn new(cap: usize, queue: usize, max_wait: Duration) -> Gate {
+        Gate {
+            cap: cap.max(1),
+            queue,
+            max_wait,
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        // The mutex is only ever held inside gate methods, so a poisoned
+        // lock can only mean a panic between lock and unlock here; the
+        // state is still consistent (all mutations are single assignments).
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Requests admission, waiting in the bounded queue if the cap is
+    /// reached.
+    pub fn admit(&self) -> Admission<'_> {
+        let mut st = self.lock();
+        if st.inflight < self.cap {
+            st.inflight += 1;
+            return Admission::Admitted(Permit { gate: self });
+        }
+        if st.waiting >= self.queue {
+            drop(st);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Admission::QueueFull;
+        }
+        st.waiting += 1;
+        let deadline = Instant::now() + self.max_wait;
+        loop {
+            if st.inflight < self.cap {
+                st.inflight += 1;
+                st.waiting -= 1;
+                return Admission::Admitted(Permit { gate: self });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                st.waiting -= 1;
+                drop(st);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Admission::WaitTimeout;
+            }
+            let (guard, _timed_out) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Requests currently admitted (executing).
+    pub fn inflight(&self) -> usize {
+        self.lock().inflight
+    }
+
+    /// Requests currently parked in the wait queue.
+    pub fn waiting(&self) -> usize {
+        self.lock().waiting
+    }
+
+    /// Total requests shed since construction.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// The concurrency cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    fn release(&self) {
+        let mut st = self.lock();
+        st.inflight = st.inflight.saturating_sub(1);
+        drop(st);
+        self.cv.notify_one();
+    }
+}
+
+/// An admitted slot; releases on drop (including during unwinding).
+pub struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_cap_then_sheds_past_queue() {
+        let gate = Gate::new(2, 1, Duration::from_millis(10));
+        let p1 = match gate.admit() {
+            Admission::Admitted(p) => p,
+            _ => panic!("first admit must succeed"),
+        };
+        let p2 = match gate.admit() {
+            Admission::Admitted(p) => p,
+            _ => panic!("second admit must succeed"),
+        };
+        assert_eq!(gate.inflight(), 2);
+        // Third waits (queue slot) and times out; no slot frees.
+        assert!(matches!(gate.admit(), Admission::WaitTimeout));
+        assert_eq!(gate.shed_total(), 1);
+        drop(p1);
+        drop(p2);
+        assert_eq!(gate.inflight(), 0);
+    }
+
+    #[test]
+    fn queue_full_sheds_immediately() {
+        let gate = Arc::new(Gate::new(1, 1, Duration::from_millis(400)));
+        let _p = match gate.admit() {
+            Admission::Admitted(p) => p,
+            _ => panic!(),
+        };
+        // Fill the single queue slot from another thread.
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || matches!(g2.admit(), Admission::WaitTimeout));
+        // Give the waiter time to park.
+        while gate.waiting() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Queue is now full: shed without waiting.
+        let t0 = Instant::now();
+        assert!(matches!(gate.admit(), Admission::QueueFull));
+        assert!(t0.elapsed() < Duration::from_millis(100));
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn waiter_gets_freed_slot() {
+        let gate = Arc::new(Gate::new(1, 4, Duration::from_secs(5)));
+        let p = match gate.admit() {
+            Admission::Admitted(p) => p,
+            _ => panic!(),
+        };
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || matches!(g2.admit(), Admission::Admitted(_)));
+        while gate.waiting() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(p);
+        assert!(waiter.join().unwrap());
+        assert_eq!(gate.inflight(), 0);
+    }
+
+    #[test]
+    fn permit_released_on_panic() {
+        let gate = Gate::new(1, 0, Duration::from_millis(1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _p = match gate.admit() {
+                Admission::Admitted(p) => p,
+                _ => panic!("admit failed"),
+            };
+            panic!("handler crash");
+        }));
+        assert!(result.is_err());
+        assert_eq!(gate.inflight(), 0, "panic must not leak the slot");
+        assert!(matches!(gate.admit(), Admission::Admitted(_)));
+    }
+}

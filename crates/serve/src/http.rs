@@ -1,0 +1,331 @@
+//! Minimal HTTP/1.1 request parsing and response writing over a
+//! [`TcpStream`], with the size and time limits that make the server safe
+//! against hostile clients: a cap on total head bytes, a cap on body
+//! bytes, a per-read socket timeout, and wall-clock deadlines for
+//! receiving the complete head and the complete body (the slow-loris
+//! guard — a client dribbling one byte per read timeout still cannot hold
+//! a connection open past the head deadline).
+//!
+//! Only the subset of HTTP/1.1 the server needs is implemented: `GET` and
+//! `POST`, `Content-Length` bodies (no chunked transfer encoding), and
+//! `Connection: close`/`keep-alive`. Everything outside that subset is a
+//! [`HttpError::Malformed`], which the connection loop maps to 400.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Size and time limits applied while reading one request.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadLimits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of body (`Content-Length` above this is rejected
+    /// before reading a single body byte).
+    pub max_body_bytes: usize,
+    /// Per-`read(2)` socket timeout.
+    pub read_timeout: Duration,
+    /// Wall-clock deadline for receiving the complete head.
+    pub head_deadline: Duration,
+    /// Wall-clock deadline for receiving the complete body.
+    pub body_deadline: Duration,
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Raw query string, if any (without the `?`).
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names are lower-cased at parse time.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (names are stored lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => !v.eq_ignore_ascii_case("close"),
+            None => true, // HTTP/1.1 default
+        }
+    }
+}
+
+/// Failures while reading a request. The connection loop decides which of
+/// these earn a response (400) and which just close the socket.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before any request bytes — the keep-alive end of stream.
+    Closed,
+    /// The bytes received cannot be a supported HTTP/1.1 request.
+    Malformed(String),
+    /// Head or declared body size exceeded a [`ReadLimits`] cap.
+    TooLarge(String),
+    /// The head or body deadline expired (slow or stalled client).
+    SlowClient,
+    /// Transport error (reset, broken pipe, …).
+    Io(std::io::Error),
+}
+
+/// Reads one request from `stream`. `carry` holds bytes read past the end
+/// of the previous request on this connection (kept-alive clients may send
+/// the next head back-to-back); leftover bytes are stored back into it.
+pub fn read_request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    limits: &ReadLimits,
+) -> Result<Request, HttpError> {
+    let started = Instant::now();
+    let mut buf = std::mem::take(carry);
+    let mut chunk = [0u8; 4096];
+
+    // Phase 1: accumulate until the blank line ending the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(HttpError::TooLarge(format!(
+                "request head exceeds {} bytes",
+                limits.max_head_bytes
+            )));
+        }
+        let n = timed_read(stream, &mut chunk, started, limits.head_deadline, limits)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Err(HttpError::Closed)
+            } else {
+                Err(HttpError::Malformed("connection closed mid-head".into()))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing version".into()))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported request line '{request_line}'"
+        )));
+    }
+    if !matches!(method.as_str(), "GET" | "POST" | "HEAD") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported method '{method}'"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header line without colon: '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Phase 2: the body, if declared.
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length '{v}'")))?,
+        None => 0,
+    };
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::Malformed(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::TooLarge(format!(
+            "declared body of {content_length} bytes exceeds the {}-byte limit",
+            limits.max_body_bytes
+        )));
+    }
+
+    let body_start = head_end + 4;
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    let body_started = Instant::now();
+    while body.len() < content_length {
+        let n = timed_read(
+            stream,
+            &mut chunk,
+            body_started,
+            limits.body_deadline,
+            limits,
+        )?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    // Bytes past the declared body belong to the next request.
+    *carry = body.split_off(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Locates the `\r\n\r\n` terminating the head.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One `read(2)` with the per-read timeout clamped to the remaining phase
+/// deadline. Timeout kinds surface as [`HttpError::SlowClient`].
+fn timed_read(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    phase_started: Instant,
+    phase_deadline: Duration,
+    limits: &ReadLimits,
+) -> Result<usize, HttpError> {
+    let elapsed = phase_started.elapsed();
+    if elapsed >= phase_deadline {
+        return Err(HttpError::SlowClient);
+    }
+    let remaining = phase_deadline - elapsed;
+    let _ = stream.set_read_timeout(Some(limits.read_timeout.min(remaining).max(
+        // A zero timeout means "block forever" to the OS; floor at 1ms.
+        Duration::from_millis(1),
+    )));
+    match stream.read(chunk) {
+        Ok(n) => Ok(n),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(HttpError::SlowClient)
+        }
+        Err(e) => Err(HttpError::Io(e)),
+    }
+}
+
+/// One response, ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Extra headers beyond the standard set.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Force `Connection: close` after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A response with a body and the given content type.
+    pub fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type,
+            body: body.into(),
+            extra_headers: Vec::new(),
+            close: false,
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status, "application/json", body)
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Marks the connection for close after this response.
+    pub fn closing(mut self) -> Response {
+        self.close = true;
+        self
+    }
+}
+
+/// Standard reason phrases for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        429 => "Too Many Requests",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes and writes a response. The caller is responsible for having
+/// set the socket write timeout; a failed write is returned so the
+/// connection loop can drop the client.
+pub fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive && !resp.close {
+            "keep-alive"
+        } else {
+            "close"
+        },
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}

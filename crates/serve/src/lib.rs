@@ -1,0 +1,569 @@
+//! # shapefrag-serve
+//!
+//! `shapefrag serve` — an overload-safe, dependency-free HTTP/1.1 server
+//! exposing the full shape-fragments stack as a long-lived service:
+//!
+//! | endpoint          | semantics |
+//! |-------------------|-----------|
+//! | `POST /validate`  | validate the resident snapshot (empty body) or a posted data graph against the resident schema |
+//! | `POST /fragment`  | shape fragment of the resident snapshot as N-Triples (body optionally lists shape IRIs) |
+//! | `GET  /analyze`   | static schema diagnostics as JSON |
+//! | `POST /sparql`    | SELECT query over the resident snapshot |
+//! | `POST /reload`    | epoch-swap a new snapshot (re-read source, or body = new data graph) |
+//! | `GET  /healthz`   | liveness + current epoch (never gated) |
+//! | `GET  /stats`     | counters and gauges (never gated) |
+//!
+//! Robustness is the design center (DESIGN.md §13):
+//!
+//! - **Admission control**: a global concurrency cap with a bounded,
+//!   time-limited wait queue ([`gate::Gate`]). Load beyond cap + queue is
+//!   shed deterministically with 503 + `Retry-After`.
+//! - **Per-request governance**: `x-deadline-ms`, `x-budget-steps`, and
+//!   `x-budget-memory` headers become a [`shapefrag_govern::Budget`];
+//!   engine faults map onto HTTP status codes (429/504/400/499).
+//! - **Snapshot epochs**: requests work against an `Arc<Snapshot>` clone;
+//!   `POST /reload` builds and freezes the next epoch off-lock and swaps a
+//!   pointer, so readers never block and old epochs drain and drop.
+//! - **Hostile-client limits**: head/body size caps, per-read socket
+//!   timeouts, and phase deadlines (slow-loris guard), plus a connection
+//!   cap ahead of the request gate.
+//! - **Panic isolation**: a handler panic is caught per request, answered
+//!   with 500, counted, and the server keeps serving.
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod gate;
+pub mod handlers;
+pub mod http;
+pub mod state;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use shapefrag_govern::CancelToken;
+use shapefrag_rdf::{ntriples, turtle, Graph};
+use shapefrag_shacl::parser::parse_shapes_turtle_with_spans;
+use shapefrag_shacl::Schema;
+
+use gate::{Admission, Gate};
+use http::{HttpError, ReadLimits, Request, Response};
+use state::{Snapshot, SnapshotCell, Stats};
+
+/// Server tunables. The defaults are sized for tests and small
+/// deployments; the CLI exposes the load-bearing ones as flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Global concurrency cap (admitted requests executing at once).
+    pub max_inflight: usize,
+    /// Bounded wait-queue depth beyond the cap.
+    pub queue_depth: usize,
+    /// Longest a queued request waits for a slot before being shed.
+    pub queue_wait: Duration,
+    /// Hard cap on simultaneously open connections (ahead of the gate).
+    pub max_connections: usize,
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of request body.
+    pub max_body_bytes: usize,
+    /// Per-`read(2)` socket timeout.
+    pub read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Wall-clock deadline for receiving a complete request head.
+    pub head_deadline: Duration,
+    /// Wall-clock deadline for receiving a complete request body.
+    pub body_deadline: Duration,
+    /// Ceiling on (and default for) the per-request engine deadline.
+    pub max_request_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 8,
+            queue_depth: 16,
+            queue_wait: Duration::from_millis(250),
+            max_connections: 256,
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(5),
+            head_deadline: Duration::from_secs(2),
+            body_deadline: Duration::from_secs(5),
+            max_request_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn read_limits(&self) -> ReadLimits {
+        ReadLimits {
+            max_head_bytes: self.max_head_bytes,
+            max_body_bytes: self.max_body_bytes,
+            read_timeout: self.read_timeout,
+            head_deadline: self.head_deadline,
+            body_deadline: self.body_deadline,
+        }
+    }
+}
+
+/// Where snapshots come from: files re-read on `POST /reload`, or inline
+/// text (tests, embedded use).
+#[derive(Debug, Clone)]
+pub enum SnapshotSource {
+    Files { shapes: PathBuf, data: PathBuf },
+    Inline { shapes: String, data: String },
+}
+
+/// Parses the source into a deny-gated schema and a data graph.
+pub(crate) fn load_source(source: &SnapshotSource) -> Result<(Arc<Schema>, Graph), String> {
+    let (shapes_text, data_text, data_is_nt) = match source {
+        SnapshotSource::Files { shapes, data } => {
+            let shapes_text = std::fs::read_to_string(shapes)
+                .map_err(|e| format!("cannot read {}: {e}", shapes.display()))?;
+            let data_text = std::fs::read_to_string(data)
+                .map_err(|e| format!("cannot read {}: {e}", data.display()))?;
+            let is_nt = data
+                .extension()
+                .is_some_and(|x| x == "nt" || x == "ntriples");
+            (shapes_text, data_text, is_nt)
+        }
+        SnapshotSource::Inline { shapes, data } => (shapes.clone(), data.clone(), false),
+    };
+    let (schema, _spans) =
+        parse_shapes_turtle_with_spans(&shapes_text).map_err(|e| format!("shapes: {e}"))?;
+    handlers::check_schema(&schema)?;
+    let graph = if data_is_nt {
+        ntriples::parse(&data_text).map_err(|e| format!("data: {e}"))?
+    } else {
+        turtle::parse(&data_text).map_err(|e| format!("data: {e}"))?
+    };
+    Ok((Arc::new(schema), graph))
+}
+
+/// Freezes a graph into a published-ready snapshot.
+pub(crate) fn build_snapshot(epoch: u64, schema: Arc<Schema>, graph: Graph) -> Snapshot {
+    let triples = graph.len();
+    Snapshot {
+        epoch,
+        schema,
+        frozen: Arc::new(graph.freeze()),
+        triples,
+    }
+}
+
+/// Everything the connection threads share.
+pub struct ServerState {
+    pub cfg: ServeConfig,
+    pub source: SnapshotSource,
+    pub snapshots: SnapshotCell,
+    pub gate: Gate,
+    pub stats: Stats,
+    pub started: Instant,
+    /// Set on shutdown: in-flight governed work faults with `Cancelled`
+    /// (→ 499) instead of running to completion against a dying server.
+    pub cancel: CancelToken,
+    shutdown: AtomicBool,
+    open_conns: AtomicUsize,
+}
+
+impl ServerState {
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Currently open client connections.
+    pub fn open_connections(&self) -> usize {
+        self.open_conns.load(Ordering::Relaxed)
+    }
+}
+
+/// A running server: bound address, shared state, and the accept thread.
+pub struct Server {
+    pub addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Boots a server: loads + freezes the first epoch (deny-gated), binds
+    /// the listener, and starts the accept loop.
+    pub fn start(cfg: ServeConfig, source: SnapshotSource) -> Result<Server, String> {
+        let (schema, graph) = load_source(&source)?;
+        let first = build_snapshot(1, schema, graph);
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let state = Arc::new(ServerState {
+            gate: Gate::new(cfg.max_inflight, cfg.queue_depth, cfg.queue_wait),
+            cfg,
+            source,
+            snapshots: SnapshotCell::new(first),
+            stats: Stats::default(),
+            started: Instant::now(),
+            cancel: CancelToken::new(),
+            shutdown: AtomicBool::new(false),
+            open_conns: AtomicUsize::new(0),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_state))
+            .map_err(|e| format!("cannot spawn accept thread: {e}"))?;
+        Ok(Server {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Shared state (stats, gate, snapshots) for tests and the CLI.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Requests shutdown: stops accepting, cancels in-flight governed
+    /// work (→ 499), and waits up to `drain` for admitted requests to
+    /// finish. Returns the number of requests still in flight after the
+    /// drain window (0 on a clean stop).
+    pub fn shutdown(mut self, drain: Duration) -> usize {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        self.state.cancel.cancel();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let deadline = Instant::now() + drain;
+        while self.state.gate.inflight() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.state.gate.inflight()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        self.state.cancel.cancel();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    loop {
+        if state.is_shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.stats.connections.fetch_add(1, Ordering::Relaxed);
+                if state.open_conns.fetch_add(1, Ordering::Relaxed) >= state.cfg.max_connections {
+                    // Over the connection cap: one quick 503 and close.
+                    state.open_conns.fetch_sub(1, Ordering::Relaxed);
+                    state.stats.conn_refused.fetch_add(1, Ordering::Relaxed);
+                    refuse_connection(stream, &state);
+                    continue;
+                }
+                let conn_state = Arc::clone(&state);
+                let spawned = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        connection_loop(stream, &conn_state);
+                        conn_state.open_conns.fetch_sub(1, Ordering::Relaxed);
+                    });
+                if spawned.is_err() {
+                    // Thread exhaustion: undo the count; the client sees a
+                    // closed connection, which is the honest signal here.
+                    state.open_conns.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept error (EMFILE, reset): back off briefly.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn refuse_connection(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
+    let resp = handlers::error_response(503, "connection-cap", "too many open connections")
+        .with_header("retry-after", "1")
+        .closing();
+    state.stats.record_status(resp.status);
+    let _ = http::write_response(&mut stream, &resp, false);
+}
+
+/// Serves requests on one connection until close/error/shutdown.
+fn connection_loop(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
+    let limits = state.cfg.read_limits();
+    let mut carry = Vec::new();
+    loop {
+        match http::read_request(&mut stream, &mut carry, &limits) {
+            Ok(req) => {
+                state.stats.received.fetch_add(1, Ordering::Relaxed);
+                let keep = req.keep_alive() && !state.is_shutting_down();
+                let resp = process_request(state, &req);
+                state.stats.record_status(resp.status);
+                let close = resp.close || !keep;
+                if http::write_response(&mut stream, &resp, !close).is_err() {
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Malformed(msg)) => {
+                let resp = handlers::error_response(400, "malformed-request", &msg).closing();
+                state.stats.record_status(resp.status);
+                let _ = http::write_response(&mut stream, &resp, false);
+                return;
+            }
+            Err(HttpError::TooLarge(msg)) => {
+                let resp = handlers::error_response(400, "too-large", &msg).closing();
+                state.stats.record_status(resp.status);
+                let _ = http::write_response(&mut stream, &resp, false);
+                return;
+            }
+            // A stalled client gets no response (it is not reading
+            // anyway); the socket simply closes, freeing the thread.
+            Err(HttpError::SlowClient) => return,
+            Err(HttpError::Io(_)) => return,
+        }
+    }
+}
+
+/// Observability endpoints bypass the gate; everything else is admitted,
+/// panic-isolated, and dispatched.
+fn process_request(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => return handlers::handle_healthz(state),
+        ("GET", "/stats") => return handlers::handle_stats(state),
+        _ => {}
+    }
+    if state.is_shutting_down() {
+        return handlers::error_response(503, "shutting-down", "server is draining")
+            .with_header("retry-after", "1")
+            .closing();
+    }
+    let permit = match state.gate.admit() {
+        Admission::Admitted(p) => p,
+        Admission::QueueFull => {
+            state.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return handlers::error_response(
+                503,
+                "overloaded",
+                "concurrency cap and wait queue are full",
+            )
+            .with_header("retry-after", "1");
+        }
+        Admission::WaitTimeout => {
+            state.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return handlers::error_response(
+                503,
+                "overloaded",
+                "no execution slot freed within the queue wait",
+            )
+            .with_header("retry-after", "1");
+        }
+    };
+    state.stats.admitted.fetch_add(1, Ordering::Relaxed);
+    let result = catch_unwind(AssertUnwindSafe(|| handlers::dispatch(state, req)));
+    drop(permit);
+    match result {
+        Ok(resp) => resp,
+        Err(_) => {
+            state.stats.panics.fetch_add(1, Ordering::Relaxed);
+            // The handler died mid-request; close so no half-written
+            // protocol state leaks into the next request.
+            handlers::error_response(500, "internal", "handler panicked; request isolated")
+                .closing()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPES: &str = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://example.org/> .
+ex:PaperShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [ sh:path ex:author ; sh:minCount 1 ] .
+"#;
+
+    const DATA: &str = r#"
+@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:good rdf:type ex:Paper ; ex:author ex:ann .
+ex:bad rdf:type ex:Paper .
+"#;
+
+    fn boot() -> Server {
+        Server::start(
+            ServeConfig::default(),
+            SnapshotSource::Inline {
+                shapes: SHAPES.to_string(),
+                data: DATA.to_string(),
+            },
+        )
+        .expect("server boots")
+    }
+
+    #[test]
+    fn end_to_end_endpoints() {
+        let server = boot();
+        let addr = server.addr;
+
+        let health = client::request(addr, "GET", "/healthz", &[], b"").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.text().contains("\"epoch\":1"));
+
+        // Validate the resident snapshot: ex:bad has no author.
+        let v = client::request(addr, "POST", "/validate", &[], b"").unwrap();
+        assert_eq!(v.status, 200);
+        assert!(v.text().contains("\"conforms\":false"), "{}", v.text());
+        assert!(v.text().contains("bad"));
+
+        // Validate a posted (conforming) dataset against the resident schema.
+        let posted = client::request(
+            addr,
+            "POST",
+            "/validate",
+            &[],
+            br#"@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:p rdf:type ex:Paper ; ex:author ex:bob ."#,
+        )
+        .unwrap();
+        assert_eq!(posted.status, 200);
+        assert!(posted.text().contains("\"conforms\":true"));
+
+        // Fragment: evidence triples of the conforming node.
+        let f = client::request(addr, "POST", "/fragment", &[], b"").unwrap();
+        assert_eq!(f.status, 200);
+        assert!(f.text().contains("author"), "{}", f.text());
+
+        // Analyzer diagnostics (clean schema → empty findings array).
+        let a = client::request(addr, "GET", "/analyze", &[], b"").unwrap();
+        assert_eq!(a.status, 200);
+
+        // SPARQL over the snapshot.
+        let q = client::request(
+            addr,
+            "POST",
+            "/sparql",
+            &[],
+            b"SELECT ?s WHERE { ?s <http://example.org/author> ?o }",
+        )
+        .unwrap();
+        assert_eq!(q.status, 200);
+        assert!(q.text().contains("good"), "{}", q.text());
+
+        // Reload with a new data graph bumps the epoch; later requests see it.
+        let r = client::request(
+            addr,
+            "POST",
+            "/reload",
+            &[],
+            br#"@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:only rdf:type ex:Paper ; ex:author ex:zed ."#,
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.text().contains("\"epoch\":2"), "{}", r.text());
+        let v2 = client::request(addr, "POST", "/validate", &[], b"").unwrap();
+        assert!(v2.text().contains("\"conforms\":true"), "{}", v2.text());
+        assert!(v2.text().contains("\"epoch\":2"));
+
+        // Unknown path and wrong method.
+        assert_eq!(
+            client::request(addr, "GET", "/nope", &[], b"")
+                .unwrap()
+                .status,
+            404
+        );
+        assert_eq!(
+            client::request(addr, "GET", "/validate", &[], b"")
+                .unwrap()
+                .status,
+            405
+        );
+
+        assert_eq!(server.shutdown(Duration::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn governance_headers_map_to_status_codes() {
+        let server = boot();
+        let addr = server.addr;
+
+        // A one-step budget cannot validate anything → 429 + Retry-After.
+        let r =
+            client::request(addr, "POST", "/validate", &[("x-budget-steps", "1")], b"").unwrap();
+        assert_eq!(r.status, 429, "{}", r.text());
+        assert!(r.header("retry-after").is_some());
+
+        // An immediate deadline → 504.
+        let r = client::request(addr, "POST", "/validate", &[("x-deadline-ms", "0")], b"").unwrap();
+        assert_eq!(r.status, 504, "{}", r.text());
+
+        // A garbage governance header → 400.
+        let r =
+            client::request(addr, "POST", "/validate", &[("x-deadline-ms", "soon")], b"").unwrap();
+        assert_eq!(r.status, 400);
+
+        // Malformed posted data → 400 with the parse position.
+        let r = client::request(addr, "POST", "/validate", &[], b"@prefix broken").unwrap();
+        assert_eq!(r.status, 400);
+
+        assert_eq!(server.shutdown(Duration::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn boot_rejects_deny_level_schema() {
+        // minCount 2 with maxCount 1 is a cardinality contradiction
+        // (SF-E002, deny severity).
+        let denied = Server::start(
+            ServeConfig::default(),
+            SnapshotSource::Inline {
+                shapes: r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://example.org/> .
+ex:S a sh:NodeShape ;
+  sh:targetClass ex:T ;
+  sh:property [ sh:path ex:p ; sh:minCount 2 ; sh:maxCount 1 ] .
+"#
+                .to_string(),
+                data: DATA.to_string(),
+            },
+        );
+        match denied {
+            Err(msg) => assert!(msg.contains("static analysis"), "{msg}"),
+            Ok(_) => panic!("deny-level schema must not boot"),
+        }
+    }
+}

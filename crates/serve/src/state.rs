@@ -1,0 +1,237 @@
+//! Shared server state: the epoch-swapped snapshot cell and the atomic
+//! statistics counters.
+//!
+//! ## The epoch-swap protocol
+//!
+//! The resident dataset lives in an [`Arc<Snapshot>`] behind an `RwLock`
+//! that is only ever held for the nanoseconds of an `Arc` clone (readers)
+//! or pointer swap (reload). A request clones the `Arc` once on entry and
+//! works against that immutable snapshot for its whole lifetime, so:
+//!
+//! - **readers never block**: the critical section is a refcount bump;
+//! - **reloads never wait for readers**: the swap replaces the pointer and
+//!   returns; in-flight requests keep the old epoch alive through their
+//!   clone and it drops when the last of them finishes (the drain);
+//! - **no torn reads are possible**: a snapshot is frozen before it is
+//!   published, and the `Arc` it travels in is immutable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use shapefrag_rdf::FrozenGraph;
+use shapefrag_shacl::Schema;
+
+/// One immutable published epoch: a schema and a frozen data graph.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotonic epoch number, starting at 1.
+    pub epoch: u64,
+    pub schema: Arc<Schema>,
+    pub frozen: Arc<FrozenGraph>,
+    /// Triples in the frozen graph (denormalized for /healthz and /stats).
+    pub triples: usize,
+}
+
+/// The swap cell. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<Snapshot>>,
+    /// Serializes reload *builders* (parse + freeze happen outside the
+    /// cell lock; this mutex only prevents two reloads interleaving their
+    /// epoch numbering).
+    reload: Mutex<()>,
+}
+
+impl SnapshotCell {
+    pub fn new(first: Snapshot) -> SnapshotCell {
+        SnapshotCell {
+            current: RwLock::new(Arc::new(first)),
+            reload: Mutex::new(()),
+        }
+    }
+
+    /// Clones the current snapshot (the only reader entry point).
+    pub fn load(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Builds and publishes the next epoch. `build` receives the epoch
+    /// number to stamp; it runs outside the read lock so readers are never
+    /// blocked by parsing or freezing.
+    pub fn swap<E>(
+        &self,
+        build: impl FnOnce(u64) -> Result<Snapshot, E>,
+    ) -> Result<Arc<Snapshot>, E> {
+        let _serial = self.reload.lock().unwrap_or_else(|e| e.into_inner());
+        let next_epoch = self.load().epoch + 1;
+        let built = Arc::new(build(next_epoch)?);
+        let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
+        *slot = Arc::clone(&built);
+        Ok(built)
+    }
+
+    /// How many clones of the current snapshot are alive (1 = only the
+    /// cell itself; anything above that is in-flight readers).
+    pub fn reader_count(&self) -> usize {
+        Arc::strong_count(&self.load()).saturating_sub(2)
+    }
+}
+
+/// Monotonic server counters, all relaxed atomics (observability, not
+/// synchronization).
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Requests fully parsed off a socket.
+    pub received: AtomicU64,
+    /// Requests admitted through the gate.
+    pub admitted: AtomicU64,
+    /// Requests shed by admission control (503).
+    pub shed: AtomicU64,
+    /// Handler panics caught and converted to 500.
+    pub panics: AtomicU64,
+    /// Successful reloads (epoch swaps).
+    pub reloads: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections refused because the connection cap was reached.
+    pub conn_refused: AtomicU64,
+    /// Responses by status class/code we emit.
+    pub s2xx: AtomicU64,
+    pub s400: AtomicU64,
+    pub s404: AtomicU64,
+    pub s405: AtomicU64,
+    pub s429: AtomicU64,
+    pub s499: AtomicU64,
+    pub s500: AtomicU64,
+    pub s503: AtomicU64,
+    pub s504: AtomicU64,
+}
+
+impl Stats {
+    /// Bumps the counter for an emitted status code.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.s2xx,
+            400 => &self.s400,
+            404 => &self.s404,
+            405 => &self.s405,
+            429 => &self.s429,
+            499 => &self.s499,
+            503 => &self.s503,
+            504 => &self.s504,
+            _ => &self.s500,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the counters plus live gauges (read off the gate) as a
+    /// JSON object body.
+    pub fn to_json(
+        &self,
+        epoch: u64,
+        triples: usize,
+        shapes: usize,
+        gate: &crate::gate::Gate,
+        started: Instant,
+    ) -> String {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        format!(
+            concat!(
+                "{{\"epoch\":{},\"uptime_ms\":{},\"triples\":{},\"shapes\":{},",
+                "\"inflight\":{},\"queued\":{},\"concurrency_cap\":{},",
+                "\"received\":{},\"admitted\":{},\"shed\":{},\"panics\":{},",
+                "\"reloads\":{},\"connections\":{},\"connections_refused\":{},",
+                "\"status\":{{\"2xx\":{},\"400\":{},\"404\":{},\"405\":{},",
+                "\"429\":{},\"499\":{},\"500\":{},\"503\":{},\"504\":{}}}}}"
+            ),
+            epoch,
+            started.elapsed().as_millis(),
+            triples,
+            shapes,
+            gate.inflight(),
+            gate.waiting(),
+            gate.cap(),
+            g(&self.received),
+            g(&self.admitted),
+            g(&self.shed),
+            g(&self.panics),
+            g(&self.reloads),
+            g(&self.connections),
+            g(&self.conn_refused),
+            g(&self.s2xx),
+            g(&self.s400),
+            g(&self.s404),
+            g(&self.s405),
+            g(&self.s429),
+            g(&self.s499),
+            g(&self.s500),
+            g(&self.s503),
+            g(&self.s504),
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapefrag_rdf::Graph;
+
+    fn snap(epoch: u64) -> Snapshot {
+        let g = Graph::new();
+        Snapshot {
+            epoch,
+            schema: Arc::new(Schema::empty()),
+            frozen: Arc::new(g.freeze()),
+            triples: 0,
+        }
+    }
+
+    #[test]
+    fn swap_bumps_epoch_and_old_readers_keep_their_snapshot() {
+        let cell = SnapshotCell::new(snap(1));
+        let old = cell.load();
+        assert_eq!(old.epoch, 1);
+        let published = cell
+            .swap(|e| Ok::<_, ()>(snap(e)))
+            .expect("swap cannot fail here");
+        assert_eq!(published.epoch, 2);
+        // The old reader still sees its epoch; new loads see the new one.
+        assert_eq!(old.epoch, 1);
+        assert_eq!(cell.load().epoch, 2);
+    }
+
+    #[test]
+    fn failed_swap_leaves_current_epoch_in_place() {
+        let cell = SnapshotCell::new(snap(1));
+        let r: Result<_, String> = cell.swap(|_| Err("parse failed".to_string()));
+        assert!(r.is_err());
+        assert_eq!(cell.load().epoch, 1);
+        // And the next successful swap still numbers correctly.
+        cell.swap(|e| Ok::<_, ()>(snap(e))).unwrap();
+        assert_eq!(cell.load().epoch, 2);
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

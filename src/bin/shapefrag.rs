@@ -1,11 +1,12 @@
 //! `shapefrag` — command-line interface to the shape-fragments stack.
 //!
 //! ```text
-//! shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl]
+//! shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl] [--threads N] [--deadline-ms N] [--budget-steps N]
 //! shapefrag analyze   <shapes.ttl> [--json]
-//! shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt]
+//! shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt] [--threads N] [--deadline-ms N] [--budget-steps N]
 //! shapefrag explain   <shapes.ttl> <data.(ttl|nt)> <focus-node-iri> [<shape-name-iri>]
 //! shapefrag translate <shapes.ttl> [<shape-name-iri>]
+//! shapefrag serve     <shapes.ttl> <data.(ttl|nt)> [--addr HOST:PORT] [--max-inflight N] ...
 //! ```
 //!
 //! - `validate` prints a validation report (optionally as a standard
@@ -16,20 +17,27 @@
 //!   writes it as N-Triples (stdout or `-o`).
 //! - `explain` prints why/why-not provenance for one focus node.
 //! - `translate` prints the generated SPARQL fragment query (§5.1).
+//! - `serve` runs the long-lived HTTP server (see DESIGN.md §13).
 //!
 //! Exit codes: `0` success (for `validate`/`explain`: the data conforms;
 //! for `analyze`: no deny-level finding), `1` validation violations, `2`
 //! usage or engine error (unreadable file, parse error, unknown shape),
 //! `3` the shapes graph was rejected by static analysis (deny-level
-//! diagnostics; every command that loads a schema applies this gate).
+//! diagnostics; every command that loads a schema applies this gate),
+//! `4` a resource fault — the `--deadline-ms` / `--budget-steps` governor
+//! tripped before the run finished.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use shape_fragments::analyze::{analyze_defs, analyze_schema, has_deny, to_json, Diagnostic};
 use shape_fragments::core::{
-    explain, fragment_par, schema_fragment, to_sparql, validate_batch_par,
+    explain, fragment_par, schema_fragment, schema_fragment_governed, to_sparql,
+    validate_batch_par, validate_batch_par_governed,
 };
+use shape_fragments::govern::{Budget, EngineError, ExecCtx};
 use shape_fragments::rdf::{ntriples, turtle, Graph, Term};
+use shape_fragments::serve::{ServeConfig, Server, SnapshotSource};
 use shape_fragments::shacl::parser::{parse_shape_defs_turtle, parse_shapes_turtle_with_spans};
 use shape_fragments::shacl::validator::validate;
 use shape_fragments::shacl::{Schema, Shape};
@@ -66,16 +74,19 @@ impl From<String> for CliError {
 }
 
 fn usage() -> String {
-    "usage:\n  shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl] [--threads N]\n  \
+    "usage:\n  shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl] [--threads N] [--deadline-ms N] [--budget-steps N]\n  \
      shapefrag analyze   <shapes.ttl> [--json]\n  \
-     shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt] [--threads N]\n  \
+     shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt] [--threads N] [--deadline-ms N] [--budget-steps N]\n  \
      shapefrag explain   <shapes.ttl> <data.(ttl|nt)> <focus-node-iri> [<shape-name-iri>]\n  \
-     shapefrag translate <shapes.ttl> [<shape-name-iri>]\n\
+     shapefrag translate <shapes.ttl> [<shape-name-iri>]\n  \
+     shapefrag serve     <shapes.ttl> <data.(ttl|nt)> [--addr HOST:PORT] [--max-inflight N]\n                      \
+     [--queue-depth N] [--queue-wait-ms N] [--max-body-bytes N] [--max-deadline-ms N]\n\
      exit codes:\n  \
      0  success (validate/explain: conforms; analyze: no deny findings)\n  \
      1  validation violations\n  \
      2  usage or engine error\n  \
-     3  shapes graph rejected by static analysis (deny diagnostics)"
+     3  shapes graph rejected by static analysis (deny diagnostics)\n  \
+     4  resource fault (--deadline-ms / --budget-steps governor tripped)"
         .to_string()
 }
 
@@ -89,6 +100,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "fragment" => cmd_fragment(&args[1..]),
         "explain" => cmd_explain(&args[1..]),
         "translate" => cmd_translate(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -136,6 +148,45 @@ fn take_threads(args: &[String]) -> Result<(usize, Vec<String>), String> {
     Ok((threads, rest))
 }
 
+/// Extracts `--deadline-ms N` and `--budget-steps N` from an argument
+/// list, returning the resulting [`Budget`] (if any flag was given) and
+/// the remaining arguments.
+fn take_budget(args: &[String]) -> Result<(Option<Budget>, Vec<String>), String> {
+    let mut budget: Option<Budget> = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let parse_u64 = |flag: &str, value: Option<&String>| -> Result<u64, String> {
+            let value = value.ok_or(format!("{flag} requires a number"))?;
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("invalid {flag} value '{value}'"))
+        };
+        match arg.as_str() {
+            "--deadline-ms" => {
+                let ms = parse_u64("--deadline-ms", it.next())?;
+                budget = Some(
+                    budget
+                        .unwrap_or_else(Budget::unlimited)
+                        .deadline(Duration::from_millis(ms)),
+                );
+            }
+            "--budget-steps" => {
+                let steps = parse_u64("--budget-steps", it.next())?;
+                budget = Some(budget.unwrap_or_else(Budget::unlimited).steps(steps));
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((budget, rest))
+}
+
+/// Reports a governor trip and exits with the resource-fault code (4).
+fn resource_fault_exit(e: &EngineError) -> ExitCode {
+    eprintln!("error: resource fault: {e}");
+    ExitCode::from(4)
+}
+
 fn load_data(path: &str) -> Result<Graph, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if path.ends_with(".nt") || path.ends_with(".ntriples") {
@@ -181,6 +232,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, CliError> {
 
 fn cmd_validate(args: &[String]) -> Result<ExitCode, CliError> {
     let (threads, args) = take_threads(args)?;
+    let (budget, args) = take_budget(&args)?;
     let [shapes_path, data_path, rest @ ..] = args.as_slice() else {
         return Err(usage().into());
     };
@@ -191,10 +243,17 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, CliError> {
     // than one worker, the cost-routed work-stealing engine produces the
     // identical report.
     let frozen = data.freeze();
-    let report = if threads > 1 {
-        validate_batch_par(&schema, &frozen, threads)
-    } else {
-        validate(&schema, &frozen)
+    let report = match budget {
+        // The governor routes through the governed engines; a trip exits
+        // with the resource-fault code instead of a partial report.
+        Some(budget) => {
+            match validate_batch_par_governed(&schema, &frozen, threads, budget, None) {
+                Ok(report) => report,
+                Err(e) => return Ok(resource_fault_exit(&e)),
+            }
+        }
+        None if threads > 1 => validate_batch_par(&schema, &frozen, threads),
+        None => validate(&schema, &frozen),
     };
     if as_ttl {
         let graph = report.to_graph();
@@ -214,6 +273,7 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, CliError> {
 
 fn cmd_fragment(args: &[String]) -> Result<ExitCode, CliError> {
     let (threads, args) = take_threads(args)?;
+    let (budget, args) = take_budget(&args)?;
     let [shapes_path, data_path, rest @ ..] = args.as_slice() else {
         return Err(usage().into());
     };
@@ -221,10 +281,18 @@ fn cmd_fragment(args: &[String]) -> Result<ExitCode, CliError> {
     let data = load_data(data_path)?;
     // Extraction reads the graph many times over: freeze once up front.
     let frozen = data.freeze();
-    let fragment = if threads > 1 {
-        fragment_par(&schema, &frozen, &schema.request_shapes(), threads)
-    } else {
-        schema_fragment(&schema, &frozen)
+    let fragment = match budget {
+        // Governed extraction runs the sequential governed collector
+        // (extraction has no governed parallel driver yet); a trip exits
+        // with the resource-fault code instead of a truncated fragment.
+        Some(budget) => {
+            match schema_fragment_governed(&schema, &frozen, ExecCtx::with_budget(budget)) {
+                Ok(fragment) => fragment,
+                Err(e) => return Ok(resource_fault_exit(&e)),
+            }
+        }
+        None if threads > 1 => fragment_par(&schema, &frozen, &schema.request_shapes(), threads),
+        None => schema_fragment(&schema, &frozen),
     };
     eprintln!(
         "fragment: {} of {} triples ({} shape definitions)",
@@ -287,6 +355,72 @@ fn cmd_explain(args: &[String]) -> Result<ExitCode, CliError> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next_u64 = |flag: &str| -> Result<u64, String> {
+            let value = it.next().ok_or(format!("{flag} requires a number"))?;
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("invalid {flag} value '{value}'"))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                cfg.addr = it
+                    .next()
+                    .ok_or_else(|| "--addr requires HOST:PORT".to_string())?
+                    .clone();
+            }
+            "--max-inflight" => cfg.max_inflight = next_u64("--max-inflight")?.max(1) as usize,
+            "--queue-depth" => cfg.queue_depth = next_u64("--queue-depth")? as usize,
+            "--queue-wait-ms" => {
+                cfg.queue_wait = Duration::from_millis(next_u64("--queue-wait-ms")?)
+            }
+            "--max-body-bytes" => cfg.max_body_bytes = next_u64("--max-body-bytes")? as usize,
+            "--max-deadline-ms" => {
+                cfg.max_request_deadline = Duration::from_millis(next_u64("--max-deadline-ms")?)
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let [shapes_path, data_path] = positional.as_slice() else {
+        return Err(usage().into());
+    };
+    // Load the schema through the CLI gate first so deny-level findings
+    // exit 3 exactly like every other schema-loading command; the server
+    // then re-reads the same files for its first epoch.
+    load_schema(shapes_path)?;
+    let server = Server::start(
+        cfg,
+        SnapshotSource::Files {
+            shapes: shapes_path.into(),
+            data: data_path.into(),
+        },
+    )
+    .map_err(CliError::Message)?;
+    let snapshot = server.state().snapshots.load();
+    eprintln!(
+        "shapefrag serve: listening on http://{} (epoch {}, {} triples, {} shapes; \
+         cap {} inflight / {} queued)",
+        server.addr,
+        snapshot.epoch,
+        snapshot.triples,
+        snapshot.schema.len(),
+        server.state().cfg.max_inflight,
+        server.state().cfg.queue_depth,
+    );
+    drop(snapshot);
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
 }
 
 fn cmd_translate(args: &[String]) -> Result<ExitCode, CliError> {

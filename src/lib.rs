@@ -4,6 +4,7 @@ pub use shapefrag_analyze as analyze;
 pub use shapefrag_core as core;
 pub use shapefrag_govern as govern;
 pub use shapefrag_rdf as rdf;
+pub use shapefrag_serve as serve;
 pub use shapefrag_shacl as shacl;
 pub use shapefrag_sparql as sparql;
 pub use shapefrag_workloads as workloads;

@@ -228,3 +228,73 @@ fn missing_file_is_reported() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn governed_validate_honors_budget_and_exit_code() {
+    let (_dir, shapes, data) = fixtures();
+    // A generous budget changes nothing: same verdicts, same exit code.
+    let out = shapefrag(&[
+        "validate",
+        shapes.to_str().unwrap(),
+        data.to_str().unwrap(),
+        "--budget-steps",
+        "1000000",
+        "--deadline-ms",
+        "60000",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "violations still → exit 1");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("http://example.org/bad"));
+
+    // One step cannot validate anything → resource-fault exit 4.
+    let out = shapefrag(&[
+        "validate",
+        shapes.to_str().unwrap(),
+        data.to_str().unwrap(),
+        "--budget-steps",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "budget trip → exit 4");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resource fault"), "{stderr}");
+    assert!(stderr.contains("budget"), "{stderr}");
+}
+
+#[test]
+fn governed_fragment_honors_deadline_and_exit_code() {
+    let (_dir, shapes, data) = fixtures();
+    // A generous governor extracts the same fragment.
+    let out = shapefrag(&[
+        "fragment",
+        shapes.to_str().unwrap(),
+        data.to_str().unwrap(),
+        "--deadline-ms",
+        "60000",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("http://example.org/author"));
+
+    // An already-expired deadline faults with exit 4.
+    let out = shapefrag(&[
+        "fragment",
+        shapes.to_str().unwrap(),
+        data.to_str().unwrap(),
+        "--deadline-ms",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "deadline trip → exit 4");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("deadline"));
+}
+
+#[test]
+fn bad_governance_flag_values_are_usage_errors() {
+    let (_dir, shapes, data) = fixtures();
+    let out = shapefrag(&[
+        "validate",
+        shapes.to_str().unwrap(),
+        data.to_str().unwrap(),
+        "--deadline-ms",
+        "soon",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deadline-ms"));
+}
