@@ -1,0 +1,521 @@
+//! Change-impact profiles: which edits can affect which definitions.
+//!
+//! For incremental revalidation we need, per shape definition, a sound
+//! over-approximation of the triples its evaluation can *read*. Evaluating
+//! `H, G, a ⊨ φ` only ever touches the graph through path steps and the
+//! closed check, so three syntactic features — computed transitively over
+//! the `hasShape` reference graph, the same dependency structure
+//! [`refgraph`](crate::refgraph) analyzes — bound the read set:
+//!
+//! - **`preds`** — the property alphabet: every property IRI mentioned in
+//!   the definition's shape, its target, and every transitively referenced
+//!   definition. A triple whose predicate is outside the alphabet can
+//!   never be read (unless `wildcard`).
+//! - **`wildcard`** — `closed(P)` reads *all* outgoing predicates of the
+//!   focus node, and a negated property set `!(p₁|…|pₙ)` traverses any
+//!   predicate outside the set; either makes the alphabet unbounded.
+//! - **`depth`** — the maximum traversal distance from a focus node to an
+//!   endpoint of any read triple: each path step moves one hop, nested
+//!   quantifiers add up, and a Kleene star under a quantifier makes the
+//!   distance unbounded (`None`).
+//! - **direction** — every read is a *traversal*: a plain property step
+//!   moves subject → object, a step under `Inverse` moves object →
+//!   subject. `inv_preds`/`inv_wildcard` record which predicates may be
+//!   traversed in the inverse direction; everything in `preds` may be
+//!   traversed forward. Direction is what keeps impact sets small: a
+//!   focus can only read a triple it can *reach*, so the impacted foci of
+//!   a touched triple are its ancestors in the directed traversal graph,
+//!   not its undirected neighborhood (which explodes through hub objects
+//!   like `rdf:type` class nodes).
+//!
+//! The consumer (`shapefrag-core`'s incremental engine) uses the profile
+//! both ways: a definition whose alphabet misses every touched predicate
+//! is *entirely* unaffected (targets included — target properties are part
+//! of the profile), and for affected definitions the impacted focus set is
+//! the ancestor BFS of radius `depth` from the touched triples' readable
+//! endpoints over the direction-labeled traversal graph. DESIGN.md §14
+//! gives the soundness argument.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use shapefrag_rdf::{Iri, Term};
+use shapefrag_shacl::{PathExpr, PathOrId, Shape, ShapeDef};
+
+/// The static change-impact profile of one shape definition. See the
+/// module docs for the meaning of each field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImpactProfile {
+    /// The definition's name.
+    pub name: Term,
+    /// Transitive property alphabet (shape + target + referenced defs).
+    pub preds: BTreeSet<Iri>,
+    /// Predicates that may be traversed object → subject (they sit under
+    /// an odd number of `Inverse` wrappers somewhere in the definition).
+    /// Always a subset of `preds`.
+    pub inv_preds: BTreeSet<Iri>,
+    /// True when evaluation may read triples of arbitrary predicates.
+    pub wildcard: bool,
+    /// True when an arbitrary-predicate step (`!(p…)` or `closed`) may be
+    /// traversed in the inverse direction.
+    pub inv_wildcard: bool,
+    /// Maximum focus-to-read traversal distance; `None` = unbounded.
+    pub depth: Option<u32>,
+}
+
+impl ImpactProfile {
+    /// True iff a triple with predicate `pred` can be read while
+    /// evaluating this definition (shape or target) at any focus node.
+    pub fn reads_pred(&self, pred: &Iri) -> bool {
+        self.wildcard || self.preds.contains(pred)
+    }
+}
+
+/// `None` is unbounded (dominates both operations).
+fn opt_max(a: Option<u32>, b: Option<u32>) -> Option<u32> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        _ => None,
+    }
+}
+
+fn opt_add(a: Option<u32>, b: Option<u32>) -> Option<u32> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.saturating_add(y)),
+        _ => None,
+    }
+}
+
+/// Maximum number of single-property steps a path can take; `None` for a
+/// star (unbounded repetition).
+fn path_depth(e: &PathExpr) -> Option<u32> {
+    match e {
+        PathExpr::Prop(_) | PathExpr::NegProp(_) => Some(1),
+        PathExpr::Inverse(inner) | PathExpr::ZeroOrOne(inner) => path_depth(inner),
+        PathExpr::Seq(a, b) => opt_add(path_depth(a), path_depth(b)),
+        PathExpr::Alt(a, b) => opt_max(path_depth(a), path_depth(b)),
+        PathExpr::ZeroOrMore(_) => None,
+    }
+}
+
+/// True iff the path contains a negated property set (which traverses
+/// arbitrary predicates, so the alphabet cannot bound it).
+fn path_wildcard(e: &PathExpr) -> bool {
+    match e {
+        PathExpr::Prop(_) => false,
+        PathExpr::NegProp(_) => true,
+        PathExpr::Inverse(inner) | PathExpr::ZeroOrMore(inner) | PathExpr::ZeroOrOne(inner) => {
+            path_wildcard(inner)
+        }
+        PathExpr::Seq(a, b) | PathExpr::Alt(a, b) => path_wildcard(a) || path_wildcard(b),
+    }
+}
+
+/// Collects the steps a path may take *in the inverse direction*
+/// (object → subject): predicates into `inv`, an inverse wildcard step
+/// into `inv_wild`. `inverted` flips under each `Inverse` wrapper
+/// (`Inverse(Inverse(p))` traverses forward again).
+fn path_inverse_steps(e: &PathExpr, inverted: bool, inv: &mut BTreeSet<Iri>, inv_wild: &mut bool) {
+    match e {
+        PathExpr::Prop(p) => {
+            if inverted {
+                inv.insert(p.clone());
+            }
+        }
+        PathExpr::NegProp(_) => {
+            if inverted {
+                *inv_wild = true;
+            }
+        }
+        PathExpr::Inverse(inner) => path_inverse_steps(inner, !inverted, inv, inv_wild),
+        PathExpr::ZeroOrMore(inner) | PathExpr::ZeroOrOne(inner) => {
+            path_inverse_steps(inner, inverted, inv, inv_wild)
+        }
+        PathExpr::Seq(a, b) | PathExpr::Alt(a, b) => {
+            path_inverse_steps(a, inverted, inv, inv_wild);
+            path_inverse_steps(b, inverted, inv, inv_wild);
+        }
+    }
+}
+
+/// Per-definition accumulator for one walk (before reference closure).
+#[derive(Default)]
+struct Acc {
+    preds: BTreeSet<Iri>,
+    inv_preds: BTreeSet<Iri>,
+    wildcard: bool,
+    inv_wildcard: bool,
+    /// Max read distance from the focus; `Some(0)` when nothing is read.
+    depth: Option<u32>,
+    /// `hasShape` references with the quantifier offset they sit under.
+    refs: Vec<(Term, Option<u32>)>,
+}
+
+impl Acc {
+    fn new() -> Acc {
+        Acc {
+            depth: Some(0),
+            ..Acc::default()
+        }
+    }
+
+    fn read_at(&mut self, dist: Option<u32>) {
+        self.depth = opt_max(self.depth, dist);
+    }
+
+    fn take_path(&mut self, e: &PathExpr) {
+        self.preds.extend(e.properties().into_iter().cloned());
+        self.wildcard |= path_wildcard(e);
+        path_inverse_steps(e, false, &mut self.inv_preds, &mut self.inv_wildcard);
+    }
+}
+
+/// Walks a shape; `off` is the focus offset accumulated from enclosing
+/// quantifier paths (reads inside happen that far from the real focus).
+fn walk(shape: &Shape, off: Option<u32>, acc: &mut Acc) {
+    match shape {
+        Shape::True | Shape::False | Shape::Test(_) | Shape::HasValue(_) => {}
+        Shape::HasShape(name) => acc.refs.push((name.clone(), off)),
+        Shape::Eq(f, p) | Shape::Disj(f, p) => {
+            acc.preds.insert(p.clone());
+            let d = match f {
+                PathOrId::Id => Some(0),
+                PathOrId::Path(e) => {
+                    acc.take_path(e);
+                    path_depth(e)
+                }
+            };
+            acc.read_at(opt_add(off, opt_max(Some(1), d)));
+        }
+        Shape::Closed(allowed) => {
+            acc.wildcard = true;
+            acc.preds.extend(allowed.iter().cloned());
+            acc.read_at(opt_add(off, Some(1)));
+        }
+        Shape::LessThan(e, p)
+        | Shape::LessThanEq(e, p)
+        | Shape::MoreThan(e, p)
+        | Shape::MoreThanEq(e, p) => {
+            acc.preds.insert(p.clone());
+            acc.take_path(e);
+            acc.read_at(opt_add(off, opt_max(Some(1), path_depth(e))));
+        }
+        Shape::UniqueLang(e) => {
+            acc.take_path(e);
+            acc.read_at(opt_add(off, path_depth(e)));
+        }
+        Shape::Not(inner) => walk(inner, off, acc),
+        Shape::And(items) | Shape::Or(items) => {
+            for item in items {
+                walk(item, off, acc);
+            }
+        }
+        Shape::Geq(_, e, inner) | Shape::Leq(_, e, inner) | Shape::ForAll(e, inner) => {
+            acc.take_path(e);
+            let d = path_depth(e);
+            acc.read_at(opt_add(off, d));
+            walk(inner, opt_add(off, d), acc);
+        }
+    }
+}
+
+/// Computes the change-impact profile of every definition, in input order.
+///
+/// References to undefined names contribute nothing (they default to ⊤,
+/// which reads nothing — matching the validator). On a *recursive* input
+/// (possible when called on raw defs rather than a constructed `Schema`)
+/// the profiles stay sound: the alphabet fixpoint always terminates, and
+/// any depth still growing after `n` closure rounds collapses to
+/// unbounded.
+pub fn impact_profiles<'a>(defs: impl IntoIterator<Item = &'a ShapeDef>) -> Vec<ImpactProfile> {
+    let defs: Vec<&ShapeDef> = defs.into_iter().collect();
+    let index: BTreeMap<&Term, usize> =
+        defs.iter().enumerate().map(|(i, d)| (&d.name, i)).collect();
+    let mut accs: Vec<Acc> = defs
+        .iter()
+        .map(|d| {
+            let mut acc = Acc::new();
+            walk(&d.shape, Some(0), &mut acc);
+            walk(&d.target, Some(0), &mut acc);
+            acc
+        })
+        .collect();
+
+    // Reference closure. Alphabet and wildcard live in a finite lattice, so
+    // the loop reaches a fixpoint; depth can only fail to settle under
+    // recursion, which the round cap converts to `None`.
+    let n = defs.len();
+    let mut rounds = 0;
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let refs = std::mem::take(&mut accs[i].refs);
+            for (name, off) in &refs {
+                let Some(&j) = index.get(name) else { continue };
+                if j != i {
+                    let (preds_j, inv_j, wild_j, inv_wild_j, depth_j) = (
+                        accs[j].preds.clone(),
+                        accs[j].inv_preds.clone(),
+                        accs[j].wildcard,
+                        accs[j].inv_wildcard,
+                        accs[j].depth,
+                    );
+                    let before = accs[i].preds.len();
+                    accs[i].preds.extend(preds_j);
+                    changed |= accs[i].preds.len() != before;
+                    let before = accs[i].inv_preds.len();
+                    accs[i].inv_preds.extend(inv_j);
+                    changed |= accs[i].inv_preds.len() != before;
+                    changed |= wild_j && !accs[i].wildcard;
+                    accs[i].wildcard |= wild_j;
+                    changed |= inv_wild_j && !accs[i].inv_wildcard;
+                    accs[i].inv_wildcard |= inv_wild_j;
+                    let cand = opt_max(accs[i].depth, opt_add(*off, depth_j));
+                    changed |= cand != accs[i].depth;
+                    accs[i].depth = cand;
+                }
+            }
+            accs[i].refs = refs;
+        }
+        rounds += 1;
+        if !changed {
+            break;
+        }
+        if rounds > n {
+            // Recursive reference structure: depths may never settle.
+            for acc in &mut accs {
+                if !acc.refs.is_empty() {
+                    acc.depth = None;
+                }
+            }
+            break;
+        }
+    }
+
+    defs.iter()
+        .zip(accs)
+        .map(|(d, acc)| ImpactProfile {
+            name: d.name.clone(),
+            preds: acc.preds,
+            inv_preds: acc.inv_preds,
+            wildcard: acc.wildcard,
+            inv_wildcard: acc.inv_wildcard,
+            depth: acc.depth,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapefrag_shacl::Schema;
+
+    fn name(n: &str) -> Term {
+        Term::iri(format!("http://e/{n}"))
+    }
+
+    fn iri(n: &str) -> Iri {
+        Iri::new(format!("http://e/{n}"))
+    }
+
+    fn p(n: &str) -> PathExpr {
+        PathExpr::Prop(iri(n))
+    }
+
+    #[test]
+    fn flat_property_shape() {
+        let defs = [ShapeDef::new(
+            name("S"),
+            Shape::geq(1, p("author"), Shape::True),
+            Shape::geq(1, p("type"), Shape::True),
+        )];
+        let prof = &impact_profiles(&defs)[0];
+        assert_eq!(
+            prof.preds,
+            [iri("author"), iri("type")].into_iter().collect()
+        );
+        assert!(!prof.wildcard);
+        assert_eq!(prof.depth, Some(1));
+        assert!(prof.reads_pred(&iri("author")));
+        assert!(!prof.reads_pred(&iri("unrelated")));
+    }
+
+    #[test]
+    fn nested_quantifiers_add_depth() {
+        let defs = [ShapeDef::new(
+            name("S"),
+            Shape::geq(
+                1,
+                p("a"),
+                Shape::geq(2, p("b"), Shape::geq(1, p("c"), Shape::True)),
+            ),
+            Shape::False,
+        )];
+        let prof = &impact_profiles(&defs)[0];
+        assert_eq!(prof.depth, Some(3));
+    }
+
+    #[test]
+    fn star_is_unbounded_and_closed_is_wildcard() {
+        let defs = [
+            ShapeDef::new(
+                name("Star"),
+                Shape::geq(1, p("sub").star(), Shape::True),
+                Shape::False,
+            ),
+            ShapeDef::new(
+                name("Closed"),
+                Shape::Closed([iri("a"), iri("b")].into_iter().collect()),
+                Shape::False,
+            ),
+            ShapeDef::new(
+                name("Neg"),
+                Shape::geq(1, PathExpr::any_prop(), Shape::True),
+                Shape::False,
+            ),
+        ];
+        let profs = impact_profiles(&defs);
+        assert_eq!(profs[0].depth, None);
+        assert!(!profs[0].wildcard);
+        assert!(profs[1].wildcard);
+        assert_eq!(profs[1].depth, Some(1));
+        assert!(profs[2].wildcard);
+    }
+
+    #[test]
+    fn references_close_transitively_with_offsets() {
+        let schema = Schema::new([
+            ShapeDef::new(
+                name("A"),
+                Shape::geq(1, p("x"), Shape::HasShape(name("B"))),
+                Shape::geq(1, p("t"), Shape::True),
+            ),
+            ShapeDef::new(
+                name("B"),
+                Shape::geq(1, p("y"), Shape::HasShape(name("C"))),
+                Shape::False,
+            ),
+            ShapeDef::new(name("C"), Shape::geq(1, p("z"), Shape::True), Shape::False),
+        ])
+        .unwrap();
+        let defs: Vec<ShapeDef> = schema.iter().cloned().collect();
+        let profs = impact_profiles(&defs);
+        let a = profs.iter().find(|pr| pr.name == name("A")).unwrap();
+        assert_eq!(
+            a.preds,
+            [iri("x"), iri("y"), iri("z"), iri("t")]
+                .into_iter()
+                .collect()
+        );
+        // x to B (1) + y to C (1) + z (1).
+        assert_eq!(a.depth, Some(3));
+        let b = profs.iter().find(|pr| pr.name == name("B")).unwrap();
+        assert_eq!(b.depth, Some(2));
+        assert!(!b.preds.contains(&iri("x")));
+    }
+
+    #[test]
+    fn undefined_reference_reads_nothing() {
+        let defs = [ShapeDef::new(
+            name("S"),
+            Shape::HasShape(name("Ghost")),
+            Shape::geq(1, p("t"), Shape::True),
+        )];
+        let prof = &impact_profiles(&defs)[0];
+        assert_eq!(prof.preds, [iri("t")].into_iter().collect());
+        assert_eq!(prof.depth, Some(1));
+    }
+
+    #[test]
+    fn recursive_defs_collapse_depth_not_alphabet() {
+        // Raw defs (not a Schema) may be mutually recursive.
+        let defs = [
+            ShapeDef::new(
+                name("A"),
+                Shape::geq(1, p("x"), Shape::HasShape(name("B"))),
+                Shape::False,
+            ),
+            ShapeDef::new(
+                name("B"),
+                Shape::geq(1, p("y"), Shape::HasShape(name("A"))),
+                Shape::False,
+            ),
+        ];
+        let profs = impact_profiles(&defs);
+        for prof in &profs {
+            assert_eq!(prof.preds, [iri("x"), iri("y")].into_iter().collect());
+            assert_eq!(prof.depth, None, "recursion must force unbounded depth");
+        }
+    }
+
+    #[test]
+    fn inverse_steps_are_tracked_directionally() {
+        let defs = [
+            ShapeDef::new(
+                name("Fwd"),
+                Shape::geq(1, p("a").then(p("b")), Shape::True),
+                Shape::False,
+            ),
+            ShapeDef::new(
+                name("Inv"),
+                Shape::geq(1, p("a").then(p("b").inverse()), Shape::True),
+                Shape::False,
+            ),
+            ShapeDef::new(
+                name("DoubleInv"),
+                Shape::geq(1, p("a").inverse().inverse(), Shape::True),
+                Shape::False,
+            ),
+            ShapeDef::new(
+                name("InvWild"),
+                Shape::geq(1, PathExpr::any_prop().inverse(), Shape::True),
+                Shape::False,
+            ),
+        ];
+        let profs = impact_profiles(&defs);
+        assert!(profs[0].inv_preds.is_empty());
+        assert!(!profs[0].inv_wildcard);
+        assert_eq!(profs[1].inv_preds, [iri("b")].into_iter().collect());
+        assert!(profs[1].preds.contains(&iri("b")), "inv_preds ⊆ preds");
+        // An even number of Inverse wrappers traverses forward again.
+        assert!(profs[2].inv_preds.is_empty());
+        assert!(profs[3].inv_wildcard);
+        assert!(profs[3].wildcard);
+    }
+
+    #[test]
+    fn inverse_alphabet_closes_over_references() {
+        let defs = [
+            ShapeDef::new(
+                name("A"),
+                Shape::geq(1, p("x"), Shape::HasShape(name("B"))),
+                Shape::False,
+            ),
+            ShapeDef::new(
+                name("B"),
+                Shape::geq(1, p("y").inverse(), Shape::True),
+                Shape::False,
+            ),
+        ];
+        let profs = impact_profiles(&defs);
+        let a = profs.iter().find(|pr| pr.name == name("A")).unwrap();
+        assert_eq!(a.inv_preds, [iri("y")].into_iter().collect());
+    }
+
+    #[test]
+    fn eq_and_comparisons_read_both_sides() {
+        let defs = [ShapeDef::new(
+            name("S"),
+            Shape::Eq(PathOrId::Path(p("a").then(p("b"))), iri("q"))
+                .and(Shape::LessThan(p("v"), iri("w"))),
+            Shape::False,
+        )];
+        let prof = &impact_profiles(&defs)[0];
+        assert_eq!(
+            prof.preds,
+            [iri("a"), iri("b"), iri("q"), iri("v"), iri("w")]
+                .into_iter()
+                .collect()
+        );
+        assert_eq!(prof.depth, Some(2));
+    }
+}

@@ -40,6 +40,7 @@
 pub mod cost;
 pub mod diagnostic;
 pub mod fold;
+pub mod impact;
 pub mod refgraph;
 
 pub use cost::{
@@ -47,6 +48,7 @@ pub use cost::{
 };
 pub use diagnostic::{codes, has_deny, to_json, Diagnostic, Severity};
 pub use fold::{fold_nnf, path_warnings, tests_conflict, SimplifyLevel, Status};
+pub use impact::{impact_profiles, ImpactProfile};
 pub use refgraph::{analyze_refs, Polarity, RefGraph};
 
 use std::collections::BTreeMap;

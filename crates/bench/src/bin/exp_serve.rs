@@ -58,6 +58,17 @@ struct ServeResults {
     rows: Vec<LoadRow>,
     /// Inflight gauge observed after the last level drained (must be 0).
     final_inflight: usize,
+    /// Cumulative gate-wait microseconds from the server's `/stats`
+    /// (includes requests that were ultimately shed) — the queueing side
+    /// of the latency split.
+    queue_wait_us: u64,
+    /// Cumulative handler-execution microseconds from `/stats` — the
+    /// service side of the split.
+    service_us: u64,
+    /// Mean gate wait per received request, in microseconds.
+    queue_wait_per_request_us: f64,
+    /// Mean service time per admitted request, in microseconds.
+    service_per_admitted_us: f64,
 }
 
 shapefrag_bench::impl_to_json!(LoadRow {
@@ -85,7 +96,26 @@ shapefrag_bench::impl_to_json!(ServeResults {
     host_cores,
     rows,
     final_inflight,
+    queue_wait_us,
+    service_us,
+    queue_wait_per_request_us,
+    service_per_admitted_us,
 });
+
+/// Pulls an integer field out of a flat JSON object body (the `/stats`
+/// payload) without a JSON parser.
+fn json_u64(body: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\":");
+    let at = body.find(&needle).unwrap_or_else(|| {
+        panic!("/stats is missing {field}: {body}");
+    });
+    body[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("/stats field {field} is not an integer: {body}"))
+}
 
 /// Per-client tally for one load level. Latencies are recorded for served
 /// (200) responses only — shed and faulted responses return in
@@ -257,6 +287,23 @@ fn main() {
         .expect("health after load");
     assert_eq!(health.status, 200, "server wedged after load");
 
+    // The server-side latency split: cumulative gate wait vs handler
+    // execution over the whole run, straight from `/stats`.
+    let stats = shapefrag_serve::client::request(addr, "GET", "/stats", &[], b"")
+        .expect("stats after load");
+    assert_eq!(stats.status, 200, "stats after load");
+    let stats_body = String::from_utf8_lossy(&stats.body).into_owned();
+    let queue_wait_us = json_u64(&stats_body, "queue_wait_us");
+    let service_us = json_u64(&stats_body, "service_us");
+    let received = json_u64(&stats_body, "received").max(1);
+    let admitted = json_u64(&stats_body, "admitted").max(1);
+    let queue_wait_per_request_us = queue_wait_us as f64 / received as f64;
+    let service_per_admitted_us = service_us as f64 / admitted as f64;
+    eprintln!(
+        "latency split: queue {queue_wait_per_request_us:.0}us/req, \
+         service {service_per_admitted_us:.0}us/req"
+    );
+
     println!("\nServe load (closed-loop, cap {max_inflight}+{queue_depth})\n");
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -293,6 +340,10 @@ fn main() {
             .unwrap_or(1),
         rows,
         final_inflight,
+        queue_wait_us,
+        service_us,
+        queue_wait_per_request_us,
+        service_per_admitted_us,
     };
     let out = opts.out.as_deref().unwrap_or("BENCH_serve.json");
     write_json_to(out, &results);

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fragment;
+pub mod incremental;
 pub mod instrumented;
 pub mod neighborhood;
 pub mod parallel;
@@ -59,6 +60,7 @@ pub use fragment::{
     conforming_nodes, fragment, fragment_governed, fragment_ids, fragment_ids_per_node,
     fragment_par, schema_fragment, schema_fragment_governed,
 };
+pub use incremental::{EditOp, EditScript, IncrementalValidator};
 pub use instrumented::{
     validate_extract_fragment, validate_extract_fragment_per_node,
     validate_extract_fragment_simplified, validate_extract_fragment_with_memo, validate_par,

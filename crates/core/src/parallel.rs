@@ -51,18 +51,18 @@ use crate::neighborhood::{collect_neighborhood_many, conforms_and_collect, IdTri
 /// definition's (or request shape's) sorted target list, tagged with its
 /// planning-order sequence number for the deterministic merge.
 #[derive(Debug, Clone, Copy)]
-struct Span {
-    seq: usize,
-    def: usize,
-    lo: usize,
-    hi: usize,
+pub(crate) struct Span {
+    pub(crate) seq: usize,
+    pub(crate) def: usize,
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
 }
 
 /// Static unit priority: the shape's fan-out class (a Kleene-closure BFS
 /// outranks bounded adjacency scans outranks single lookups), doubled when
 /// batch evaluation shares work across the chunk's nodes, scaled by chunk
 /// length.
-fn unit_cost(schema: &Schema, nnf: &Nnf, len: usize) -> u64 {
+pub(crate) fn unit_cost(schema: &Schema, nnf: &Nnf, len: usize) -> u64 {
     let cost = shape_cost(schema, nnf);
     let base: u64 = match cost.fan_out {
         Some(PathClass::Traversing) => 16,
@@ -78,7 +78,7 @@ fn unit_cost(schema: &Schema, nnf: &Nnf, len: usize) -> u64 {
 /// granularity, but never so small that per-unit overhead dominates. With
 /// one thread the whole list is a single unit (the engine then matches the
 /// sequential driver call-for-call).
-fn chunk_len(total: usize, threads: usize) -> usize {
+pub(crate) fn chunk_len(total: usize, threads: usize) -> usize {
     if threads <= 1 {
         total.max(1)
     } else {
@@ -86,7 +86,13 @@ fn chunk_len(total: usize, threads: usize) -> usize {
     }
 }
 
-fn spans_for(targets: usize, chunk: usize, def: usize, seq: &mut usize, out: &mut Vec<Span>) {
+pub(crate) fn spans_for(
+    targets: usize,
+    chunk: usize,
+    def: usize,
+    seq: &mut usize,
+    out: &mut Vec<Span>,
+) {
     let mut lo = 0;
     while lo < targets {
         let hi = (lo + chunk).min(targets);

@@ -184,6 +184,13 @@ impl Graph {
 }
 
 impl FrozenGraph {
+    /// The snapshot's interner (shared id space with the source graph);
+    /// the delta overlay clones it to extend the id space without
+    /// renumbering.
+    pub(crate) fn interner(&self) -> &Interner {
+        &self.terms
+    }
+
     /// Number of triples.
     pub fn len(&self) -> usize {
         self.len

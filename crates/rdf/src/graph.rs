@@ -155,7 +155,7 @@ impl Graph {
     }
 
     /// Inserts by pre-interned ids (ids must come from this graph).
-    fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+    pub(crate) fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
         let added = self
             .spo
             .entry(s)

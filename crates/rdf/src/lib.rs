@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod access;
+pub mod delta;
 pub mod error;
 pub mod frozen;
 pub mod graph;
@@ -41,6 +42,7 @@ pub mod value;
 pub mod vocab;
 
 pub use access::GraphAccess;
+pub use delta::DeltaGraph;
 pub use error::{LossyLoad, ParseError};
 pub use frozen::FrozenGraph;
 pub use graph::{Graph, TermId};

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use shapefrag_analyze::{analyze_schema, has_deny, to_json as diags_to_json};
-use shapefrag_core::fragment_governed;
+use shapefrag_core::{fragment_governed, EditScript, IncrementalValidator};
 use shapefrag_govern::{Budget, EngineError, ErrorCode, ExecCtx};
 use shapefrag_rdf::{ntriples, turtle, Graph, Term};
 use shapefrag_shacl::validator::{validate_batch_governed, ValidationReport};
@@ -25,8 +25,28 @@ use shapefrag_sparql::eval::{eval_select_governed, Binding, EvalConfig};
 use shapefrag_sparql::parser::parse_select;
 
 use crate::http::{Request, Response};
-use crate::state::{json_escape, Snapshot};
+use crate::state::{json_escape, Snapshot, Updater};
 use crate::{ServeConfig, ServerState};
+
+/// Runs `$body` with `$g` bound to the snapshot's read view: the delta
+/// overlay when one is published, the frozen base otherwise. A macro
+/// because [`shapefrag_rdf::GraphAccess`] is not object-safe (its
+/// accessors return `impl Iterator`), so the two arms monomorphize
+/// separately.
+macro_rules! with_view {
+    ($snapshot:expr, |$g:ident| $body:expr) => {
+        match &$snapshot.delta {
+            Some(d) => {
+                let $g = d.as_ref();
+                $body
+            }
+            None => {
+                let $g = $snapshot.frozen.as_ref();
+                $body
+            }
+        }
+    };
+}
 
 /// Maps an engine fault to its HTTP response.
 pub fn engine_error_response(e: &EngineError) -> Response {
@@ -65,9 +85,9 @@ pub fn error_response(status: u16, code: &str, message: &str) -> Response {
     )
 }
 
-/// Builds the per-request execution context from the governance headers,
-/// clamped to the server's ceiling. Returns `Err` on unparsable values.
-pub fn exec_from_headers(req: &Request, cfg: &ServeConfig) -> Result<ExecCtx, Response> {
+/// Builds the per-request [`Budget`] from the governance headers, clamped
+/// to the server's ceiling. Returns `Err` on unparsable values.
+pub fn budget_from_headers(req: &Request, cfg: &ServeConfig) -> Result<Budget, Response> {
     let parse_u64 = |name: &str| -> Result<Option<u64>, Response> {
         match req.header(name) {
             None => Ok(None),
@@ -88,7 +108,12 @@ pub fn exec_from_headers(req: &Request, cfg: &ServeConfig) -> Result<ExecCtx, Re
     if let Some(bytes) = parse_u64("x-budget-memory")? {
         budget = budget.memory_bytes(bytes);
     }
-    Ok(ExecCtx::with_budget(budget))
+    Ok(budget)
+}
+
+/// [`budget_from_headers`] wrapped into an execution context.
+pub fn exec_from_headers(req: &Request, cfg: &ServeConfig) -> Result<ExecCtx, Response> {
+    Ok(ExecCtx::with_budget(budget_from_headers(req, cfg)?))
 }
 
 /// Parses a posted RDF payload as Turtle or N-Triples, honoring the
@@ -116,9 +141,12 @@ pub fn dispatch(state: &ServerState, req: &Request) -> Response {
         ("GET", "/analyze") => handle_analyze(&snapshot),
         ("POST", "/sparql") => handle_sparql(state, req, &snapshot),
         ("POST", "/reload") => handle_reload(state, req),
-        ("GET" | "POST", "/validate" | "/fragment" | "/analyze" | "/sparql" | "/reload") => {
-            error_response(405, "method-not-allowed", "wrong method for this endpoint")
-        }
+        ("POST", "/update") => handle_update(state, req),
+        ("POST", "/compact") => handle_compact(state),
+        (
+            "GET" | "POST",
+            "/validate" | "/fragment" | "/analyze" | "/sparql" | "/reload" | "/update" | "/compact",
+        ) => error_response(405, "method-not-allowed", "wrong method for this endpoint"),
         _ => error_response(404, "not-found", "unknown endpoint"),
     }
 }
@@ -153,7 +181,11 @@ fn handle_validate(state: &ServerState, req: &Request, snapshot: &Arc<Snapshot>)
         Err(resp) => return resp,
     };
     let result = if req.body.is_empty() {
-        validate_batch_governed(&snapshot.schema, snapshot.frozen.as_ref(), exec)
+        with_view!(snapshot, |g| validate_batch_governed(
+            &snapshot.schema,
+            g,
+            exec
+        ))
     } else {
         match parse_body_graph(req) {
             Ok(graph) => validate_batch_governed(&snapshot.schema, &graph.freeze(), exec),
@@ -210,7 +242,12 @@ fn handle_fragment(state: &ServerState, req: &Request, snapshot: &Arc<Snapshot>)
         }
         shapes
     };
-    match fragment_governed(&snapshot.schema, snapshot.frozen.as_ref(), &shapes, exec) {
+    match with_view!(snapshot, |g| fragment_governed(
+        &snapshot.schema,
+        g,
+        &shapes,
+        exec
+    )) {
         Ok(fragment) => Response::new(200, "application/n-triples", ntriples::serialize(&fragment))
             .with_header("x-epoch", snapshot.epoch.to_string()),
         Err(e) => engine_error_response(&e),
@@ -269,12 +306,12 @@ fn handle_sparql(state: &ServerState, req: &Request, snapshot: &Arc<Snapshot>) -
         Ok(q) => q,
         Err(e) => return engine_error_response(&EngineError::from(e)),
     };
-    match eval_select_governed(
-        snapshot.frozen.as_ref(),
+    match with_view!(snapshot, |g| eval_select_governed(
+        g,
         &query,
         &EvalConfig::indexed(),
         &exec,
-    ) {
+    )) {
         Ok(rows) => Response::json(200, bindings_json(&query.out_vars(), &rows, snapshot.epoch)),
         Err(e) => engine_error_response(&e),
     }
@@ -304,6 +341,9 @@ fn handle_reload(state: &ServerState, req: &Request) -> Response {
     };
     match built {
         Ok(snapshot) => {
+            // The replaced dataset invalidates the incremental state; the
+            // next /update reseeds from the new snapshot.
+            *state.updater.lock().unwrap_or_else(|e| e.into_inner()) = None;
             state
                 .stats
                 .reloads
@@ -315,6 +355,135 @@ fn handle_reload(state: &ServerState, req: &Request) -> Response {
                     snapshot.epoch,
                     snapshot.triples,
                     snapshot.schema.len()
+                ),
+            )
+        }
+        Err(resp) => resp,
+    }
+}
+
+/// `POST /update` — applies a signed N-Triples edit script (`+`/`-`
+/// line prefixes, see [`EditScript::parse`]) to the continuous-ingest
+/// overlay, revalidates incrementally under the request's budget, and
+/// epoch-swaps the merged view. Readers never block: they keep their
+/// snapshot clone while the new epoch is published. The first update (or
+/// the first after a reload) seeds the incremental state with a full
+/// validation.
+fn handle_update(state: &ServerState, req: &Request) -> Response {
+    let budget = match budget_from_headers(req, &state.cfg) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return error_response(400, "syntax", "edit script is not valid UTF-8"),
+    };
+    let script = match EditScript::parse(text) {
+        Ok(s) => s,
+        Err(e) => return engine_error_response(&EngineError::from(e)),
+    };
+    let mut slot = state.updater.lock().unwrap_or_else(|e| e.into_inner());
+    let current = state.snapshots.load();
+    if slot.as_ref().is_none_or(|u| u.epoch != current.epoch) {
+        // First update, or the snapshot moved under us (reload): seed the
+        // incremental state from the published view. This is the one full
+        // validation; every subsequent update is impact-routed.
+        let base = match &current.delta {
+            Some(d) => Arc::new(d.compact()),
+            None => Arc::clone(&current.frozen),
+        };
+        *slot = Some(Updater {
+            inc: IncrementalValidator::new(Arc::clone(&current.schema), base),
+            epoch: current.epoch,
+        });
+    }
+    let updater = slot.as_mut().expect("updater seeded above");
+    match updater
+        .inc
+        .apply_governed(&script, budget, Some(&state.cancel))
+    {
+        Ok(report) => {
+            let graph = updater.inc.graph();
+            let published = state.snapshots.swap(|epoch| {
+                Ok::<_, Response>(Snapshot {
+                    epoch,
+                    schema: Arc::clone(updater.inc.schema()),
+                    frozen: Arc::clone(graph.base()),
+                    delta: Some(Arc::new(graph.clone())),
+                    triples: graph.len(),
+                    delta_added: graph.added_len(),
+                    delta_removed: graph.removed_len(),
+                })
+            });
+            match published {
+                Ok(snap) => {
+                    updater.epoch = snap.epoch;
+                    state
+                        .stats
+                        .updates
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Response::json(
+                        200,
+                        format!(
+                            "{{\"epoch\":{},\"applied\":{},\"triples\":{},\"delta_added\":{},\"delta_removed\":{},\"report\":{}}}",
+                            snap.epoch,
+                            script.len(),
+                            snap.triples,
+                            snap.delta_added,
+                            snap.delta_removed,
+                            report_json(&report, snap.epoch)
+                        ),
+                    )
+                }
+                Err(resp) => resp,
+            }
+        }
+        Err(e) => engine_error_response(&e),
+    }
+}
+
+/// `POST /compact` — re-freezes base + overlay into a fresh snapshot and
+/// publishes it with an empty overlay. Ids are stable across compaction,
+/// so the incremental rows and memo survive and the next update stays
+/// cheap. A no-op (200, `"compacted":false`) when no overlay exists.
+fn handle_compact(state: &ServerState) -> Response {
+    let mut slot = state.updater.lock().unwrap_or_else(|e| e.into_inner());
+    let current = state.snapshots.load();
+    let stale = slot.as_ref().is_none_or(|u| u.epoch != current.epoch);
+    if stale || current.delta.is_none() {
+        return Response::json(
+            200,
+            format!(
+                "{{\"epoch\":{},\"triples\":{},\"compacted\":false}}",
+                current.epoch, current.triples
+            ),
+        );
+    }
+    let updater = slot.as_mut().expect("checked above");
+    updater.inc.compact();
+    let published = state.snapshots.swap(|epoch| {
+        Ok::<_, Response>(Snapshot {
+            epoch,
+            schema: Arc::clone(updater.inc.schema()),
+            frozen: Arc::clone(updater.inc.graph().base()),
+            delta: None,
+            triples: updater.inc.graph().len(),
+            delta_added: 0,
+            delta_removed: 0,
+        })
+    });
+    match published {
+        Ok(snap) => {
+            updater.epoch = snap.epoch;
+            state
+                .stats
+                .compactions
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Response::json(
+                200,
+                format!(
+                    "{{\"epoch\":{},\"triples\":{},\"compacted\":true}}",
+                    snap.epoch, snap.triples
                 ),
             )
         }
@@ -344,6 +513,8 @@ pub fn handle_stats(state: &ServerState) -> Response {
             snapshot.epoch,
             snapshot.triples,
             snapshot.schema.len(),
+            snapshot.delta_added,
+            snapshot.delta_removed,
             &state.gate,
             state.started,
         ),

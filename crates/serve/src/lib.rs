@@ -10,8 +10,10 @@
 //! | `GET  /analyze`   | static schema diagnostics as JSON |
 //! | `POST /sparql`    | SELECT query over the resident snapshot |
 //! | `POST /reload`    | epoch-swap a new snapshot (re-read source, or body = new data graph) |
+//! | `POST /update`    | apply a signed N-Triples edit script to a delta overlay and epoch-swap the merged view; answers with the incrementally-maintained report |
+//! | `POST /compact`   | re-freeze base + overlay into a fresh snapshot (epoch swap, overlay reset) |
 //! | `GET  /healthz`   | liveness + current epoch (never gated) |
-//! | `GET  /stats`     | counters and gauges (never gated) |
+//! | `GET  /stats`     | counters and gauges, including delta sizes and the queue-wait / service time split (never gated) |
 //!
 //! Robustness is the design center (DESIGN.md §13):
 //!
@@ -41,7 +43,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use shapefrag_govern::CancelToken;
@@ -155,7 +157,10 @@ pub(crate) fn build_snapshot(epoch: u64, schema: Arc<Schema>, graph: Graph) -> S
         epoch,
         schema,
         frozen: Arc::new(graph.freeze()),
+        delta: None,
         triples,
+        delta_added: 0,
+        delta_removed: 0,
     }
 }
 
@@ -170,6 +175,11 @@ pub struct ServerState {
     /// Set on shutdown: in-flight governed work faults with `Cancelled`
     /// (→ 499) instead of running to completion against a dying server.
     pub cancel: CancelToken,
+    /// Continuous-ingest state: seeded lazily by the first `POST /update`
+    /// (a full validation), maintained incrementally afterwards, and
+    /// dropped on `POST /reload`. The mutex serializes writers; readers
+    /// never touch it (they work off the published snapshot).
+    pub updater: Mutex<Option<state::Updater>>,
     shutdown: AtomicBool,
     open_conns: AtomicUsize,
 }
@@ -215,6 +225,7 @@ impl Server {
             stats: Stats::default(),
             started: Instant::now(),
             cancel: CancelToken::new(),
+            updater: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             open_conns: AtomicUsize::new(0),
         });
@@ -366,7 +377,17 @@ fn process_request(state: &ServerState, req: &Request) -> Response {
             .with_header("retry-after", "1")
             .closing();
     }
-    let permit = match state.gate.admit() {
+    // Queue wait and service time are accounted separately: the gate wait
+    // (including sheds) lands in `queue_wait_us`, handler execution in
+    // `service_us` — so /stats distinguishes queue pressure from slow
+    // handlers.
+    let arrived = Instant::now();
+    let admission = state.gate.admit();
+    state
+        .stats
+        .queue_wait_us
+        .fetch_add(arrived.elapsed().as_micros() as u64, Ordering::Relaxed);
+    let permit = match admission {
         Admission::Admitted(p) => p,
         Admission::QueueFull => {
             state.stats.shed.fetch_add(1, Ordering::Relaxed);
@@ -388,7 +409,12 @@ fn process_request(state: &ServerState, req: &Request) -> Response {
         }
     };
     state.stats.admitted.fetch_add(1, Ordering::Relaxed);
+    let service_start = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| handlers::dispatch(state, req)));
+    state.stats.service_us.fetch_add(
+        service_start.elapsed().as_micros() as u64,
+        Ordering::Relaxed,
+    );
     drop(permit);
     match result {
         Ok(resp) => resp,
@@ -512,6 +538,106 @@ ex:only rdf:type ex:Paper ; ex:author ex:zed ."#,
                 .status,
             405
         );
+
+        assert_eq!(server.shutdown(Duration::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn update_and_compact_round_trip() {
+        let server = boot();
+        let addr = server.addr;
+
+        // Seed state: ex:bad violates (no author). Fix it incrementally
+        // and add a fresh violating paper in one batch.
+        let script = b"+ <http://example.org/bad> <http://example.org/author> <http://example.org/bea> .\n\
+                       + <http://example.org/new> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Paper> .\n";
+        let u = client::request(addr, "POST", "/update", &[], script).unwrap();
+        assert_eq!(u.status, 200, "{}", u.text());
+        assert!(u.text().contains("\"epoch\":2"), "{}", u.text());
+        assert!(u.text().contains("\"delta_added\":2"), "{}", u.text());
+        assert!(u.text().contains("\"conforms\":false"), "{}", u.text());
+        assert!(u.text().contains("new"), "{}", u.text());
+        assert!(!u.text().contains("bad\"}"), "{}", u.text());
+
+        // Readers see the merged view at the new epoch; the incremental
+        // report agrees with a from-scratch validation of it.
+        let v = client::request(addr, "POST", "/validate", &[], b"").unwrap();
+        assert_eq!(v.status, 200);
+        assert!(v.text().contains("\"epoch\":2"), "{}", v.text());
+        assert!(v.text().contains("\"conforms\":false"));
+        assert!(v.text().contains("new"));
+
+        // /stats surfaces the overlay and the timing split.
+        let s = client::request(addr, "GET", "/stats", &[], b"").unwrap();
+        assert!(s.text().contains("\"delta_added\":2"), "{}", s.text());
+        assert!(s.text().contains("\"updates\":1"), "{}", s.text());
+        assert!(s.text().contains("\"queue_wait_us\":"), "{}", s.text());
+        assert!(s.text().contains("\"service_us\":"), "{}", s.text());
+
+        // Retracting the violation repairs the report incrementally.
+        let fix =
+            b"- <http://example.org/new> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Paper> .\n";
+        let u2 = client::request(addr, "POST", "/update", &[], fix).unwrap();
+        assert_eq!(u2.status, 200);
+        assert!(u2.text().contains("\"conforms\":true"), "{}", u2.text());
+
+        // Compaction re-freezes and resets the overlay; the view and
+        // report are unchanged.
+        let c = client::request(addr, "POST", "/compact", &[], b"").unwrap();
+        assert_eq!(c.status, 200);
+        assert!(c.text().contains("\"compacted\":true"), "{}", c.text());
+        let s2 = client::request(addr, "GET", "/stats", &[], b"").unwrap();
+        assert!(s2.text().contains("\"delta_added\":0"), "{}", s2.text());
+        assert!(s2.text().contains("\"compactions\":1"), "{}", s2.text());
+        let v2 = client::request(addr, "POST", "/validate", &[], b"").unwrap();
+        assert!(v2.text().contains("\"conforms\":true"), "{}", v2.text());
+
+        // A second compact with no overlay is a cheap no-op.
+        let c2 = client::request(addr, "POST", "/compact", &[], b"").unwrap();
+        assert!(c2.text().contains("\"compacted\":false"), "{}", c2.text());
+
+        // A budget-starved update faults with 429 + Retry-After and rolls
+        // back: the epoch does not move and the report is unchanged.
+        let before = client::request(addr, "GET", "/healthz", &[], b"").unwrap();
+        let r = client::request(
+            addr,
+            "POST",
+            "/update",
+            &[("x-budget-steps", "0")],
+            b"+ <http://example.org/x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Paper> .\n",
+        )
+        .unwrap();
+        assert_eq!(r.status, 429, "{}", r.text());
+        assert!(r.header("retry-after").is_some());
+        let after = client::request(addr, "GET", "/healthz", &[], b"").unwrap();
+        assert_eq!(before.text(), after.text());
+
+        // A malformed edit script is a 400.
+        let bad = client::request(addr, "POST", "/update", &[], b"+ not ntriples\n").unwrap();
+        assert_eq!(bad.status, 400, "{}", bad.text());
+
+        // Reload drops the incremental state; the next update reseeds.
+        let r = client::request(
+            addr,
+            "POST",
+            "/reload",
+            &[],
+            br#"@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:solo rdf:type ex:Paper ."#,
+        )
+        .unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        let u3 = client::request(
+            addr,
+            "POST",
+            "/update",
+            &[],
+            b"+ <http://example.org/solo> <http://example.org/author> <http://example.org/ann> .\n",
+        )
+        .unwrap();
+        assert_eq!(u3.status, 200, "{}", u3.text());
+        assert!(u3.text().contains("\"conforms\":true"), "{}", u3.text());
 
         assert_eq!(server.shutdown(Duration::from_secs(1)), 0);
     }

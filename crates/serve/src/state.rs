@@ -19,18 +19,38 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use shapefrag_rdf::FrozenGraph;
+use shapefrag_core::IncrementalValidator;
+use shapefrag_rdf::{DeltaGraph, FrozenGraph};
 use shapefrag_shacl::Schema;
 
-/// One immutable published epoch: a schema and a frozen data graph.
+/// One immutable published epoch: a schema and a frozen data graph,
+/// optionally overlaid with the continuous-ingest delta.
 #[derive(Debug)]
 pub struct Snapshot {
     /// Monotonic epoch number, starting at 1.
     pub epoch: u64,
     pub schema: Arc<Schema>,
     pub frozen: Arc<FrozenGraph>,
-    /// Triples in the frozen graph (denormalized for /healthz and /stats).
+    /// Delta overlay published by `POST /update`; readers evaluate the
+    /// merged view. `None` after boot, `POST /reload`, or
+    /// `POST /compact`.
+    pub delta: Option<Arc<DeltaGraph>>,
+    /// Triples in the published view (base − removed + added).
     pub triples: usize,
+    /// Overlay additions (0 without a delta).
+    pub delta_added: usize,
+    /// Overlay tombstones (0 without a delta).
+    pub delta_removed: usize,
+}
+
+/// The continuous-ingest state behind `POST /update` and `POST /compact`:
+/// the incrementally-maintained validator plus the epoch it last
+/// published. An epoch moved by anything else (a `POST /reload`) makes
+/// the updater stale; the handlers detect the mismatch and reseed from
+/// the current snapshot.
+pub struct Updater {
+    pub inc: IncrementalValidator,
+    pub epoch: u64,
 }
 
 /// The swap cell. See the module docs for the protocol.
@@ -92,6 +112,18 @@ pub struct Stats {
     pub panics: AtomicU64,
     /// Successful reloads (epoch swaps).
     pub reloads: AtomicU64,
+    /// Successful `POST /update` edit batches (epoch swaps).
+    pub updates: AtomicU64,
+    /// Successful `POST /compact` re-freezes (epoch swaps).
+    pub compactions: AtomicU64,
+    /// Cumulative microseconds requests spent waiting for a gate slot
+    /// (including requests that were ultimately shed). Reported
+    /// separately from service time so queue pressure is visible even
+    /// when handlers are fast.
+    pub queue_wait_us: AtomicU64,
+    /// Cumulative microseconds admitted requests spent executing their
+    /// handler (service time proper, gate wait excluded).
+    pub service_us: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
     /// Connections refused because the connection cap was reached.
@@ -127,11 +159,14 @@ impl Stats {
 
     /// Renders the counters plus live gauges (read off the gate) as a
     /// JSON object body.
+    #[allow(clippy::too_many_arguments)]
     pub fn to_json(
         &self,
         epoch: u64,
         triples: usize,
         shapes: usize,
+        delta_added: usize,
+        delta_removed: usize,
         gate: &crate::gate::Gate,
         started: Instant,
     ) -> String {
@@ -139,9 +174,12 @@ impl Stats {
         format!(
             concat!(
                 "{{\"epoch\":{},\"uptime_ms\":{},\"triples\":{},\"shapes\":{},",
+                "\"delta_added\":{},\"delta_removed\":{},",
                 "\"inflight\":{},\"queued\":{},\"concurrency_cap\":{},",
+                "\"queue_wait_us\":{},\"service_us\":{},",
                 "\"received\":{},\"admitted\":{},\"shed\":{},\"panics\":{},",
-                "\"reloads\":{},\"connections\":{},\"connections_refused\":{},",
+                "\"reloads\":{},\"updates\":{},\"compactions\":{},",
+                "\"connections\":{},\"connections_refused\":{},",
                 "\"status\":{{\"2xx\":{},\"400\":{},\"404\":{},\"405\":{},",
                 "\"429\":{},\"499\":{},\"500\":{},\"503\":{},\"504\":{}}}}}"
             ),
@@ -149,14 +187,20 @@ impl Stats {
             started.elapsed().as_millis(),
             triples,
             shapes,
+            delta_added,
+            delta_removed,
             gate.inflight(),
             gate.waiting(),
             gate.cap(),
+            g(&self.queue_wait_us),
+            g(&self.service_us),
             g(&self.received),
             g(&self.admitted),
             g(&self.shed),
             g(&self.panics),
             g(&self.reloads),
+            g(&self.updates),
+            g(&self.compactions),
             g(&self.connections),
             g(&self.conn_refused),
             g(&self.s2xx),
@@ -200,7 +244,10 @@ mod tests {
             epoch,
             schema: Arc::new(Schema::empty()),
             frozen: Arc::new(g.freeze()),
+            delta: None,
             triples: 0,
+            delta_added: 0,
+            delta_removed: 0,
         }
     }
 

@@ -38,15 +38,19 @@ type MemoShard = RwLock<HashMap<(u32, TermId), bool>>;
 /// — and by every worker thread. The table is split into [`MEMO_SHARDS`]
 /// lock stripes keyed by a hash of `(shape, node)`, so concurrent workers
 /// contend only when they touch the same stripe at the same instant. A memo
-/// is valid for exactly one `(graph, schema)` pair; under
-/// `debug_assertions` the first [`Context::with_memo`] binds the memo to a
-/// fingerprint of that pair and any later mismatch panics (see DESIGN.md).
+/// is valid for exactly one `(graph, schema)` pair; the first
+/// [`Context::with_memo`] binds the memo to a cheap fingerprint of that
+/// pair, and a later mismatch panics in debug builds and detaches the memo
+/// (running unmemoized, which is always sound) in release builds — stale
+/// reuse across snapshots/epochs cannot poison results. The incremental
+/// engine moves a memo across graph *versions* deliberately: it drops the
+/// impacted entries ([`ConformanceMemo::invalidate`]) and then re-binds to
+/// the new fingerprint ([`ConformanceMemo::rebind`]).
 pub struct ConformanceMemo {
     shards: Box<[MemoShard]>,
-    /// Fingerprint of the `(schema, graph)` pair this memo was first
-    /// attached to (debug builds only).
-    #[cfg(debug_assertions)]
-    binding: std::sync::OnceLock<(u64, u64)>,
+    /// Fingerprint of the `(schema, graph)` pair this memo is bound to;
+    /// `None` until the first attachment (or after [`ConformanceMemo::clear`]).
+    binding: RwLock<Option<(u64, u64)>>,
 }
 
 impl Default for ConformanceMemo {
@@ -62,8 +66,7 @@ impl ConformanceMemo {
             shards: (0..MEMO_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
-            #[cfg(debug_assertions)]
-            binding: std::sync::OnceLock::new(),
+            binding: RwLock::new(None),
         }
     }
 
@@ -99,25 +102,68 @@ impl ConformanceMemo {
         self.shards.iter().all(|s| s.read().is_empty())
     }
 
-    /// Binds the memo to a `(schema, graph)` fingerprint on first use and
-    /// panics if a later context attaches it to a different pair. Debug
-    /// builds only — release builds trust the documented contract.
-    #[cfg(debug_assertions)]
-    fn bind_or_check(&self, fingerprint: (u64, u64)) {
-        let bound = *self.binding.get_or_init(|| fingerprint);
-        assert_eq!(
-            bound, fingerprint,
-            "ConformanceMemo reused across a different (schema, graph) pair; \
-             create one memo per pair (see Context::with_memo)"
-        );
+    /// Binds the memo to a `(schema, graph)` fingerprint on first use;
+    /// returns `false` when the memo is already bound to a *different*
+    /// pair (the caller must then run unmemoized).
+    fn bind_or_check(&self, fingerprint: (u64, u64)) -> bool {
+        if let Some(bound) = *self.binding.read() {
+            return bound == fingerprint;
+        }
+        let mut slot = self.binding.write();
+        match *slot {
+            Some(bound) => bound == fingerprint,
+            None => {
+                *slot = Some(fingerprint);
+                true
+            }
+        }
+    }
+
+    /// Drops the decided facts of `shape` at exactly `nodes`, leaving every
+    /// other `(shape, node)` entry in place. This is the incremental
+    /// engine's stripe-selective invalidation: after an edit batch, only
+    /// impact-routed pairs are dropped and everything else is reused.
+    pub fn invalidate(&self, shape: u32, nodes: impl IntoIterator<Item = TermId>) {
+        for node in nodes {
+            self.shard(shape, node).write().remove(&(shape, node));
+        }
+    }
+
+    /// Drops every decided fact of `shape` regardless of node. The
+    /// incremental engine falls back to this when a shape's impact profile
+    /// is a wildcard with unbounded depth (any edit may flip any focus).
+    pub fn invalidate_shape(&self, shape: u32) {
+        for shard in self.shards.iter() {
+            shard.write().retain(|key, _| key.0 != shape);
+        }
+    }
+
+    /// Re-binds the memo to a new `(schema, graph)` pair. Sound only when
+    /// the caller has already invalidated every entry whose truth value may
+    /// differ between the old and new graph (and the id space is shared,
+    /// as it is along a delta/compaction lineage).
+    pub fn rebind<G: GraphAccess>(&self, schema: &Schema, graph: &G) {
+        *self.binding.write() = Some(memo_fingerprint(schema, graph));
+    }
+
+    /// Forgets every decided fact *and* the binding, returning the memo to
+    /// its freshly-constructed state. The governed incremental path uses
+    /// this on a mid-batch fault: the memo is either untouched or fully
+    /// cleared, never half-invalidated.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.write().clear();
+        }
+        *self.binding.write() = None;
     }
 }
 
 /// Order-sensitive fingerprint of a `(schema, graph)` pair for the memo
 /// binding check. Freezing is id-stable, so a graph and its
 /// [`FrozenGraph`](shapefrag_rdf::FrozenGraph) snapshot fingerprint alike —
-/// sharing a memo across the two backends is sound and stays allowed.
-#[cfg(debug_assertions)]
+/// sharing a memo across the two backends is sound and stays allowed. The
+/// fingerprint is a cheap O(schema + 32 triples) guard against accidental
+/// cross-pair reuse, not a cryptographic content hash.
 fn memo_fingerprint<G: GraphAccess>(schema: &Schema, graph: &G) -> (u64, u64) {
     use std::hash::{Hash, Hasher};
     let mut hs = std::collections::hash_map::DefaultHasher::new();
@@ -170,16 +216,23 @@ impl<'a, G: GraphAccess> Context<'a, G> {
 
     /// Creates a context sharing a conformance memo with other contexts
     /// (possibly on other threads). The memo must have been created for
-    /// this same `(graph, schema)` pair; debug builds enforce this with a
-    /// fingerprint check (the first attachment binds the memo).
+    /// this same `(graph, schema)` pair; the first attachment binds the
+    /// memo to the pair's fingerprint. A mismatching later attachment
+    /// panics in debug builds; release builds detach the memo and run
+    /// unmemoized (correct, just slower), so a stale memo can never leak
+    /// conformance facts across snapshots.
     pub fn with_memo(schema: &'a Schema, graph: &'a G, memo: Arc<ConformanceMemo>) -> Self {
-        #[cfg(debug_assertions)]
-        memo.bind_or_check(memo_fingerprint(schema, graph));
+        let attached = memo.bind_or_check(memo_fingerprint(schema, graph));
+        debug_assert!(
+            attached,
+            "ConformanceMemo reused across a different (schema, graph) pair; \
+             create one memo per pair (see Context::with_memo)"
+        );
         Context {
             schema,
             graph,
             paths: PathCache::new(),
-            memo: Some(memo),
+            memo: attached.then_some(memo),
             exec: ExecCtx::unbounded(),
             fault: None,
         }
@@ -1637,6 +1690,56 @@ mod tests {
         let r_mut = validate_batch_with_memo(&schema, &g, Arc::clone(&memo));
         let r_frozen = validate_batch_with_memo(&schema, &f, Arc::clone(&memo));
         assert_eq!(r_mut, r_frozen);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn memo_reuse_across_graphs_detaches_in_release() {
+        let schema = Schema::new([ShapeDef::new(
+            term("S"),
+            Shape::geq(1, p("p"), Shape::True),
+            Shape::True,
+        )])
+        .unwrap();
+        let g1 = Graph::from_triples([t("a", "p", "b")]);
+        let g2 = Graph::from_triples([t("c", "q", "d"), t("c", "q", "e")]);
+        let memo = Arc::new(ConformanceMemo::new());
+        let r1 = validate_batch_with_memo(&schema, &g1, Arc::clone(&memo));
+        assert_eq!(r1, validate(&schema, &g1));
+        let before = memo.len();
+        // Mismatched attachment: the run must be correct (unmemoized) and
+        // must not write g2 facts into g1's memo.
+        let r2 = validate_batch_with_memo(&schema, &g2, Arc::clone(&memo));
+        assert_eq!(r2, validate(&schema, &g2));
+        assert_eq!(memo.len(), before, "detached run must not touch the memo");
+    }
+
+    #[test]
+    fn memo_invalidate_rebind_and_clear() {
+        let schema = Schema::new([ShapeDef::new(
+            term("S"),
+            Shape::geq(1, p("p"), Shape::True),
+            Shape::True,
+        )])
+        .unwrap();
+        let g = Graph::from_triples([t("a", "p", "b"), t("c", "p", "d")]);
+        let memo = Arc::new(ConformanceMemo::new());
+        let sid = schema.name_id(&term("S")).unwrap();
+        let a = g.id_of(&term("a")).unwrap();
+        let c = g.id_of(&term("c")).unwrap();
+        memo.rebind(&schema, &g);
+        memo.insert(sid, a, true);
+        memo.insert(sid, c, false);
+        memo.invalidate(sid, [a]);
+        assert_eq!(memo.lookup(sid, a), None, "invalidated entry must drop");
+        assert_eq!(memo.lookup(sid, c), Some(false), "other entries survive");
+        // After rebinding to the same pair, attaching succeeds.
+        let _ctx = Context::with_memo(&schema, &g, Arc::clone(&memo));
+        memo.clear();
+        assert!(memo.is_empty());
+        // A cleared memo re-binds to any pair.
+        let g2 = Graph::from_triples([t("x", "p", "y")]);
+        let _ctx2 = Context::with_memo(&schema, &g2, Arc::clone(&memo));
     }
 
     #[cfg(debug_assertions)]

@@ -6,6 +6,7 @@
 //! shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt] [--threads N] [--deadline-ms N] [--budget-steps N]
 //! shapefrag explain   <shapes.ttl> <data.(ttl|nt)> <focus-node-iri> [<shape-name-iri>]
 //! shapefrag translate <shapes.ttl> [<shape-name-iri>]
+//! shapefrag update    <shapes.ttl> <data.(ttl|nt)> <edits.txt> [--threads N] [--deadline-ms N] [--budget-steps N]
 //! shapefrag serve     <shapes.ttl> <data.(ttl|nt)> [--addr HOST:PORT] [--max-inflight N] ...
 //! ```
 //!
@@ -17,6 +18,9 @@
 //!   writes it as N-Triples (stdout or `-o`).
 //! - `explain` prints why/why-not provenance for one focus node.
 //! - `translate` prints the generated SPARQL fragment query (§5.1).
+//! - `update` applies a signed N-Triples edit script (`+`/`-` line
+//!   prefixes) to a delta overlay over the frozen data graph and prints
+//!   the incrementally-maintained report (DESIGN.md §14).
 //! - `serve` runs the long-lived HTTP server (see DESIGN.md §13).
 //!
 //! Exit codes: `0` success (for `validate`/`explain`: the data conforms;
@@ -33,7 +37,7 @@ use std::time::Duration;
 use shape_fragments::analyze::{analyze_defs, analyze_schema, has_deny, to_json, Diagnostic};
 use shape_fragments::core::{
     explain, fragment_par, schema_fragment, schema_fragment_governed, to_sparql,
-    validate_batch_par, validate_batch_par_governed,
+    validate_batch_par, validate_batch_par_governed, EditScript, IncrementalValidator,
 };
 use shape_fragments::govern::{Budget, EngineError, ExecCtx};
 use shape_fragments::rdf::{ntriples, turtle, Graph, Term};
@@ -79,6 +83,7 @@ fn usage() -> String {
      shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt] [--threads N] [--deadline-ms N] [--budget-steps N]\n  \
      shapefrag explain   <shapes.ttl> <data.(ttl|nt)> <focus-node-iri> [<shape-name-iri>]\n  \
      shapefrag translate <shapes.ttl> [<shape-name-iri>]\n  \
+     shapefrag update    <shapes.ttl> <data.(ttl|nt)> <edits.txt> [--threads N] [--deadline-ms N] [--budget-steps N]\n  \
      shapefrag serve     <shapes.ttl> <data.(ttl|nt)> [--addr HOST:PORT] [--max-inflight N]\n                      \
      [--queue-depth N] [--queue-wait-ms N] [--max-body-bytes N] [--max-deadline-ms N]\n\
      exit codes:\n  \
@@ -100,6 +105,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "fragment" => cmd_fragment(&args[1..]),
         "explain" => cmd_explain(&args[1..]),
         "translate" => cmd_translate(&args[1..]),
+        "update" => cmd_update(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -351,6 +357,46 @@ fn cmd_explain(args: &[String]) -> Result<ExitCode, CliError> {
         }
     }
     Ok(if all_conform {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `shapefrag update` — seeds an incremental validator over the frozen
+/// data graph, applies the edit script through the delta overlay, and
+/// prints the incrementally-maintained report (identical to re-validating
+/// the edited graph from scratch, but only impact-routed pairs re-run).
+fn cmd_update(args: &[String]) -> Result<ExitCode, CliError> {
+    let (threads, args) = take_threads(args)?;
+    let (budget, args) = take_budget(&args)?;
+    let [shapes_path, data_path, edits_path] = args.as_slice() else {
+        return Err(usage().into());
+    };
+    let schema = std::sync::Arc::new(load_schema(shapes_path)?);
+    let data = load_data(data_path)?;
+    let edits_text = std::fs::read_to_string(edits_path)
+        .map_err(|e| format!("cannot read {edits_path}: {e}"))?;
+    let script = EditScript::parse(&edits_text).map_err(|e| format!("{edits_path}: {e}"))?;
+    let mut inc =
+        IncrementalValidator::with_threads(schema, std::sync::Arc::new(data.freeze()), threads);
+    let report = match budget {
+        Some(budget) => match inc.apply_par_governed(&script, threads, budget, None) {
+            Ok(report) => report,
+            Err(e) => return Ok(resource_fault_exit(&e)),
+        },
+        None => inc.apply_par(&script, threads),
+    };
+    let graph = inc.graph();
+    eprintln!(
+        "update: {} edit(s) applied, graph {} triples (+{} / -{} in overlay)",
+        script.len(),
+        graph.len(),
+        graph.added_len(),
+        graph.removed_len()
+    );
+    println!("{report}");
+    Ok(if report.conforms() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
