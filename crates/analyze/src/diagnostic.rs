@@ -45,6 +45,12 @@ pub mod codes {
     pub const UNREACHABLE_DEF: &str = "SF-W022";
     /// A reference to a shape with no definition (defaults to ⊤).
     pub const UNDEFINED_REF: &str = "SF-W023";
+    /// Two definitions with provably equivalent shape expressions — one of
+    /// them duplicates the other's conformance work.
+    pub const EQUIVALENT_SHAPES: &str = "SF-W030";
+    /// A definition whose shape expression is properly subsumed by another
+    /// definition's: wherever the targets overlap, the checks do too.
+    pub const SUBSUMED_SHAPE: &str = "SF-W031";
 }
 
 /// How bad a finding is.

@@ -37,12 +37,14 @@
 //! assert!(has_deny(&diags));
 //! ```
 
+pub mod containment;
 pub mod cost;
 pub mod diagnostic;
 pub mod fold;
 pub mod impact;
 pub mod refgraph;
 
+pub use containment::{containment_diagnostics, subsumes, test_implies, ContainmentMatrix};
 pub use cost::{
     annotate, path_class, path_is_simple, shape_cost, shape_shares_work, PathClass, ShapeCost,
 };

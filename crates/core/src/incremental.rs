@@ -43,20 +43,28 @@
 //! ([`ConformanceMemo::invalidate`], or
 //! [`ConformanceMemo::invalidate_shape`] for the recheck-all fallback),
 //! then re-binds the memo to the post-edit fingerprint
-//! ([`ConformanceMemo::rebind`]). Governed runs snapshot the overlay
-//! before mutating; a mid-batch fault restores it and fully clears the
-//! memo — the memo is always either correctly maintained or empty, never
-//! half-invalidated.
+//! ([`ConformanceMemo::rebind`]). Because the memo carries a
+//! [`ContainmentIndex`] (subsumption-derived bits flow between related
+//! definitions), each stripe drop is widened to the *directed closure*
+//! over the containment edges: every shape the impacted one is related
+//! to — in either derivation direction — loses the same stripe, so a
+//! stale bit can never survive by having been copied into a neighbour's
+//! row. Governed runs snapshot the overlay before mutating; a mid-batch
+//! fault restores it and fully clears the memo (then re-attaches the
+//! index) — the memo is always either correctly maintained or empty,
+//! never half-invalidated.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use shapefrag_analyze::{impact_profiles, ImpactProfile};
+use shapefrag_analyze::{impact_profiles, ContainmentMatrix, ImpactProfile};
 use shapefrag_govern::{Budget, CancelToken, EngineError, ExecCtx};
 use shapefrag_rdf::{ntriples, DeltaGraph, FrozenGraph, ParseError, TermId, Triple};
 use shapefrag_sched::{run, WorkUnit};
-use shapefrag_shacl::validator::{ConformanceMemo, Context, ValidationReport, Violation};
+use shapefrag_shacl::validator::{
+    ConformanceMemo, ContainmentIndex, Context, ValidationReport, Violation,
+};
 use shapefrag_shacl::{Nnf, Schema, Shape};
 
 use crate::parallel::{chunk_len, spans_for, unit_cost, Span};
@@ -161,6 +169,10 @@ pub struct IncrementalValidator {
     profiles: Vec<ImpactProfile>,
     delta: DeltaGraph,
     memo: Arc<ConformanceMemo>,
+    /// Containment adjacency for the schema, attached to the memo so
+    /// re-checks can derive answers across subsumption edges; kept here
+    /// so it can be re-attached after a fault-path `memo.clear()`.
+    containment: Arc<ContainmentIndex>,
     /// Per definition (in `schema.iter()` order): the current target row,
     /// sorted ascending by focus id, with each node's conformance bit.
     state: Vec<Vec<(TermId, bool)>>,
@@ -178,6 +190,8 @@ impl IncrementalValidator {
         let delta = DeltaGraph::new(base);
         let profiles = impact_profiles(schema.iter());
         let memo = Arc::new(ConformanceMemo::new());
+        let containment = Arc::new(ContainmentMatrix::of_schema(&schema).to_index(&schema));
+        memo.attach_containment(Arc::clone(&containment));
         let empty = vec![Vec::new(); schema.len()];
         let impacts: Vec<Impact> = (0..schema.len()).map(|_| Impact::All).collect();
         let state = revalidate(&schema, &delta, &empty, &memo, &impacts, threads, None)
@@ -187,6 +201,7 @@ impl IncrementalValidator {
             profiles,
             delta,
             memo,
+            containment,
             state,
         }
     }
@@ -272,10 +287,22 @@ impl IncrementalValidator {
                 .schema
                 .name_id(&def.name)
                 .expect("definition name is in its own schema");
+            // Widen every stripe drop to the directed containment closure:
+            // derived bits may have flowed from this definition into any
+            // related one (true bits up the ⊑ edges, false bits down), so
+            // those copies must fall with the original.
             match impact {
                 Impact::Untouched => {}
-                Impact::All => self.memo.invalidate_shape(sid),
-                Impact::Set(nodes) => self.memo.invalidate(sid, nodes.iter().copied()),
+                Impact::All => {
+                    for rel in self.containment.related_closure(sid) {
+                        self.memo.invalidate_shape(rel);
+                    }
+                }
+                Impact::Set(nodes) => {
+                    for rel in self.containment.related_closure(sid) {
+                        self.memo.invalidate(rel, nodes.iter().copied());
+                    }
+                }
             }
         }
         impacts
@@ -354,6 +381,9 @@ impl IncrementalValidator {
             Err(e) => {
                 self.delta = saved;
                 self.memo.clear();
+                // clear() drops the attached index with everything else;
+                // the schema is unchanged, so put it back for the retry.
+                self.memo.attach_containment(Arc::clone(&self.containment));
                 Err(e)
             }
         }
@@ -535,6 +565,13 @@ fn revalidate(
     if let Some((budget, cancel)) = governor {
         plan_ctx = plan_ctx.with_exec(attach(budget, cancel));
     }
+    // Route each re-check through `HasShape(name)` so the def-level bit
+    // lands in the memo under the definition's own id, where containment
+    // derivation can reach it.
+    let wrapped: Vec<Shape> = schema
+        .iter()
+        .map(|def| Shape::HasShape(def.name.clone()))
+        .collect();
     let mut plans: Vec<RowPlan> = Vec::with_capacity(schema.len());
     let mut units: Vec<WorkUnit<Span>> = Vec::new();
     let mut seq = 0;
@@ -546,7 +583,7 @@ fn revalidate(
         if let Some(e) = plan_ctx.take_fault() {
             return Err(e);
         }
-        let plan = plan_row(&def.shape, targets, &state[d], &impacts[d]);
+        let plan = plan_row(&wrapped[d], targets, &state[d], &impacts[d]);
         let nnf = Nnf::from_shape(&def.shape);
         let chunk = chunk_len(plan.to_check.len(), threads);
         let mut spans = Vec::new();
@@ -666,6 +703,12 @@ fn revalidate_seq(
         }
         ctx = ctx.with_exec(exec);
     }
+    // Same `HasShape(name)` routing as the parallel path: def-level bits
+    // must land under the definition's id for containment derivation.
+    let wrapped: Vec<Shape> = schema
+        .iter()
+        .map(|def| Shape::HasShape(def.name.clone()))
+        .collect();
     let mut rows = Vec::with_capacity(schema.len());
     for (d, def) in schema.iter().enumerate() {
         if governor.is_some() {
@@ -675,7 +718,7 @@ fn revalidate_seq(
         if let Some(e) = ctx.take_fault() {
             return Err(e);
         }
-        let plan = plan_row(&def.shape, targets, &state[d], &impacts[d]);
+        let plan = plan_row(&wrapped[d], targets, &state[d], &impacts[d]);
         let decisions = ctx.conforms_all(&plan.to_check, plan.shape);
         if let Some(e) = ctx.take_fault() {
             return Err(e);

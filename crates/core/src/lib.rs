@@ -71,7 +71,8 @@ pub use neighborhood::{
     neighborhood_term, IdTriples,
 };
 pub use parallel::{
-    fragment_ids_par, fragment_ids_par_stats, validate_batch_par, validate_batch_par_governed,
-    validate_batch_par_stats, validate_extract_fragment_par, validate_extract_fragment_par_stats,
+    fragment_ids_par, fragment_ids_par_stats, validate_batch_par, validate_batch_par_containment,
+    validate_batch_par_governed, validate_batch_par_stats, validate_extract_fragment_par,
+    validate_extract_fragment_par_stats,
 };
 pub use provenance::{describe, explain, minimal_witness, Explanation};

@@ -41,8 +41,10 @@ use shapefrag_analyze::{shape_cost, shape_shares_work, PathClass};
 use shapefrag_govern::{Budget, CancelToken, EngineError, ExecCtx};
 use shapefrag_rdf::{GraphAccess, Term, TermId};
 use shapefrag_sched::{run, RunStats, WorkUnit};
-use shapefrag_shacl::validator::{ConformanceMemo, Context, ValidationReport, Violation};
-use shapefrag_shacl::{Nnf, Schema, Shape};
+use shapefrag_shacl::validator::{
+    ConformanceMemo, ContainmentIndex, Context, ValidationReport, Violation,
+};
+use shapefrag_shacl::{Nnf, Schema, Shape, ShapeDef};
 
 use crate::instrumented::{SchemaFragment, TargetEvidence, BATCH_MIN_TARGETS};
 use crate::neighborhood::{collect_neighborhood_many, conforms_and_collect, IdTriples};
@@ -130,7 +132,11 @@ fn merge_report(per_worker: Vec<Vec<UnitOut>>) -> ValidationReport {
 
 struct DefPlan<'a> {
     name: &'a Term,
-    shape: &'a Shape,
+    /// Top-level check routed through the *named* path
+    /// (`hasShape(def.name)` ≡ the definition's shape), so definition-level
+    /// bits land in the shared memo where subsumption derivation and
+    /// cross-definition reuse can see them.
+    shape: Shape,
     targets: Vec<TermId>,
 }
 
@@ -156,7 +162,7 @@ fn plan_defs<'a, G: GraphAccess>(
         }
         plans.push(DefPlan {
             name: &def.name,
-            shape: &def.shape,
+            shape: Shape::HasShape(def.name.clone()),
             targets,
         });
     }
@@ -197,7 +203,7 @@ pub fn validate_batch_par_stats<G: GraphAccess>(
         |(ctx, out), span: Span| {
             let plan = &plans[span.def];
             let nodes = &plan.targets[span.lo..span.hi];
-            let decisions = ctx.conforms_all(nodes, plan.shape);
+            let decisions = ctx.conforms_all(nodes, &plan.shape);
             let mut violations = Vec::new();
             for (node, ok) in nodes.iter().zip(decisions) {
                 if !ok {
@@ -209,6 +215,144 @@ pub fn validate_batch_par_stats<G: GraphAccess>(
         |_, (_, out)| out,
     );
     (merge_report(per_worker), stats)
+}
+
+/// Containment-aware [`validate_batch_par_stats`]: the planner dedupes
+/// syntactically identical target lists, withholds definitions whose
+/// answers are fully derivable from an earlier *equivalent* definition
+/// (mutual containment edges + identical target), and attaches `index` to
+/// the shared memo so workers derive answers through containment edges.
+/// The report is bit-identical to [`shapefrag_shacl::validate_batch`];
+/// `RunStats` carries `shapes_skipped` / `checks_derived` /
+/// `targets_deduped`.
+pub fn validate_batch_par_containment<G: GraphAccess>(
+    schema: &Schema,
+    graph: &G,
+    threads: usize,
+    index: Arc<ContainmentIndex>,
+) -> (ValidationReport, RunStats) {
+    let threads = threads.max(1);
+    let memo = Arc::new(ConformanceMemo::new());
+    let mut plan_ctx = Context::with_memo(schema, graph, Arc::clone(&memo));
+    // Attach after `with_memo` has bound the fingerprint, so an index from
+    // a different schema is refused (the run then proceeds underived).
+    let attached = memo.attach_containment(Arc::clone(&index));
+    let defs: Vec<&ShapeDef> = schema.iter().collect();
+    // Dedupe target resolution across definitions with syntactically
+    // identical target shapes (resolution is deterministic, so reuse is
+    // exact).
+    let mut targets_deduped = 0u64;
+    let mut target_lists: Vec<Vec<TermId>> = Vec::with_capacity(defs.len());
+    for (i, def) in defs.iter().enumerate() {
+        match defs[..i].iter().position(|e| e.target == def.target) {
+            Some(j) => {
+                targets_deduped += 1;
+                let reused = target_lists[j].clone();
+                target_lists.push(reused);
+            }
+            None => target_lists.push(plan_ctx.target_nodes(&def.target).into_iter().collect()),
+        }
+    }
+    drop(plan_ctx);
+    // A definition is covered when an earlier, not-itself-covered
+    // definition has a provably equivalent shape and the same target: all
+    // its bits will derive from that representative's.
+    let mut covered = vec![false; defs.len()];
+    if attached {
+        for i in 0..defs.len() {
+            for j in 0..i {
+                if !covered[j]
+                    && defs[i].target == defs[j].target
+                    && index.supers_of(i as u32).contains(&(j as u32))
+                    && index.subs_of(i as u32).contains(&(j as u32))
+                {
+                    covered[i] = true;
+                    break;
+                }
+            }
+        }
+    }
+    let mut plans = Vec::new();
+    let mut units = Vec::new();
+    let mut seq = 0usize;
+    // Covered definitions reserve one sequence slot each (report rows are
+    // merged by seq, so their violations land in definition order) but
+    // emit no work units; their rows are resolved from memo bits after
+    // the run.
+    let mut deferred: Vec<(usize, usize)> = Vec::new();
+    for (d, def) in defs.iter().enumerate() {
+        let targets = std::mem::take(&mut target_lists[d]);
+        if covered[d] {
+            deferred.push((seq, d));
+            seq += 1;
+        } else {
+            let nnf = Nnf::from_shape(&def.shape);
+            let chunk = chunk_len(targets.len(), threads);
+            let mut spans = Vec::new();
+            spans_for(targets.len(), chunk, d, &mut seq, &mut spans);
+            for s in spans {
+                units.push(WorkUnit {
+                    cost: unit_cost(schema, &nnf, s.hi - s.lo),
+                    item: s,
+                });
+            }
+        }
+        plans.push(DefPlan {
+            name: &def.name,
+            shape: Shape::HasShape(def.name.clone()),
+            targets,
+        });
+    }
+    let (per_worker, mut stats) = run(
+        units,
+        threads,
+        |_| {
+            (
+                Context::with_memo(schema, graph, Arc::clone(&memo)),
+                Vec::<UnitOut>::new(),
+            )
+        },
+        |(ctx, out), span: Span| {
+            let plan = &plans[span.def];
+            let nodes = &plan.targets[span.lo..span.hi];
+            let decisions = ctx.conforms_all(nodes, &plan.shape);
+            let mut violations = Vec::new();
+            for (node, ok) in nodes.iter().zip(decisions) {
+                if !ok {
+                    violations.push(violation(graph, plan.name, *node));
+                }
+            }
+            out.push((span.seq, nodes.len(), violations));
+        },
+        |_, (_, out)| out,
+    );
+    let mut rows = per_worker;
+    if !deferred.is_empty() {
+        let mut ctx = Context::with_memo(schema, graph, Arc::clone(&memo));
+        let mut extra: Vec<UnitOut> = Vec::new();
+        for (slot, d) in deferred {
+            let plan = &plans[d];
+            let mut violations = Vec::new();
+            for &node in &plan.targets {
+                let ok = match memo.lookup_or_derive(d as u32, node) {
+                    Some(v) => v,
+                    // Defensive: the representative should have decided
+                    // every shared target, but an underivable pair is
+                    // simply evaluated (still exact).
+                    None => ctx.conforms_all(&[node], &plan.shape)[0],
+                };
+                if !ok {
+                    violations.push(violation(graph, plan.name, node));
+                }
+            }
+            extra.push((slot, plan.targets.len(), violations));
+        }
+        rows.push(extra);
+    }
+    stats.shapes_skipped = covered.iter().filter(|&&c| c).count() as u64;
+    stats.checks_derived = memo.containment_counters().0;
+    stats.targets_deduped = targets_deduped;
+    (merge_report(rows), stats)
 }
 
 /// Resource-governed [`validate_batch_par`]: every worker runs under its
@@ -263,7 +407,7 @@ pub fn validate_batch_par_governed<G: GraphAccess>(
         }
         plans.push(DefPlan {
             name: &def.name,
-            shape: &def.shape,
+            shape: Shape::HasShape(def.name.clone()),
             targets,
         });
     }
@@ -295,7 +439,7 @@ pub fn validate_batch_par_governed<G: GraphAccess>(
             }
             let plan = &plans[span.def];
             let nodes = &plan.targets[span.lo..span.hi];
-            let decisions = ctx.conforms_all(nodes, plan.shape);
+            let decisions = ctx.conforms_all(nodes, &plan.shape);
             if let Some(e) = ctx.take_fault() {
                 record_fault(span.seq, e);
                 return;
@@ -566,6 +710,59 @@ mod tests {
             assert_eq!(sequential, parallel, "threads = {threads}");
             assert!(stats.units > 0);
         }
+    }
+
+    #[test]
+    fn containment_parallel_is_bit_identical_and_skips() {
+        let g = chain_graph(300).freeze();
+        // Labelled2 duplicates Labelled; Labelled1of2 is weaker than both.
+        let target = Shape::geq(1, p("type"), Shape::has_value(term("Node")));
+        let schema = Schema::new([
+            ShapeDef::new(
+                term("Labelled"),
+                Shape::geq(2, p("label").or(p("alt")), Shape::True),
+                target.clone(),
+            ),
+            ShapeDef::new(
+                term("Labelled1of2"),
+                Shape::geq(1, p("label").or(p("alt")), Shape::True),
+                target.clone(),
+            ),
+            ShapeDef::new(
+                term("Labelled2"),
+                Shape::geq(2, p("label").or(p("alt")), Shape::True),
+                target.clone(),
+            ),
+            ShapeDef::new(
+                term("Reaches"),
+                Shape::geq(1, p("next").star(), Shape::has_value(term("n0"))),
+                target,
+            ),
+        ])
+        .unwrap();
+        let matrix = shapefrag_analyze::ContainmentMatrix::of_schema(&schema);
+        let index = Arc::new(matrix.to_index(&schema));
+        let sequential = shapefrag_shacl::validate_batch(&schema, &g);
+        for threads in [1, 2, 4] {
+            let (report, stats) =
+                validate_batch_par_containment(&schema, &g, threads, Arc::clone(&index));
+            assert_eq!(sequential, report, "threads = {threads}");
+            assert_eq!(stats.shapes_skipped, 1, "threads = {threads}");
+            assert_eq!(stats.targets_deduped, 3, "threads = {threads}");
+            assert!(stats.checks_derived > 0, "threads = {threads}");
+        }
+        // A mismatched index is refused and the run stays exact.
+        let other = Schema::new([ShapeDef::new(
+            term("Only"),
+            Shape::geq(1, p("label"), Shape::True),
+            Shape::True,
+        )])
+        .unwrap();
+        let stale =
+            Arc::new(shapefrag_analyze::ContainmentMatrix::of_schema(&other).to_index(&other));
+        let (report, stats) = validate_batch_par_containment(&schema, &g, 2, stale);
+        assert_eq!(sequential, report);
+        assert_eq!(stats.shapes_skipped, 0);
     }
 
     #[test]

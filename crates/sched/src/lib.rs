@@ -51,6 +51,17 @@ pub struct RunStats {
     pub busy_nanos: u64,
     /// Summed wall-clock nanoseconds workers spent looking for work.
     pub idle_nanos: u64,
+    /// Shape definitions the planner settled without evaluation (answers
+    /// derived from an equivalent definition's memo bits). Filled by the
+    /// containment-aware drivers; the scheduler itself leaves it 0.
+    pub shapes_skipped: u64,
+    /// `(shape, node)` conformance answers derived through containment
+    /// edges instead of evaluation. Filled by the drivers.
+    pub checks_derived: u64,
+    /// Target lists reused from an earlier definition with a syntactically
+    /// identical target shape, instead of re-resolving. Filled by the
+    /// drivers.
+    pub targets_deduped: u64,
 }
 
 impl RunStats {
@@ -140,10 +151,8 @@ where
             RunStats {
                 threads: 1,
                 units: executed,
-                steals: 0,
-                refills: 0,
                 busy_nanos: busy,
-                idle_nanos: 0,
+                ..RunStats::default()
             },
         );
     }

@@ -150,14 +150,20 @@ pub(crate) fn load_source(source: &SnapshotSource) -> Result<(Arc<Schema>, Graph
     Ok((Arc::new(schema), graph))
 }
 
-/// Freezes a graph into a published-ready snapshot.
+/// Freezes a graph into a published-ready snapshot. The containment
+/// matrix is computed here, once per schema load — every request against
+/// the epoch shares it.
 pub(crate) fn build_snapshot(epoch: u64, schema: Arc<Schema>, graph: Graph) -> Snapshot {
     let triples = graph.len();
+    let matrix = Arc::new(shapefrag_analyze::ContainmentMatrix::of_schema(&schema));
+    let containment = Arc::new(matrix.to_index(&schema));
     Snapshot {
         epoch,
         schema,
         frozen: Arc::new(graph.freeze()),
         delta: None,
+        matrix,
+        containment,
         triples,
         delta_added: 0,
         delta_removed: 0,
@@ -180,6 +186,9 @@ pub struct ServerState {
     /// dropped on `POST /reload`. The mutex serializes writers; readers
     /// never touch it (they work off the published snapshot).
     pub updater: Mutex<Option<state::Updater>>,
+    /// Per-epoch `POST /fragment` response cache keyed by representative
+    /// shape name; rolled (cleared) whenever the epoch moves.
+    pub fragments: Mutex<state::FragmentCache>,
     shutdown: AtomicBool,
     open_conns: AtomicUsize,
 }
@@ -226,6 +235,7 @@ impl Server {
             started: Instant::now(),
             cancel: CancelToken::new(),
             updater: Mutex::new(None),
+            fragments: Mutex::new(state::FragmentCache::default()),
             shutdown: AtomicBool::new(false),
             open_conns: AtomicUsize::new(0),
         });

@@ -15,13 +15,15 @@
 //! - **no torn reads are possible**: a snapshot is frozen before it is
 //!   published, and the `Arc` it travels in is immutable.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
+use shapefrag_analyze::ContainmentMatrix;
 use shapefrag_core::IncrementalValidator;
-use shapefrag_rdf::{DeltaGraph, FrozenGraph};
-use shapefrag_shacl::Schema;
+use shapefrag_rdf::{DeltaGraph, FrozenGraph, Term};
+use shapefrag_shacl::{ContainmentIndex, Schema};
 
 /// One immutable published epoch: a schema and a frozen data graph,
 /// optionally overlaid with the continuous-ingest delta.
@@ -35,6 +37,13 @@ pub struct Snapshot {
     /// merged view. `None` after boot, `POST /reload`, or
     /// `POST /compact`.
     pub delta: Option<Arc<DeltaGraph>>,
+    /// Containment matrix of the resident schema (computed once per
+    /// schema; epochs that keep the schema share the `Arc`). Drives the
+    /// fragment cache's representative lookup.
+    pub matrix: Arc<ContainmentMatrix>,
+    /// The matrix lowered to validator adjacency, ready to attach to a
+    /// [`shapefrag_shacl::ConformanceMemo`].
+    pub containment: Arc<ContainmentIndex>,
     /// Triples in the published view (base − removed + added).
     pub triples: usize,
     /// Overlay additions (0 without a delta).
@@ -51,6 +60,31 @@ pub struct Snapshot {
 pub struct Updater {
     pub inc: IncrementalValidator,
     pub epoch: u64,
+}
+
+/// The per-epoch fragment cache behind `POST /fragment`: finished
+/// N-Triples bodies keyed by the *representative* shape name — the first
+/// definition (in schema order) whose `(shape, target)` is syntactically
+/// identical to the requested one among its matrix-equivalence class. A
+/// request for a duplicated definition is answered from its twin's bytes
+/// without touching the graph. Cleared on every epoch move (any edit can
+/// change fragment contents).
+#[derive(Debug, Default)]
+pub struct FragmentCache {
+    /// Epoch the entries were computed against.
+    pub epoch: u64,
+    /// Representative shape name → finished response body.
+    pub entries: BTreeMap<Term, Arc<String>>,
+}
+
+impl FragmentCache {
+    /// Drops stale entries if the cache was built for another epoch.
+    pub fn roll_to(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.epoch = epoch;
+            self.entries.clear();
+        }
+    }
 }
 
 /// The swap cell. See the module docs for the protocol.
@@ -124,6 +158,16 @@ pub struct Stats {
     /// Cumulative microseconds admitted requests spent executing their
     /// handler (service time proper, gate wait excluded).
     pub service_us: AtomicU64,
+    /// Containment reuse events: fragment bodies served from an
+    /// equivalent definition's cache entry, plus conformance bits derived
+    /// through subsumption edges during `/validate`.
+    pub containment_hits: AtomicU64,
+    /// Containment lookups that found nothing reusable and fell through
+    /// to real work.
+    pub containment_misses: AtomicU64,
+    /// Definitions `/validate` settled without evaluating their shape
+    /// body (fully derived from an equivalent definition).
+    pub shapes_skipped: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
     /// Connections refused because the connection cap was reached.
@@ -179,6 +223,8 @@ impl Stats {
                 "\"queue_wait_us\":{},\"service_us\":{},",
                 "\"received\":{},\"admitted\":{},\"shed\":{},\"panics\":{},",
                 "\"reloads\":{},\"updates\":{},\"compactions\":{},",
+                "\"containment_hits\":{},\"containment_misses\":{},",
+                "\"shapes_skipped\":{},",
                 "\"connections\":{},\"connections_refused\":{},",
                 "\"status\":{{\"2xx\":{},\"400\":{},\"404\":{},\"405\":{},",
                 "\"429\":{},\"499\":{},\"500\":{},\"503\":{},\"504\":{}}}}}"
@@ -201,6 +247,9 @@ impl Stats {
             g(&self.reloads),
             g(&self.updates),
             g(&self.compactions),
+            g(&self.containment_hits),
+            g(&self.containment_misses),
+            g(&self.shapes_skipped),
             g(&self.connections),
             g(&self.conn_refused),
             g(&self.s2xx),
@@ -240,11 +289,16 @@ mod tests {
 
     fn snap(epoch: u64) -> Snapshot {
         let g = Graph::new();
+        let schema = Arc::new(Schema::empty());
+        let matrix = Arc::new(ContainmentMatrix::of_schema(&schema));
+        let containment = Arc::new(matrix.to_index(&schema));
         Snapshot {
             epoch,
-            schema: Arc::new(Schema::empty()),
+            schema,
             frozen: Arc::new(g.freeze()),
             delta: None,
+            matrix,
+            containment,
             triples: 0,
             delta_added: 0,
             delta_removed: 0,

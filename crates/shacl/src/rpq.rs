@@ -308,6 +308,112 @@ impl Nfa {
         out
     }
 
+    /// Sound language-inclusion test: `true` means every word accepted by
+    /// `self` is accepted by `other`, hence `⟦E⟧^G(a) ⊆ ⟦F⟧^G(a)` on every
+    /// graph and every start node (identity pairs included — the empty word
+    /// is a word like any other). `false` means inclusion could not be
+    /// *established*, never that it is refuted.
+    ///
+    /// The infinite property alphabet is abstracted to the properties
+    /// mentioned by either automaton plus one fresh "unmentioned property"
+    /// wildcard per direction; this is exact because a [`Label::NegProp`]
+    /// transition treats all unmentioned properties alike. Over that finite
+    /// alphabet the check walks the product of `self` with the on-the-fly
+    /// determinization of `other` looking for a state that accepts in
+    /// `self` but not in `other`; both sides are kept as ε-closed state
+    /// sets. The walk gives up (returns `false`) once the product exceeds
+    /// an internal cap, which keeps the worst case bounded on
+    /// adversarially nested expressions.
+    pub fn language_included_in(&self, other: &Nfa) -> bool {
+        const PRODUCT_CAP: usize = 4096;
+        let mut props: BTreeSet<&Iri> = BTreeSet::new();
+        for steps in self.steps.iter().chain(other.steps.iter()) {
+            for (label, _, _) in steps {
+                match label {
+                    Label::Prop(p) => {
+                        props.insert(p);
+                    }
+                    Label::NegProp(ps) => props.extend(ps.iter()),
+                }
+            }
+        }
+        // A symbol is `(Some(p), inverse)` for a mentioned property or
+        // `(None, inverse)` for the per-direction wildcard.
+        let mut symbols: Vec<(Option<&Iri>, bool)> = Vec::new();
+        for dir in [false, true] {
+            symbols.extend(props.iter().map(|p| (Some(*p), dir)));
+            symbols.push((None, dir));
+        }
+        let matches = |label: &Label, inv: bool, sym: (Option<&Iri>, bool)| {
+            inv == sym.1
+                && match (label, sym.0) {
+                    (Label::Prop(p), Some(q)) => p == q,
+                    (Label::Prop(_), None) => false,
+                    (Label::NegProp(ps), Some(q)) => !ps.contains(q),
+                    (Label::NegProp(_), None) => true,
+                }
+        };
+        let start = (
+            self.set_closure(vec![self.start]),
+            other.set_closure(vec![other.start]),
+        );
+        let mut seen: std::collections::HashSet<(Vec<u32>, Vec<u32>)> =
+            std::collections::HashSet::new();
+        seen.insert(start.clone());
+        let mut work = vec![start];
+        while let Some((sa, sb)) = work.pop() {
+            if sa.contains(&self.accept) && !sb.contains(&other.accept) {
+                return false;
+            }
+            for &sym in &symbols {
+                let next_a: Vec<u32> = sa
+                    .iter()
+                    .flat_map(|&q| self.steps[q as usize].iter())
+                    .filter(|(label, inv, _)| matches(label, *inv, sym))
+                    .map(|(_, _, n)| *n)
+                    .collect();
+                if next_a.is_empty() {
+                    // `self` has no continuation on this symbol, so no
+                    // word of `self` goes this way.
+                    continue;
+                }
+                let next_b: Vec<u32> = sb
+                    .iter()
+                    .flat_map(|&q| other.steps[q as usize].iter())
+                    .filter(|(label, inv, _)| matches(label, *inv, sym))
+                    .map(|(_, _, n)| *n)
+                    .collect();
+                let state = (self.set_closure(next_a), other.set_closure(next_b));
+                if seen.contains(&state) {
+                    continue;
+                }
+                if seen.len() >= PRODUCT_CAP {
+                    return false;
+                }
+                seen.insert(state.clone());
+                work.push(state);
+            }
+        }
+        true
+    }
+
+    /// ε-closure of a state set, sorted and deduplicated (so closures are
+    /// usable as visited-set keys).
+    fn set_closure(&self, seed: Vec<u32>) -> Vec<u32> {
+        let mut seen = vec![false; self.state_count()];
+        let mut stack = seed;
+        let mut out = Vec::new();
+        while let Some(q) = stack.pop() {
+            if std::mem::replace(&mut seen[q as usize], true) {
+                continue;
+            }
+            out.push(q);
+            stack.extend(self.eps[q as usize].iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// ε-closure of one state (iterative DFS).
     fn eps_closure(&self, from: u32) -> Vec<u32> {
         let mut seen = vec![false; self.state_count()];
@@ -1268,6 +1374,71 @@ mod tests {
     fn simple_property() {
         let g = Graph::from_triples([t("a", "p", "b"), t("a", "p", "c"), t("b", "p", "d")]);
         assert_eq!(eval(&g, &p("p"), "a"), BTreeSet::from([n("b"), n("c")]));
+    }
+
+    fn included(a: &PathExpr, b: &PathExpr) -> bool {
+        Nfa::compile(a).language_included_in(&Nfa::compile(b))
+    }
+
+    #[test]
+    fn language_inclusion_basic() {
+        // Reflexivity and alternation weakening.
+        assert!(included(&p("p"), &p("p")));
+        assert!(included(&p("p"), &p("p").or(p("q"))));
+        assert!(!included(&p("p").or(p("q")), &p("p")));
+        // Star absorbs repetitions and options.
+        assert!(included(&p("p"), &p("p").star()));
+        assert!(included(&p("p").then(p("p")), &p("p").star()));
+        assert!(included(&p("p").opt(), &p("p").star()));
+        assert!(!included(&p("p").star(), &p("p").opt()));
+        assert!(!included(&p("p").star(), &p("p")));
+        // Nullability matters: p* accepts the empty word, p/p* does not.
+        assert!(included(&p("p").plus(), &p("p").star()));
+        assert!(!included(&p("p").star(), &p("p").plus()));
+    }
+
+    #[test]
+    fn language_inclusion_direction_sensitive() {
+        assert!(included(&p("p").inverse(), &p("p").inverse()));
+        assert!(!included(&p("p").inverse(), &p("p")));
+        assert!(!included(&p("p"), &p("p").inverse()));
+        // (p/q)⁻ and q⁻/p⁻ are the same language.
+        let a = p("p").then(p("q")).inverse();
+        let b = p("q").inverse().then(p("p").inverse());
+        assert!(included(&a, &b));
+        assert!(included(&b, &a));
+    }
+
+    #[test]
+    fn language_inclusion_negated_sets() {
+        let not_q = PathExpr::neg_props([iri("q")]);
+        let not_pq = PathExpr::neg_props([iri("p"), iri("q")]);
+        // p ∉ {q}, so a p-step is one of !(q)'s steps.
+        assert!(included(&p("p"), &not_q));
+        assert!(!included(&p("q"), &not_q));
+        // Bigger excluded set ⇒ smaller language.
+        assert!(included(&not_pq, &not_q));
+        assert!(!included(&not_q, &not_pq));
+        // The wildcard: !(q) takes properties nobody mentions, p doesn't.
+        assert!(!included(&not_q, &p("p")));
+        assert!(included(
+            &PathExpr::any_prop(),
+            &PathExpr::any_prop().star()
+        ));
+    }
+
+    #[test]
+    fn language_inclusion_mixed_structure() {
+        // (p|q)/r ⊆ (p/r) | (q/r) and back — distributivity.
+        let a = p("p").or(p("q")).then(p("r"));
+        let b = p("p").then(p("r")).or(p("q").then(p("r")));
+        assert!(included(&a, &b));
+        assert!(included(&b, &a));
+        // (p*)* ≡ p*.
+        assert!(included(&p("p").star().star(), &p("p").star()));
+        assert!(included(&p("p").star(), &p("p").star().star()));
+        // p/q ⊄ q/p.
+        assert!(!included(&p("p").then(p("q")), &p("q").then(p("p"))));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -51,6 +52,105 @@ pub struct ConformanceMemo {
     /// Fingerprint of the `(schema, graph)` pair this memo is bound to;
     /// `None` until the first attachment (or after [`ConformanceMemo::clear`]).
     binding: RwLock<Option<(u64, u64)>>,
+    /// Optional subsumption index enabling derived answers: a bit decided
+    /// for one shape can settle related shapes without re-evaluation. See
+    /// [`ConformanceMemo::attach_containment`].
+    containment: RwLock<Option<Arc<ContainmentIndex>>>,
+    /// Lookups answered through a containment edge rather than a direct bit.
+    containment_hits: AtomicU64,
+    /// Lookups where the index was attached but no related bit applied.
+    containment_misses: AtomicU64,
+}
+
+/// Adjacency form of a schema's proven containment relation, consumed by
+/// [`ConformanceMemo`] for subsumption-keyed reuse. Shape ids are the
+/// dense [`Schema::name_id`] ids; an edge `(sub, sup)` asserts that every
+/// `sub`-conformant node is `sup`-conformant. The index is stamped with
+/// [`schema_fingerprint`] of the schema it was computed for, so a memo
+/// bound to a different schema refuses it.
+///
+/// The analyze crate's `ContainmentMatrix` produces these; this type is a
+/// plain data holder so the validator does not depend on the analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct ContainmentIndex {
+    /// `supers[s]`: shapes properly containing `s` (a `false` there derives
+    /// `false` for `s`).
+    supers: Vec<Vec<u32>>,
+    /// `subs[s]`: shapes properly contained in `s` (a `true` there derives
+    /// `true` for `s`).
+    subs: Vec<Vec<u32>>,
+    schema_fp: u64,
+}
+
+impl ContainmentIndex {
+    /// Builds the adjacency lists from proper containment edges
+    /// `(sub, sup)` over `shapes` dense ids.
+    pub fn from_edges(shapes: usize, edges: &[(u32, u32)], schema_fp: u64) -> ContainmentIndex {
+        let mut supers = vec![Vec::new(); shapes];
+        let mut subs = vec![Vec::new(); shapes];
+        for &(sub, sup) in edges {
+            supers[sub as usize].push(sup);
+            subs[sup as usize].push(sub);
+        }
+        ContainmentIndex {
+            supers,
+            subs,
+            schema_fp,
+        }
+    }
+
+    /// Fingerprint of the schema the edges were proven over.
+    pub fn schema_fp(&self) -> u64 {
+        self.schema_fp
+    }
+
+    /// Shapes properly containing `sid`.
+    pub fn supers_of(&self, sid: u32) -> &[u32] {
+        self.supers.get(sid as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Shapes properly contained in `sid`.
+    pub fn subs_of(&self, sid: u32) -> &[u32] {
+        self.subs.get(sid as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// True iff the index holds no edges at all.
+    pub fn is_trivial(&self) -> bool {
+        self.supers.iter().all(Vec::is_empty)
+    }
+
+    /// Every shape whose memo bits can transitively derive from — or flow
+    /// into — bits of `seed`: the union of the forward closure over
+    /// `supers` (true bits propagate sub → sup) and the backward closure
+    /// over `subs` (false bits propagate sup → sub), including `seed`
+    /// itself. This is the set the incremental engine must invalidate
+    /// together with an impacted shape.
+    pub fn related_closure(&self, seed: u32) -> Vec<u32> {
+        let n = self.supers.len();
+        let mut out: BTreeSet<u32> = BTreeSet::new();
+        out.insert(seed);
+        for forward in [true, false] {
+            let mut seen = vec![false; n];
+            if (seed as usize) < n {
+                seen[seed as usize] = true;
+            }
+            let mut work = vec![seed];
+            while let Some(s) = work.pop() {
+                let next = if forward {
+                    self.supers_of(s)
+                } else {
+                    self.subs_of(s)
+                };
+                for &t in next {
+                    if !std::mem::replace(&mut seen[t as usize], true) {
+                        out.insert(t);
+                        work.push(t);
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
 }
 
 impl Default for ConformanceMemo {
@@ -67,7 +167,38 @@ impl ConformanceMemo {
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             binding: RwLock::new(None),
+            containment: RwLock::new(None),
+            containment_hits: AtomicU64::new(0),
+            containment_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a containment index, enabling subsumption-derived answers.
+    /// Refused (returning `false`, leaving the memo without an index) when
+    /// the memo is already bound to a schema with a different fingerprint —
+    /// a matrix computed for another schema must never derive bits here.
+    pub fn attach_containment(&self, index: Arc<ContainmentIndex>) -> bool {
+        if let Some((schema_fp, _)) = *self.binding.read() {
+            if schema_fp != index.schema_fp {
+                return false;
+            }
+        }
+        *self.containment.write() = Some(index);
+        true
+    }
+
+    /// The attached containment index, if any.
+    pub fn containment(&self) -> Option<Arc<ContainmentIndex>> {
+        self.containment.read().clone()
+    }
+
+    /// `(derived answers, derivation attempts that found nothing)` since
+    /// construction. Both stay 0 until an index is attached.
+    pub fn containment_counters(&self) -> (u64, u64) {
+        (
+            self.containment_hits.load(Ordering::Relaxed),
+            self.containment_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Stripe index for a `(shape, node)` key: multiplicative (Fibonacci)
@@ -85,6 +216,42 @@ impl ConformanceMemo {
     /// Looks up a decided fact.
     pub fn lookup(&self, shape: u32, node: TermId) -> Option<bool> {
         self.shard(shape, node).read().get(&(shape, node)).copied()
+    }
+
+    /// [`ConformanceMemo::lookup`] extended with subsumption derivation:
+    /// on a direct miss, a `true` bit of any shape contained in `shape`
+    /// proves `true` here, and a `false` bit of any shape containing
+    /// `shape` proves `false`. Derived answers are written back as regular
+    /// bits (they are genuine conformance facts) and counted in
+    /// [`ConformanceMemo::containment_counters`].
+    pub fn lookup_or_derive(&self, shape: u32, node: TermId) -> Option<bool> {
+        if let Some(v) = self.lookup(shape, node) {
+            return Some(v);
+        }
+        let index = self.containment.read().clone()?;
+        let derived = index
+            .subs_of(shape)
+            .iter()
+            .find(|&&sub| self.lookup(sub, node) == Some(true))
+            .map(|_| true)
+            .or_else(|| {
+                index
+                    .supers_of(shape)
+                    .iter()
+                    .find(|&&sup| self.lookup(sup, node) == Some(false))
+                    .map(|_| false)
+            });
+        match derived {
+            Some(v) => {
+                self.containment_hits.fetch_add(1, Ordering::Relaxed);
+                self.insert(shape, node, v);
+                Some(v)
+            }
+            None => {
+                self.containment_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Records a decided fact.
@@ -114,6 +281,12 @@ impl ConformanceMemo {
             Some(bound) => bound == fingerprint,
             None => {
                 *slot = Some(fingerprint);
+                // An index attached before the first binding was taken on
+                // trust; now that the schema is known, drop a mismatch.
+                let mut idx = self.containment.write();
+                if idx.as_ref().is_some_and(|i| i.schema_fp != fingerprint.0) {
+                    *idx = None;
+                }
                 true
             }
         }
@@ -143,7 +316,14 @@ impl ConformanceMemo {
     /// differ between the old and new graph (and the id space is shared,
     /// as it is along a delta/compaction lineage).
     pub fn rebind<G: GraphAccess>(&self, schema: &Schema, graph: &G) {
-        *self.binding.write() = Some(memo_fingerprint(schema, graph));
+        let fingerprint = memo_fingerprint(schema, graph);
+        *self.binding.write() = Some(fingerprint);
+        // A containment index proven over a different schema must not
+        // survive the rebind.
+        let mut idx = self.containment.write();
+        if idx.as_ref().is_some_and(|i| i.schema_fp != fingerprint.0) {
+            *idx = None;
+        }
     }
 
     /// Forgets every decided fact *and* the binding, returning the memo to
@@ -155,6 +335,9 @@ impl ConformanceMemo {
             shard.write().clear();
         }
         *self.binding.write() = None;
+        *self.containment.write() = None;
+        self.containment_hits.store(0, Ordering::Relaxed);
+        self.containment_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -166,18 +349,26 @@ impl ConformanceMemo {
 /// cross-pair reuse, not a cryptographic content hash.
 fn memo_fingerprint<G: GraphAccess>(schema: &Schema, graph: &G) -> (u64, u64) {
     use std::hash::{Hash, Hasher};
-    let mut hs = std::collections::hash_map::DefaultHasher::new();
-    schema.len().hash(&mut hs);
-    for def in schema.iter() {
-        def.name.hash(&mut hs);
-    }
     let mut hg = std::collections::hash_map::DefaultHasher::new();
     graph.len().hash(&mut hg);
     graph.term_count().hash(&mut hg);
     for triple in graph.iter_ids().take(32) {
         triple.hash(&mut hg);
     }
-    (hs.finish(), hg.finish())
+    (schema_fingerprint(schema), hg.finish())
+}
+
+/// The schema half of the memo fingerprint, exposed so a
+/// [`ContainmentIndex`] can be stamped with the schema it was proven over
+/// (and refused by a memo bound to any other schema).
+pub fn schema_fingerprint(schema: &Schema) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hs = std::collections::hash_map::DefaultHasher::new();
+    schema.len().hash(&mut hs);
+    for def in schema.iter() {
+        def.name.hash(&mut hs);
+    }
+    hs.finish()
 }
 
 /// Evaluation context: a schema, a graph, and the path-compilation cache.
@@ -507,7 +698,7 @@ impl<'a, G: GraphAccess> Context<'a, G> {
         let memo = self.memo.clone();
         if let Some(memo) = memo {
             if let Some(sid) = self.schema.name_id(name) {
-                if let Some(decided) = memo.lookup(sid, node) {
+                if let Some(decided) = memo.lookup_or_derive(sid, node) {
                     return decided;
                 }
                 let def = self.schema.def(name);
@@ -820,16 +1011,56 @@ impl<'a, G: GraphAccess> Context<'a, G> {
         };
         let mut out = vec![false; nodes.len()];
         let mut missing: Vec<usize> = Vec::new();
+        let index = memo.containment();
+        let mut derived: Vec<(TermId, bool)> = Vec::new();
         {
             // Pin every stripe for read once, then the scan is lock-free
             // per node (readers share stripes; only writers exclude).
             let tables: Vec<_> = memo.shards.iter().map(|s| s.read()).collect();
+            let probe = |shape: u32, node: TermId| -> Option<bool> {
+                tables[ConformanceMemo::shard_index(shape, node)]
+                    .get(&(shape, node))
+                    .copied()
+            };
             for (i, &node) in nodes.iter().enumerate() {
-                match tables[ConformanceMemo::shard_index(sid, node)].get(&(sid, node)) {
-                    Some(&v) => out[i] = v,
-                    None => missing.push(i),
+                if let Some(v) = probe(sid, node) {
+                    out[i] = v;
+                    continue;
+                }
+                // Subsumption derivation against the same pinned tables: a
+                // true bit of a contained shape, or a false bit of a
+                // containing shape, settles this pair without evaluation.
+                let from_index = index.as_ref().and_then(|idx| {
+                    idx.subs_of(sid)
+                        .iter()
+                        .find(|&&sub| probe(sub, node) == Some(true))
+                        .map(|_| true)
+                        .or_else(|| {
+                            idx.supers_of(sid)
+                                .iter()
+                                .find(|&&sup| probe(sup, node) == Some(false))
+                                .map(|_| false)
+                        })
+                });
+                match from_index {
+                    Some(v) => {
+                        out[i] = v;
+                        derived.push((node, v));
+                        memo.containment_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        if index.is_some() {
+                            memo.containment_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        missing.push(i);
+                    }
                 }
             }
+        }
+        // Write back derived bits only after the pinned read guards are
+        // dropped (insert takes a write lock on the same stripes).
+        for &(node, v) in &derived {
+            memo.insert(sid, node, v);
         }
         if !missing.is_empty() {
             let mut uniq_vec: Vec<TermId> = missing.iter().map(|&i| nodes[i]).collect();
@@ -1162,7 +1393,13 @@ pub fn validate_batch_with_memo<G: GraphAccess>(
     let mut report = ValidationReport::default();
     for def in schema.iter() {
         let targets: Vec<TermId> = ctx.target_nodes(&def.target).into_iter().collect();
-        let conforming = ctx.conforms_all(&targets, &def.shape);
+        // Route the top-level check through the *named* path so the
+        // definition's own bits land in the memo (`def(name)` defaults to
+        // the definition's shape, so the answers are identical). Named
+        // bits are what makes subsumption derivation and cross-def reuse
+        // possible.
+        let shape = Shape::HasShape(def.name.clone());
+        let conforming = ctx.conforms_all(&targets, &shape);
         report.checked += targets.len();
         for (node, ok) in targets.iter().zip(conforming) {
             if !ok {
@@ -1174,6 +1411,107 @@ pub fn validate_batch_with_memo<G: GraphAccess>(
         }
     }
     report
+}
+
+/// Which definitions a containment-aware driver can settle without any
+/// shape-body evaluation: definition `i` is covered when an earlier
+/// definition with a provably *equivalent* shape and a syntactically
+/// identical target has already run, so every one of `i`'s target bits
+/// derives from the earlier definition's memo entries.
+fn covered_defs(schema: &Schema, index: Option<&ContainmentIndex>) -> Vec<bool> {
+    let defs: Vec<&crate::schema::ShapeDef> = schema.iter().collect();
+    let mut covered = vec![false; defs.len()];
+    let Some(index) = index else {
+        return covered;
+    };
+    for i in 0..defs.len() {
+        debug_assert_eq!(schema.name_id(&defs[i].name), Some(i as u32));
+        for j in 0..i {
+            if !covered[j]
+                && defs[i].target == defs[j].target
+                && index.supers_of(i as u32).contains(&(j as u32))
+                && index.subs_of(i as u32).contains(&(j as u32))
+            {
+                covered[i] = true;
+                break;
+            }
+        }
+    }
+    covered
+}
+
+/// [`validate_batch_with_memo`] with subsumption-keyed reuse: the memo's
+/// attached [`ContainmentIndex`] (see
+/// [`ConformanceMemo::attach_containment`]) lets decided bits of related
+/// shapes answer top-level checks without evaluation. Returns the report —
+/// bit-identical to the other drivers' — plus the number of definitions
+/// that needed no shape-body evaluation at all (fully derived from an
+/// equivalent definition's bits).
+pub fn validate_batch_containment<G: GraphAccess>(
+    schema: &Schema,
+    graph: &G,
+    memo: Arc<ConformanceMemo>,
+) -> (ValidationReport, u64) {
+    let covered = covered_defs(schema, memo.containment().as_deref());
+    let mut ctx = Context::with_memo(schema, graph, memo);
+    let mut report = ValidationReport::default();
+    let mut skipped = 0u64;
+    for (i, def) in schema.iter().enumerate() {
+        let targets: Vec<TermId> = ctx.target_nodes(&def.target).into_iter().collect();
+        let shape = Shape::HasShape(def.name.clone());
+        let conforming = ctx.conforms_all(&targets, &shape);
+        report.checked += targets.len();
+        if covered[i] {
+            skipped += 1;
+        }
+        for (node, ok) in targets.iter().zip(conforming) {
+            if !ok {
+                report.violations.push(Violation {
+                    shape: def.name.clone(),
+                    focus: graph.term(*node).clone(),
+                });
+            }
+        }
+    }
+    (report, skipped)
+}
+
+/// Resource-governed [`validate_batch_containment`].
+pub fn validate_batch_containment_governed<G: GraphAccess>(
+    schema: &Schema,
+    graph: &G,
+    memo: Arc<ConformanceMemo>,
+    exec: ExecCtx,
+) -> Result<(ValidationReport, u64), EngineError> {
+    let covered = covered_defs(schema, memo.containment().as_deref());
+    let mut ctx = Context::with_memo(schema, graph, memo).with_exec(exec);
+    let mut report = ValidationReport::default();
+    let mut skipped = 0u64;
+    for (i, def) in schema.iter().enumerate() {
+        ctx.exec.check_now()?;
+        let targets: Vec<TermId> = ctx.target_nodes(&def.target).into_iter().collect();
+        if let Some(e) = ctx.take_fault() {
+            return Err(e);
+        }
+        let shape = Shape::HasShape(def.name.clone());
+        let conforming = ctx.conforms_all(&targets, &shape);
+        if let Some(e) = ctx.take_fault() {
+            return Err(e);
+        }
+        report.checked += targets.len();
+        if covered[i] {
+            skipped += 1;
+        }
+        for (node, ok) in targets.iter().zip(conforming) {
+            if !ok {
+                report.violations.push(Violation {
+                    shape: def.name.clone(),
+                    focus: graph.term(*node).clone(),
+                });
+            }
+        }
+    }
+    Ok((report, skipped))
 }
 
 /// Resource-governed [`validate`]: same report on success, or the first
@@ -1672,6 +2010,52 @@ mod tests {
         assert_eq!(memo.lookup(sid, g.id_of(&term("x")).unwrap()), Some(true));
         assert_eq!(memo.lookup(sid, g.id_of(&term("y")).unwrap()), Some(false));
         assert_eq!(report, validate(&schema, &g));
+    }
+
+    #[test]
+    fn containment_index_derives_bits_and_skips_equivalent_defs() {
+        // A ≥1 q (loose), B ≥2 q (strict, ⊑ A), C duplicates A. Dense ids
+        // follow name order: A=0, B=1, C=2.
+        let mk = |n: u32| Shape::geq(n, p("q"), Shape::True);
+        let target = Shape::geq(1, p("t"), Shape::True);
+        let schema = Schema::new([
+            ShapeDef::new(term("A"), mk(1), target.clone()),
+            ShapeDef::new(term("B"), mk(2), target.clone()),
+            ShapeDef::new(term("C"), mk(1), target.clone()),
+        ])
+        .unwrap();
+        let g = Graph::from_triples([
+            t("a", "t", "m"),
+            t("a", "q", "x"),
+            t("b", "t", "m"),
+            t("b", "q", "x"),
+            t("b", "q", "y"),
+            t("c", "t", "m"),
+        ]);
+        let index = Arc::new(ContainmentIndex::from_edges(
+            3,
+            &[(1, 0), (0, 2), (2, 0), (1, 2)],
+            schema_fingerprint(&schema),
+        ));
+        // Directed closure: bits of B flow up to A and C; bits of A flow
+        // both ways through the equivalence.
+        assert_eq!(index.related_closure(1), vec![0, 1, 2]);
+        assert_eq!(index.related_closure(0), vec![0, 1, 2]);
+        let memo = Arc::new(ConformanceMemo::new());
+        assert!(memo.attach_containment(Arc::clone(&index)));
+        let (report, skipped) = validate_batch_containment(&schema, &g, Arc::clone(&memo));
+        // C is fully derived from A's bits (equivalent shape, same target).
+        assert_eq!(skipped, 1);
+        let (hits, _) = memo.containment_counters();
+        assert!(hits > 0, "expected derived answers, got none");
+        // Bit-identical to the plain sequential driver.
+        assert_eq!(report, validate(&schema, &g));
+        // A memo bound to a different schema refuses the index.
+        let other = Schema::new([ShapeDef::new(term("Z"), mk(1), target)]).unwrap();
+        let memo2 = Arc::new(ConformanceMemo::new());
+        let _ = validate_batch_with_memo(&other, &g, Arc::clone(&memo2));
+        assert!(!memo2.attach_containment(index));
+        assert!(memo2.containment().is_none());
     }
 
     #[test]

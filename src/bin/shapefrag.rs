@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl] [--threads N] [--deadline-ms N] [--budget-steps N]
-//! shapefrag analyze   <shapes.ttl> [--json]
+//! shapefrag analyze   <shapes.ttl> [--json] [--containment]
 //! shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt] [--threads N] [--deadline-ms N] [--budget-steps N]
 //! shapefrag explain   <shapes.ttl> <data.(ttl|nt)> <focus-node-iri> [<shape-name-iri>]
 //! shapefrag translate <shapes.ttl> [<shape-name-iri>]
@@ -14,6 +14,10 @@
 //!   `sh:ValidationReport` Turtle document).
 //! - `analyze` runs the static schema analyzer and prints its findings
 //!   (text lines or JSON with `--json`), without needing a data graph.
+//!   `--containment` additionally computes the shape-containment matrix:
+//!   equivalence/subsumption findings (SF-W030/SF-W031) join the
+//!   diagnostic stream and the matrix itself is printed (text, or under
+//!   a `"containment"` key with `--json`).
 //! - `fragment` computes the schema's shape fragment `Frag(G, H)` and
 //!   writes it as N-Triples (stdout or `-o`).
 //! - `explain` prints why/why-not provenance for one focus node.
@@ -34,7 +38,10 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use shape_fragments::analyze::{analyze_defs, analyze_schema, has_deny, to_json, Diagnostic};
+use shape_fragments::analyze::{
+    analyze_defs, analyze_schema, containment_diagnostics, has_deny, to_json, ContainmentMatrix,
+    Diagnostic,
+};
 use shape_fragments::core::{
     explain, fragment_par, schema_fragment, schema_fragment_governed, to_sparql,
     validate_batch_par, validate_batch_par_governed, EditScript, IncrementalValidator,
@@ -79,7 +86,7 @@ impl From<String> for CliError {
 
 fn usage() -> String {
     "usage:\n  shapefrag validate  <shapes.ttl> <data.(ttl|nt)> [--report-ttl] [--threads N] [--deadline-ms N] [--budget-steps N]\n  \
-     shapefrag analyze   <shapes.ttl> [--json]\n  \
+     shapefrag analyze   <shapes.ttl> [--json] [--containment]\n  \
      shapefrag fragment  <shapes.ttl> <data.(ttl|nt)> [-o out.nt] [--threads N] [--deadline-ms N] [--budget-steps N]\n  \
      shapefrag explain   <shapes.ttl> <data.(ttl|nt)> <focus-node-iri> [<shape-name-iri>]\n  \
      shapefrag translate <shapes.ttl> [<shape-name-iri>]\n  \
@@ -206,22 +213,39 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, CliError> {
     let [shapes_path, rest @ ..] = args else {
         return Err(usage().into());
     };
-    if !rest.iter().all(|a| a == "--json") {
+    if !rest.iter().all(|a| a == "--json" || a == "--containment") {
         return Err(usage().into());
     }
-    let as_json = !rest.is_empty();
+    let as_json = rest.iter().any(|a| a == "--json");
+    let with_containment = rest.iter().any(|a| a == "--containment");
     let text = std::fs::read_to_string(shapes_path)
         .map_err(|e| format!("cannot read {shapes_path}: {e}"))?;
     // The defs entry point tolerates reference cycles, which the analyzer
     // itself reports (SF-E020/E021) instead of failing to load.
     let (defs, spans) =
         parse_shape_defs_turtle(&text).map_err(|e| format!("{shapes_path}: {e}"))?;
-    let diags = analyze_defs(&defs, Some(&spans));
+    let mut diags = analyze_defs(&defs, Some(&spans));
+    // --containment folds the subsumption matrix's SF-W030/W031 findings
+    // into the regular diagnostic stream and prints the matrix itself.
+    let matrix = with_containment.then(|| ContainmentMatrix::of_defs(&defs));
+    if let Some(m) = &matrix {
+        diags.extend(containment_diagnostics(m));
+    }
     if as_json {
-        print!("{}", to_json(&diags));
+        match &matrix {
+            Some(m) => print!(
+                "{{\"diagnostics\":{},\"containment\":{}}}",
+                to_json(&diags),
+                m.to_json()
+            ),
+            None => print!("{}", to_json(&diags)),
+        }
     } else {
         for d in &diags {
             println!("{d}");
+        }
+        if let Some(m) = &matrix {
+            print!("{}", m.render_text());
         }
         println!(
             "{} shape definition(s) analyzed: {} finding(s)",

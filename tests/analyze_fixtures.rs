@@ -3,7 +3,9 @@
 //! expected code (and, where the defect comes from Turtle text, that the
 //! span points at the offending constraint's line).
 
-use shape_fragments::analyze::{analyze_defs, codes, has_deny, Diagnostic, Severity};
+use shape_fragments::analyze::{
+    analyze_defs, codes, containment_diagnostics, has_deny, ContainmentMatrix, Diagnostic, Severity,
+};
 use shape_fragments::rdf::Term;
 use shape_fragments::shacl::node_test::NodeTest;
 use shape_fragments::shacl::parser::parse_shape_defs_turtle;
@@ -225,6 +227,112 @@ fn undefined_reference_is_w023() {
     let d = find(&diags, codes::UNDEFINED_REF);
     assert_eq!(d.severity, Severity::Warn);
     assert!(d.message.contains("Ghost"), "{d}");
+}
+
+/// Two definitions with syntactically different but provably equivalent
+/// shape expressions (W030): conformance answers are shared, one is
+/// redundant. Reported once per pair, attributed to the later name.
+#[test]
+fn equivalent_shapes_is_w030() {
+    let p = PathExpr::prop(shape_fragments::rdf::Iri::new("http://example.org/p"));
+    let target = Shape::HasValue(Term::iri("http://example.org/t"));
+    let defs = vec![
+        ShapeDef::new(
+            Term::iri("http://example.org/A"),
+            Shape::geq(1, p.clone(), Shape::True),
+            target.clone(),
+        ),
+        ShapeDef::new(
+            Term::iri("http://example.org/B"),
+            // And-wrapping with ⊤ is syntactic noise; the checker sees
+            // through it, so A ≡ B.
+            Shape::geq(1, p, Shape::True).and(Shape::True),
+            target,
+        ),
+    ];
+    let diags = containment_diagnostics(&ContainmentMatrix::of_defs(&defs));
+    let d = find(&diags, codes::EQUIVALENT_SHAPES);
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.code == codes::EQUIVALENT_SHAPES)
+            .count(),
+        1,
+        "one finding per equivalent pair: {diags:?}"
+    );
+    assert!(!diags.iter().any(|d| d.code == codes::SUBSUMED_SHAPE));
+}
+
+/// A definition properly subsumed by a weaker sibling (W031): `minCount 2`
+/// implies `minCount 1` on the same path, so wherever the targets overlap
+/// the checks do too.
+#[test]
+fn subsumed_shape_is_w031() {
+    let p = PathExpr::prop(shape_fragments::rdf::Iri::new("http://example.org/p"));
+    let target = Shape::HasValue(Term::iri("http://example.org/t"));
+    let defs = vec![
+        ShapeDef::new(
+            Term::iri("http://example.org/Narrow"),
+            Shape::geq(2, p.clone(), Shape::True),
+            target.clone(),
+        ),
+        ShapeDef::new(
+            Term::iri("http://example.org/Wide"),
+            Shape::geq(1, p, Shape::True),
+            target,
+        ),
+    ];
+    let diags = containment_diagnostics(&ContainmentMatrix::of_defs(&defs));
+    let d = find(&diags, codes::SUBSUMED_SHAPE);
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("Narrow"), "{d}");
+    assert!(!diags.iter().any(|d| d.code == codes::EQUIVALENT_SHAPES));
+}
+
+/// Repo invariant: every diagnostic code is registered exactly once in the
+/// `codes` module (codes are permanent API and never reused), and every
+/// registered code has at least one fixture in this file exercising it.
+#[test]
+fn every_diagnostic_code_registered_once_with_fixture() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let registry = std::fs::read_to_string(format!("{root}/crates/analyze/src/diagnostic.rs"))
+        .expect("diagnostic registry source readable");
+    let mut consts: Vec<(String, String)> = Vec::new();
+    for line in registry.lines() {
+        let Some(rest) = line.trim().strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once(':') else {
+            continue;
+        };
+        let Some(code) = value.split('"').nth(1) else {
+            continue;
+        };
+        consts.push((name.trim().to_string(), code.to_string()));
+    }
+    assert!(
+        consts.len() >= 16,
+        "registry scrape looks broken: {consts:?}"
+    );
+    let mut by_code = std::collections::BTreeMap::new();
+    for (name, code) in &consts {
+        assert!(
+            code.len() == 7 && (code.starts_with("SF-E") || code.starts_with("SF-W")),
+            "malformed code {code} ({name})"
+        );
+        if let Some(prev) = by_code.insert(code.clone(), name.clone()) {
+            panic!("code {code} registered twice: {prev} and {name}");
+        }
+    }
+    let fixtures = std::fs::read_to_string(format!("{root}/tests/analyze_fixtures.rs"))
+        .expect("fixture source readable");
+    for (name, code) in &consts {
+        assert!(
+            fixtures.contains(&format!("codes::{name}")),
+            "{code} ({name}) has no fixture in tests/analyze_fixtures.rs"
+        );
+    }
 }
 
 /// A clean schema produces no findings at all.

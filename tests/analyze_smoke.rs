@@ -66,3 +66,45 @@ fn analyze_subcommand_smoke() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `analyze --containment` over the full 57-shape benchmark suite: the
+/// matrix build must stay fast enough for a CI smoke (the binary runs
+/// under CI's hard timeout), exit clean, and the containment section must
+/// be present in both text and JSON output.
+#[test]
+fn analyze_containment_on_benchmark_suite() {
+    use shape_fragments::shacl::{schema_to_turtle, Schema};
+
+    let dir = std::env::temp_dir().join(format!(
+        "shapefrag-containment-smoke-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let shapes = dir.join("shapes57.ttl");
+    let schema = Schema::new(benchmark_shapes()).expect("benchmark suite is well-formed");
+    std::fs::write(&shapes, schema_to_turtle(&schema)).expect("write suite");
+
+    let text = Command::new(env!("CARGO_BIN_EXE_shapefrag"))
+        .args(["analyze", shapes.to_str().unwrap(), "--containment"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(text.status.code(), Some(0), "suite is deny-free");
+    let stdout = String::from_utf8_lossy(&text.stdout);
+    assert!(stdout.contains("containment"), "{stdout}");
+
+    let json = Command::new(env!("CARGO_BIN_EXE_shapefrag"))
+        .args([
+            "analyze",
+            shapes.to_str().unwrap(),
+            "--containment",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(json.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(stdout.contains("\"containment\""), "{stdout}");
+    assert!(stdout.contains("\"fingerprint\""), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

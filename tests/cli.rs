@@ -178,6 +178,51 @@ ex:PaperShape a sh:NodeShape ;
 }
 
 #[test]
+fn analyze_containment_prints_matrix_and_findings() {
+    let dir = tempdir::TempDir::new();
+    let shapes = write_file(
+        dir.path(),
+        "shapes.ttl",
+        r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://example.org/> .
+ex:OneAuthor a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [ sh:path ex:author ; sh:minCount 1 ] .
+ex:TwoAuthors a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [ sh:path ex:author ; sh:minCount 2 ] .
+"#,
+    );
+    // Text mode: subsumption findings plus the rendered matrix.
+    let out = shapefrag(&["analyze", shapes.to_str().unwrap(), "--containment"]);
+    assert_eq!(out.status.code(), Some(0), "warnings never gate analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SF-W031"), "{stdout}");
+    assert!(
+        stdout.contains("ex:TwoAuthors") || stdout.contains("TwoAuthors> \u{2291}"),
+        "matrix line for the ≥2 ⊑ ≥1 edge missing: {stdout}"
+    );
+    assert!(stdout.contains("proper containment(s)"), "{stdout}");
+    // JSON mode: diagnostics and matrix under stable keys.
+    let out = shapefrag(&[
+        "analyze",
+        shapes.to_str().unwrap(),
+        "--containment",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"diagnostics\""), "{stdout}");
+    assert!(stdout.contains("\"containment\""), "{stdout}");
+    assert!(stdout.contains("\"SF-W031\""), "{stdout}");
+    assert!(stdout.contains("\"fingerprint\""), "{stdout}");
+    // An unknown flag is still a usage error.
+    let out = shapefrag(&["analyze", shapes.to_str().unwrap(), "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn deny_findings_gate_validation() {
     let (dir, _shapes, data) = fixtures();
     let bad = write_file(

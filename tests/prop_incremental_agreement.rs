@@ -26,7 +26,7 @@ use proptest::prelude::*;
 use common::{graph_strategy, object_term, pred, shape_strategy};
 use shape_fragments::core::{EditOp, EditScript, IncrementalValidator};
 use shape_fragments::govern::{Budget, EngineError};
-use shape_fragments::rdf::{Graph, Term, Triple};
+use shape_fragments::rdf::{Graph, Iri, Term, Triple};
 use shape_fragments::shacl::validator::validate_batch;
 use shape_fragments::shacl::{PathExpr, Schema, Shape, ShapeDef};
 
@@ -241,4 +241,103 @@ proptest! {
         let report = inc.apply(&second);
         prop_assert_eq!(&report, &validate_batch(&schema, inc.graph()));
     }
+}
+
+/// Regression for containment-closure cache coherence: conformance bits
+/// can be *derived* across subsumption edges (`Narrow ⊑ Wide` lets a
+/// `Narrow` bit answer a `Wide` check), so invalidating only the
+/// impact-routed definition's stripe would let stale copies survive in a
+/// related definition's row. An edit that impact-routes to `Wide` alone
+/// must also drop `Narrow`'s stripe — and must leave the unrelated
+/// definition's stripe standing.
+#[test]
+fn stripe_invalidation_covers_containment_closure() {
+    let iri = |n: &str| Iri::new(format!("{}{n}", common::NS));
+    let term = |n: &str| Term::iri(format!("{}{n}", common::NS));
+    let t = |s: &str, p: &str, o: &str| Triple::new(term(s), iri(p), term(o));
+
+    let person = || {
+        Shape::geq(
+            1,
+            PathExpr::prop(iri("type")),
+            Shape::has_value(term("Person")),
+        )
+    };
+    let name_or_alt = PathExpr::Alt(
+        Box::new(PathExpr::prop(iri("name"))),
+        Box::new(PathExpr::prop(iri("alt"))),
+    );
+    // Narrow ⊑ Wide (≥2 name ⊑ ≥1 name|alt); Other shares no containment
+    // edge with either. Names sort Narrow < Other < Wide, so dense shape
+    // ids follow that order.
+    let schema = Arc::new(
+        Schema::new([
+            ShapeDef::new(
+                term("Narrow"),
+                Shape::geq(2, PathExpr::prop(iri("name")), Shape::True),
+                person(),
+            ),
+            ShapeDef::new(
+                term("Other"),
+                Shape::geq(1, PathExpr::prop(iri("other")), Shape::True),
+                person(),
+            ),
+            ShapeDef::new(
+                term("Wide"),
+                Shape::geq(1, name_or_alt, Shape::True),
+                person(),
+            ),
+        ])
+        .unwrap(),
+    );
+    let narrow = schema.name_id(&term("Narrow")).unwrap();
+    let other = schema.name_id(&term("Other")).unwrap();
+    let wide = schema.name_id(&term("Wide")).unwrap();
+
+    let mut g = Graph::new();
+    for triple in [
+        t("alice", "type", "Person"),
+        t("alice", "name", "n1"),
+        t("alice", "name", "n2"),
+        t("bob", "type", "Person"),
+        t("bob", "name", "n1"),
+        t("carol", "type", "Person"),
+        t("carol", "other", "o1"),
+    ] {
+        g.insert(triple);
+    }
+
+    let mut inc = IncrementalValidator::new(Arc::clone(&schema), Arc::new(g.freeze()));
+    let index = inc.memo().containment().expect("index attached at seed");
+    assert_eq!(index.related_closure(wide), vec![narrow, wide]);
+    assert_eq!(index.related_closure(other), vec![other]);
+    let (hits, misses) = inc.memo().containment_counters();
+    assert!(hits + misses > 0, "seeding never consulted the index");
+
+    let alice = inc.graph().id_of(&term("alice")).unwrap();
+    assert_eq!(inc.memo().lookup(narrow, alice), Some(true));
+    assert_eq!(inc.memo().lookup(wide, alice), Some(true));
+    assert_eq!(inc.memo().lookup(other, alice), Some(false));
+
+    // `alt` is readable by Wide only: Narrow and Other route Untouched,
+    // so neither gets re-checked and nothing refills their stripes.
+    let report = inc.apply(&EditScript::new([EditOp::Add(t("alice", "alt", "x"))]));
+    assert_eq!(report, validate_batch(&schema, inc.graph()));
+    assert_eq!(report, inc.report());
+
+    // Wide was re-evaluated at alice; Narrow's bit fell with it through
+    // the containment closure; Other's survived untouched.
+    assert_eq!(inc.memo().lookup(wide, alice), Some(true));
+    assert_eq!(
+        inc.memo().lookup(narrow, alice),
+        None,
+        "containment-related stripe must be dropped with the impacted one"
+    );
+    assert_eq!(inc.memo().lookup(other, alice), Some(false));
+
+    // The validator stays exact afterwards, including for edits that
+    // re-impact the dropped definition.
+    let report = inc.apply(&EditScript::new([EditOp::Remove(t("alice", "name", "n2"))]));
+    assert_eq!(report, validate_batch(&schema, inc.graph()));
+    assert_eq!(inc.memo().lookup(narrow, alice), Some(false));
 }

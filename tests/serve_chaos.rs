@@ -380,3 +380,108 @@ fn chaos_storm_holds_the_overload_contract() {
     let remaining = server.shutdown(Duration::from_secs(2));
     assert_eq!(remaining, 0, "requests still in flight after drain");
 }
+
+/// Containment reuse at the service boundary: a fragment request for a
+/// definition that duplicates another's `(shape, target)` is answered
+/// byte-for-byte from the cache, `/validate` skips the duplicated
+/// definition's evaluation, and the three new `/stats` counters move —
+/// all without changing any report or fragment bytes.
+#[test]
+fn fragment_cache_and_validate_reuse_across_equivalent_shapes() {
+    let shapes = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://example.org/> .
+ex:AuthorShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [ sh:path ex:author ; sh:minCount 1 ] .
+ex:AuthorShapeDup a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [ sh:path ex:author ; sh:minCount 1 ] .
+"#;
+    let server = Server::start(
+        ServeConfig::default(),
+        SnapshotSource::Inline {
+            shapes: shapes.to_string(),
+            data: DATA_V1.to_string(),
+        },
+    )
+    .expect("server boots");
+    let addr = server.addr;
+
+    // First single-shape fragment computes and caches under the
+    // representative; the duplicate is then served from the same bytes.
+    let a = client::request(
+        addr,
+        "POST",
+        "/fragment",
+        &[],
+        b"<http://example.org/AuthorShape>",
+    )
+    .unwrap();
+    assert_eq!(a.status, 200);
+    assert_eq!(a.header("x-fragment-cache"), Some("miss"));
+    let b = client::request(
+        addr,
+        "POST",
+        "/fragment",
+        &[],
+        b"<http://example.org/AuthorShapeDup>",
+    )
+    .unwrap();
+    assert_eq!(b.status, 200);
+    assert_eq!(b.header("x-fragment-cache"), Some("hit"));
+    assert_eq!(a.body, b.body, "cached fragment bytes must be identical");
+
+    // /validate runs the containment driver: the duplicate definition is
+    // settled from derived bits, and the report is the usual one.
+    let v = client::request(addr, "POST", "/validate", &[], b"").unwrap();
+    assert_eq!(v.status, 200);
+    let body = v.text();
+    assert!(
+        body.contains("\"conforms\":false"),
+        "report changed: {body}"
+    );
+    assert!(
+        body.contains("AuthorShapeDup"),
+        "duplicate def must still report its violations: {body}"
+    );
+
+    let stats = client::request(addr, "GET", "/stats", &[], b"")
+        .unwrap()
+        .text();
+    let field = |name: &str| -> u64 {
+        stats
+            .split(&format!("\"{name}\":"))
+            .nth(1)
+            .and_then(|t| t.split(|c: char| !c.is_ascii_digit()).next()?.parse().ok())
+            .unwrap_or_else(|| panic!("missing {name} in {stats}"))
+    };
+    assert!(field("containment_hits") >= 1, "no hits counted: {stats}");
+    assert!(
+        field("containment_misses") >= 1,
+        "no misses counted: {stats}"
+    );
+    // The duplicated node shape is skipped, and so is one of the two
+    // synthesized (equivalent) property-shape definitions.
+    assert!(
+        field("shapes_skipped") >= 1,
+        "duplicate def not skipped: {stats}"
+    );
+
+    // An epoch move invalidates the cache: same request misses again.
+    let r = client::request(addr, "POST", "/reload", &[], DATA_V2.as_bytes()).unwrap();
+    assert_eq!(r.status, 200);
+    let c = client::request(
+        addr,
+        "POST",
+        "/fragment",
+        &[],
+        b"<http://example.org/AuthorShape>",
+    )
+    .unwrap();
+    assert_eq!(c.status, 200);
+    assert_eq!(c.header("x-fragment-cache"), Some("miss"));
+
+    let remaining = server.shutdown(Duration::from_secs(2));
+    assert_eq!(remaining, 0);
+}
